@@ -1,0 +1,145 @@
+"""Experiments A2/A3 — architectural ablations of the synthesizable ACIM.
+
+Two design choices of paper section 3.1 are ablated with the calibrated
+area/energy models:
+
+* **A2 — reusable CDAC capacitors.**  EasyACIM reuses the compute
+  capacitors as the SAR CDAC; the ablation adds the area of a dedicated
+  binary-weighted CDAC (2^B unit capacitors per column) back to Equation 10
+  and measures the area overhead avoided.
+* **A3 — local-array sharing.**  L bit cells share one compute capacitor
+  and control circuit; the ablation sets L = 1 (a capacitor per cell, the
+  Figure-1 style unscalable design) and measures the area increase, as well
+  as the throughput that sharing gives up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.model.area import AreaModel, AreaParameters
+from repro.model.estimator import ACIMEstimator
+from repro.model.throughput import ThroughputModel
+from repro.flow.report import format_table
+from repro.units import um2_to_f2
+
+from bench_reporting import emit
+
+SPEC_16KB = ACIMDesignSpec(128, 128, 8, 3)
+
+
+def _dedicated_cdac_area_per_bit(spec: ACIMDesignSpec, area: AreaParameters) -> float:
+    """Extra per-bit area of a dedicated (non-reused) CDAC in F^2.
+
+    A dedicated CDAC needs 2^B unit capacitors per column; a unit MOM
+    capacitor occupies roughly one third of the local computing cell (the
+    rest is the switch network), so the overhead per column is
+    2^B * A_LC / 3, amortised over the column's H cells.
+    """
+    unit_cap_area = area.a_local_compute / 3.0
+    per_column = (2 ** spec.adc_bits) * unit_cap_area
+    return per_column / spec.height
+
+
+def test_a2_capacitor_reuse_saves_adc_area(benchmark, estimator):
+    """A2: area overhead of a dedicated CDAC vs the reused compute capacitors."""
+    area_model = estimator.area_model
+
+    def evaluate():
+        rows = []
+        for bits in (2, 3, 4, 5):
+            spec = ACIMDesignSpec(128, 128, 4, bits)
+            baseline = area_model.area_per_bit_f2(spec)
+            dedicated = baseline + _dedicated_cdac_area_per_bit(
+                spec, area_model.parameters)
+            rows.append({
+                "B_ADC": bits,
+                "reused_F2_per_bit": round(baseline, 0),
+                "dedicated_F2_per_bit": round(dedicated, 0),
+                "overhead_percent": round(100 * (dedicated / baseline - 1), 1),
+            })
+        return rows
+
+    rows = benchmark(evaluate)
+    emit("Ablation A2 — reusable CDAC capacitors vs dedicated CDAC",
+         format_table(rows))
+    overheads = [row["overhead_percent"] for row in rows]
+    # The saving exists at every precision and grows with B_ADC.
+    assert all(o > 0 for o in overheads)
+    assert overheads[-1] > overheads[0]
+
+
+def test_a3_local_array_sharing_saves_area(benchmark, estimator):
+    """A3: area of L-way sharing vs one capacitor per cell (L = 1)."""
+    area_model = estimator.area_model
+
+    def evaluate():
+        rows = []
+        for local in (1, 2, 4, 8, 16, 32):
+            per_bit = (area_model.parameters.a_sram
+                       + area_model.parameters.a_local_compute / local
+                       + area_model.parameters.a_comparator / SPEC_16KB.height
+                       + SPEC_16KB.adc_bits * area_model.parameters.a_dff
+                       / SPEC_16KB.height)
+            rows.append({"L": local, "F2_per_bit": round(per_bit, 0)})
+        return rows
+
+    rows = benchmark(evaluate)
+    emit("Ablation A3 — local-array sharing factor vs per-bit area",
+         format_table(rows))
+    areas = [row["F2_per_bit"] for row in rows]
+    assert areas == sorted(areas, reverse=True)
+    # L = 8 removes well over half of the per-cell compute-capacitor area.
+    assert areas[0] - areas[3] > 0.5 * area_model.parameters.a_local_compute
+
+
+def test_a3_sharing_trades_throughput(benchmark):
+    """A3: the throughput cost of sharing (the paper's L trade-off)."""
+    model = ThroughputModel()
+
+    def evaluate():
+        rows = []
+        for local in (2, 4, 8, 16):
+            spec = ACIMDesignSpec(128, 128, local, 3)
+            rows.append({
+                "L": local,
+                "TOPS": round(model.tops(spec), 3),
+                "MACs_per_cycle": model.breakdown(spec).macs_per_cycle,
+            })
+        return rows
+
+    rows = benchmark(evaluate)
+    emit("Ablation A3 — local-array sharing factor vs throughput",
+         format_table(rows))
+    tops = [row["TOPS"] for row in rows]
+    assert tops == sorted(tops, reverse=True)
+    assert tops[0] == pytest.approx(tops[-1] * 8, rel=0.01)
+
+
+def test_a2_energy_isolation_switch(benchmark, estimator):
+    """A2 companion: isolating surplus capacitance keeps conversion energy flat.
+
+    With the CMOS switch, the CDAC the comparator sees is always 2^B units,
+    so the per-conversion energy depends on B alone; without it the full
+    H/L capacitors would load every conversion.  The benchmark quantifies
+    the energy that the switch avoids for the Figure-8(b) configuration.
+    """
+    from repro.sim.sar_adc import cdac_switching_energy
+
+    def evaluate():
+        spec = SPEC_16KB
+        with_switch = cdac_switching_energy(spec.adc_bits)
+        # Without isolation the redistribution node carries H/L unit caps.
+        without_switch = cdac_switching_energy(spec.adc_bits) * (
+            spec.local_arrays_per_column / spec.capacitor_units_per_column)
+        return with_switch, without_switch
+
+    with_switch, without_switch = benchmark(evaluate)
+    emit("Ablation A2 — CDAC energy with and without the isolation switch",
+         format_table([{
+             "with_switch_fJ": round(with_switch * 1e15, 2),
+             "without_switch_fJ": round(without_switch * 1e15, 2),
+             "saving_percent": round(100 * (1 - with_switch / without_switch), 1),
+         }]))
+    assert with_switch < without_switch

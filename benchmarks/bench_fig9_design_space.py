@@ -1,0 +1,151 @@
+"""Experiments E3–E6 — Figure 9: the EasyACIM design space.
+
+Figure 9 plots the explored design space as scatter plots over the four
+metrics, categorised four ways.  Each test below regenerates one pair of
+panels and prints the per-category metric ranges (the "series" behind the
+scatter plots), then asserts the qualitative conclusions the paper draws:
+
+* (a)(b) by array size — larger arrays reach higher SNR and throughput,
+  smaller arrays favour energy efficiency and area;
+* (c)(d) by H at 16 kb — smaller H gives higher throughput but limits SNR
+  and increases area;
+* (e)(f) by L at 16 kb — smaller L raises throughput and the SNR upper
+  bound at extra area;
+* (g)(h) by B_ADC at 16 kb — fewer ADC bits improve energy efficiency but
+  sharply reduce SNR.
+
+The exploration itself uses the same estimation model and constraint set as
+the NSGA-II explorer; the full (enumerable) space is evaluated so every
+category is complete, and the NSGA-II path is benchmarked separately in
+bench_runtime.py / bench_ablation_dse.py.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.dse.exhaustive import evaluate_all
+from repro.dse.problem import EvaluatedDesign
+from repro.flow.report import format_table
+
+from bench_reporting import emit
+
+ARRAY_SIZES = (4 * 1024, 16 * 1024, 64 * 1024)
+ARRAY_16KB = 16 * 1024
+
+
+def _series(designs: List[EvaluatedDesign], key) -> Dict:
+    """Group designs by ``key`` and summarise each group's metric ranges."""
+    groups: Dict = {}
+    for design in designs:
+        groups.setdefault(key(design), []).append(design)
+    summary = {}
+    for group_key in sorted(groups):
+        members = groups[group_key]
+        summary[group_key] = {
+            "count": len(members),
+            "snr_db_max": max(d.metrics.snr_db for d in members),
+            "snr_db_min": min(d.metrics.snr_db for d in members),
+            "tops_max": max(d.metrics.tops for d in members),
+            "tops_per_watt_max": max(d.metrics.tops_per_watt for d in members),
+            "area_min": min(d.metrics.area_f2_per_bit for d in members),
+            "area_max": max(d.metrics.area_f2_per_bit for d in members),
+        }
+    return summary
+
+
+def _rows(summary: Dict, label: str) -> List[Dict]:
+    return [
+        {
+            label: key,
+            "points": entry["count"],
+            "SNR_dB_max": round(entry["snr_db_max"], 1),
+            "TOPS_max": round(entry["tops_max"], 3),
+            "TOPSW_max": round(entry["tops_per_watt_max"], 0),
+            "F2bit_min": round(entry["area_min"], 0),
+            "F2bit_max": round(entry["area_max"], 0),
+        }
+        for key, entry in summary.items()
+    ]
+
+
+def test_fig9_ab_by_array_size(benchmark, estimator):
+    """Figure 9(a)(b): design space categorised by array size."""
+
+    def sweep():
+        return {
+            size: evaluate_all(size, estimator=estimator) for size in ARRAY_SIZES
+        }
+
+    spaces = benchmark(sweep)
+    summary = {
+        size: _series(designs, key=lambda d: size)[size]
+        for size, designs in spaces.items()
+    }
+    emit("Figure 9(a)(b) — design space by array size",
+         format_table(_rows(summary, "array_size")))
+
+    small, large = summary[ARRAY_SIZES[0]], summary[ARRAY_SIZES[-1]]
+    # Larger arrays present the potential for higher SNR and throughput...
+    assert large["snr_db_max"] >= small["snr_db_max"]
+    assert large["tops_max"] > small["tops_max"]
+    # ...while smaller arrays prioritise energy efficiency and area.
+    assert small["area_min"] <= large["area_min"] * 1.05
+    assert small["tops_per_watt_max"] >= 0.95 * large["tops_per_watt_max"]
+
+
+def test_fig9_cd_by_height(benchmark, estimator):
+    """Figure 9(c)(d): 16 kb design space categorised by H."""
+    designs = benchmark(evaluate_all, ARRAY_16KB, estimator=estimator)
+    summary = _series(designs, key=lambda d: d.spec.height)
+    emit("Figure 9(c)(d) — 16 kb design space by H",
+         format_table(_rows(summary, "H")))
+
+    heights = sorted(summary)
+    smallest, largest = summary[heights[0]], summary[heights[-1]]
+    # Smaller H reaches at least the same peak throughput (Equation 7 depends
+    # on H only through the feasible L and B_ADC choices), but its SNR is
+    # limited (fewer capacitor groups bound B_ADC) and its area overhead is
+    # larger (comparator and SAR logic amortised over fewer cells).
+    assert smallest["tops_max"] >= largest["tops_max"]
+    assert smallest["snr_db_max"] <= largest["snr_db_max"]
+    assert smallest["area_max"] >= largest["area_max"]
+
+
+def test_fig9_ef_by_local_array(benchmark, estimator):
+    """Figure 9(e)(f): 16 kb design space categorised by L."""
+    designs = benchmark(evaluate_all, ARRAY_16KB, estimator=estimator)
+    summary = _series(designs, key=lambda d: d.spec.local_array_size)
+    emit("Figure 9(e)(f) — 16 kb design space by L",
+         format_table(_rows(summary, "L")))
+
+    locals_sorted = sorted(summary)
+    smallest, largest = summary[locals_sorted[0]], summary[locals_sorted[-1]]
+    # Reducing L raises throughput and the SNR upper bound, at extra area.
+    assert smallest["tops_max"] > largest["tops_max"]
+    assert smallest["snr_db_max"] >= largest["snr_db_max"]
+    assert smallest["area_max"] > largest["area_max"]
+
+
+def test_fig9_gh_by_adc_bits(benchmark, estimator):
+    """Figure 9(g)(h): 16 kb design space categorised by B_ADC."""
+    designs = benchmark(evaluate_all, ARRAY_16KB, estimator=estimator)
+    summary = _series(designs, key=lambda d: d.spec.adc_bits)
+    emit("Figure 9(g)(h) — 16 kb design space by B_ADC",
+         format_table(_rows(summary, "B_ADC")))
+
+    bits_sorted = sorted(summary)
+    lowest, highest = summary[bits_sorted[0]], summary[bits_sorted[-1]]
+    # Reducing B_ADC enhances energy efficiency yet notably diminishes SNR.
+    assert lowest["tops_per_watt_max"] > highest["tops_per_watt_max"]
+    assert lowest["snr_db_max"] < highest["snr_db_max"]
+
+
+def test_fig9_parameter_limits_match_paper(estimator):
+    """The explored space respects the paper's stated limits (B<=8, 2<=L<=32)."""
+    designs = evaluate_all(ARRAY_16KB, estimator=estimator)
+    assert designs
+    assert all(d.spec.adc_bits <= 8 for d in designs)
+    assert all(2 <= d.spec.local_array_size <= 32 for d in designs)

@@ -1,0 +1,14 @@
+"""Reporting helper shared by every benchmark module.
+
+Kept outside ``conftest.py`` so benchmark modules can import it explicitly
+(``from bench_reporting import emit``) regardless of how pytest names its
+conftest plugin modules.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited reproduction block (table or series)."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

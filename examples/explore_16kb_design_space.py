@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Explore the 16 kb design space and distil it for three application scenarios.
+
+Reproduces the workflow behind the paper's Figures 9 and 10 interactively:
+
+* run the MOGA-based explorer for a 16 kb array,
+* print the Pareto-frontier set and its metric ranges,
+* apply the "user distillation" step for three scenarios (transformer, CNN,
+  SNN) and show which solutions each scenario keeps,
+* compare the space against the published SOTA designs (Figure 10).
+
+Run with::
+
+    python examples/explore_16kb_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro import DesignSpaceExplorer, NSGA2Config
+from repro.dse.distill import DistillationCriteria, distill
+from repro.dse.exhaustive import exhaustive_pareto_front
+from repro.flow.report import design_table, format_table, pareto_summary
+from repro.sota import SOTA_DESIGNS, compare_with_design_space
+
+ARRAY_SIZE = 16 * 1024
+
+
+def main() -> None:
+    print("=" * 70)
+    print("EasyACIM design-space exploration — 16 kb array")
+    print("=" * 70)
+
+    explorer = DesignSpaceExplorer(config=NSGA2Config(
+        population_size=80, generations=40, seed=2024))
+    result = explorer.explore(ARRAY_SIZE)
+    print(f"\nNSGA-II: {result.evaluations} evaluations, "
+          f"{len(result.pareto_set)} Pareto solutions, "
+          f"{result.runtime_seconds:.2f} s")
+
+    summary = pareto_summary(result.pareto_set)
+    print("\nPareto-set metric ranges:")
+    print(format_table([summary]))
+
+    print("\nTop solutions by SNR:")
+    print(format_table(result.as_table()[:10]))
+
+    # ------------------------------------------------------------------
+    # User distillation for the Figure-1 application scenarios.
+    # ------------------------------------------------------------------
+    scenarios = [
+        DistillationCriteria.transformer(),
+        DistillationCriteria.cnn(),
+        DistillationCriteria.snn(),
+    ]
+    print("\nUser distillation per application scenario:")
+    for scenario in scenarios:
+        kept = distill(result.pareto_set, scenario)
+        print(f"\n  scenario {scenario.name!r}: {len(kept)} solutions survive")
+        if kept:
+            print(format_table(design_table(kept[:5])))
+
+    # ------------------------------------------------------------------
+    # Figure-10 style comparison against SOTA silicon.
+    # ------------------------------------------------------------------
+    print("\nComparison with SOTA ACIM designs (Figure 10):")
+    full_space = exhaustive_pareto_front(ARRAY_SIZE)
+    report = compare_with_design_space(full_space)
+    rows = []
+    for reference in SOTA_DESIGNS:
+        entry = report[reference.label]
+        rows.append({
+            "design": f"{reference.label} ({reference.venue})",
+            "ref_TOPS/W": reference.energy_efficiency_tops_w,
+            "ref_F2/bit": reference.area_f2_per_bit,
+            "EasyACIM solutions >= efficiency": entry["solutions_with_better_efficiency"],
+            "EasyACIM solutions <= area": entry["solutions_with_better_area"],
+        })
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: run the end-to-end EasyACIM flow on a small array.
+
+The script exercises the whole pipeline on a 1 kb array so it finishes in a
+few seconds:
+
+1. design-space exploration with NSGA-II,
+2. user distillation (here: keep solutions with at least 10 dB SNR),
+3. template-based netlist generation,
+4. template-based hierarchical placement and routing,
+5. GDSII / DEF export.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import EasyACIMFlow, FlowInputs, NSGA2Config
+from repro.dse.distill import DistillationCriteria
+from repro.flow.report import design_table, format_table, solution_report
+
+
+def main() -> None:
+    inputs = FlowInputs(
+        array_size=1024,
+        nsga2=NSGA2Config(population_size=40, generations=20, seed=1),
+        criteria=DistillationCriteria(min_snr_db=10.0, name="quickstart"),
+        max_layouts=2,
+    )
+    flow = EasyACIMFlow(inputs)
+
+    with tempfile.TemporaryDirectory() as output_dir:
+        result = flow.run(route_columns=True, output_dir=output_dir)
+
+        print("=" * 70)
+        print("EasyACIM quickstart — 1 kb array")
+        print("=" * 70)
+        print(result.summary())
+
+        print("\nPareto-frontier solutions (after distillation):")
+        print(format_table(design_table(result.distilled)))
+
+        print("\nBest-SNR solution in detail:")
+        best = max(result.distilled, key=lambda d: d.metrics.snr_db)
+        print(solution_report(best))
+
+        print("\nGenerated layouts:")
+        for key, report in result.layouts.items():
+            print(f"  {key}: {report.width_um:.1f} x {report.height_um:.1f} um, "
+                  f"{report.area_f2_per_bit:.0f} F^2/bit, "
+                  f"GDS at {report.gds_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate the analytic SNR model against the behavioral Monte-Carlo simulator.
+
+The paper's design-space explorer relies on the Equation-2..6 estimation
+model (and its simplified Equation-11 form).  This example sweeps ADC
+precision and accumulation length, measures the SNR of the behavioral
+charge-redistribution + SAR-ADC column simulator, and prints it next to the
+analytic predictions — the reproduction's substitute for the authors'
+post-layout-simulation calibration.
+
+Run with::
+
+    python examples/validate_snr_model.py
+"""
+
+from __future__ import annotations
+
+from repro import ACIMDesignSpec, ACIMEstimator
+from repro.flow.report import format_table
+from repro.model.calibration import fit_snr_constants
+from repro.sim import MonteCarloSnr
+
+
+def main() -> None:
+    estimator = ACIMEstimator()
+    snr_model = estimator.snr_model
+
+    print("=" * 70)
+    print("SNR model validation: analytic (Eq. 2-6, Eq. 11) vs Monte Carlo")
+    print("=" * 70)
+
+    sweep = [
+        ACIMDesignSpec(64, 8, 16, 2),
+        ACIMDesignSpec(64, 8, 8, 3),
+        ACIMDesignSpec(64, 8, 4, 4),
+        ACIMDesignSpec(128, 8, 4, 5),
+        ACIMDesignSpec(256, 8, 4, 5),
+        ACIMDesignSpec(256, 8, 2, 6),
+    ]
+
+    rows = []
+    for spec in sweep:
+        n = spec.local_arrays_per_column
+        measurement = MonteCarloSnr(spec, seed=7).run(trials=1500)
+        rows.append({
+            "H": spec.height,
+            "L": spec.local_array_size,
+            "B_ADC": spec.adc_bits,
+            "N=H/L": n,
+            "analytic_design_dB": round(snr_model.design_snr_db(spec.adc_bits, n), 2),
+            "simplified_eq11_dB": round(
+                snr_model.simplified_snr_db(spec.adc_bits, n), 2),
+            "monte_carlo_dB": round(measurement.snr_db, 2),
+        })
+    print(format_table(rows))
+
+    k3, k4, rms = fit_snr_constants()
+    print("\nEquation-11 coefficients fitted against the full model:")
+    print(format_table([{
+        "k3": f"{k3:.3e}",
+        "k4_dB": round(k4, 2),
+        "fit_rms_error_dB": round(rms, 2),
+    }]))
+
+    print("\nNoise budget of the H=64, L=8, B=3 point:")
+    budget = snr_model.noise_budget(3, 8)
+    print(format_table([{key: round(value, 4) if isinstance(value, float) else value
+                         for key, value in budget.items()}]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+the package can be installed in editable mode on environments whose
+setuptools/pip combination still requires the legacy ``setup.py`` path
+(e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""EasyACIM reproduction: end-to-end automated analog computing-in-memory.
+
+This library reproduces the system described in *"EasyACIM: An End-to-End
+Automated Analog CIM with Synthesizable Architecture and Agile Design Space
+Exploration"* (DAC 2024): a synthesizable charge-redistribution ACIM
+architecture, an analytical SNR / throughput / energy / area estimation
+model, an NSGA-II design-space explorer, and a template-based hierarchical
+placement-and-routing flow that generates macro layouts — together with the
+behavioral simulation, baselines and benchmarks needed to regenerate the
+paper's evaluation.
+
+Quick start::
+
+    from repro import EasyACIMFlow, FlowInputs
+
+    flow = EasyACIMFlow(FlowInputs(array_size=16 * 1024))
+    result = flow.run(generate_layouts=False)
+    print(result.summary())
+
+The subpackages are usable on their own:
+
+* :mod:`repro.arch` — the synthesizable architecture and its constraints,
+* :mod:`repro.model` — the performance estimation model (Equations 2-11),
+* :mod:`repro.dse` — Pareto tools and the NSGA-II explorer (Equation 12),
+* :mod:`repro.sim` — behavioral QR / SAR ADC simulation and Monte-Carlo SNR,
+* :mod:`repro.cells`, :mod:`repro.technology`, :mod:`repro.netlist`,
+  :mod:`repro.layout`, :mod:`repro.placement`, :mod:`repro.routing` — the
+  physical-design substrate,
+* :mod:`repro.flow` — the end-to-end flow and the baseline flows,
+* :mod:`repro.apps` — application mapping (CNN / transformer / SNN),
+* :mod:`repro.sota` — published reference designs for the comparison.
+"""
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.architecture import SynthesizableACIM
+from repro.dse.distill import DistillationCriteria
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.nsga2 import NSGA2Config
+from repro.flow.controller import EasyACIMFlow, FlowInputs, FlowResult
+from repro.flow.layout_gen import LayoutGenerator
+from repro.flow.netlist_gen import TemplateNetlistGenerator
+from repro.cells.library import CellLibrary, default_cell_library
+from repro.model.estimator import ACIMEstimator, ACIMMetrics, ModelParameters
+from repro.sim.montecarlo import MonteCarloSnr
+from repro.technology.tech import Technology, generic28
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACIMDesignSpec",
+    "SynthesizableACIM",
+    "DistillationCriteria",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+    "NSGA2Config",
+    "EasyACIMFlow",
+    "FlowInputs",
+    "FlowResult",
+    "LayoutGenerator",
+    "TemplateNetlistGenerator",
+    "CellLibrary",
+    "default_cell_library",
+    "ACIMEstimator",
+    "ACIMMetrics",
+    "ModelParameters",
+    "MonteCarloSnr",
+    "Technology",
+    "generic28",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Application-level mapping and evaluation (paper Figure 1 motivation).
+
+Different applications — transformers, CNNs, SNNs — stress different axes
+of the SNR / throughput / energy / area trade-off.  This package maps neural
+network layers onto a generated ACIM macro (tiling the weight matrices over
+the array), evaluates the resulting latency, energy and effective SNR, and
+lets the examples demonstrate why a single fixed macro cannot serve every
+scenario while the EasyACIM Pareto set can.
+"""
+
+from repro.apps.networks import (
+    LayerKind,
+    NetworkLayer,
+    NetworkModel,
+    example_cnn,
+    example_snn,
+    example_transformer,
+)
+from repro.apps.mapping import ArrayMapper, LayerMapping, MappingReport
+from repro.apps.evaluator import ApplicationEvaluator, ApplicationResult
+
+__all__ = [
+    "LayerKind",
+    "NetworkLayer",
+    "NetworkModel",
+    "example_cnn",
+    "example_snn",
+    "example_transformer",
+    "ArrayMapper",
+    "LayerMapping",
+    "MappingReport",
+    "ApplicationEvaluator",
+    "ApplicationResult",
+]

@@ -1,0 +1,121 @@
+"""Application-level evaluation of a design point on a network.
+
+Combines the mapping report with the estimation model to produce the
+numbers an accelerator architect cares about: inference latency, energy per
+inference, achievable inferences/second, and the effective output SNR after
+digital accumulation of partial sums — plus a verdict on whether the macro
+meets the network's accuracy (SNR) and real-time requirements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.apps.mapping import ArrayMapper, MappingReport
+from repro.apps.networks import NetworkModel
+from repro.model.estimator import ACIMEstimator, ACIMMetrics
+
+
+@dataclass(frozen=True)
+class ApplicationResult:
+    """Evaluation of one (network, design point) pair.
+
+    Attributes:
+        spec: the macro design point.
+        network_name: evaluated network.
+        macro_metrics: the macro-level estimation metrics.
+        latency_seconds: inference latency.
+        inferences_per_second: achievable inference rate.
+        energy_per_inference: energy per inference in joules.
+        effective_snr_db: output SNR after digital partial-sum accumulation.
+        meets_snr_requirement: True when the effective SNR satisfies the
+            network's minimum.
+        meets_throughput_requirement: True when the inference rate satisfies
+            the network's real-time target.
+        mean_utilization: MAC-weighted array utilisation of the mapping.
+    """
+
+    spec: ACIMDesignSpec
+    network_name: str
+    macro_metrics: ACIMMetrics
+    latency_seconds: float
+    inferences_per_second: float
+    energy_per_inference: float
+    effective_snr_db: float
+    meets_snr_requirement: bool
+    meets_throughput_requirement: bool
+    mean_utilization: float
+
+    @property
+    def meets_all_requirements(self) -> bool:
+        """True when both the accuracy and the real-time targets are met."""
+        return self.meets_snr_requirement and self.meets_throughput_requirement
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for report tables."""
+        return {
+            "network": self.network_name,
+            "H": self.spec.height,
+            "W": self.spec.width,
+            "L": self.spec.local_array_size,
+            "B_ADC": self.spec.adc_bits,
+            "latency_ms": self.latency_seconds * 1e3,
+            "inferences_per_s": self.inferences_per_second,
+            "energy_uJ_per_inference": self.energy_per_inference * 1e6,
+            "effective_snr_db": self.effective_snr_db,
+            "meets_snr": self.meets_snr_requirement,
+            "meets_rate": self.meets_throughput_requirement,
+            "utilization": self.mean_utilization,
+        }
+
+
+class ApplicationEvaluator:
+    """Evaluates design points against application networks."""
+
+    def __init__(self, estimator: Optional[ACIMEstimator] = None) -> None:
+        self.estimator = estimator or ACIMEstimator()
+
+    def evaluate(self, spec: ACIMDesignSpec, network: NetworkModel) -> ApplicationResult:
+        """Map ``network`` onto ``spec`` and compute application metrics."""
+        mapping = ArrayMapper(spec).map_network(network)
+        metrics = self.estimator.evaluate(spec)
+        return self._combine(spec, network, mapping, metrics)
+
+    def _combine(
+        self,
+        spec: ACIMDesignSpec,
+        network: NetworkModel,
+        mapping: MappingReport,
+        metrics: ACIMMetrics,
+    ) -> ApplicationResult:
+        timing = self.estimator.throughput_model.breakdown(spec)
+        cycle_time = timing.cycle_time
+        latency = mapping.total_cycles * cycle_time
+        # Energy: every cycle performs (H/L) * W MACs whether or not all of
+        # them hold useful weights, so energy scales with total cycles and
+        # the macro's per-MAC energy.
+        macs_per_cycle = timing.macs_per_cycle
+        energy = mapping.total_cycles * macs_per_cycle * metrics.energy_per_mac
+        inferences_per_second = 1.0 / latency if latency > 0 else float("inf")
+        # Digital accumulation of D partial sums adds their (independent)
+        # error variances while the signal adds coherently, costing about
+        # 10*log10(D) of SNR in the worst case of equal partial magnitudes.
+        penalty_db = 10.0 * math.log10(mapping.max_digital_accumulations)
+        effective_snr = metrics.snr_db - penalty_db
+        return ApplicationResult(
+            spec=spec,
+            network_name=network.name,
+            macro_metrics=metrics,
+            latency_seconds=latency,
+            inferences_per_second=inferences_per_second,
+            energy_per_inference=energy,
+            effective_snr_db=effective_snr,
+            meets_snr_requirement=effective_snr >= network.min_snr_db,
+            meets_throughput_requirement=(
+                inferences_per_second >= network.target_inferences_per_second
+            ),
+            mean_utilization=mapping.mean_utilization,
+        )

@@ -1,0 +1,126 @@
+"""Mapping network layers onto an ACIM macro.
+
+A layer's weight matrix (``input_length`` x ``output_count``) is tiled over
+the macro: the accumulation dimension folds onto the column's dot-product
+length (H / L products per conversion) and the output dimension onto the W
+columns.  The mapper reports how many tiles each layer needs, how many
+macro cycles one inference takes, and how many partial sums have to be
+accumulated digitally (which degrades the effective output SNR relative to
+a single analog accumulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ReproError
+from repro.arch.spec import ACIMDesignSpec
+from repro.apps.networks import NetworkLayer, NetworkModel
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Result of mapping one layer onto the macro.
+
+    Attributes:
+        layer: the mapped layer.
+        row_tiles: tiles along the accumulation dimension.
+        column_tiles: tiles along the output dimension.
+        weight_loads: how many times the array must be (re)loaded to hold the
+            layer's weights (1 when the whole layer fits at once).
+        cycles_per_inference: macro MAC+conversion cycles per inference.
+        digital_accumulations: partial sums combined digitally per output.
+        utilization: fraction of the macro's bit cells holding useful weights.
+    """
+
+    layer: NetworkLayer
+    row_tiles: int
+    column_tiles: int
+    weight_loads: int
+    cycles_per_inference: int
+    digital_accumulations: int
+    utilization: float
+
+
+@dataclass
+class MappingReport:
+    """Mapping of a full network onto one design point.
+
+    Attributes:
+        spec: the macro design point used.
+        network: the mapped network.
+        layers: per-layer mapping results.
+    """
+
+    spec: ACIMDesignSpec
+    network: NetworkModel
+    layers: List[LayerMapping] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Macro cycles per inference over the whole network."""
+        return sum(mapping.cycles_per_inference for mapping in self.layers)
+
+    @property
+    def total_weight_loads(self) -> int:
+        """Array weight reloads per inference over the whole network."""
+        return sum(mapping.weight_loads for mapping in self.layers)
+
+    @property
+    def mean_utilization(self) -> float:
+        """MAC-weighted average array utilisation."""
+        total_macs = sum(m.layer.macs_per_inference for m in self.layers)
+        if total_macs == 0:
+            return 0.0
+        return sum(
+            m.utilization * m.layer.macs_per_inference for m in self.layers
+        ) / total_macs
+
+    @property
+    def max_digital_accumulations(self) -> int:
+        """Worst-case digital partial-sum depth across layers."""
+        return max((m.digital_accumulations for m in self.layers), default=1)
+
+
+class ArrayMapper:
+    """Tiles network layers over an ACIM design point."""
+
+    def __init__(self, spec: ACIMDesignSpec) -> None:
+        spec.validate()
+        self.spec = spec
+
+    def map_layer(self, layer: NetworkLayer) -> LayerMapping:
+        """Map one layer onto the macro."""
+        spec = self.spec
+        analog_length = spec.dot_product_length
+        # Rows of one tile: each conversion accumulates H/L products, and the
+        # L rows of a local array hold different filters/time-steps, so one
+        # column stores up to H weights of the same output split over L
+        # contexts; the accumulation dimension maps onto the H/L products.
+        row_tiles = max(1, math.ceil(layer.input_length / analog_length))
+        column_tiles = max(1, math.ceil(layer.output_count / spec.width))
+        weight_capacity = spec.array_size
+        weight_loads = max(1, math.ceil(layer.weight_count / weight_capacity))
+        cycles = layer.vectors_per_inference * row_tiles * column_tiles
+        used_cells = min(layer.weight_count, weight_capacity)
+        utilization = used_cells / weight_capacity
+        return LayerMapping(
+            layer=layer,
+            row_tiles=row_tiles,
+            column_tiles=column_tiles,
+            weight_loads=weight_loads,
+            cycles_per_inference=cycles,
+            digital_accumulations=row_tiles,
+            utilization=utilization,
+        )
+
+    def map_network(self, network: NetworkModel) -> MappingReport:
+        """Map every layer of ``network``."""
+        if not network.layers:
+            raise ReproError(f"network {network.name!r} has no layers")
+        report = MappingReport(spec=self.spec, network=network)
+        for layer in network.layers:
+            report.layers.append(self.map_layer(layer))
+        return report

@@ -1,0 +1,156 @@
+"""Neural-network layer descriptors for the application studies.
+
+The descriptors capture only what the mapper needs: the shape of each
+layer's matrix-vector products (rows = accumulation length, columns =
+output neurons), how many such products an inference performs, and the
+accuracy sensitivity of the network (minimum SNR for acceptable accuracy).
+Three example networks mirror the paper's Figure-1 scenarios: an edge CNN,
+a small transformer block and a spiking network.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ReproError
+
+
+class LayerKind(enum.Enum):
+    """Layer categories the mapper understands."""
+
+    CONVOLUTION = "convolution"
+    FULLY_CONNECTED = "fully_connected"
+    ATTENTION_PROJECTION = "attention_projection"
+    SPIKING_DENSE = "spiking_dense"
+
+
+@dataclass(frozen=True)
+class NetworkLayer:
+    """One layer expressed as a batch of matrix-vector products.
+
+    Attributes:
+        name: layer name.
+        kind: layer category.
+        input_length: accumulation (dot-product) length per output.
+        output_count: number of outputs (columns of the weight matrix).
+        vectors_per_inference: how many input vectors one inference pushes
+            through the layer (e.g. spatial positions of a convolution,
+            tokens of a transformer block).
+        weight_bits / activation_bits: nominal precisions.
+    """
+
+    name: str
+    kind: LayerKind
+    input_length: int
+    output_count: int
+    vectors_per_inference: int = 1
+    weight_bits: int = 1
+    activation_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input_length < 1 or self.output_count < 1:
+            raise ReproError(f"layer {self.name!r} must have positive dimensions")
+        if self.vectors_per_inference < 1:
+            raise ReproError(f"layer {self.name!r} needs at least one vector")
+
+    @property
+    def macs_per_inference(self) -> int:
+        """Total multiply-accumulates one inference performs in this layer."""
+        return self.input_length * self.output_count * self.vectors_per_inference
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weights (bit cells, at 1-bit weights) the layer needs."""
+        return self.input_length * self.output_count
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A network: an ordered list of layers plus accuracy requirements.
+
+    Attributes:
+        name: model name.
+        layers: the layers in execution order.
+        min_snr_db: minimum compute SNR for acceptable task accuracy.
+        target_inferences_per_second: real-time requirement of the scenario.
+    """
+
+    name: str
+    layers: List[NetworkLayer] = field(default_factory=list)
+    min_snr_db: float = 15.0
+    target_inferences_per_second: float = 30.0
+
+    @property
+    def total_macs(self) -> int:
+        """MACs per inference over the whole network."""
+        return sum(layer.macs_per_inference for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Weights over the whole network."""
+        return sum(layer.weight_count for layer in self.layers)
+
+
+def example_cnn() -> NetworkModel:
+    """A small edge-class CNN (keyword spotting / tiny image classifier)."""
+    layers = [
+        NetworkLayer("conv1", LayerKind.CONVOLUTION, input_length=27,
+                     output_count=32, vectors_per_inference=1024),
+        NetworkLayer("conv2", LayerKind.CONVOLUTION, input_length=288,
+                     output_count=64, vectors_per_inference=256),
+        NetworkLayer("conv3", LayerKind.CONVOLUTION, input_length=576,
+                     output_count=64, vectors_per_inference=64),
+        NetworkLayer("fc", LayerKind.FULLY_CONNECTED, input_length=1024,
+                     output_count=10, vectors_per_inference=1),
+    ]
+    return NetworkModel(
+        name="edge_cnn",
+        layers=layers,
+        min_snr_db=18.0,
+        target_inferences_per_second=30.0,
+    )
+
+
+def example_transformer() -> NetworkModel:
+    """One block of a small transformer (the accuracy-sensitive scenario)."""
+    d_model, tokens = 256, 64
+    layers = [
+        NetworkLayer("q_proj", LayerKind.ATTENTION_PROJECTION, d_model, d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+        NetworkLayer("k_proj", LayerKind.ATTENTION_PROJECTION, d_model, d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+        NetworkLayer("v_proj", LayerKind.ATTENTION_PROJECTION, d_model, d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+        NetworkLayer("out_proj", LayerKind.ATTENTION_PROJECTION, d_model, d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+        NetworkLayer("ffn_up", LayerKind.FULLY_CONNECTED, d_model, 4 * d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+        NetworkLayer("ffn_down", LayerKind.FULLY_CONNECTED, 4 * d_model, d_model,
+                     vectors_per_inference=tokens, weight_bits=4, activation_bits=4),
+    ]
+    return NetworkModel(
+        name="tiny_transformer_block",
+        layers=layers,
+        min_snr_db=30.0,
+        target_inferences_per_second=10.0,
+    )
+
+
+def example_snn() -> NetworkModel:
+    """A spiking dense network (the energy-first, accuracy-relaxed scenario)."""
+    layers = [
+        NetworkLayer("dense1", LayerKind.SPIKING_DENSE, input_length=256,
+                     output_count=128, vectors_per_inference=16),
+        NetworkLayer("dense2", LayerKind.SPIKING_DENSE, input_length=128,
+                     output_count=64, vectors_per_inference=16),
+        NetworkLayer("dense3", LayerKind.SPIKING_DENSE, input_length=64,
+                     output_count=10, vectors_per_inference=16),
+    ]
+    return NetworkModel(
+        name="spiking_mlp",
+        layers=layers,
+        min_snr_db=10.0,
+        target_inferences_per_second=100.0,
+    )

@@ -1,0 +1,233 @@
+"""Structural view of the synthesizable ACIM architecture (paper Figure 6).
+
+Starting from an :class:`~repro.arch.spec.ACIMDesignSpec`, this module
+builds the structural plan of the macro:
+
+* each **column** holds ``H / L`` local arrays, one comparator / sense
+  amplifier, SAR logic with ``B_ADC`` flip-flops, and the group-control
+  switches;
+* the local arrays are partitioned into **SAR groups** with capacitor
+  ratios 1:1:2:4:...:2^(B-1), so the compute capacitors double as the SAR
+  CDAC;
+* each **local array** contains ``L`` 8T SRAM cells sharing a single compute
+  capacitor C_F and its control circuit.
+
+The plan is a pure-data structure consumed by the netlist generator, the
+layout flow and the estimation model — it contains no geometry and no
+electrical state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SpecificationError
+from repro.arch.compute_models import ComputeModel
+from repro.arch.spec import ACIMDesignSpec
+
+
+@dataclass(frozen=True)
+class LocalArrayPlan:
+    """One local array: L bit cells sharing a compute capacitor.
+
+    Attributes:
+        index: position of the local array within its column (0 at bottom).
+        sar_group: index of the SAR group this local array's capacitor
+            belongs to.
+        rows: global row indices of the 8T cells inside this local array.
+    """
+
+    index: int
+    sar_group: int
+    rows: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of 8T cells in the local array (= L)."""
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class SarGroupPlan:
+    """One SAR capacitor group of a column's CDAC.
+
+    Attributes:
+        index: group index, 0 .. B_ADC (group 0 is the extra unit group that
+            makes the ratios 1:1:2:...:2^(B-1)).
+        weight: number of unit capacitors in this group.
+        local_array_indices: which local arrays contribute their compute
+            capacitors to the group.
+    """
+
+    index: int
+    weight: int
+    local_array_indices: Tuple[int, ...]
+
+    def capacitance(self, unit_capacitance: float) -> float:
+        """Total group capacitance in farads."""
+        return self.weight * unit_capacitance
+
+
+@dataclass(frozen=True)
+class ColumnPlan:
+    """The full structural plan of one ACIM column.
+
+    Attributes:
+        index: column index within the array.
+        local_arrays: the column's local arrays, bottom to top.
+        sar_groups: the CDAC groups built from the local-array capacitors.
+        adc_bits: SAR ADC resolution of the column.
+    """
+
+    index: int
+    local_arrays: Tuple[LocalArrayPlan, ...]
+    sar_groups: Tuple[SarGroupPlan, ...]
+    adc_bits: int
+
+    @property
+    def num_local_arrays(self) -> int:
+        return len(self.local_arrays)
+
+    @property
+    def num_rows(self) -> int:
+        """Total bit cells in the column."""
+        return sum(array.size for array in self.local_arrays)
+
+    def total_cdac_units(self) -> int:
+        """Total unit capacitors used by the CDAC (should be 2^B_ADC)."""
+        return sum(group.weight for group in self.sar_groups)
+
+
+class SynthesizableACIM:
+    """The synthesizable ACIM macro structure for a given design spec.
+
+    The structure is identical for every column, so a single
+    :class:`ColumnPlan` is built and replicated ``W`` times; per-column
+    plans are exposed for the netlist generator, which names instances per
+    column.
+    """
+
+    #: The compute model the architecture is built around (paper section 2.1).
+    compute_model = ComputeModel.CHARGE_REDISTRIBUTION
+
+    def __init__(self, spec: ACIMDesignSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self._column_template = self._build_column_plan(0)
+
+    # -- plan construction ----------------------------------------------------
+
+    def _build_column_plan(self, column_index: int) -> ColumnPlan:
+        spec = self.spec
+        num_local = spec.local_arrays_per_column
+        ratios = spec.sar_group_ratios
+        needed_units = sum(ratios)
+        if needed_units > num_local:
+            # validate() already guarantees H/L >= 2^B, and sum(ratios) == 2^B.
+            raise SpecificationError(
+                f"column needs {needed_units} capacitor units but only "
+                f"{num_local} local arrays are available"
+            )
+
+        local_arrays: List[LocalArrayPlan] = []
+        sar_groups: List[SarGroupPlan] = []
+        next_local = 0
+        for group_index, weight in enumerate(ratios):
+            members = tuple(range(next_local, next_local + weight))
+            next_local += weight
+            sar_groups.append(SarGroupPlan(group_index, weight, members))
+        # Local arrays beyond the CDAC requirement still belong to the last
+        # (most significant) group electrically disconnected during
+        # conversion; structurally we assign them group -1 (unused by CDAC).
+        group_of_local: Dict[int, int] = {}
+        for group in sar_groups:
+            for member in group.local_array_indices:
+                group_of_local[member] = group.index
+
+        for local_index in range(num_local):
+            start_row = local_index * spec.local_array_size
+            rows = tuple(range(start_row, start_row + spec.local_array_size))
+            local_arrays.append(LocalArrayPlan(
+                index=local_index,
+                sar_group=group_of_local.get(local_index, -1),
+                rows=rows,
+            ))
+        return ColumnPlan(
+            index=column_index,
+            local_arrays=tuple(local_arrays),
+            sar_groups=tuple(sar_groups),
+            adc_bits=spec.adc_bits,
+        )
+
+    # -- public structure queries ---------------------------------------------
+
+    def column_plan(self, column_index: int = 0) -> ColumnPlan:
+        """Structural plan of one column (all columns are identical)."""
+        if not 0 <= column_index < self.spec.width:
+            raise SpecificationError(
+                f"column index {column_index} out of range 0..{self.spec.width - 1}"
+            )
+        template = self._column_template
+        if column_index == 0:
+            return template
+        return ColumnPlan(
+            index=column_index,
+            local_arrays=template.local_arrays,
+            sar_groups=template.sar_groups,
+            adc_bits=template.adc_bits,
+        )
+
+    def columns(self) -> List[ColumnPlan]:
+        """Structural plans of every column."""
+        return [self.column_plan(i) for i in range(self.spec.width)]
+
+    # -- component counting (used by area/energy models and tests) -------------
+
+    def component_counts(self) -> Dict[str, int]:
+        """Count every leaf component of the macro.
+
+        Keys match the cell names of :mod:`repro.cells`.
+        """
+        spec = self.spec
+        num_local_per_column = spec.local_arrays_per_column
+        return {
+            "sram8t": spec.height * spec.width,
+            "local_compute": num_local_per_column * spec.width,
+            "compute_cap": num_local_per_column * spec.width,
+            "comparator": spec.width,
+            "sar_dff": spec.adc_bits * spec.width,
+            "group_switch": (spec.adc_bits + 1) * spec.width,
+            "input_buffer": spec.height,
+            "output_buffer": spec.width,
+        }
+
+    def cdac_total_capacitance(self, unit_capacitance: float) -> float:
+        """Total CDAC capacitance per column in farads (2^B_ADC * C_F)."""
+        return self.spec.capacitor_units_per_column * unit_capacitance
+
+    def unused_local_arrays_per_column(self) -> int:
+        """Local arrays whose capacitor is not part of the CDAC.
+
+        When ``H/L > 2^B_ADC`` the surplus capacitors are isolated by the
+        CMOS switch during conversion (the energy-saving trick in paper
+        section 3.1); this method counts them.
+        """
+        return self.spec.local_arrays_per_column - self.spec.capacitor_units_per_column
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the macro structure."""
+        spec = self.spec
+        counts = self.component_counts()
+        lines = [
+            f"Synthesizable ACIM ({spec.describe()})",
+            f"  compute model        : {self.compute_model.value}",
+            f"  local arrays/column  : {spec.local_arrays_per_column}",
+            f"  SAR group ratios     : {':'.join(str(r) for r in spec.sar_group_ratios)}",
+            f"  CDAC units/column    : {spec.capacitor_units_per_column}",
+            f"  isolated caps/column : {self.unused_local_arrays_per_column()}",
+            f"  8T SRAM cells        : {counts['sram8t']}",
+            f"  comparators          : {counts['comparator']}",
+            f"  SAR flip-flops       : {counts['sar_dff']}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The four-parameter ACIM design specification and its feasibility rules.
+
+A design point of the synthesizable architecture is the vector
+``(H, W, L, B_ADC)`` — array height, array width, local array size and ADC
+precision — explored by the MOGA-based design space explorer.  The
+feasibility constraints come from the paper's Equation 12:
+
+* ``H / L >= 2^B_ADC`` — the ADC precision is limited by the number of
+  local-array capacitor groups available per column to form the CDAC,
+* ``H >= L`` — a local array cannot be taller than the column,
+* ``H * W == array_size`` — the macro holds exactly the user-defined number
+  of bit cells.
+
+The module also provides enumeration helpers used by the exhaustive
+design-space baseline and by the genetic explorer's repair operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True, order=True)
+class ACIMDesignSpec:
+    """One design point of the synthesizable ACIM architecture.
+
+    Attributes:
+        height: array height H in bit cells per column.
+        width: array width W in columns.
+        local_array_size: local array size L (8T cells sharing one compute
+            capacitor and control circuit).
+        adc_bits: SAR ADC precision B_ADC in bits.
+    """
+
+    height: int
+    width: int
+    local_array_size: int
+    adc_bits: int
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def array_size(self) -> int:
+        """Total number of bit cells H * W."""
+        return self.height * self.width
+
+    @property
+    def local_arrays_per_column(self) -> int:
+        """Number of local arrays (and compute capacitors) per column, H / L."""
+        return self.height // self.local_array_size
+
+    @property
+    def dot_product_length(self) -> int:
+        """Accumulation length N of one analog dot product (H / L).
+
+        Each local array contributes one product term through its shared
+        compute capacitor, so a column accumulates H / L terms per MAC phase.
+        """
+        return self.local_arrays_per_column
+
+    @property
+    def sar_group_ratios(self) -> Tuple[int, ...]:
+        """CDAC capacitor group ratios 1:1:2:4:...:2^(B-1) (paper Fig. 6)."""
+        if self.adc_bits < 1:
+            return ()
+        return (1,) + tuple(2 ** i for i in range(self.adc_bits))
+
+    @property
+    def capacitor_units_per_column(self) -> int:
+        """Total unit capacitors needed per column by the CDAC grouping, 2^B."""
+        return 2 ** self.adc_bits
+
+    # -- constraint checks ----------------------------------------------------
+
+    def constraint_violations(
+        self, array_size: Optional[int] = None
+    ) -> List[str]:
+        """Return human-readable descriptions of violated constraints.
+
+        Args:
+            array_size: required total array size; when omitted, only the
+                H/L and H>=L constraints are checked.
+        """
+        violations: List[str] = []
+        if self.height < 1 or self.width < 1:
+            violations.append("H and W must be positive")
+        if self.local_array_size < 1:
+            violations.append("L must be positive")
+        if self.adc_bits < 1:
+            violations.append("B_ADC must be at least 1")
+        if self.local_array_size > self.height:
+            violations.append(
+                f"H - L >= 0 violated: L={self.local_array_size} > H={self.height}"
+            )
+        if self.height % max(self.local_array_size, 1) != 0:
+            violations.append(
+                f"H={self.height} is not a multiple of L={self.local_array_size}"
+            )
+        elif self.local_arrays_per_column < 2 ** self.adc_bits:
+            violations.append(
+                f"H/L - 2^B_ADC >= 0 violated: H/L={self.local_arrays_per_column} "
+                f"< 2^{self.adc_bits}"
+            )
+        if array_size is not None and self.array_size != array_size:
+            violations.append(
+                f"H*W = {self.array_size} differs from required array size "
+                f"{array_size}"
+            )
+        return violations
+
+    def is_feasible(self, array_size: Optional[int] = None) -> bool:
+        """True when every Equation-12 constraint is satisfied."""
+        return not self.constraint_violations(array_size)
+
+    def validate(self, array_size: Optional[int] = None) -> "ACIMDesignSpec":
+        """Raise :class:`SpecificationError` on any constraint violation."""
+        violations = self.constraint_violations(array_size)
+        if violations:
+            raise SpecificationError(
+                f"infeasible design spec {self.as_tuple()}: " + "; ".join(violations)
+            )
+        return self
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        """Return ``(H, W, L, B_ADC)``."""
+        return (self.height, self.width, self.local_array_size, self.adc_bits)
+
+    def describe(self) -> str:
+        """Short human-readable description used in reports."""
+        return (
+            f"H={self.height} W={self.width} L={self.local_array_size} "
+            f"B_ADC={self.adc_bits} ({self.array_size} cells)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Design-space enumeration helpers
+# ---------------------------------------------------------------------------
+
+
+def valid_heights(array_size: int, power_of_two_only: bool = True) -> List[int]:
+    """Heights H that exactly divide ``array_size``.
+
+    Args:
+        array_size: required total number of bit cells.
+        power_of_two_only: restrict to power-of-two heights (the synthesizable
+            architecture tiles columns in power-of-two SAR groups, and the
+            paper's explored design points are all powers of two).
+    """
+    if array_size < 1:
+        raise SpecificationError("array size must be positive")
+    heights = []
+    for height in range(1, array_size + 1):
+        if array_size % height != 0:
+            continue
+        if power_of_two_only and not _is_power_of_two(height):
+            continue
+        heights.append(height)
+    return heights
+
+
+def enumerate_design_space(
+    array_size: int,
+    local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    max_adc_bits: int = 8,
+    min_height: int = 2,
+    max_height: Optional[int] = None,
+    power_of_two_heights: bool = True,
+) -> Iterator[ACIMDesignSpec]:
+    """Enumerate every feasible design point for a given array size.
+
+    This is the exhaustive baseline the NSGA-II explorer is validated
+    against (the discrete space is small enough to enumerate for the array
+    sizes the paper studies: a 16 kb array has a few hundred feasible
+    points).
+
+    Args:
+        array_size: required H * W.
+        local_array_sizes: candidate local array sizes L (paper limits L to
+            2..32 "to avoid extreme results").
+        max_adc_bits: maximum ADC precision (paper limits B_ADC to 8).
+        min_height: smallest height to consider.
+        max_height: largest height to consider (defaults to the array size).
+        power_of_two_heights: restrict H to powers of two.
+    """
+    if max_adc_bits < 1:
+        raise SpecificationError("max_adc_bits must be at least 1")
+    upper_height = max_height or array_size
+    for height in valid_heights(array_size, power_of_two_heights):
+        if height < min_height or height > upper_height:
+            continue
+        width = array_size // height
+        for local in local_array_sizes:
+            if local > height or height % local != 0:
+                continue
+            for adc_bits in range(1, max_adc_bits + 1):
+                spec = ACIMDesignSpec(height, width, local, adc_bits)
+                if spec.is_feasible(array_size):
+                    yield spec
+
+
+def design_space_size(array_size: int, **kwargs) -> int:
+    """Number of feasible design points for ``array_size`` (testing helper)."""
+    return sum(1 for _ in enumerate_design_space(array_size, **kwargs))

@@ -1,0 +1,156 @@
+"""Operating states and the timing model of the synthesizable ACIM.
+
+The architecture has two operating states (paper Figure 5 / section 3.1):
+
+1. **MAC state** — the capacitors are reset to V_CM, then the read word
+   lines assert and the multiply-accumulate happens; each compute capacitor
+   top plate settles to VDD or VSS encoding the per-local-array product.
+2. **ADC conversion state** — the top plates are reset to V_CM, the charge
+   redistributes on the bottom plates (producing the analog accumulation
+   V_x on the RBL), and the SAR logic runs ``B_ADC`` comparison rounds.
+
+The timing model implements the paper's Equation-7 decomposition of a cycle
+into compute delay, ADC setup time (``t_set > 0.69 * tau * B_ADC``) and
+per-bit conversion time, and generates the event sequence of Figure 5 for
+inspection and testing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+from repro.arch.spec import ACIMDesignSpec
+
+
+class OperatingState(enum.Enum):
+    """The two operating states of the synthesizable ACIM."""
+
+    MAC = "mac"
+    ADC_CONVERSION = "adc_conversion"
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Timing constants of the architecture (calibrated in repro.model).
+
+    Attributes:
+        compute_delay: t_com, the MAC phase delay in seconds (much smaller
+            than the ADC delay in the paper).
+        time_constant: tau, the RC time constant of the redistribution
+            network in seconds; setup time must exceed 0.69 * tau * B_ADC.
+        conversion_time_per_bit: t_conv/bit, one SAR comparison round in
+            seconds.
+        setup_margin: multiplicative margin (> 1) applied on top of the
+            minimum setup time.
+    """
+
+    compute_delay: float = 1.0e-9
+    time_constant: float = 0.8e-9
+    conversion_time_per_bit: float = 0.781e-9
+    setup_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_delay <= 0 or self.time_constant <= 0:
+            raise ModelError("timing parameters must be positive")
+        if self.conversion_time_per_bit <= 0:
+            raise ModelError("conversion time per bit must be positive")
+        if self.setup_margin < 1.0:
+            raise ModelError("setup margin must be >= 1")
+
+
+@dataclass(frozen=True)
+class TimingEvent:
+    """One edge of the Figure-5 timing diagram.
+
+    Attributes:
+        time: event time in seconds from the start of the cycle.
+        state: operating state during which the event occurs.
+        signal: signal name (RWL, RST, PCH, COMP, ...).
+        description: what happens at this event.
+    """
+
+    time: float
+    state: OperatingState
+    signal: str
+    description: str
+
+
+class TimingModel:
+    """Per-cycle timing of one MAC + conversion cycle (paper Eq. 7 terms)."""
+
+    def __init__(self, spec: ACIMDesignSpec, parameters: TimingParameters = TimingParameters()) -> None:
+        spec.validate()
+        self.spec = spec
+        self.parameters = parameters
+
+    # -- Equation 7 terms -------------------------------------------------
+
+    @property
+    def compute_time(self) -> float:
+        """t_com: duration of the MAC state in seconds."""
+        return self.parameters.compute_delay
+
+    @property
+    def minimum_setup_time(self) -> float:
+        """The 0.69 * tau * B_ADC lower bound on the ADC setup time."""
+        return 0.69 * self.parameters.time_constant * self.spec.adc_bits
+
+    @property
+    def setup_time(self) -> float:
+        """t_set: charge-redistribution settling time in seconds."""
+        return self.minimum_setup_time * self.parameters.setup_margin
+
+    @property
+    def conversion_time(self) -> float:
+        """t_conv = t_conv/bit * B_ADC in seconds."""
+        return self.parameters.conversion_time_per_bit * self.spec.adc_bits
+
+    @property
+    def cycle_time(self) -> float:
+        """Full cycle duration t_com + t_set + t_conv in seconds."""
+        return self.compute_time + self.setup_time + self.conversion_time
+
+    def macs_per_cycle(self) -> int:
+        """MAC operations completed per cycle: (H / L) * W.
+
+        Every column performs an H/L-long dot product in parallel.
+        """
+        return self.spec.local_arrays_per_column * self.spec.width
+
+    # -- event sequence -----------------------------------------------------
+
+    def events(self) -> List[TimingEvent]:
+        """Generate the Figure-5 event sequence for one full cycle."""
+        events: List[TimingEvent] = []
+        t = 0.0
+        events.append(TimingEvent(t, OperatingState.MAC, "RST",
+                                  "reset both capacitor plates to VCM"))
+        events.append(TimingEvent(t, OperatingState.MAC, "RWL",
+                                  "assert read word line, start MAC"))
+        t += self.compute_time
+        events.append(TimingEvent(t, OperatingState.MAC, "MOUT",
+                                  "compute finished; top plates at VDD/VSS"))
+        events.append(TimingEvent(t, OperatingState.ADC_CONVERSION, "RST",
+                                  "reset top plates to VCM, start charge redistribution"))
+        t += self.setup_time
+        events.append(TimingEvent(t, OperatingState.ADC_CONVERSION, "RBL",
+                                  "charge redistribution complete; Vx sampled on RBL"))
+        events.append(TimingEvent(t, OperatingState.ADC_CONVERSION, "SW",
+                                  "open CMOS switch to isolate redundant capacitance"))
+        for bit in range(self.spec.adc_bits):
+            t += self.parameters.conversion_time_per_bit
+            events.append(TimingEvent(
+                t, OperatingState.ADC_CONVERSION, f"COMP[{bit}]",
+                f"comparison {bit + 1} finished; P[{bit}]/N[{bit}] latched",
+            ))
+        return events
+
+    def state_durations(self) -> dict:
+        """Duration of each operating state in seconds."""
+        return {
+            OperatingState.MAC: self.compute_time,
+            OperatingState.ADC_CONVERSION: self.setup_time + self.conversion_time,
+        }

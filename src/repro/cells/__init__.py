@@ -1,0 +1,43 @@
+"""The customized cell library (paper Figure 4, left input).
+
+Every ACIM component is provided as a :class:`~repro.cells.base.CellTemplate`
+that can produce both a SPICE-level netlist (:class:`repro.netlist.Circuit`)
+and a layout template (:class:`repro.layout.LayoutCell`) on a given
+technology.  The layout footprints are pitch-matched to a common column
+width and their heights are derived from the calibrated Equation-10 area
+constants, so the generated macros land on the paper's published Figure-8
+dimensions.
+
+:class:`~repro.cells.library.CellLibrary` aggregates the templates and is
+the object handed to the netlist generator and the hierarchical placer.
+"""
+
+from repro.cells.base import CellTemplate, COLUMN_WIDTH_DBU
+from repro.cells.dimensions import CellFootprints
+from repro.cells.sram8t import Sram8TCell
+from repro.cells.capacitor import ComputeCapacitorCell
+from repro.cells.local_compute import LocalComputeCell
+from repro.cells.sense_amp import SenseAmplifierCell
+from repro.cells.comparator import DynamicComparatorCell
+from repro.cells.sar_logic import SarDffCell, SarControlCell
+from repro.cells.switches import CmosSwitchCell
+from repro.cells.io_buffer import InputBufferCell, OutputBufferCell
+from repro.cells.library import CellLibrary, default_cell_library
+
+__all__ = [
+    "CellTemplate",
+    "COLUMN_WIDTH_DBU",
+    "CellFootprints",
+    "Sram8TCell",
+    "ComputeCapacitorCell",
+    "LocalComputeCell",
+    "SenseAmplifierCell",
+    "DynamicComparatorCell",
+    "SarDffCell",
+    "SarControlCell",
+    "CmosSwitchCell",
+    "InputBufferCell",
+    "OutputBufferCell",
+    "CellLibrary",
+    "default_cell_library",
+]

@@ -1,0 +1,113 @@
+"""Base class and shared conventions of the cell library.
+
+All library cells are pitch-matched to a common **column width** so that a
+column of the synthesizable architecture stacks them vertically without
+horizontal gaps: 8T SRAM cells, the local-array shared computing cell, the
+comparator and the SAR flip-flops all span the same width, exactly like a
+hand-crafted CIM column.  Cell heights are supplied per cell (derived from
+the calibrated area constants, see :mod:`repro.cells.dimensions`).
+
+Every template produces:
+
+* ``netlist()`` — a :class:`repro.netlist.Circuit` with real devices, so
+  device counts, total capacitance and SPICE export are meaningful,
+* ``layout(technology)`` — a :class:`repro.layout.LayoutCell` with a PR
+  boundary, supply rails, a small amount of representative internal
+  geometry and the pins the router needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CellLibraryError
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit
+from repro.technology.tech import Technology
+
+#: Common column pitch of the library in dbu (2.0 um at the generic28 node).
+COLUMN_WIDTH_DBU = 2000
+
+
+class CellTemplate:
+    """Base class of all library cell templates.
+
+    Subclasses must set :attr:`cell_name`, implement :meth:`build_netlist`
+    and :meth:`build_layout_content`, and pass their footprint height to the
+    constructor.
+    """
+
+    #: Unique library name of the cell (overridden by subclasses).
+    cell_name = "cell"
+
+    def __init__(self, height_dbu: int, width_dbu: int = COLUMN_WIDTH_DBU) -> None:
+        if height_dbu <= 0 or width_dbu <= 0:
+            raise CellLibraryError(
+                f"{self.cell_name}: cell footprint must be positive"
+            )
+        self.height_dbu = height_dbu
+        self.width_dbu = width_dbu
+        self._netlist_cache: Optional[Circuit] = None
+
+    # -- netlist ---------------------------------------------------------------
+
+    def netlist(self) -> Circuit:
+        """The cell's netlist (built once and cached)."""
+        if self._netlist_cache is None:
+            circuit = self.build_netlist()
+            circuit.validate()
+            self._netlist_cache = circuit
+        return self._netlist_cache
+
+    def build_netlist(self) -> Circuit:
+        """Construct the cell netlist.  Subclasses must override."""
+        raise NotImplementedError
+
+    # -- layout ----------------------------------------------------------------
+
+    def layout(self, technology: Technology) -> LayoutCell:
+        """Build the layout template of the cell for ``technology``."""
+        boundary = Rect(0, 0, self.width_dbu, self.height_dbu)
+        cell = LayoutCell(self.cell_name, boundary=boundary)
+        self._add_supply_rails(cell, technology)
+        self.build_layout_content(cell, technology)
+        return cell
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        """Add cell-specific geometry and pins.  Subclasses must override."""
+        raise NotImplementedError
+
+    def _add_supply_rails(self, cell: LayoutCell, technology: Technology) -> None:
+        """Add the horizontal VDD (top) and VSS (bottom) rails every cell shares."""
+        rail_layer = technology.layer("M1")
+        rail_width = max(rail_layer.min_width, rail_layer.default_width)
+        cell.add_pin(
+            "VSS", "M1",
+            Rect(0, 0, self.width_dbu, rail_width),
+            direction="supply",
+        )
+        cell.add_pin(
+            "VDD", "M1",
+            Rect(0, self.height_dbu - rail_width, self.width_dbu, self.height_dbu),
+            direction="supply",
+        )
+
+    # -- reporting ----------------------------------------------------------------
+
+    def area_dbu2(self) -> int:
+        """Footprint area in dbu^2."""
+        return self.height_dbu * self.width_dbu
+
+    def area_f2(self, technology: Technology) -> float:
+        """Footprint area in squared feature sizes for ``technology``."""
+        feature_dbu = technology.feature_size / 1e-9
+        return self.area_dbu2() / (feature_dbu * feature_dbu)
+
+    def describe(self) -> str:
+        """One-line summary used by the library report."""
+        circuit = self.netlist()
+        return (
+            f"{self.cell_name}: {self.width_dbu}x{self.height_dbu} dbu, "
+            f"{len(circuit.devices)} devices, {len(circuit.pins)} pins"
+        )

@@ -1,0 +1,66 @@
+"""The MOM compute capacitor C_F.
+
+One unit compute capacitor per local array.  During the MAC state its top
+plate stores the product voltage; during conversion the same capacitor
+becomes one unit of the SAR CDAC (paper section 3.1) — the architectural
+reuse that removes the dedicated ADC capacitor array.
+
+Pins:
+    TOP, BOT — capacitor plates,
+    VDD, VSS — supplies (for the shielding rails of the MOM stack).
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Capacitor
+from repro.technology.tech import Technology
+
+
+class ComputeCapacitorCell(CellTemplate):
+    """Template of the unit MOM compute capacitor."""
+
+    cell_name = "compute_cap"
+
+    def __init__(
+        self,
+        height_dbu: int = 600,
+        width_dbu: int = 2000,
+        capacitance: float = 1.0e-15,
+    ) -> None:
+        super().__init__(height_dbu, width_dbu)
+        self.capacitance = capacitance
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("TOP", PinDirection.INOUT),
+            Pin("BOT", PinDirection.INOUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        circuit.add_device(Capacitor(
+            "CF", capacitance=self.capacitance,
+            terminals={"PLUS": "TOP", "MINUS": "BOT"},
+        ))
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        margin = 200
+        # Interdigitated MOM fingers drawn on the capacitor marker layer with
+        # the two plates escaping on M3.
+        cell.add_shape("MOMCAP", Rect(margin, margin, width - margin, height - margin))
+        finger_pitch = 200
+        x = margin
+        polarity = 0
+        while x + 60 <= width - margin:
+            net = "TOP" if polarity % 2 == 0 else "BOT"
+            cell.add_shape("M3", Rect(x, margin, x + 60, height - margin), net=net)
+            x += finger_pitch
+            polarity += 1
+        cell.add_pin("TOP", "M3", Rect(margin, height - margin - 80,
+                                       width - margin, height - margin))
+        cell.add_pin("BOT", "M3", Rect(margin, margin, width - margin, margin + 80))

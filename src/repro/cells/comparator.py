@@ -1,0 +1,90 @@
+"""The dynamic (StrongARM) comparator of the column ADC.
+
+One comparator per column performs the B_ADC successive-approximation
+comparisons against the CDAC voltage on the read bitline (paper Figure 6,
+``SA`` block with COM/COMb outputs).  Its area constant A_COMP is one of
+the Equation-10 terms calibrated from Figure 8.
+
+Pins:
+    INP  — read bitline (CDAC) voltage,
+    INN  — comparison reference (V_CM),
+    CLK  — comparison clock from the SAR controller,
+    COM, COMB — regenerated decision outputs,
+    VDD, VSS — supplies.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class DynamicComparatorCell(CellTemplate):
+    """Template of the per-column StrongARM dynamic comparator."""
+
+    cell_name = "comparator"
+
+    def __init__(self, height_dbu: int, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("INP", PinDirection.INPUT),
+            Pin("INN", PinDirection.INPUT),
+            Pin("CLK", PinDirection.INPUT),
+            Pin("COM", PinDirection.OUTPUT),
+            Pin("COMB", PinDirection.OUTPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        devices = [
+            # Input differential pair on the tail clock device.
+            Mosfet("MIN1", mos_type=MosType.NMOS, width=2000e-9, length=60e-9,
+                   terminals={"D": "X", "G": "INP", "S": "TAIL", "B": "VSS"}),
+            Mosfet("MIN2", mos_type=MosType.NMOS, width=2000e-9, length=60e-9,
+                   terminals={"D": "Y", "G": "INN", "S": "TAIL", "B": "VSS"}),
+            Mosfet("MTAIL", mos_type=MosType.NMOS, width=3000e-9, length=60e-9,
+                   terminals={"D": "TAIL", "G": "CLK", "S": "VSS", "B": "VSS"}),
+            # Cross-coupled regenerative latch.
+            Mosfet("MN3", mos_type=MosType.NMOS, width=800e-9, length=30e-9,
+                   terminals={"D": "COM", "G": "COMB", "S": "X", "B": "VSS"}),
+            Mosfet("MN4", mos_type=MosType.NMOS, width=800e-9, length=30e-9,
+                   terminals={"D": "COMB", "G": "COM", "S": "Y", "B": "VSS"}),
+            Mosfet("MP3", mos_type=MosType.PMOS, width=1000e-9, length=30e-9,
+                   terminals={"D": "COM", "G": "COMB", "S": "VDD", "B": "VDD"}),
+            Mosfet("MP4", mos_type=MosType.PMOS, width=1000e-9, length=30e-9,
+                   terminals={"D": "COMB", "G": "COM", "S": "VDD", "B": "VDD"}),
+            # Precharge devices resetting the outputs every cycle.
+            Mosfet("MP5", mos_type=MosType.PMOS, width=500e-9, length=30e-9,
+                   terminals={"D": "COM", "G": "CLK", "S": "VDD", "B": "VDD"}),
+            Mosfet("MP6", mos_type=MosType.PMOS, width=500e-9, length=30e-9,
+                   terminals={"D": "COMB", "G": "CLK", "S": "VDD", "B": "VDD"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        quarter = height // 4
+        # Large input devices at the bottom (matching-critical), latch above.
+        cell.add_shape("DIFF", Rect(200, 300, width - 200, quarter))
+        cell.add_shape("DIFF", Rect(200, quarter + 200, width - 200, 2 * quarter))
+        cell.add_shape("NWELL", Rect(150, 2 * quarter, width - 150, height - 300))
+        cell.add_shape("DIFF", Rect(200, 2 * quarter + 200, width - 200, height - 400))
+        cell.add_shape("POLY", Rect(200, quarter - 40, width - 200, quarter + 40))
+        cell.add_shape("POLY", Rect(200, 2 * quarter - 40, width - 200, 2 * quarter + 40))
+        cell.add_pin("INP", "M2", Rect(width - 400, 0, width - 300, 400),
+                     direction="input")
+        cell.add_pin("INN", "M2", Rect(width - 700, 0, width - 600, 400),
+                     direction="input")
+        cell.add_pin("CLK", "M1", Rect(0, quarter - 50, 200, quarter + 50),
+                     direction="input")
+        cell.add_pin("COM", "M2", Rect(300, height - 400, 400, height),
+                     direction="output")
+        cell.add_pin("COMB", "M2", Rect(600, height - 400, 700, height),
+                     direction="output")

@@ -1,0 +1,94 @@
+"""Cell footprints derived from the calibrated area model.
+
+The layout flow and the analytical area model (Equation 10) must agree, so
+cell heights are *computed* from the same calibrated area constants rather
+than being independent magic numbers: every cell spans the common column
+width and its height is ``area_F2 * F^2 / column_width``.  With the default
+(Figure-8 calibrated) :class:`~repro.model.area.AreaParameters` this puts a
+128x128, L=8, B=3 macro at roughly 256 um x 131 um — the published size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CellLibraryError
+from repro.cells.base import COLUMN_WIDTH_DBU
+from repro.model.area import AreaParameters
+from repro.units import DBU_PER_UM
+
+
+@dataclass(frozen=True)
+class CellFootprints:
+    """Heights (in dbu) of every column-pitched cell of the library.
+
+    Attributes:
+        column_width: common cell width in dbu.
+        sram: 8T SRAM cell height.
+        local_compute: local-array shared computing cell height (compute
+            capacitor plus group-control switches).
+        comparator: dynamic comparator / sense-amplifier height.
+        sar_dff: single SAR-logic flip-flop height.
+        io_buffer: input/output buffer strip thickness.
+    """
+
+    column_width: int
+    sram: int
+    local_compute: int
+    comparator: int
+    sar_dff: int
+    io_buffer: int
+
+    def __post_init__(self) -> None:
+        for name in ("column_width", "sram", "local_compute", "comparator",
+                     "sar_dff", "io_buffer"):
+            if getattr(self, name) <= 0:
+                raise CellLibraryError(f"footprint {name} must be positive")
+
+    def column_height(self, height: int, local_array_size: int, adc_bits: int) -> int:
+        """Height in dbu of one full column for a design point.
+
+        A column stacks H SRAM cells, H/L local compute cells, one
+        comparator and B_ADC SAR flip-flops.
+        """
+        if height % local_array_size != 0:
+            raise CellLibraryError("H must be a multiple of L")
+        local_arrays = height // local_array_size
+        return (
+            height * self.sram
+            + local_arrays * self.local_compute
+            + self.comparator
+            + adc_bits * self.sar_dff
+        )
+
+    @classmethod
+    def from_area_parameters(
+        cls,
+        parameters: AreaParameters = AreaParameters(),
+        column_width_dbu: int = COLUMN_WIDTH_DBU,
+        io_buffer_dbu: int = 2000,
+    ) -> "CellFootprints":
+        """Derive the footprints from Equation-10 area constants.
+
+        Args:
+            parameters: calibrated area constants in F^2.
+            column_width_dbu: the common column pitch in dbu.
+            io_buffer_dbu: thickness of the peripheral buffer strips, which
+                sit outside the Equation-10 per-bit area (macro periphery).
+        """
+        feature_um = parameters.feature_size / 1e-6
+        column_width_um = column_width_dbu / DBU_PER_UM
+
+        def height_dbu(area_f2: float) -> int:
+            area_um2 = area_f2 * feature_um * feature_um
+            height_um = area_um2 / column_width_um
+            return max(1, int(round(height_um * DBU_PER_UM)))
+
+        return cls(
+            column_width=column_width_dbu,
+            sram=height_dbu(parameters.a_sram),
+            local_compute=height_dbu(parameters.a_local_compute),
+            comparator=height_dbu(parameters.a_comparator),
+            sar_dff=height_dbu(parameters.a_dff),
+            io_buffer=io_buffer_dbu,
+        )

@@ -1,0 +1,73 @@
+"""Peripheral CIM input and output buffers.
+
+The synthesizable architecture drives the read word lines (activations)
+through a per-row input buffer and captures the per-column digital results
+through an output buffer (paper Figure 6, "CIM Input Buffer" / "CIM Output
+Buffer").  Both are modelled as two-stage inverter buffers; they sit on the
+macro periphery and are not part of the Equation-10 per-bit area.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class _BufferCell(CellTemplate):
+    """Shared implementation of the two-stage inverter buffer."""
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("IN", PinDirection.INPUT),
+            Pin("OUT", PinDirection.OUTPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        devices = [
+            Mosfet("MP1", mos_type=MosType.PMOS, width=300e-9, length=30e-9,
+                   terminals={"D": "MID", "G": "IN", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN1", mos_type=MosType.NMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "MID", "G": "IN", "S": "VSS", "B": "VSS"}),
+            Mosfet("MP2", mos_type=MosType.PMOS, width=900e-9, length=30e-9,
+                   terminals={"D": "OUT", "G": "MID", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN2", mos_type=MosType.NMOS, width=600e-9, length=30e-9,
+                   terminals={"D": "OUT", "G": "MID", "S": "VSS", "B": "VSS"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        mid = height // 2
+        cell.add_shape("DIFF", Rect(200, 150, width - 200, mid - 80))
+        cell.add_shape("NWELL", Rect(150, mid, width - 150, height - 120))
+        cell.add_shape("DIFF", Rect(200, mid + 80, width - 200, height - 150))
+        cell.add_shape("POLY", Rect(width // 3 - 40, 120, width // 3 + 40, height - 120))
+        cell.add_shape("POLY", Rect(2 * width // 3 - 40, 120, 2 * width // 3 + 40,
+                                    height - 120))
+        cell.add_pin("IN", "M1", Rect(0, mid - 50, 200, mid + 50), direction="input")
+        cell.add_pin("OUT", "M2", Rect(width - 300, mid - 50, width - 200, mid + 50),
+                     direction="output")
+
+
+class InputBufferCell(_BufferCell):
+    """Per-row activation (read word line) driver."""
+
+    cell_name = "input_buffer"
+
+    def __init__(self, height_dbu: int = 632, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+
+class OutputBufferCell(_BufferCell):
+    """Per-column digital output buffer."""
+
+    cell_name = "output_buffer"
+
+    def __init__(self, height_dbu: int = 2000, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)

@@ -1,0 +1,160 @@
+"""The aggregated customized cell library.
+
+:class:`CellLibrary` is one of the three inputs of the EasyACIM flow
+(paper Figure 4): it provides the netlists of all ACIM components and the
+layout templates of the critical ones.  :func:`default_cell_library` builds
+the library with footprints derived from the calibrated Equation-10 area
+constants so the layout flow and the analytic area model stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CellLibraryError
+from repro.cells.base import CellTemplate, COLUMN_WIDTH_DBU
+from repro.cells.capacitor import ComputeCapacitorCell
+from repro.cells.comparator import DynamicComparatorCell
+from repro.cells.dimensions import CellFootprints
+from repro.cells.io_buffer import InputBufferCell, OutputBufferCell
+from repro.cells.local_compute import LocalComputeCell
+from repro.cells.sar_logic import SarControlCell, SarDffCell
+from repro.cells.sense_amp import SenseAmplifierCell
+from repro.cells.sram8t import Sram8TCell
+from repro.cells.switches import CmosSwitchCell
+from repro.layout.layout import LayoutCell
+from repro.model.area import AreaParameters
+from repro.netlist.circuit import Circuit
+from repro.technology.tech import Technology
+
+
+class CellLibrary:
+    """A named collection of :class:`~repro.cells.base.CellTemplate` objects."""
+
+    def __init__(self, name: str, technology: Technology) -> None:
+        if not name:
+            raise CellLibraryError("library name must be non-empty")
+        self.name = name
+        self.technology = technology
+        self._templates: Dict[str, CellTemplate] = {}
+        self._layout_cache: Dict[str, LayoutCell] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, template: CellTemplate) -> CellTemplate:
+        """Add a template to the library (names must be unique)."""
+        if template.cell_name in self._templates:
+            raise CellLibraryError(
+                f"library {self.name!r} already has a cell {template.cell_name!r}"
+            )
+        self._templates[template.cell_name] = template
+        return template
+
+    def has_cell(self, name: str) -> bool:
+        """True when the library provides a cell called ``name``."""
+        return name in self._templates
+
+    @property
+    def cell_names(self) -> List[str]:
+        """All registered cell names."""
+        return list(self._templates)
+
+    def template(self, name: str) -> CellTemplate:
+        """Return the registered template called ``name``."""
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise CellLibraryError(
+                f"library {self.name!r} provides no cell {name!r}; "
+                f"available: {sorted(self._templates)}"
+            )
+
+    # -- views -----------------------------------------------------------------
+
+    def netlist(self, name: str) -> Circuit:
+        """The netlist view of a cell."""
+        return self.template(name).netlist()
+
+    def layout(self, name: str) -> LayoutCell:
+        """The layout view of a cell (cached per library)."""
+        if name not in self._layout_cache:
+            self._layout_cache[name] = self.template(name).layout(self.technology)
+        return self._layout_cache[name]
+
+    # -- consistency -------------------------------------------------------------
+
+    def check_consistency(self) -> List[str]:
+        """Cross-check the netlist and layout views of every cell.
+
+        Returns a list of human-readable problems (empty when consistent):
+        every netlist pin must have a matching layout pin so the
+        hierarchical router can always find an access point.
+        """
+        problems: List[str] = []
+        for name in self.cell_names:
+            netlist_pins = {pin.name for pin in self.netlist(name).pins}
+            layout = self.layout(name)
+            layout_pins = {pin.name for pin in layout.pins}
+            missing = netlist_pins - layout_pins
+            if missing:
+                problems.append(
+                    f"cell {name!r}: netlist pins {sorted(missing)} missing from layout"
+                )
+            if layout.boundary is None or layout.boundary.area <= 0:
+                problems.append(f"cell {name!r}: empty or missing PR boundary")
+        return problems
+
+    def report(self) -> str:
+        """Multi-line summary of the library contents."""
+        lines = [f"Cell library {self.name!r} ({self.technology.name}):"]
+        for name in sorted(self.cell_names):
+            lines.append("  " + self.template(name).describe())
+        return "\n".join(lines)
+
+
+def default_cell_library(
+    technology: Technology,
+    area_parameters: Optional[AreaParameters] = None,
+    footprints: Optional[CellFootprints] = None,
+) -> CellLibrary:
+    """Build the default EasyACIM cell library for ``technology``.
+
+    Cell heights come from :class:`~repro.cells.dimensions.CellFootprints`
+    (derived from the calibrated area constants) and the compute-capacitor
+    value from the technology's electrical parameters.
+    """
+    footprints = footprints or CellFootprints.from_area_parameters(
+        area_parameters or AreaParameters(feature_size=technology.feature_size),
+    )
+    unit_cap = technology.electrical.unit_capacitance
+    library = CellLibrary("easyacim_default", technology)
+    library.register(Sram8TCell(footprints.sram, footprints.column_width))
+    library.register(ComputeCapacitorCell(
+        height_dbu=max(600, footprints.local_compute // 3),
+        width_dbu=footprints.column_width,
+        capacitance=unit_cap,
+    ))
+    library.register(LocalComputeCell(
+        footprints.local_compute, footprints.column_width, capacitance=unit_cap,
+    ))
+    library.register(SenseAmplifierCell(width_dbu=footprints.column_width))
+    library.register(DynamicComparatorCell(
+        footprints.comparator, footprints.column_width,
+    ))
+    library.register(SarDffCell(footprints.sar_dff, footprints.column_width))
+    library.register(CmosSwitchCell(width_dbu=footprints.column_width))
+    library.register(InputBufferCell(
+        height_dbu=footprints.sram, width_dbu=footprints.io_buffer,
+    ))
+    library.register(OutputBufferCell(
+        height_dbu=footprints.io_buffer, width_dbu=footprints.column_width,
+    ))
+    return library
+
+
+def sar_controller_for(library: CellLibrary, bits: int) -> SarControlCell:
+    """Build the parameterised SAR controller using the library's flip-flop."""
+    dff = library.template("sar_dff")
+    if not isinstance(dff, SarDffCell):
+        raise CellLibraryError("library cell 'sar_dff' is not a SarDffCell")
+    return SarControlCell(dff, bits)

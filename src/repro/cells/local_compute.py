@@ -1,0 +1,108 @@
+"""The local array-shared computing cell (paper Figure 6, left).
+
+One of these serves the L 8T SRAM cells of a local array: it holds the
+shared compute capacitor C_F, the reset/precharge devices that place both
+plates at V_CM before a MAC, and the group-control switches (P / N / PCH)
+that reconnect the capacitor's bottom plate during the SAR conversion so
+the capacitor acts as a CDAC unit of its SAR group.
+
+Pins:
+    LBL        — local read bitline from the L SRAM cells (the product),
+    RBL        — the column's shared read bitline (redistribution node),
+    P, N, PB   — SAR group switching controls,
+    PCH, RST   — precharge and reset controls,
+    VCM        — common-mode reference,
+    VDD, VSS   — supplies.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Capacitor, Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class LocalComputeCell(CellTemplate):
+    """Template of the local array-shared computing cell."""
+
+    cell_name = "local_compute"
+
+    def __init__(
+        self,
+        height_dbu: int,
+        width_dbu: int = 2000,
+        capacitance: float = 1.0e-15,
+    ) -> None:
+        super().__init__(height_dbu, width_dbu)
+        self.capacitance = capacitance
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("LBL", PinDirection.INPUT),
+            Pin("RBL", PinDirection.INOUT),
+            Pin("P", PinDirection.INPUT),
+            Pin("N", PinDirection.INPUT),
+            Pin("PB", PinDirection.INPUT),
+            Pin("PCH", PinDirection.INPUT),
+            Pin("RST", PinDirection.INPUT),
+            Pin("VCM", PinDirection.SUPPLY),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        devices = [
+            # Shared compute capacitor: TOP is the MAC result node, BOT the
+            # redistribution node on the read bitline.
+            Capacitor("CF", capacitance=self.capacitance,
+                      terminals={"PLUS": "CTOP", "MINUS": "CBOT"}),
+            # Reset of both plates to VCM before the MAC state.
+            Mosfet("MRSTT", mos_type=MosType.NMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "CTOP", "G": "RST", "S": "VCM", "B": "VSS"}),
+            Mosfet("MRSTB", mos_type=MosType.NMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "CBOT", "G": "RST", "S": "VCM", "B": "VSS"}),
+            # Drive the top plate from the local read bitline during MAC.
+            Mosfet("MDRV", mos_type=MosType.NMOS, width=300e-9, length=30e-9,
+                   terminals={"D": "CTOP", "G": "PCH", "S": "LBL", "B": "VSS"}),
+            # Group control: bottom plate to VDD (P), VSS (N) or the RBL (PB)
+            # during the SAR switching procedure.
+            Mosfet("MSWP", mos_type=MosType.PMOS, width=240e-9, length=30e-9,
+                   terminals={"D": "CBOT", "G": "P", "S": "VDD", "B": "VDD"}),
+            Mosfet("MSWN", mos_type=MosType.NMOS, width=240e-9, length=30e-9,
+                   terminals={"D": "CBOT", "G": "N", "S": "VSS", "B": "VSS"}),
+            Mosfet("MSHR", mos_type=MosType.NMOS, width=400e-9, length=30e-9,
+                   terminals={"D": "CBOT", "G": "PB", "S": "RBL", "B": "VSS"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        # Upper two thirds: the MOM capacitor; lower third: the switches.
+        cap_bottom = height // 3
+        cell.add_shape("MOMCAP", Rect(200, cap_bottom, width - 200, height - 200))
+        finger_pitch = 250
+        x = 220
+        polarity = 0
+        while x + 60 <= width - 220:
+            net = "CTOP" if polarity % 2 == 0 else "CBOT"
+            cell.add_shape("M3", Rect(x, cap_bottom + 50, x + 60, height - 250), net=net)
+            x += finger_pitch
+            polarity += 1
+        cell.add_shape("DIFF", Rect(150, 150, width - 150, cap_bottom - 100))
+        cell.add_shape("POLY", Rect(150, cap_bottom // 2 - 40, width - 150,
+                                    cap_bottom // 2 + 40))
+        mid = height // 2
+        cell.add_pin("LBL", "M2", Rect(width - 400, 0, width - 300, height),
+                     direction="input")
+        cell.add_pin("RBL", "M2", Rect(width - 200, 0, width - 100, height),
+                     direction="inout")
+        cell.add_pin("P", "M1", Rect(0, mid + 200, 200, mid + 300), direction="input")
+        cell.add_pin("N", "M1", Rect(0, mid, 200, mid + 100), direction="input")
+        cell.add_pin("PB", "M1", Rect(0, mid - 200, 200, mid - 100), direction="input")
+        cell.add_pin("PCH", "M1", Rect(0, mid - 400, 200, mid - 300), direction="input")
+        cell.add_pin("RST", "M1", Rect(0, mid - 600, 200, mid - 500), direction="input")
+        cell.add_pin("VCM", "M1", Rect(width // 2 - 100, 150, width // 2 + 100, 250),
+                     direction="supply")

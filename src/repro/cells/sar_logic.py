@@ -1,0 +1,159 @@
+"""SAR logic cells: the dynamic flip-flop and the per-column SAR controller.
+
+The SAR controller sequences the B_ADC comparison rounds: each round's
+comparator decision is latched into one dynamic D flip-flop, whose outputs
+drive the P<i>/N<i> group-control signals of the corresponding SAR
+capacitor group (paper Figure 6, "SAR Ctrl").  The flip-flop footprint
+A_DFF is one of the Equation-10 area constants.
+
+Two templates are provided:
+
+* :class:`SarDffCell` — one TSPC-style dynamic flip-flop,
+* :class:`SarControlCell` — a parameterised controller composed of
+  ``bits`` flip-flops plus the round-sequencing gates; it is the cell the
+  netlist generator instantiates once per column.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CellLibraryError
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect, Transform
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class SarDffCell(CellTemplate):
+    """Template of one dynamic (TSPC) D flip-flop of the SAR logic."""
+
+    cell_name = "sar_dff"
+
+    def __init__(self, height_dbu: int, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("D", PinDirection.INPUT),
+            Pin("CLK", PinDirection.INPUT),
+            Pin("Q", PinDirection.OUTPUT),
+            Pin("QB", PinDirection.OUTPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        devices = [
+            # First (precharge) stage.
+            Mosfet("MP1", mos_type=MosType.PMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "N1", "G": "D", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN1", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "N1", "G": "CLK", "S": "N1A", "B": "VSS"}),
+            Mosfet("MN2", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "N1A", "G": "D", "S": "VSS", "B": "VSS"}),
+            # Second (evaluation) stage.
+            Mosfet("MP2", mos_type=MosType.PMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "QB", "G": "N1", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN3", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "QB", "G": "CLK", "S": "N2A", "B": "VSS"}),
+            Mosfet("MN4", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "N2A", "G": "N1", "S": "VSS", "B": "VSS"}),
+            # Output inverter producing the true output Q.
+            Mosfet("MP3", mos_type=MosType.PMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "Q", "G": "QB", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN5", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "Q", "G": "QB", "S": "VSS", "B": "VSS"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        mid = height // 2
+        cell.add_shape("DIFF", Rect(200, 200, width - 200, mid - 100))
+        cell.add_shape("NWELL", Rect(150, mid, width - 150, height - 150))
+        cell.add_shape("DIFF", Rect(200, mid + 100, width - 200, height - 200))
+        cell.add_shape("POLY", Rect(250, 150, 330, height - 150))
+        cell.add_shape("POLY", Rect(width // 2, 150, width // 2 + 80, height - 150))
+        cell.add_pin("D", "M1", Rect(0, mid - 50, 200, mid + 50), direction="input")
+        cell.add_pin("CLK", "M1", Rect(0, mid - 250, 200, mid - 150), direction="input")
+        cell.add_pin("Q", "M2", Rect(width - 300, mid - 50, width - 200, mid + 50),
+                     direction="output")
+        cell.add_pin("QB", "M2", Rect(width - 500, mid - 50, width - 400, mid + 50),
+                     direction="output")
+
+
+class SarControlCell(CellTemplate):
+    """Parameterised SAR controller: ``bits`` flip-flops stacked vertically.
+
+    The controller's netlist instantiates the flip-flop subcircuit ``bits``
+    times (one per SAR group) and exposes the per-bit P/N group-control
+    outputs; its layout stacks the flip-flop layout templates, which is
+    exactly how the hierarchical placer treats "Std" sub-blocks (paper
+    Figure 7).
+    """
+
+    cell_name = "sar_control"
+
+    def __init__(self, dff: SarDffCell, bits: int) -> None:
+        if bits < 1:
+            raise CellLibraryError("SAR controller needs at least 1 bit")
+        self.dff = dff
+        self.bits = bits
+        super().__init__(height_dbu=dff.height_dbu * bits, width_dbu=dff.width_dbu)
+
+    def build_netlist(self) -> Circuit:
+        pins = [
+            Pin("COMP", PinDirection.INPUT),
+            Pin("CLK", PinDirection.INPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ]
+        for bit in range(self.bits):
+            pins.append(Pin(f"P{bit}", PinDirection.OUTPUT))
+            pins.append(Pin(f"N{bit}", PinDirection.OUTPUT))
+        circuit = Circuit(f"{self.cell_name}_b{self.bits}", pins=pins)
+        dff_netlist = self.dff.netlist()
+        for bit in range(self.bits):
+            circuit.add_instance(
+                f"DFF{bit}",
+                dff_netlist,
+                connections={
+                    "D": "COMP",
+                    "CLK": "CLK",
+                    "Q": f"P{bit}",
+                    "QB": f"N{bit}",
+                    "VDD": "VDD",
+                    "VSS": "VSS",
+                },
+            )
+        return circuit
+
+    def layout(self, technology: Technology) -> LayoutCell:
+        boundary = Rect(0, 0, self.width_dbu, self.height_dbu)
+        cell = LayoutCell(f"{self.cell_name}_b{self.bits}", boundary=boundary)
+        dff_layout = self.dff.layout(technology)
+        for bit in range(self.bits):
+            cell.add_instance(
+                f"DFF{bit}",
+                dff_layout,
+                Transform(0, bit * self.dff.height_dbu),
+            )
+        for bit in range(self.bits):
+            y = bit * self.dff.height_dbu + self.dff.height_dbu // 2
+            cell.add_pin(f"P{bit}", "M2",
+                         Rect(self.width_dbu - 300, y - 50, self.width_dbu - 200, y + 50),
+                         direction="output")
+            cell.add_pin(f"N{bit}", "M2",
+                         Rect(self.width_dbu - 500, y - 50, self.width_dbu - 400, y + 50),
+                         direction="output")
+        cell.add_pin("COMP", "M1", Rect(0, 150, 200, 250), direction="input")
+        cell.add_pin("CLK", "M1", Rect(0, 350, 200, 450), direction="input")
+        cell.add_pin("VDD", "M1", Rect(0, self.height_dbu - 100, self.width_dbu,
+                                       self.height_dbu), direction="supply")
+        cell.add_pin("VSS", "M1", Rect(0, 0, self.width_dbu, 60), direction="supply")
+        return cell
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        # layout() is overridden entirely; this hook is never reached.
+        raise NotImplementedError("SarControlCell overrides layout() directly")

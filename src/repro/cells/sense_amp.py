@@ -1,0 +1,80 @@
+"""Latch-type sense amplifier (one of the paper's "manually designed" cells).
+
+A cross-coupled latch sense amplifier with an enable tail device.  In the
+EasyACIM cell library the sense amplifier is one of the critical components
+whose layout is hand-crafted (paper Figure 4); here it is a template cell
+like the others, kept separate from the dynamic comparator so both library
+entries exist.
+
+Pins:
+    INP, INN — differential inputs,
+    OUT, OUTB — latched outputs,
+    EN — sense enable,
+    VDD, VSS — supplies.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class SenseAmplifierCell(CellTemplate):
+    """Template of the latch-type sense amplifier."""
+
+    cell_name = "sense_amp"
+
+    def __init__(self, height_dbu: int = 3000, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("INP", PinDirection.INPUT),
+            Pin("INN", PinDirection.INPUT),
+            Pin("OUT", PinDirection.OUTPUT),
+            Pin("OUTB", PinDirection.OUTPUT),
+            Pin("EN", PinDirection.INPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        devices = [
+            # Cross-coupled latch.
+            Mosfet("MP1", mos_type=MosType.PMOS, width=400e-9, length=30e-9,
+                   terminals={"D": "OUT", "G": "OUTB", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN1", mos_type=MosType.NMOS, width=300e-9, length=30e-9,
+                   terminals={"D": "OUT", "G": "OUTB", "S": "TAIL", "B": "VSS"}),
+            Mosfet("MP2", mos_type=MosType.PMOS, width=400e-9, length=30e-9,
+                   terminals={"D": "OUTB", "G": "OUT", "S": "VDD", "B": "VDD"}),
+            Mosfet("MN2", mos_type=MosType.NMOS, width=300e-9, length=30e-9,
+                   terminals={"D": "OUTB", "G": "OUT", "S": "TAIL", "B": "VSS"}),
+            # Input pass devices coupling the bitlines into the latch nodes.
+            Mosfet("MIN1", mos_type=MosType.NMOS, width=500e-9, length=30e-9,
+                   terminals={"D": "OUT", "G": "INP", "S": "TAIL", "B": "VSS"}),
+            Mosfet("MIN2", mos_type=MosType.NMOS, width=500e-9, length=30e-9,
+                   terminals={"D": "OUTB", "G": "INN", "S": "TAIL", "B": "VSS"}),
+            # Enable tail.
+            Mosfet("MEN", mos_type=MosType.NMOS, width=600e-9, length=30e-9,
+                   terminals={"D": "TAIL", "G": "EN", "S": "VSS", "B": "VSS"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        mid = height // 2
+        cell.add_shape("DIFF", Rect(200, 200, width - 200, mid - 100))
+        cell.add_shape("DIFF", Rect(200, mid + 100, width - 200, height - 200))
+        cell.add_shape("NWELL", Rect(150, mid + 50, width - 150, height - 150))
+        cell.add_shape("POLY", Rect(200, mid - 40, width - 200, mid + 40))
+        cell.add_pin("INP", "M2", Rect(300, 0, 400, 300), direction="input")
+        cell.add_pin("INN", "M2", Rect(600, 0, 700, 300), direction="input")
+        cell.add_pin("OUT", "M2", Rect(width - 500, height - 300, width - 400, height),
+                     direction="output")
+        cell.add_pin("OUTB", "M2", Rect(width - 300, height - 300, width - 200, height),
+                     direction="output")
+        cell.add_pin("EN", "M1", Rect(0, mid - 50, 200, mid + 50), direction="input")

@@ -1,0 +1,89 @@
+"""The 8T SRAM bit cell.
+
+The storage element of the synthesizable ACIM (paper Figure 6): a standard
+6T latch plus a decoupled 2-transistor read port.  The read port's stack is
+gated by the read word line (RWL) and drives the local read bitline (LBL)
+shared by the L cells of a local array, which is what lets the stored
+weight bit multiply the broadcast activation without disturbing the cell.
+
+Pins:
+    WL, BL, BLB  — write port,
+    RWL          — read word line (activation input),
+    LBL          — local read bitline towards the shared computing cell,
+    VDD, VSS     — supplies.
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class Sram8TCell(CellTemplate):
+    """Template of the 8T SRAM bit cell."""
+
+    cell_name = "sram8t"
+
+    def __init__(self, height_dbu: int, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+    # -- netlist ---------------------------------------------------------------
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("WL", PinDirection.INPUT),
+            Pin("BL", PinDirection.INOUT),
+            Pin("BLB", PinDirection.INOUT),
+            Pin("RWL", PinDirection.INPUT),
+            Pin("LBL", PinDirection.OUTPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        # Cross-coupled inverter pair storing Q / QB.
+        devices = [
+            Mosfet("PU1", mos_type=MosType.PMOS, width=100e-9, length=30e-9,
+                   terminals={"D": "Q", "G": "QB", "S": "VDD", "B": "VDD"}),
+            Mosfet("PD1", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "Q", "G": "QB", "S": "VSS", "B": "VSS"}),
+            Mosfet("PU2", mos_type=MosType.PMOS, width=100e-9, length=30e-9,
+                   terminals={"D": "QB", "G": "Q", "S": "VDD", "B": "VDD"}),
+            Mosfet("PD2", mos_type=MosType.NMOS, width=150e-9, length=30e-9,
+                   terminals={"D": "QB", "G": "Q", "S": "VSS", "B": "VSS"}),
+            # Write access transistors.
+            Mosfet("PG1", mos_type=MosType.NMOS, width=120e-9, length=30e-9,
+                   terminals={"D": "BL", "G": "WL", "S": "Q", "B": "VSS"}),
+            Mosfet("PG2", mos_type=MosType.NMOS, width=120e-9, length=30e-9,
+                   terminals={"D": "BLB", "G": "WL", "S": "QB", "B": "VSS"}),
+            # Decoupled read port: RWL-gated stack driven by the stored bit.
+            Mosfet("RD1", mos_type=MosType.NMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "LBL", "G": "RWL", "S": "RD_INT", "B": "VSS"}),
+            Mosfet("RD2", mos_type=MosType.NMOS, width=200e-9, length=30e-9,
+                   terminals={"D": "RD_INT", "G": "QB", "S": "VSS", "B": "VSS"}),
+        ]
+        for device in devices:
+            circuit.add_device(device)
+        return circuit
+
+    # -- layout ------------------------------------------------------------------
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        mid = height // 2
+        # Active regions of the pull-down / pass-gate devices (left) and the
+        # read stack (right), with the poly word lines crossing them.
+        cell.add_shape("DIFF", Rect(150, 120, width // 2 - 100, height - 120))
+        cell.add_shape("DIFF", Rect(width // 2 + 100, 120, width - 150, height - 120))
+        cell.add_shape("NWELL", Rect(width // 4, mid - 150, 3 * width // 4, mid + 150))
+        cell.add_shape("POLY", Rect(100, mid - 40, width - 100, mid + 40))
+        # Word lines and bitline pins on the routing layers.
+        cell.add_pin("WL", "M1", Rect(0, mid - 50, 200, mid + 50), direction="input")
+        cell.add_pin("RWL", "M1", Rect(width - 200, mid - 50, width, mid + 50),
+                     direction="input")
+        cell.add_pin("BL", "M2", Rect(250, 0, 350, height), direction="inout")
+        cell.add_pin("BLB", "M2", Rect(450, 0, 550, height), direction="inout")
+        cell.add_pin("LBL", "M2", Rect(width - 400, 0, width - 300, height),
+                     direction="output")

@@ -1,0 +1,63 @@
+"""CMOS switch (transmission gate).
+
+The architecture inserts a CMOS switch in the read bitline to disconnect
+the surplus compute capacitors (those beyond the 2^B_ADC needed by the
+CDAC) once charge redistribution has completed, saving conversion energy
+(paper section 3.1).  The same template is also used for the V_CM reset
+switches in generated peripheral logic.
+
+Pins:
+    A, B      — the two switched terminals,
+    EN, ENB   — complementary enables,
+    VDD, VSS  — supplies (bulk connections).
+"""
+
+from __future__ import annotations
+
+from repro.cells.base import CellTemplate
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell
+from repro.netlist.circuit import Circuit, Pin, PinDirection
+from repro.netlist.device import Mosfet, MosType
+from repro.technology.tech import Technology
+
+
+class CmosSwitchCell(CellTemplate):
+    """Template of a CMOS transmission-gate switch."""
+
+    cell_name = "cmos_switch"
+
+    def __init__(self, height_dbu: int = 600, width_dbu: int = 2000) -> None:
+        super().__init__(height_dbu, width_dbu)
+
+    def build_netlist(self) -> Circuit:
+        circuit = Circuit(self.cell_name, pins=[
+            Pin("A", PinDirection.INOUT),
+            Pin("B", PinDirection.INOUT),
+            Pin("EN", PinDirection.INPUT),
+            Pin("ENB", PinDirection.INPUT),
+            Pin("VDD", PinDirection.SUPPLY),
+            Pin("VSS", PinDirection.SUPPLY),
+        ])
+        circuit.add_device(Mosfet(
+            "MN", mos_type=MosType.NMOS, width=400e-9, length=30e-9,
+            terminals={"D": "A", "G": "EN", "S": "B", "B": "VSS"},
+        ))
+        circuit.add_device(Mosfet(
+            "MP", mos_type=MosType.PMOS, width=600e-9, length=30e-9,
+            terminals={"D": "A", "G": "ENB", "S": "B", "B": "VDD"},
+        ))
+        return circuit
+
+    def build_layout_content(self, cell: LayoutCell, technology: Technology) -> None:
+        width, height = self.width_dbu, self.height_dbu
+        mid = height // 2
+        cell.add_shape("DIFF", Rect(300, 120, width - 300, mid - 60))
+        cell.add_shape("NWELL", Rect(250, mid, width - 250, height - 100))
+        cell.add_shape("DIFF", Rect(300, mid + 60, width - 300, height - 120))
+        cell.add_shape("POLY", Rect(width // 2 - 40, 100, width // 2 + 40, height - 100))
+        cell.add_pin("A", "M2", Rect(350, 100, 450, height - 100), direction="inout")
+        cell.add_pin("B", "M2", Rect(width - 450, 100, width - 350, height - 100),
+                     direction="inout")
+        cell.add_pin("EN", "M1", Rect(0, mid - 150, 200, mid - 80), direction="input")
+        cell.add_pin("ENB", "M1", Rect(0, mid + 80, 200, mid + 150), direction="input")

@@ -1,0 +1,253 @@
+"""Command-line interface of the EasyACIM reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro explore --array-size 16384 --min-snr-db 15 --csv pareto.csv
+    python -m repro layout --height 128 --width 128 --local 8 --adc-bits 3 --out out/
+    python -m repro library --report
+    python -m repro validate-snr --adc-bits 3 4 5 --trials 800
+
+The CLI is a thin veneer over the library: every subcommand maps onto one
+public API entry point so scripted use and interactive use stay in sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.arch.spec import ACIMDesignSpec
+from repro.cells.library import default_cell_library
+from repro.dse.distill import DistillationCriteria, distill
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.nsga2 import NSGA2Config
+from repro.flow.layout_gen import LayoutGenerator
+from repro.flow.netlist_gen import TemplateNetlistGenerator
+from repro.flow.report import design_table, format_table, pareto_summary
+from repro.flow.testbench import TestbenchGenerator
+from repro.model.estimator import ACIMEstimator
+from repro.netlist.spice import write_spice
+from repro.reporting.ascii_plots import render_pareto_front
+from repro.reporting.export import export_csv, export_json
+from repro.sim.montecarlo import MonteCarloSnr
+from repro.technology.tech import generic28
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EasyACIM reproduction: automated analog CIM generation",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    explore = subparsers.add_parser(
+        "explore", help="run the MOGA-based design space exploration")
+    explore.add_argument("--array-size", type=int, default=16 * 1024,
+                         help="total number of bit cells H*W (default 16384)")
+    explore.add_argument("--population", type=int, default=80)
+    explore.add_argument("--generations", type=int, default=40)
+    explore.add_argument("--seed", type=int, default=1)
+    explore.add_argument("--min-snr-db", type=float, default=None,
+                         help="user distillation: minimum SNR in dB")
+    explore.add_argument("--min-tops", type=float, default=None,
+                         help="user distillation: minimum throughput in TOPS")
+    explore.add_argument("--min-tops-per-watt", type=float, default=None,
+                         help="user distillation: minimum efficiency in TOPS/W")
+    explore.add_argument("--max-area", type=float, default=None,
+                         help="user distillation: maximum area in F^2/bit")
+    explore.add_argument("--csv", type=Path, default=None,
+                         help="export the (distilled) Pareto set to CSV")
+    explore.add_argument("--json", type=Path, default=None,
+                         help="export the (distilled) Pareto set to JSON")
+    explore.add_argument("--plot", action="store_true",
+                         help="print an ASCII efficiency/area scatter")
+    explore.set_defaults(handler=_cmd_explore)
+
+    layout = subparsers.add_parser(
+        "layout", help="generate netlist, layout, GDS/DEF/LEF for one design point")
+    layout.add_argument("--height", type=int, required=True)
+    layout.add_argument("--width", type=int, required=True)
+    layout.add_argument("--local", type=int, required=True,
+                        help="local array size L")
+    layout.add_argument("--adc-bits", type=int, required=True)
+    layout.add_argument("--out", type=Path, default=Path("easyacim_out"))
+    layout.add_argument("--no-route", action="store_true",
+                        help="skip column routing (floorplan only)")
+    layout.add_argument("--spice", action="store_true",
+                        help="also write the macro SPICE netlist")
+    layout.add_argument("--testbench", action="store_true",
+                        help="also write a SPICE testbench")
+    layout.add_argument("--lef", action="store_true",
+                        help="also write macro and technology LEF abstracts")
+    layout.set_defaults(handler=_cmd_layout)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="evaluate the estimation model for one design point")
+    estimate.add_argument("--height", type=int, required=True)
+    estimate.add_argument("--width", type=int, required=True)
+    estimate.add_argument("--local", type=int, required=True)
+    estimate.add_argument("--adc-bits", type=int, required=True)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    library = subparsers.add_parser(
+        "library", help="inspect the customized cell library")
+    library.add_argument("--report", action="store_true",
+                         help="print the per-cell summary")
+    library.set_defaults(handler=_cmd_library)
+
+    validate = subparsers.add_parser(
+        "validate-snr", help="Monte-Carlo validation of the SNR model")
+    validate.add_argument("--adc-bits", type=int, nargs="+", default=[3, 4, 5])
+    validate.add_argument("--height", type=int, default=128)
+    validate.add_argument("--local", type=int, default=4)
+    validate.add_argument("--trials", type=int, default=800)
+    validate.set_defaults(handler=_cmd_validate_snr)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    explorer = DesignSpaceExplorer(config=NSGA2Config(
+        population_size=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    ))
+    result = explorer.explore(args.array_size)
+    designs = result.pareto_set
+    criteria = DistillationCriteria(
+        min_snr_db=args.min_snr_db,
+        min_tops=args.min_tops,
+        min_tops_per_watt=args.min_tops_per_watt,
+        max_area_f2_per_bit=args.max_area,
+        name="cli",
+    )
+    if any(value is not None for value in (
+            args.min_snr_db, args.min_tops, args.min_tops_per_watt, args.max_area)):
+        designs = distill(designs, criteria)
+
+    print(f"Explored {args.array_size}-bit array: "
+          f"{len(result.pareto_set)} Pareto solutions "
+          f"({len(designs)} after distillation), "
+          f"{result.evaluations} evaluations, {result.runtime_seconds:.2f} s")
+    if designs:
+        print(format_table([pareto_summary(designs)]))
+        print()
+        print(format_table(design_table(designs)))
+    if args.plot and designs:
+        print()
+        print(render_pareto_front(
+            designs, title=f"{args.array_size}-bit design space",
+            category=lambda d: f"B={d.spec.adc_bits}"))
+    if args.csv and designs:
+        export_csv(designs, args.csv)
+        print(f"CSV written to {args.csv}")
+    if args.json and designs:
+        export_json(designs, args.json, metadata={
+            "array_size": args.array_size,
+            "population": args.population,
+            "generations": args.generations,
+            "seed": args.seed,
+        })
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> ACIMDesignSpec:
+    return ACIMDesignSpec(args.height, args.width, args.local, args.adc_bits).validate()
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    technology = generic28()
+    library = default_cell_library(technology)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    netlist = TemplateNetlistGenerator(library).generate(spec)
+    if args.spice:
+        spice_path = args.out / f"{netlist.name}.sp"
+        spice_path.write_text(write_spice(netlist))
+        print(f"SPICE netlist written to {spice_path}")
+    if args.testbench:
+        tb_path = args.out / f"{netlist.name}_tb.sp"
+        TestbenchGenerator().write(spec, netlist, tb_path)
+        print(f"Testbench written to {tb_path}")
+
+    report = LayoutGenerator(library).generate(
+        spec, route_column=not args.no_route, export=True, output_dir=str(args.out))
+    print(format_table([report.as_dict()]))
+    print(f"GDS written to {report.gds_path}")
+    print(f"DEF written to {report.def_path}")
+
+    if args.lef:
+        from repro.layout.lef_export import write_macro_lef, write_tech_lef
+
+        tech_lef = args.out / "generic28_tech.lef"
+        macro_lef = args.out / f"{report.layout.name}.lef"
+        write_tech_lef(technology, tech_lef)
+        write_macro_lef(report.layout, technology, macro_lef)
+        print(f"LEF written to {macro_lef} (+ {tech_lef})")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    metrics = ACIMEstimator().evaluate(spec)
+    print(format_table([metrics.as_dict()]))
+    return 0
+
+
+def _cmd_library(args: argparse.Namespace) -> int:
+    technology = generic28()
+    library = default_cell_library(technology)
+    problems = library.check_consistency()
+    print(f"Cell library: {len(library.cell_names)} cells on {technology.name}")
+    if args.report:
+        print(library.report())
+    if problems:
+        print("Consistency problems:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("Library netlist/layout views are consistent.")
+    return 0
+
+
+def _cmd_validate_snr(args: argparse.Namespace) -> int:
+    estimator = ACIMEstimator()
+    rows = []
+    for bits in args.adc_bits:
+        spec = ACIMDesignSpec(args.height, 8, args.local, bits)
+        if not spec.is_feasible():
+            print(f"skipping infeasible point B_ADC={bits} (H/L too small)")
+            continue
+        measurement = MonteCarloSnr(spec, seed=7).run(trials=args.trials)
+        n = spec.local_arrays_per_column
+        rows.append({
+            "B_ADC": bits,
+            "N": n,
+            "analytic_dB": round(estimator.snr_model.design_snr_db(bits, n), 2),
+            "measured_dB": round(measurement.snr_db, 2),
+        })
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

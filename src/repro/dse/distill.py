@@ -1,0 +1,100 @@
+"""User distillation of the Pareto-frontier set (paper Figure 4).
+
+After the automatic exploration, "users can remove undesired solutions from
+the Pareto-frontier set according to their requirements" — e.g. a
+transformer accelerator needs a minimum SNR, an always-on CNN needs a
+minimum energy efficiency.  :class:`DistillationCriteria` expresses such
+requirements and :func:`distill` filters an evaluated design set down to
+the ones that satisfy them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dse.problem import EvaluatedDesign
+
+
+@dataclass(frozen=True)
+class DistillationCriteria:
+    """Application requirements used to filter the Pareto set.
+
+    All bounds are optional; ``None`` means "don't care".
+
+    Attributes:
+        min_snr_db: minimum acceptable SNR in dB.
+        min_tops: minimum throughput in TOPS.
+        max_energy_per_mac: maximum energy per MAC in joules.
+        min_tops_per_watt: minimum energy efficiency in TOPS/W.
+        max_area_f2_per_bit: maximum per-bit area in F^2.
+        max_total_area_um2: maximum macro area in um^2.
+        max_adc_bits: maximum ADC resolution (e.g. interface limits).
+        name: label of the application scenario (for reports).
+    """
+
+    min_snr_db: Optional[float] = None
+    min_tops: Optional[float] = None
+    max_energy_per_mac: Optional[float] = None
+    min_tops_per_watt: Optional[float] = None
+    max_area_f2_per_bit: Optional[float] = None
+    max_total_area_um2: Optional[float] = None
+    max_adc_bits: Optional[int] = None
+    name: str = "custom"
+
+    def accepts(self, design: EvaluatedDesign) -> bool:
+        """True when the design satisfies every specified requirement."""
+        metrics = design.metrics
+        checks = (
+            (self.min_snr_db, metrics.snr_db, "ge"),
+            (self.min_tops, metrics.tops, "ge"),
+            (self.max_energy_per_mac, metrics.energy_per_mac, "le"),
+            (self.min_tops_per_watt, metrics.tops_per_watt, "ge"),
+            (self.max_area_f2_per_bit, metrics.area_f2_per_bit, "le"),
+            (self.max_total_area_um2, metrics.total_area_um2, "le"),
+            (self.max_adc_bits, metrics.spec.adc_bits, "le"),
+        )
+        for bound, value, sense in checks:
+            if bound is None:
+                continue
+            if sense == "ge" and value < bound:
+                return False
+            if sense == "le" and value > bound:
+                return False
+        return True
+
+    # -- canonical application scenarios (paper Figure 1) --------------------
+
+    @classmethod
+    def transformer(cls) -> "DistillationCriteria":
+        """LLM-style transformer: accuracy first (high SNR), throughput next."""
+        return cls(min_snr_db=30.0, min_tops=0.5, name="transformer")
+
+    @classmethod
+    def cnn(cls) -> "DistillationCriteria":
+        """Edge CNN: moderate SNR, strong energy-efficiency requirement."""
+        return cls(min_snr_db=18.0, min_tops_per_watt=200.0, name="cnn")
+
+    @classmethod
+    def snn(cls) -> "DistillationCriteria":
+        """Spiking / always-on workload: lowest energy, relaxed SNR."""
+        return cls(min_tops_per_watt=400.0, name="snn")
+
+
+def distill(
+    designs: Sequence[EvaluatedDesign],
+    criteria: DistillationCriteria,
+) -> List[EvaluatedDesign]:
+    """Filter ``designs`` down to the ones meeting ``criteria``."""
+    return [design for design in designs if criteria.accepts(design)]
+
+
+def distill_report(
+    designs: Sequence[EvaluatedDesign],
+    scenarios: Sequence[DistillationCriteria],
+) -> dict:
+    """Count how many Pareto solutions survive each scenario's distillation."""
+    return {
+        scenario.name: len(distill(designs, scenario))
+        for scenario in scenarios
+    }

@@ -1,0 +1,58 @@
+"""Exhaustive design-space enumeration baseline.
+
+The discrete ACIM design space for one array size is small (hundreds of
+points), so the true Pareto frontier can be computed by brute force.  The
+baseline serves two purposes:
+
+* validation — the NSGA-II explorer must recover (a large fraction of) the
+  true frontier, which the test suite checks;
+* ablation — the benchmark harness compares the runtime of both approaches
+  (experiment A1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
+from repro.dse.pareto import pareto_front
+from repro.dse.problem import EvaluatedDesign
+from repro.model.estimator import ACIMEstimator
+
+
+def evaluate_all(
+    array_size: int,
+    estimator: Optional[ACIMEstimator] = None,
+    local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    max_adc_bits: int = 8,
+) -> List[EvaluatedDesign]:
+    """Evaluate every feasible design point of an array size."""
+    estimator = estimator or ACIMEstimator()
+    designs: List[EvaluatedDesign] = []
+    for spec in enumerate_design_space(
+        array_size,
+        local_array_sizes=local_array_sizes,
+        max_adc_bits=max_adc_bits,
+    ):
+        metrics = estimator.evaluate(spec)
+        designs.append(EvaluatedDesign(spec, metrics, metrics.objectives()))
+    return designs
+
+
+def exhaustive_pareto_front(
+    array_size: int,
+    estimator: Optional[ACIMEstimator] = None,
+    local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    max_adc_bits: int = 8,
+) -> List[EvaluatedDesign]:
+    """The exact Pareto frontier of an array size's full design space."""
+    designs = evaluate_all(
+        array_size,
+        estimator=estimator,
+        local_array_sizes=local_array_sizes,
+        max_adc_bits=max_adc_bits,
+    )
+    if not designs:
+        return []
+    front_indices = pareto_front([design.objectives for design in designs])
+    return [designs[i] for i in front_indices]

@@ -1,0 +1,138 @@
+"""The MOGA-based design space explorer (paper Figure 4, section 3.2.2).
+
+:class:`DesignSpaceExplorer` is the user-facing entry point: given an array
+size (and optionally a customised estimator or NSGA-II configuration) it
+runs the genetic exploration and returns an :class:`ExplorationResult`
+containing the Pareto-frontier set of ``(H, W, L, B_ADC)`` solutions with
+their estimated metrics, ready for user distillation and layout generation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import OptimizationError
+from repro.arch.spec import ACIMDesignSpec
+from repro.dse.nsga2 import NSGA2, NSGA2Config
+from repro.dse.pareto import pareto_front
+from repro.dse.problem import ACIMDesignProblem, EvaluatedDesign
+from repro.model.estimator import ACIMEstimator
+
+
+@dataclass
+class ExplorationResult:
+    """Output of one design-space exploration run.
+
+    Attributes:
+        array_size: the explored array size (H * W).
+        pareto_set: non-dominated evaluated designs, deduplicated.
+        evaluations: number of objective evaluations the optimiser used.
+        generations: number of NSGA-II generations run.
+        runtime_seconds: wall-clock exploration time.
+        history: per-generation statistics from the optimiser.
+    """
+
+    array_size: int
+    pareto_set: List[EvaluatedDesign]
+    evaluations: int
+    generations: int
+    runtime_seconds: float
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    def specs(self) -> List[ACIMDesignSpec]:
+        """The Pareto-frontier design specs."""
+        return [design.spec for design in self.pareto_set]
+
+    def metric_ranges(self) -> Dict[str, tuple]:
+        """(min, max) of each headline metric across the Pareto set."""
+        if not self.pareto_set:
+            return {}
+        metrics = [design.metrics for design in self.pareto_set]
+        def span(values):
+            return (min(values), max(values))
+        return {
+            "snr_db": span([m.snr_db for m in metrics]),
+            "tops": span([m.tops for m in metrics]),
+            "tops_per_watt": span([m.tops_per_watt for m in metrics]),
+            "area_f2_per_bit": span([m.area_f2_per_bit for m in metrics]),
+        }
+
+    def as_table(self) -> List[dict]:
+        """Flat dictionaries (one per solution), sorted by SNR descending."""
+        rows = [design.metrics.as_dict() for design in self.pareto_set]
+        return sorted(rows, key=lambda row: row["snr_db"], reverse=True)
+
+
+class DesignSpaceExplorer:
+    """NSGA-II based explorer over the synthesizable-architecture space."""
+
+    def __init__(
+        self,
+        estimator: Optional[ACIMEstimator] = None,
+        config: NSGA2Config = NSGA2Config(),
+        local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+        max_adc_bits: int = 8,
+    ) -> None:
+        self.estimator = estimator or ACIMEstimator()
+        self.config = config
+        self.local_array_sizes = local_array_sizes
+        self.max_adc_bits = max_adc_bits
+
+    def explore(
+        self,
+        array_size: int,
+        min_height: int = 2,
+        max_height: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Run the exploration for a user-defined array size.
+
+        Returns the deduplicated Pareto-frontier set of feasible solutions.
+        """
+        problem = ACIMDesignProblem(
+            array_size,
+            estimator=self.estimator,
+            local_array_sizes=self.local_array_sizes,
+            max_adc_bits=self.max_adc_bits,
+            min_height=min_height,
+            max_height=max_height,
+        )
+        optimizer = NSGA2(problem, self.config)
+        start = time.perf_counter()
+        final_population = optimizer.run()
+        runtime = time.perf_counter() - start
+
+        unique: Dict[tuple, EvaluatedDesign] = {}
+        for individual in final_population:
+            if not individual.feasible:
+                continue
+            spec = problem.decode(individual.genome)
+            if not spec.is_feasible(array_size):
+                continue
+            if spec.as_tuple() in unique:
+                continue
+            unique[spec.as_tuple()] = problem.evaluated_design(individual.genome)
+        designs = list(unique.values())
+        if not designs:
+            raise OptimizationError(
+                f"exploration found no feasible designs for array size {array_size}"
+            )
+        # Re-filter to the non-dominated subset after deduplication.
+        front = pareto_front([design.objectives for design in designs])
+        pareto_set = [designs[i] for i in front]
+        pareto_set.sort(key=lambda d: d.spec.as_tuple())
+        return ExplorationResult(
+            array_size=array_size,
+            pareto_set=pareto_set,
+            evaluations=optimizer.evaluations,
+            generations=self.config.generations,
+            runtime_seconds=runtime,
+            history=optimizer.history,
+        )
+
+    def explore_many(
+        self, array_sizes: Sequence[int], **kwargs
+    ) -> Dict[int, ExplorationResult]:
+        """Explore several array sizes (used by the Figure-9(a)(b) sweep)."""
+        return {size: self.explore(size, **kwargs) for size in array_sizes}

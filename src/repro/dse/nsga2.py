@@ -1,0 +1,240 @@
+"""NSGA-II implemented from scratch for the ACIM design-space explorer.
+
+The implementation follows the classic algorithm (Deb et al., 2002):
+
+* fast non-dominated sorting with crowding-distance diversity preservation,
+* binary tournament selection on (constraint violation, rank, crowding),
+* problem-defined crossover and mutation on the genome,
+* elitist (mu + lambda) environmental selection.
+
+Constraints are handled with Deb's feasibility rules ("constraint
+domination"): a feasible individual always beats an infeasible one, and two
+infeasible individuals are compared by total constraint violation.  The
+ACIM problem (Equation 12) additionally repairs genomes so that
+``H * W = array size`` always holds, leaving only the H/L >= 2^B_ADC and
+H >= L constraints to the violation mechanism.
+
+The algorithm is generic over a small problem protocol so the test suite
+can exercise it on analytic benchmark problems with known Pareto fronts in
+addition to the ACIM problem.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import OptimizationError
+from repro.dse.pareto import crowding_distance, non_dominated_sort
+
+Genome = TypeVar("Genome")
+
+
+@dataclass
+class Individual(Generic[Genome]):
+    """One member of the NSGA-II population.
+
+    Attributes:
+        genome: problem-specific genome.
+        objectives: minimisation objective vector.
+        violation: total constraint violation (0 means feasible).
+        rank: non-domination rank (0 is the best front).
+        crowding: crowding distance within its front.
+    """
+
+    genome: Genome
+    objectives: Tuple[float, ...] = ()
+    violation: float = 0.0
+    rank: int = 0
+    crowding: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        """True when no constraint is violated."""
+        return self.violation <= 0.0
+
+
+@dataclass(frozen=True)
+class NSGA2Config:
+    """Hyper-parameters of the NSGA-II run.
+
+    Attributes:
+        population_size: number of individuals kept each generation.
+        generations: number of generations to evolve.
+        crossover_probability: probability a child is produced by crossover
+            (otherwise it is a copy of one parent before mutation).
+        mutation_probability: probability the child genome is mutated.
+        seed: random seed for reproducibility.
+    """
+
+    population_size: int = 80
+    generations: int = 60
+    crossover_probability: float = 0.9
+    mutation_probability: float = 0.4
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.population_size < 4:
+            raise OptimizationError("population size must be at least 4")
+        if self.generations < 1:
+            raise OptimizationError("generations must be at least 1")
+        for name in ("crossover_probability", "mutation_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise OptimizationError(f"{name} must be in [0, 1]")
+
+
+class NSGA2(Generic[Genome]):
+    """The NSGA-II optimiser.
+
+    The ``problem`` object must provide:
+
+    * ``random_genome(rng) -> Genome``
+    * ``evaluate(genome) -> (objectives, violation)``
+    * ``crossover(a, b, rng) -> Genome``
+    * ``mutate(genome, rng) -> Genome``
+    * optionally ``genome_key(genome)`` for duplicate suppression.
+    """
+
+    def __init__(self, problem, config: NSGA2Config = NSGA2Config()) -> None:
+        self.problem = problem
+        self.config = config
+        self._evaluations = 0
+        self.history: List[Dict[str, float]] = []
+
+    @property
+    def evaluations(self) -> int:
+        """Number of objective evaluations performed so far."""
+        return self._evaluations
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> List[Individual]:
+        """Evolve the population and return the final non-dominated set."""
+        rng = random.Random(self.config.seed)
+        population = self._initial_population(rng)
+        self._assign_ranks(population)
+        for generation in range(self.config.generations):
+            offspring = self._make_offspring(population, rng)
+            population = self._environmental_selection(population + offspring)
+            self._record_history(generation, population)
+        return [ind for ind in population if ind.rank == 0 and ind.feasible] or [
+            ind for ind in population if ind.rank == 0
+        ]
+
+    # -- population management -----------------------------------------------
+
+    def _initial_population(self, rng: random.Random) -> List[Individual]:
+        population = []
+        seen = set()
+        attempts = 0
+        while len(population) < self.config.population_size:
+            genome = self.problem.random_genome(rng)
+            key = self._genome_key(genome)
+            attempts += 1
+            if key in seen and attempts < self.config.population_size * 20:
+                continue
+            seen.add(key)
+            population.append(self._evaluate(genome))
+        return population
+
+    def _evaluate(self, genome: Genome) -> Individual:
+        objectives, violation = self.problem.evaluate(genome)
+        self._evaluations += 1
+        return Individual(genome=genome, objectives=tuple(objectives),
+                          violation=float(violation))
+
+    def _make_offspring(
+        self, population: List[Individual], rng: random.Random
+    ) -> List[Individual]:
+        offspring: List[Individual] = []
+        while len(offspring) < self.config.population_size:
+            parent_a = self._tournament(population, rng)
+            parent_b = self._tournament(population, rng)
+            if rng.random() < self.config.crossover_probability:
+                child_genome = self.problem.crossover(
+                    parent_a.genome, parent_b.genome, rng
+                )
+            else:
+                child_genome = rng.choice((parent_a, parent_b)).genome
+            if rng.random() < self.config.mutation_probability:
+                child_genome = self.problem.mutate(child_genome, rng)
+            offspring.append(self._evaluate(child_genome))
+        return offspring
+
+    def _environmental_selection(
+        self, combined: List[Individual]
+    ) -> List[Individual]:
+        self._assign_ranks(combined)
+        by_front: Dict[int, List[Individual]] = {}
+        for individual in combined:
+            by_front.setdefault(individual.rank, []).append(individual)
+        survivors: List[Individual] = []
+        for rank in sorted(by_front):
+            front = by_front[rank]
+            if len(survivors) + len(front) <= self.config.population_size:
+                survivors.extend(front)
+                continue
+            remaining = self.config.population_size - len(survivors)
+            front.sort(key=lambda ind: ind.crowding, reverse=True)
+            survivors.extend(front[:remaining])
+            break
+        return survivors
+
+    # -- ranking and selection -------------------------------------------------
+
+    def _assign_ranks(self, population: List[Individual]) -> None:
+        """Assign constraint-aware ranks and crowding distances in place."""
+        feasible = [ind for ind in population if ind.feasible]
+        infeasible = [ind for ind in population if not ind.feasible]
+        next_rank = 0
+        if feasible:
+            fronts = non_dominated_sort([ind.objectives for ind in feasible])
+            for front_rank, front in enumerate(fronts):
+                members = [feasible[i] for i in front]
+                distances = crowding_distance([m.objectives for m in members])
+                for member, distance in zip(members, distances):
+                    member.rank = front_rank
+                    member.crowding = distance
+            next_rank = len(fronts)
+        # Infeasible individuals come after every feasible front, ordered by
+        # total violation (Deb's constraint-domination).
+        infeasible.sort(key=lambda ind: ind.violation)
+        for offset, individual in enumerate(infeasible):
+            individual.rank = next_rank + offset
+            individual.crowding = 0.0
+
+    @staticmethod
+    def _tournament(population: List[Individual], rng: random.Random) -> Individual:
+        a, b = rng.choice(population), rng.choice(population)
+        if a.feasible != b.feasible:
+            return a if a.feasible else b
+        if not a.feasible and not b.feasible:
+            return a if a.violation <= b.violation else b
+        if a.rank != b.rank:
+            return a if a.rank < b.rank else b
+        return a if a.crowding >= b.crowding else b
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _genome_key(self, genome: Genome):
+        key_fn = getattr(self.problem, "genome_key", None)
+        if key_fn is None:
+            try:
+                hash(genome)
+                return genome
+            except TypeError:
+                return id(genome)
+        return key_fn(genome)
+
+    def _record_history(self, generation: int, population: List[Individual]) -> None:
+        feasible = [ind for ind in population if ind.feasible]
+        front = [ind for ind in feasible if ind.rank == 0]
+        self.history.append({
+            "generation": float(generation),
+            "feasible": float(len(feasible)),
+            "front_size": float(len(front)),
+            "evaluations": float(self._evaluations),
+        })

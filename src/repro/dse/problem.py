@@ -1,0 +1,202 @@
+"""The ACIM design-space exploration problem (paper Equation 12).
+
+The genome is the integer triple ``(height_index, local_index, adc_bits)``:
+
+* ``height_index`` selects H from the divisors of the user-defined array
+  size (power-of-two heights, as in the paper's explored space), which
+  makes the ``H * W = array size`` constraint hold by construction;
+* ``local_index`` selects L from the allowed local-array sizes (2..32 by
+  default, the paper's bounds);
+* ``adc_bits`` is B_ADC directly (1..8 by default).
+
+The remaining Equation-12 constraints (``H >= L``, ``H`` divisible by ``L``
+and ``H/L >= 2^B_ADC``) are enforced through the violation value consumed
+by the NSGA-II constraint-domination rules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.arch.spec import ACIMDesignSpec, valid_heights
+from repro.model.estimator import ACIMEstimator, ACIMMetrics
+
+#: Genome type: (height_index, local_index, adc_bits).
+Genome = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class EvaluatedDesign:
+    """A design point together with its metrics and objective vector.
+
+    Attributes:
+        spec: the design point.
+        metrics: full estimation-model metrics.
+        objectives: the Equation-12 minimisation vector [-SNR, -T, E, A].
+    """
+
+    spec: ACIMDesignSpec
+    metrics: ACIMMetrics
+    objectives: Tuple[float, float, float, float]
+
+
+class ACIMDesignProblem:
+    """NSGA-II problem wrapper around the ACIM estimation model."""
+
+    def __init__(
+        self,
+        array_size: int,
+        estimator: Optional[ACIMEstimator] = None,
+        local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+        max_adc_bits: int = 8,
+        min_height: int = 2,
+        max_height: Optional[int] = None,
+    ) -> None:
+        if array_size < 4:
+            raise OptimizationError("array size must be at least 4 bit cells")
+        self.array_size = array_size
+        self.estimator = estimator or ACIMEstimator()
+        self.local_array_sizes = tuple(sorted(set(local_array_sizes)))
+        if not self.local_array_sizes:
+            raise OptimizationError("at least one local array size is required")
+        self.max_adc_bits = max_adc_bits
+        heights = [
+            h for h in valid_heights(array_size)
+            if h >= min_height and (max_height is None or h <= max_height)
+        ]
+        # Heights smaller than the smallest L can never be feasible.
+        heights = [h for h in heights if h >= min(self.local_array_sizes)]
+        if not heights:
+            raise OptimizationError(
+                f"no valid array heights for array size {array_size}"
+            )
+        self.heights = heights
+        self._cache: Dict[Genome, Tuple[Tuple[float, ...], float]] = {}
+        self._metrics_cache: Dict[ACIMDesignSpec, ACIMMetrics] = {}
+
+    # -- genome <-> spec -------------------------------------------------------
+
+    def decode(self, genome: Genome) -> ACIMDesignSpec:
+        """Translate a genome into a design spec (not necessarily feasible)."""
+        height_index, local_index, adc_bits = genome
+        height = self.heights[height_index % len(self.heights)]
+        local = self.local_array_sizes[local_index % len(self.local_array_sizes)]
+        adc_bits = min(max(1, adc_bits), self.max_adc_bits)
+        width = self.array_size // height
+        return ACIMDesignSpec(height, width, local, adc_bits)
+
+    def encode(self, spec: ACIMDesignSpec) -> Genome:
+        """Translate a design spec back into a genome."""
+        try:
+            height_index = self.heights.index(spec.height)
+        except ValueError:
+            raise OptimizationError(f"height {spec.height} not in problem space")
+        try:
+            local_index = self.local_array_sizes.index(spec.local_array_size)
+        except ValueError:
+            raise OptimizationError(
+                f"local array size {spec.local_array_size} not in problem space"
+            )
+        return (height_index, local_index, spec.adc_bits)
+
+    def genome_key(self, genome: Genome) -> Tuple[int, int, int, int]:
+        """Canonical duplicate-suppression key (the decoded design point)."""
+        return self.decode(genome).as_tuple()
+
+    # -- NSGA-II protocol ------------------------------------------------------
+
+    def random_genome(self, rng: random.Random) -> Genome:
+        """Draw a uniformly random genome."""
+        return (
+            rng.randrange(len(self.heights)),
+            rng.randrange(len(self.local_array_sizes)),
+            rng.randint(1, self.max_adc_bits),
+        )
+
+    def evaluate(self, genome: Genome) -> Tuple[Tuple[float, ...], float]:
+        """Objective vector and constraint violation of a genome."""
+        key = genome
+        if key in self._cache:
+            return self._cache[key]
+        spec = self.decode(genome)
+        violation = self._violation(spec)
+        if violation > 0.0:
+            # Infeasible points never enter the Pareto ranking among feasible
+            # ones; give them a neutral objective vector.
+            result = ((0.0, 0.0, 0.0, 0.0), violation)
+        else:
+            metrics = self._evaluate_spec(spec)
+            result = (metrics.objectives(), 0.0)
+        self._cache[key] = result
+        return result
+
+    def crossover(self, a: Genome, b: Genome, rng: random.Random) -> Genome:
+        """Uniform crossover on the three genes."""
+        return tuple(rng.choice(pair) for pair in zip(a, b))  # type: ignore[return-value]
+
+    def mutate(self, genome: Genome, rng: random.Random) -> Genome:
+        """Mutate one gene: +/-1 step or full re-draw with small probability."""
+        height_index, local_index, adc_bits = genome
+        gene = rng.randrange(3)
+        if gene == 0:
+            if rng.random() < 0.2:
+                height_index = rng.randrange(len(self.heights))
+            else:
+                height_index = _step(height_index, len(self.heights), rng)
+        elif gene == 1:
+            if rng.random() < 0.2:
+                local_index = rng.randrange(len(self.local_array_sizes))
+            else:
+                local_index = _step(local_index, len(self.local_array_sizes), rng)
+        else:
+            if rng.random() < 0.2:
+                adc_bits = rng.randint(1, self.max_adc_bits)
+            else:
+                adc_bits = min(self.max_adc_bits, max(1, adc_bits + rng.choice((-1, 1))))
+        return (height_index, local_index, adc_bits)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _violation(self, spec: ACIMDesignSpec) -> float:
+        """Total constraint violation of the Equation-12 constraints."""
+        violation = 0.0
+        if spec.local_array_size > spec.height:
+            violation += float(spec.local_array_size - spec.height)
+        if spec.height % spec.local_array_size != 0:
+            violation += 1.0
+        else:
+            deficit = 2 ** spec.adc_bits - spec.local_arrays_per_column
+            if deficit > 0:
+                violation += float(deficit)
+        return violation
+
+    def _evaluate_spec(self, spec: ACIMDesignSpec) -> ACIMMetrics:
+        if spec not in self._metrics_cache:
+            self._metrics_cache[spec] = self.estimator.evaluate(spec)
+        return self._metrics_cache[spec]
+
+    def evaluated_design(self, genome: Genome) -> EvaluatedDesign:
+        """Full evaluation record of a (feasible) genome."""
+        spec = self.decode(genome)
+        spec.validate(self.array_size)
+        metrics = self._evaluate_spec(spec)
+        return EvaluatedDesign(spec=spec, metrics=metrics, objectives=metrics.objectives())
+
+    def feasible_specs(self) -> List[ACIMDesignSpec]:
+        """Every feasible design point of this problem instance."""
+        specs = []
+        for height_index in range(len(self.heights)):
+            for local_index in range(len(self.local_array_sizes)):
+                for adc_bits in range(1, self.max_adc_bits + 1):
+                    spec = self.decode((height_index, local_index, adc_bits))
+                    if spec.is_feasible(self.array_size):
+                        specs.append(spec)
+        return specs
+
+
+def _step(index: int, size: int, rng: random.Random) -> int:
+    """Move an index one step up or down, clamped to the valid range."""
+    return min(size - 1, max(0, index + rng.choice((-1, 1))))

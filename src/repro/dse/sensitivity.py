@@ -1,0 +1,181 @@
+"""Sensitivity analysis of the design-space conclusions to model constants.
+
+The estimation-model constants (ADC energy k1/k2, cell areas, timing) are
+calibrated from the paper's published numbers and from the behavioral
+simulator rather than from the authors' PDK, so a fair question is how much
+the *conclusions* — which design points are Pareto-optimal, where the
+frontier lies — depend on those constants.  This module perturbs selected
+constants by a relative amount, re-evaluates the design space, and reports:
+
+* how the Pareto-frontier membership changes (Jaccard similarity),
+* how the headline ranges (TOPS/W, F^2/bit) move,
+* per-parameter sensitivity of a single design point's metrics.
+
+A conclusion that survives +/-20 % perturbations of every calibrated
+constant is robust to the reproduction's calibration choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.timing import TimingParameters
+from repro.dse.exhaustive import evaluate_all
+from repro.dse.pareto import pareto_front
+from repro.model.area import AreaParameters
+from repro.model.energy import EnergyParameters
+from repro.model.estimator import ACIMEstimator, ModelParameters
+from repro.model.snr import SnrParameters
+
+#: Constants the analysis knows how to perturb, as (bundle, field) pairs.
+PERTURBABLE_PARAMETERS: Dict[str, Tuple[str, str]] = {
+    "k1": ("energy", "k1"),
+    "k2": ("energy", "k2"),
+    "e_compute": ("energy", "e_compute"),
+    "e_control": ("energy", "e_control"),
+    "a_sram": ("area", "a_sram"),
+    "a_local_compute": ("area", "a_local_compute"),
+    "a_comparator": ("area", "a_comparator"),
+    "a_dff": ("area", "a_dff"),
+    "conversion_time_per_bit": ("timing", "conversion_time_per_bit"),
+    "time_constant": ("timing", "time_constant"),
+    "unit_capacitance": ("snr", "unit_capacitance"),
+    "cap_mismatch_kappa": ("snr", "cap_mismatch_kappa"),
+}
+
+
+@dataclass(frozen=True)
+class ParameterSensitivity:
+    """Sensitivity of one design point's metrics to one constant.
+
+    Attributes:
+        parameter: perturbed constant name.
+        relative_change: applied relative perturbation (e.g. 0.2 for +20 %).
+        tops_change: relative change of throughput.
+        tops_per_watt_change: relative change of energy efficiency.
+        area_change: relative change of per-bit area.
+        snr_change_db: absolute change of SNR in dB.
+    """
+
+    parameter: str
+    relative_change: float
+    tops_change: float
+    tops_per_watt_change: float
+    area_change: float
+    snr_change_db: float
+
+
+@dataclass(frozen=True)
+class FrontierSensitivity:
+    """Effect of one perturbation on the whole design space.
+
+    Attributes:
+        parameter: perturbed constant name.
+        relative_change: applied relative perturbation.
+        jaccard_similarity: |front ∩ front'| / |front ∪ front'| over design
+            tuples of the baseline and perturbed Pareto frontiers.
+        efficiency_range_shift: relative shift of the max TOPS/W.
+        area_range_shift: relative shift of the min F^2/bit.
+    """
+
+    parameter: str
+    relative_change: float
+    jaccard_similarity: float
+    efficiency_range_shift: float
+    area_range_shift: float
+
+
+def perturb_parameters(
+    base: ModelParameters, parameter: str, relative_change: float
+) -> ModelParameters:
+    """Return a copy of ``base`` with one constant scaled by (1 + change)."""
+    if parameter not in PERTURBABLE_PARAMETERS:
+        raise OptimizationError(
+            f"unknown perturbable parameter {parameter!r}; "
+            f"choose from {sorted(PERTURBABLE_PARAMETERS)}"
+        )
+    bundle_name, field_name = PERTURBABLE_PARAMETERS[parameter]
+    bundle = getattr(base, bundle_name)
+    new_value = getattr(bundle, field_name) * (1.0 + relative_change)
+    new_bundle = replace(bundle, **{field_name: new_value})
+    return replace(base, **{bundle_name: new_bundle})
+
+
+class SensitivityAnalyzer:
+    """Perturbs model constants and measures the impact on conclusions."""
+
+    def __init__(self, base: Optional[ModelParameters] = None) -> None:
+        self.base = base or ModelParameters()
+
+    # -- single design point ------------------------------------------------
+
+    def design_point_sensitivity(
+        self,
+        spec: ACIMDesignSpec,
+        parameters: Sequence[str] = ("k1", "k2", "a_sram", "a_local_compute",
+                                     "conversion_time_per_bit"),
+        relative_change: float = 0.2,
+    ) -> List[ParameterSensitivity]:
+        """Metric sensitivity of one design point to each constant."""
+        baseline = ACIMEstimator(self.base).evaluate(spec)
+        results = []
+        for parameter in parameters:
+            perturbed_params = perturb_parameters(self.base, parameter, relative_change)
+            perturbed = ACIMEstimator(perturbed_params).evaluate(spec)
+            results.append(ParameterSensitivity(
+                parameter=parameter,
+                relative_change=relative_change,
+                tops_change=perturbed.tops / baseline.tops - 1.0,
+                tops_per_watt_change=(
+                    perturbed.tops_per_watt / baseline.tops_per_watt - 1.0),
+                area_change=(
+                    perturbed.area_f2_per_bit / baseline.area_f2_per_bit - 1.0),
+                snr_change_db=perturbed.snr_db - baseline.snr_db,
+            ))
+        return results
+
+    # -- whole frontier ---------------------------------------------------------
+
+    def frontier_sensitivity(
+        self,
+        array_size: int,
+        parameters: Sequence[str] = ("k1", "k2", "a_local_compute"),
+        relative_change: float = 0.2,
+        local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+        max_adc_bits: int = 8,
+    ) -> List[FrontierSensitivity]:
+        """Pareto-frontier stability under perturbation of each constant."""
+        baseline_designs = evaluate_all(
+            array_size, estimator=ACIMEstimator(self.base),
+            local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits)
+        baseline_front = self._front_tuples(baseline_designs)
+        baseline_eff = max(d.metrics.tops_per_watt for d in baseline_designs)
+        baseline_area = min(d.metrics.area_f2_per_bit for d in baseline_designs)
+
+        results = []
+        for parameter in parameters:
+            perturbed_params = perturb_parameters(self.base, parameter, relative_change)
+            designs = evaluate_all(
+                array_size, estimator=ACIMEstimator(perturbed_params),
+                local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits)
+            front = self._front_tuples(designs)
+            union = baseline_front | front
+            intersection = baseline_front & front
+            efficiency = max(d.metrics.tops_per_watt for d in designs)
+            area = min(d.metrics.area_f2_per_bit for d in designs)
+            results.append(FrontierSensitivity(
+                parameter=parameter,
+                relative_change=relative_change,
+                jaccard_similarity=(len(intersection) / len(union)) if union else 1.0,
+                efficiency_range_shift=efficiency / baseline_eff - 1.0,
+                area_range_shift=area / baseline_area - 1.0,
+            ))
+        return results
+
+    @staticmethod
+    def _front_tuples(designs) -> set:
+        indices = pareto_front([d.objectives for d in designs])
+        return {designs[i].spec.as_tuple() for i in indices}

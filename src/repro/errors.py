@@ -1,0 +1,70 @@
+"""Exception hierarchy for the EasyACIM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class at flow boundaries while still being
+able to discriminate between configuration, modelling, layout and routing
+failures when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the library."""
+
+
+class SpecificationError(ReproError):
+    """A design specification violates an architectural constraint.
+
+    Raised, for example, when ``H * W`` does not equal the requested array
+    size or when the ADC precision exceeds the available capacitor groups
+    (paper Equation 12).
+    """
+
+
+class TechnologyError(ReproError):
+    """The technology description is inconsistent or incomplete."""
+
+
+class NetlistError(ReproError):
+    """A netlist is malformed (dangling nets, duplicate instances, ...)."""
+
+
+class CellLibraryError(ReproError):
+    """The customized cell library does not provide a required cell."""
+
+
+class LayoutError(ReproError):
+    """A layout operation failed (overlaps, out-of-bounds shapes, ...)."""
+
+
+class PlacementError(LayoutError):
+    """The placer could not produce a legal placement."""
+
+
+class RoutingError(LayoutError):
+    """The router could not connect one or more nets."""
+
+
+class DRCError(LayoutError):
+    """A design-rule check failed."""
+
+
+class ModelError(ReproError):
+    """The performance estimation model received invalid parameters."""
+
+
+class CalibrationError(ModelError):
+    """Model calibration against reference data failed to converge."""
+
+
+class OptimizationError(ReproError):
+    """The design-space explorer failed (empty feasible set, ...)."""
+
+
+class SimulationError(ReproError):
+    """The behavioral simulator received an invalid configuration."""
+
+
+class FlowError(ReproError):
+    """The top-level flow controller failed to complete a stage."""

@@ -1,0 +1,175 @@
+"""Baseline design flows for the Table-2 comparison.
+
+The paper compares EasyACIM against two alternatives:
+
+* the **traditional flow** — a fully manual analog design cycle taking one
+  to two months with a fixed, hand-picked design point;
+* **AutoDCIM** — an automated *digital* CIM compiler that takes
+  user-defined design parameters and generates layouts, but performs no
+  multi-objective optimisation of those parameters.
+
+Both are modelled here so the comparison table is produced from executable
+flow descriptions rather than hard-coded prose, and so the AutoDCIM-style
+baseline can be run head-to-head against the EasyACIM explorer in the
+ablation benchmarks (same estimation model, no Pareto search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import FlowError
+from repro.arch.spec import ACIMDesignSpec
+from repro.dse.pareto import pareto_front
+from repro.dse.problem import EvaluatedDesign
+from repro.model.estimator import ACIMEstimator
+
+
+@dataclass(frozen=True)
+class FlowComparisonEntry:
+    """One column of the Table-2 flow comparison.
+
+    Attributes:
+        name: flow name.
+        design_type: "Analog", "Digital" or "Analog or Digital".
+        layout_design: "Manual" or "Automatic".
+        design_time: order-of-magnitude design time.
+        design_space: how the flow covers the design space.
+        parameter_determination: who chooses the design parameters.
+    """
+
+    name: str
+    design_type: str
+    layout_design: str
+    design_time: str
+    design_space: str
+    parameter_determination: str
+
+
+class TraditionalManualFlow:
+    """Descriptor of the traditional manual ACIM design flow."""
+
+    name = "Traditional Flow"
+
+    def comparison_entry(self) -> FlowComparisonEntry:
+        """The flow's Table-2 row."""
+        return FlowComparisonEntry(
+            name=self.name,
+            design_type="Analog or Digital",
+            layout_design="Manual",
+            design_time="1-2 months",
+            design_space="Fixed",
+            parameter_determination="Manual",
+        )
+
+    def design_points(self, array_size: int) -> List[ACIMDesignSpec]:
+        """A single hand-picked design point (what a manual team would tape out)."""
+        height = 1
+        candidate = array_size
+        while candidate % 2 == 0 and height < 128:
+            candidate //= 2
+            height *= 2
+        width = array_size // height
+        local = 8 if height >= 8 else max(1, height)
+        max_bits = 1
+        while height // local >= 2 ** (max_bits + 1) and max_bits < 4:
+            max_bits += 1
+        return [ACIMDesignSpec(height, width, local, max_bits)]
+
+
+class AutoDCIMBaselineFlow:
+    """AutoDCIM-style baseline: user-defined parameters, no optimisation.
+
+    The baseline evaluates exactly the design points the user supplies (or a
+    small default set) with the same estimation model EasyACIM uses, but it
+    performs no search: whatever the user picked is what gets built.  The
+    resulting set is generally *not* Pareto-optimal, which is the measurable
+    difference the ablation benchmark quantifies.
+    """
+
+    name = "AutoDCIM-style"
+
+    def __init__(self, estimator: Optional[ACIMEstimator] = None) -> None:
+        self.estimator = estimator or ACIMEstimator()
+
+    def comparison_entry(self) -> FlowComparisonEntry:
+        """The flow's Table-2 row."""
+        return FlowComparisonEntry(
+            name=self.name,
+            design_type="Digital",
+            layout_design="Automatic",
+            design_time="NA",
+            design_space="Unoptimized",
+            parameter_determination="User-defined",
+        )
+
+    def run(
+        self,
+        array_size: int,
+        user_specs: Optional[Sequence[ACIMDesignSpec]] = None,
+    ) -> List[EvaluatedDesign]:
+        """Evaluate the user-defined design points without any optimisation."""
+        specs = list(user_specs) if user_specs else self._default_user_specs(array_size)
+        designs: List[EvaluatedDesign] = []
+        for spec in specs:
+            if not spec.is_feasible(array_size):
+                raise FlowError(
+                    f"user-defined spec {spec.as_tuple()} is infeasible for "
+                    f"array size {array_size}"
+                )
+            metrics = self.estimator.evaluate(spec)
+            designs.append(EvaluatedDesign(spec, metrics, metrics.objectives()))
+        return designs
+
+    def pareto_efficiency(self, designs: Sequence[EvaluatedDesign]) -> float:
+        """Fraction of the evaluated designs that are mutually non-dominated."""
+        if not designs:
+            return 0.0
+        front = pareto_front([design.objectives for design in designs])
+        return len(front) / len(designs)
+
+    @staticmethod
+    def _default_user_specs(array_size: int) -> List[ACIMDesignSpec]:
+        """A plausible hand-picked parameter set a user might request."""
+        specs = []
+        height = 1
+        while height * height <= array_size:
+            height *= 2
+        for candidate_height in (height, height // 2):
+            if candidate_height < 2 or array_size % candidate_height != 0:
+                continue
+            width = array_size // candidate_height
+            for local, bits in ((4, 3), (8, 3), (16, 2)):
+                spec = ACIMDesignSpec(candidate_height, width, local, bits)
+                if spec.is_feasible(array_size):
+                    specs.append(spec)
+        if not specs:
+            raise FlowError(f"no default user specs for array size {array_size}")
+        return specs
+
+
+class EasyACIMFlowDescriptor:
+    """Table-2 descriptor of this work's flow."""
+
+    name = "EasyACIM"
+
+    def comparison_entry(self) -> FlowComparisonEntry:
+        """The flow's Table-2 row."""
+        return FlowComparisonEntry(
+            name=self.name,
+            design_type="Analog",
+            layout_design="Automatic",
+            design_time="Several hours",
+            design_space="Pareto frontier",
+            parameter_determination="Automatic",
+        )
+
+
+def flow_comparison_table() -> List[FlowComparisonEntry]:
+    """The full Table-2 comparison (traditional vs AutoDCIM vs EasyACIM)."""
+    return [
+        TraditionalManualFlow().comparison_entry(),
+        AutoDCIMBaselineFlow().comparison_entry(),
+        EasyACIMFlowDescriptor().comparison_entry(),
+    ]

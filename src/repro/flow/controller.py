@@ -1,0 +1,181 @@
+"""The top flow controller (paper Figure 4).
+
+:class:`EasyACIMFlow` wires the whole pipeline together:
+
+1. take the three user inputs — customized cell library, synthesizable
+   architecture (implicit in the generators) and technology files — plus
+   the user-defined array size,
+2. run the MOGA-based design space explorer to get the Pareto-frontier set
+   of (H, W, L, B_ADC) solutions,
+3. apply the user's distillation criteria to keep only the solutions that
+   match the application scenario,
+4. generate a netlist and a layout for every distilled solution.
+
+The result object keeps every intermediate product so examples, tests and
+benchmarks can inspect any stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import FlowError
+from repro.arch.spec import ACIMDesignSpec
+from repro.cells.library import CellLibrary, default_cell_library
+from repro.dse.distill import DistillationCriteria, distill
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.nsga2 import NSGA2Config
+from repro.dse.problem import EvaluatedDesign
+from repro.flow.layout_gen import LayoutGenerationReport, LayoutGenerator
+from repro.flow.netlist_gen import TemplateNetlistGenerator
+from repro.model.estimator import ACIMEstimator, ModelParameters
+from repro.netlist.circuit import Circuit
+from repro.technology.tech import Technology, generic28
+
+
+@dataclass
+class FlowInputs:
+    """The flow's user inputs (paper Figure 4, left).
+
+    Attributes:
+        array_size: user-defined H * W in bit cells.
+        technology: technology files (defaults to the synthetic generic28).
+        library: customized cell library (defaults to the built-in library).
+        criteria: user distillation criteria (None keeps the whole frontier).
+        nsga2: explorer configuration.
+        model: estimation-model parameters.
+        max_layouts: cap on how many distilled solutions get full layouts.
+    """
+
+    array_size: int
+    technology: Optional[Technology] = None
+    library: Optional[CellLibrary] = None
+    criteria: Optional[DistillationCriteria] = None
+    nsga2: NSGA2Config = field(default_factory=NSGA2Config)
+    model: Optional[ModelParameters] = None
+    max_layouts: int = 3
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced.
+
+    Attributes:
+        inputs: the inputs the flow ran with.
+        exploration: the design-space exploration result.
+        distilled: the Pareto solutions surviving user distillation.
+        netlists: generated macro netlists keyed by design-spec tuple.
+        layouts: layout-generation reports keyed by design-spec tuple.
+        runtime_seconds: end-to-end wall-clock time.
+    """
+
+    inputs: FlowInputs
+    exploration: ExplorationResult
+    distilled: List[EvaluatedDesign]
+    netlists: Dict[tuple, Circuit] = field(default_factory=dict)
+    layouts: Dict[tuple, LayoutGenerationReport] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the flow outcome."""
+        lines = [
+            f"EasyACIM flow for {self.inputs.array_size}-bit array",
+            f"  Pareto-frontier solutions : {len(self.exploration.pareto_set)}",
+            f"  after user distillation   : {len(self.distilled)}",
+            f"  netlists generated        : {len(self.netlists)}",
+            f"  layouts generated         : {len(self.layouts)}",
+            f"  total runtime             : {self.runtime_seconds:.2f} s",
+        ]
+        for key, report in self.layouts.items():
+            lines.append(
+                f"    layout {key}: {report.width_um:.0f} x {report.height_um:.0f} um, "
+                f"{report.area_f2_per_bit:.0f} F^2/bit"
+            )
+        return "\n".join(lines)
+
+
+class EasyACIMFlow:
+    """End-to-end automated ACIM generation."""
+
+    def __init__(self, inputs: FlowInputs) -> None:
+        if inputs.array_size < 16:
+            raise FlowError("array size must be at least 16 bit cells")
+        self.inputs = inputs
+        self.technology = inputs.technology or generic28()
+        self.library = inputs.library or default_cell_library(self.technology)
+        problems = self.library.check_consistency()
+        if problems:
+            raise FlowError("cell library inconsistent: " + "; ".join(problems))
+        estimator = ACIMEstimator(inputs.model) if inputs.model else ACIMEstimator()
+        self.explorer = DesignSpaceExplorer(estimator=estimator, config=inputs.nsga2)
+        self.netlist_generator = TemplateNetlistGenerator(self.library)
+        self.layout_generator = LayoutGenerator(self.library)
+
+    # -- individual stages -----------------------------------------------------------
+
+    def explore(self) -> ExplorationResult:
+        """Stage 1: MOGA-based design space exploration."""
+        return self.explorer.explore(self.inputs.array_size)
+
+    def distill(self, exploration: ExplorationResult) -> List[EvaluatedDesign]:
+        """Stage 2: user distillation of the Pareto-frontier set."""
+        if self.inputs.criteria is None:
+            return list(exploration.pareto_set)
+        selected = distill(exploration.pareto_set, self.inputs.criteria)
+        return selected or list(exploration.pareto_set)
+
+    def generate_netlist(self, spec: ACIMDesignSpec) -> Circuit:
+        """Stage 3: template-based netlist generation for one solution."""
+        return self.netlist_generator.generate(spec)
+
+    def generate_layout(
+        self, spec: ACIMDesignSpec, **kwargs
+    ) -> LayoutGenerationReport:
+        """Stage 4: template-based hierarchical placement and routing."""
+        return self.layout_generator.generate(spec, **kwargs)
+
+    # -- end-to-end ----------------------------------------------------------------------
+
+    def run(
+        self,
+        generate_netlists: bool = True,
+        generate_layouts: bool = True,
+        route_columns: bool = False,
+        output_dir: Optional[str] = None,
+    ) -> FlowResult:
+        """Run the full flow.
+
+        Args:
+            generate_netlists: build macro netlists for the distilled set.
+            generate_layouts: build macro layouts for (up to ``max_layouts``
+                of) the distilled set.
+            route_columns: run the maze router inside local arrays/columns
+                (slower but produces routed interconnects).
+            output_dir: where to export GDS/DEF when layouts are generated.
+        """
+        start = time.perf_counter()
+        exploration = self.explore()
+        distilled = self.distill(exploration)
+        result = FlowResult(
+            inputs=self.inputs,
+            exploration=exploration,
+            distilled=distilled,
+        )
+        selected = distilled[: self.inputs.max_layouts]
+        if generate_netlists:
+            for design in selected:
+                result.netlists[design.spec.as_tuple()] = self.generate_netlist(
+                    design.spec
+                )
+        if generate_layouts:
+            for design in selected:
+                result.layouts[design.spec.as_tuple()] = self.generate_layout(
+                    design.spec,
+                    route_column=route_columns,
+                    export=output_dir is not None,
+                    output_dir=output_dir,
+                )
+        result.runtime_seconds = time.perf_counter() - start
+        return result

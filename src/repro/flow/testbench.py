@@ -1,0 +1,195 @@
+"""SPICE testbench generation for generated ACIM macros.
+
+A production flow hands its generated netlists to a circuit simulator for
+verification; this module writes that hand-off artefact.  For a design
+point it produces a SPICE testbench that instantiates the generated macro,
+ties the supplies, drives the operating-state control sequence of Figure 5
+(reset, MAC, charge redistribution, B_ADC comparison clocks) with PWL
+sources, applies a configurable activation/weight pattern, and adds
+transient-analysis and measurement cards for the read-bitline settling and
+the comparator decisions.
+
+No SPICE engine ships with the reproduction (the behavioral simulator in
+:mod:`repro.sim` plays that role), but the emitted testbench is valid
+SPICE: the structural part round-trips through :func:`repro.netlist.parse_spice`
+and the analysis cards follow standard HSPICE/ngspice syntax, so the file
+can be dropped onto a real PDK setup unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import FlowError
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.timing import TimingModel, TimingParameters
+from repro.netlist.circuit import Circuit
+from repro.netlist.spice import write_spice
+
+
+@dataclass(frozen=True)
+class TestbenchConfig:
+    """Options of the generated testbench.
+
+    (The ``__test__`` marker below only tells pytest this is not a test
+    class, despite the name.)
+
+    Attributes:
+        vdd: supply voltage in volts.
+        vcm: common-mode voltage in volts.
+        activation_pattern: per-row activation bits; rows beyond the pattern
+            repeat it cyclically.
+        cycles: number of MAC + conversion cycles to simulate.
+        temperature_c: simulation temperature in Celsius.
+        edge_time: rise/fall time of the PWL control edges in seconds.
+    """
+
+    __test__ = False
+
+    vdd: float = 0.9
+    vcm: float = 0.45
+    activation_pattern: Sequence[int] = (1, 0, 1, 1)
+    cycles: int = 2
+    temperature_c: float = 27.0
+    edge_time: float = 50e-12
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise FlowError("testbench supply must be positive")
+        if self.cycles < 1:
+            raise FlowError("testbench needs at least one cycle")
+        if not self.activation_pattern:
+            raise FlowError("activation pattern must not be empty")
+        if any(bit not in (0, 1) for bit in self.activation_pattern):
+            raise FlowError("activation pattern must be binary")
+
+
+class TestbenchGenerator:
+    """Writes SPICE testbenches for generated macro netlists."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        timing: TimingParameters = TimingParameters(),
+        config: TestbenchConfig = TestbenchConfig(),
+    ) -> None:
+        self.timing = timing
+        self.config = config
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self, spec: ACIMDesignSpec, macro: Circuit) -> str:
+        """Return the full testbench text for ``macro`` implementing ``spec``."""
+        spec.validate()
+        timing_model = TimingModel(spec, self.timing)
+        cycle = timing_model.cycle_time
+        lines: List[str] = [f"* EasyACIM testbench for {macro.name}"]
+        lines.append(f"* {spec.describe()}")
+        lines.append(f".TEMP {self.config.temperature_c:g}")
+        lines.append(".OPTION POST")
+        lines.append("")
+        lines.append("* ------- generated macro -------")
+        lines.append(write_spice(macro).replace(".END\n", "").rstrip())
+        lines.append("")
+        lines.append("* ------- supplies -------")
+        lines.append(f"VVDD VDD 0 {self.config.vdd:g}")
+        lines.append("VVSS VSS 0 0")
+        lines.append(f"VVCM VCM 0 {self.config.vcm:g}")
+        lines.append("")
+        lines.append("* ------- control sequence (Figure 5) -------")
+        lines.extend(self._control_sources(timing_model))
+        lines.append("")
+        lines.append("* ------- activations and write port -------")
+        lines.extend(self._stimulus_sources(spec))
+        lines.append("")
+        lines.append("* ------- device under test -------")
+        lines.append(self._dut_card(spec, macro))
+        lines.append("")
+        lines.append("* ------- analysis -------")
+        stop = cycle * self.config.cycles
+        lines.append(f".TRAN {self.config.edge_time:g} {stop:.4g}")
+        lines.extend(self._measurements(spec, timing_model))
+        lines.append(".END")
+        return "\n".join(lines) + "\n"
+
+    def write(
+        self, spec: ACIMDesignSpec, macro: Circuit, path: Union[str, Path]
+    ) -> Path:
+        """Write the testbench to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.generate(spec, macro))
+        return path
+
+    # -- sections ---------------------------------------------------------------
+
+    def _control_sources(self, timing_model: TimingModel) -> List[str]:
+        cycle = timing_model.cycle_time
+        compute_end = timing_model.compute_time
+        sample_end = compute_end + timing_model.setup_time
+        edge = self.config.edge_time
+        vdd = self.config.vdd
+        lines = []
+        # RST: high briefly at the start of every cycle (reset to VCM).
+        lines.append(self._pwl("VRST", "RST",
+                               [(0.0, vdd), (0.1 * compute_end, vdd),
+                                (0.1 * compute_end + edge, 0.0), (cycle, 0.0)],
+                               cycle))
+        # PCH: high during the MAC phase (drive the capacitor top plates).
+        lines.append(self._pwl("VPCH", "PCH",
+                               [(0.0, 0.0), (0.1 * compute_end, 0.0),
+                                (0.1 * compute_end + edge, vdd),
+                                (compute_end, vdd), (compute_end + edge, 0.0),
+                                (cycle, 0.0)],
+                               cycle))
+        # CLK: one comparison edge per bit after the sampling phase.
+        clk_points = [(0.0, 0.0), (sample_end, 0.0)]
+        t = sample_end
+        per_bit = timing_model.parameters.conversion_time_per_bit
+        for _bit in range(timing_model.spec.adc_bits):
+            clk_points.append((t + edge, vdd))
+            clk_points.append((t + per_bit / 2.0, vdd))
+            clk_points.append((t + per_bit / 2.0 + edge, 0.0))
+            t += per_bit
+        clk_points.append((cycle, 0.0))
+        lines.append(self._pwl("VCLK", "CLK", clk_points, cycle))
+        return lines
+
+    def _stimulus_sources(self, spec: ACIMDesignSpec) -> List[str]:
+        lines = []
+        pattern = self.config.activation_pattern
+        vdd = self.config.vdd
+        for row in range(spec.height):
+            bit = pattern[row % len(pattern)]
+            lines.append(f"VXIN{row} XIN{row} 0 {vdd * bit:g}")
+            lines.append(f"VWL{row} WL{row} 0 0")
+        for column in range(spec.width):
+            lines.append(f"VBL{column} BL{column} 0 {vdd:g}")
+            lines.append(f"VBLB{column} BLB{column} 0 0")
+        return lines
+
+    def _dut_card(self, spec: ACIMDesignSpec, macro: Circuit) -> str:
+        nets = []
+        for pin in macro.pins:
+            nets.append(pin.name)
+        return f"XDUT {' '.join(nets)} {macro.name}"
+
+    def _measurements(self, spec: ACIMDesignSpec, timing_model: TimingModel) -> List[str]:
+        sample_end = timing_model.compute_time + timing_model.setup_time
+        lines = [
+            f".MEAS TRAN rbl_settled FIND V(XDUT.COL0.RBL) AT={sample_end:.4g}",
+            f".MEAS TRAN dout0_final FIND V(DOUT0) AT={timing_model.cycle_time:.4g}",
+        ]
+        for bit in range(spec.adc_bits):
+            t_bit = sample_end + (bit + 1) * timing_model.parameters.conversion_time_per_bit
+            lines.append(
+                f".MEAS TRAN comp_bit{bit} FIND V(XDUT.COL0.COMP_OUT) AT={t_bit:.4g}"
+            )
+        return lines
+
+    @staticmethod
+    def _pwl(name: str, net: str, points, period: float) -> str:
+        rendered = " ".join(f"{t:.4g} {v:.3g}" for t, v in points)
+        return f"{name} {net} 0 PWL({rendered}) R={period:.4g}"

@@ -1,0 +1,46 @@
+"""Layout database: geometry, cells, grids, DRC and exporters.
+
+This package is the substrate underneath the template-based hierarchical
+placer and router (paper section 3.3).  It stores layouts as hierarchies of
+:class:`~repro.layout.layout.LayoutCell` objects containing rectangles on
+technology layers, pin shapes and transformed child instances, plus:
+
+* placement and 3-D routing grids (paper Figure 3),
+* a design-rule checker evaluating the technology's rule set,
+* a GDSII binary writer/reader and a DEF-like text exporter.
+
+All coordinates are integer database units (1 dbu = 1 nm).
+"""
+
+from repro.layout.geometry import Orientation, Point, Rect, Transform
+from repro.layout.layout import LayoutCell, LayoutInstance, PinShape, Shape
+from repro.layout.grid import PlacementGrid, RoutingGrid, GridNode
+from repro.layout.drc import DRCChecker, DRCViolation
+from repro.layout.extraction import NetParasitics, ParasiticExtractor, ParasiticReport
+from repro.layout.gdsii import read_gds, write_gds
+from repro.layout.def_export import write_def
+from repro.layout.lef_export import write_macro_lef, write_tech_lef
+
+__all__ = [
+    "Orientation",
+    "Point",
+    "Rect",
+    "Transform",
+    "LayoutCell",
+    "LayoutInstance",
+    "PinShape",
+    "Shape",
+    "PlacementGrid",
+    "RoutingGrid",
+    "GridNode",
+    "DRCChecker",
+    "DRCViolation",
+    "NetParasitics",
+    "ParasiticExtractor",
+    "ParasiticReport",
+    "read_gds",
+    "write_gds",
+    "write_def",
+    "write_macro_lef",
+    "write_tech_lef",
+]

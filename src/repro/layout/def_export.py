@@ -1,0 +1,52 @@
+"""A compact DEF-like text exporter for generated macros.
+
+GDSII (see :mod:`repro.layout.gdsii`) carries the full geometry; the DEF
+view is a human-readable companion that lists the die area and the placed
+component instances with their locations and orientations, which is useful
+for reviewing a floorplan without a layout viewer and for diffing
+placements in tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.layout.layout import LayoutCell
+from repro.units import DBU_PER_UM
+
+
+def write_def(cell: LayoutCell, path: Union[str, Path], design_name: str = "") -> str:
+    """Write a DEF-like description of ``cell`` to ``path``.
+
+    Only the sections needed to review the macro floorplan are emitted:
+    DESIGN, UNITS, DIEAREA and COMPONENTS (with placement status, location
+    and orientation).
+
+    Returns:
+        The generated text (also written to ``path``).
+    """
+    design = design_name or cell.name
+    bbox = cell.boundary or cell.bounding_box()
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {design} ;",
+        f"UNITS DISTANCE MICRONS {DBU_PER_UM} ;",
+    ]
+    if bbox is not None:
+        lines.append(
+            f"DIEAREA ( {bbox.x_lo} {bbox.y_lo} ) ( {bbox.x_hi} {bbox.y_hi} ) ;"
+        )
+    instances = cell.instances
+    lines.append(f"COMPONENTS {len(instances)} ;")
+    for instance in instances:
+        transform = instance.transform
+        lines.append(
+            f"- {instance.name} {instance.cell.name} + PLACED "
+            f"( {transform.dx} {transform.dy} ) {transform.orientation.value} ;"
+        )
+    lines.append("END COMPONENTS")
+    lines.append("END DESIGN")
+    text = "\n".join(lines) + "\n"
+    Path(path).write_text(text)
+    return text

@@ -1,0 +1,180 @@
+"""A lightweight design-rule checker over flattened layout geometry.
+
+The checker evaluates the technology's :class:`~repro.technology.rules.DesignRuleSet`
+against the flattened shapes of a :class:`~repro.layout.layout.LayoutCell`:
+
+* minimum width (per-layer, both dimensions of every rectangle),
+* minimum same-layer spacing between shapes on different nets,
+* minimum area.
+
+Enclosure/extension rules are validated structurally when vias are created
+by the router, so they are not re-checked geometrically here.  The goal is
+not sign-off completeness but catching the classes of errors the automated
+placer and router could realistically introduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.layout.geometry import Rect
+from repro.layout.layout import LayoutCell, Shape
+from repro.technology.rules import RuleType
+from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class DRCViolation:
+    """A single design-rule violation.
+
+    Attributes:
+        rule: human-readable rule description.
+        layer: layer the violation occurred on.
+        location: rectangle marking the offending geometry.
+        measured: measured value (dbu or dbu^2).
+        required: required value (dbu or dbu^2).
+    """
+
+    rule: str
+    layer: str
+    location: Rect
+    measured: int
+    required: int
+
+    def describe(self) -> str:
+        """One-line report entry."""
+        return (
+            f"{self.rule} on {self.layer} at "
+            f"({self.location.x_lo},{self.location.y_lo}): "
+            f"measured {self.measured}, required {self.required}"
+        )
+
+
+class DRCChecker:
+    """Evaluates width/spacing/area rules on flattened layouts."""
+
+    def __init__(self, technology: Technology, spacing_window: int = 2000) -> None:
+        """Create a checker.
+
+        Args:
+            technology: the technology whose rules should be checked.
+            spacing_window: only shape pairs whose bounding boxes are within
+                this many dbu of each other are compared for spacing; this
+                bounds the quadratic pair check to local neighbourhoods.
+        """
+        self.technology = technology
+        self.spacing_window = spacing_window
+
+    # -- public API --------------------------------------------------------
+
+    def check(self, cell: LayoutCell, max_violations: int = 1000) -> List[DRCViolation]:
+        """Run all supported checks on ``cell`` and return the violations."""
+        shapes_by_layer = self._flatten_by_layer(cell)
+        violations: List[DRCViolation] = []
+        for layer, shapes in shapes_by_layer.items():
+            violations.extend(self._check_width(layer, shapes))
+            if len(violations) >= max_violations:
+                return violations[:max_violations]
+            violations.extend(self._check_area(layer, shapes))
+            if len(violations) >= max_violations:
+                return violations[:max_violations]
+            violations.extend(self._check_spacing(layer, shapes))
+            if len(violations) >= max_violations:
+                return violations[:max_violations]
+        return violations
+
+    def is_clean(self, cell: LayoutCell) -> bool:
+        """True when no violations are found."""
+        return not self.check(cell, max_violations=1)
+
+    # -- individual checks ---------------------------------------------------
+
+    def _check_width(self, layer: str, shapes: List[Shape]) -> List[DRCViolation]:
+        min_width = self.technology.rules.min_width(layer)
+        if min_width <= 0:
+            return []
+        violations = []
+        for shape in shapes:
+            rect = shape.rect
+            if rect.is_degenerate():
+                continue
+            measured = min(rect.width, rect.height)
+            if measured < min_width:
+                violations.append(DRCViolation(
+                    rule="min_width", layer=layer, location=rect,
+                    measured=measured, required=min_width,
+                ))
+        return violations
+
+    def _check_area(self, layer: str, shapes: List[Shape]) -> List[DRCViolation]:
+        min_area = self.technology.rules.min_area(layer)
+        if min_area <= 0:
+            return []
+        violations = []
+        for shape in shapes:
+            rect = shape.rect
+            if rect.is_degenerate():
+                continue
+            if rect.area < min_area:
+                violations.append(DRCViolation(
+                    rule="min_area", layer=layer, location=rect,
+                    measured=rect.area, required=min_area,
+                ))
+        return violations
+
+    def _check_spacing(self, layer: str, shapes: List[Shape]) -> List[DRCViolation]:
+        min_spacing = self.technology.rules.min_spacing(layer)
+        if min_spacing <= 0 or len(shapes) < 2:
+            return []
+        violations = []
+        # Sweep by x to limit the pair comparisons to a local window.
+        ordered = sorted(shapes, key=lambda s: s.rect.x_lo)
+        for i, shape_a in enumerate(ordered):
+            for shape_b in ordered[i + 1:]:
+                if shape_b.rect.x_lo - shape_a.rect.x_hi > self.spacing_window:
+                    break
+                if self._same_net(shape_a, shape_b):
+                    continue
+                if shape_a.rect.overlaps(shape_b.rect):
+                    # Overlapping shapes on different nets are shorts, which
+                    # the router prevents; report as zero spacing.
+                    violations.append(DRCViolation(
+                        rule="min_spacing", layer=layer,
+                        location=shape_a.rect.union(shape_b.rect),
+                        measured=0, required=min_spacing,
+                    ))
+                    continue
+                spacing = shape_a.rect.spacing_to(shape_b.rect)
+                if 0 < spacing < min_spacing:
+                    violations.append(DRCViolation(
+                        rule="min_spacing", layer=layer,
+                        location=shape_a.rect.union(shape_b.rect),
+                        measured=spacing, required=min_spacing,
+                    ))
+        return violations
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _same_net(shape_a: Shape, shape_b: Shape) -> bool:
+        """Shapes on the same named net never violate spacing rules here."""
+        return (
+            shape_a.net is not None
+            and shape_b.net is not None
+            and shape_a.net == shape_b.net
+        )
+
+    def _flatten_by_layer(self, cell: LayoutCell) -> Dict[str, List[Shape]]:
+        shapes_by_layer: Dict[str, List[Shape]] = {}
+        for shape in cell.iter_flat_shapes():
+            shapes_by_layer.setdefault(shape.layer, []).append(shape)
+        return shapes_by_layer
+
+
+def summarize_violations(violations: List[DRCViolation]) -> Dict[str, int]:
+    """Count violations by rule type, for compact reporting."""
+    summary: Dict[str, int] = {}
+    for violation in violations:
+        summary[violation.rule] = summary.get(violation.rule, 0) + 1
+    return summary

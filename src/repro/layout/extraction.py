@@ -1,0 +1,154 @@
+"""Post-layout parasitic extraction (wire RC estimation).
+
+The paper calibrates its estimation model with post-layout simulation; the
+reproduction's equivalent closes the loop from the *generated* layouts back
+into the model: this module walks the routed wires of a layout cell, sums
+per-net wire length, capacitance and resistance from the technology's
+per-layer constants, and produces a :class:`ParasiticReport` that
+:mod:`repro.model.backannotate` uses to refine the timing (settling time
+constant) and energy (switched wire capacitance) estimates.
+
+The extractor is geometric, not field-solver accurate: capacitance is
+length times the layer's per-micron constant, resistance is sheet
+resistance times squares, and vias add a fixed per-cut resistance — the
+same level of fidelity the estimation model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import LayoutError
+from repro.layout.layout import LayoutCell
+from repro.technology.tech import Technology
+from repro.units import dbu_to_um
+
+
+@dataclass
+class NetParasitics:
+    """Extracted parasitics of one net.
+
+    Attributes:
+        net: net name.
+        wirelength_um: total routed wire length in micrometers.
+        capacitance: total wire capacitance in farads.
+        resistance: end-to-end resistance estimate in ohms (series sum of
+            the net's segments; a conservative upper bound for a tree).
+        via_count: number of via cuts attributed to the net.
+        segments_per_layer: wire length per layer in micrometers.
+    """
+
+    net: str
+    wirelength_um: float = 0.0
+    capacitance: float = 0.0
+    resistance: float = 0.0
+    via_count: int = 0
+    segments_per_layer: Dict[str, float] = field(default_factory=dict)
+
+    def time_constant(self, load_capacitance: float = 0.0) -> float:
+        """Elmore-style RC time constant of the net in seconds.
+
+        Args:
+            load_capacitance: additional lumped load at the far end (e.g.
+                the comparator input or the CDAC bottom plates).
+        """
+        return self.resistance * (self.capacitance + load_capacitance)
+
+
+@dataclass
+class ParasiticReport:
+    """Extraction result for one layout cell.
+
+    Attributes:
+        cell_name: the extracted cell.
+        nets: per-net parasitics keyed by net name.
+        total_wirelength_um: sum over all extracted nets.
+        total_capacitance: sum of all wire capacitance in farads.
+    """
+
+    cell_name: str
+    nets: Dict[str, NetParasitics] = field(default_factory=dict)
+
+    @property
+    def total_wirelength_um(self) -> float:
+        return sum(net.wirelength_um for net in self.nets.values())
+
+    @property
+    def total_capacitance(self) -> float:
+        return sum(net.capacitance for net in self.nets.values())
+
+    def net(self, name: str) -> NetParasitics:
+        """Parasitics of one net; raises :class:`LayoutError` when absent."""
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise LayoutError(
+                f"no extracted parasitics for net {name!r} in {self.cell_name!r}"
+            )
+
+    def worst_net(self) -> Optional[NetParasitics]:
+        """The net with the largest RC product (None when nothing extracted)."""
+        if not self.nets:
+            return None
+        return max(self.nets.values(), key=lambda n: n.time_constant())
+
+
+class ParasiticExtractor:
+    """Extracts wire parasitics from routed layout cells."""
+
+    def __init__(self, technology: Technology) -> None:
+        self.technology = technology
+
+    def extract(
+        self,
+        cell: LayoutCell,
+        nets: Optional[List[str]] = None,
+        include_children: bool = False,
+    ) -> ParasiticReport:
+        """Extract per-net wire parasitics from ``cell``.
+
+        Args:
+            cell: the layout cell whose own routed shapes are extracted.
+            nets: restrict extraction to these nets (default: every named
+                net found on routing layers).
+            include_children: when True, child-instance shapes are included
+                (flattened); by default only the cell's own wires — i.e.
+                what the hierarchical router added at this level — count.
+        """
+        report = ParasiticReport(cell_name=cell.name)
+        wanted = set(nets) if nets is not None else None
+        shapes = (
+            cell.iter_flat_shapes() if include_children else iter(cell.shapes)
+        )
+        for shape in shapes:
+            if shape.net is None:
+                continue
+            if wanted is not None and shape.net not in wanted:
+                continue
+            if not self.technology.has_layer(shape.layer):
+                continue
+            layer = self.technology.layer(shape.layer)
+            entry = report.nets.setdefault(shape.net, NetParasitics(net=shape.net))
+            if layer.is_routing:
+                length_dbu = max(shape.rect.width, shape.rect.height)
+                width_dbu = max(1, min(shape.rect.width, shape.rect.height))
+                length_um = dbu_to_um(length_dbu)
+                entry.wirelength_um += length_um
+                entry.capacitance += length_um * layer.capacitance_per_um
+                squares = length_dbu / width_dbu
+                entry.resistance += squares * layer.sheet_resistance
+                entry.segments_per_layer[layer.name] = (
+                    entry.segments_per_layer.get(layer.name, 0.0) + length_um
+                )
+            elif layer.is_via:
+                entry.via_count += 1
+                via_resistance = self._via_resistance(layer.name)
+                entry.resistance += via_resistance
+        return report
+
+    def _via_resistance(self, cut_layer_name: str) -> float:
+        for via in self.technology.vias:
+            if via.cut_layer == cut_layer_name:
+                return via.resistance
+        return 0.0

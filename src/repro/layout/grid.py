@@ -1,0 +1,270 @@
+"""Placement and routing grids (paper Figure 3).
+
+The EasyACIM placer works on a partitioned 2-D placement grid and the
+router on a 3-D grid (x, y, layer) whose layers alternate preferred
+directions.  Both grids are deliberately simple, dense structures: the
+macro floorplans produced by the template-based flow are regular, so dense
+grids are both fast enough and easy to reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Point, Rect
+from repro.technology.layers import MetalDirection
+
+
+@dataclass(frozen=True, order=True)
+class GridNode:
+    """A node of the 3-D routing grid: column, row and routing-layer index."""
+
+    x: int
+    y: int
+    layer: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.layer)
+
+
+class PlacementGrid:
+    """A uniform 2-D placement grid over a region.
+
+    Cells (placeable objects) occupy rectangular ranges of grid sites.  The
+    grid tracks occupancy so the simulated-annealing placer can quickly test
+    move legality.
+    """
+
+    def __init__(self, region: Rect, site_width: int, site_height: int) -> None:
+        if site_width <= 0 or site_height <= 0:
+            raise LayoutError("placement grid sites must have positive size")
+        if region.width < site_width or region.height < site_height:
+            raise LayoutError("placement region smaller than one site")
+        self.region = region
+        self.site_width = site_width
+        self.site_height = site_height
+        self.columns = region.width // site_width
+        self.rows = region.height // site_height
+        self._occupancy: Dict[Tuple[int, int], str] = {}
+
+    # -- coordinate conversion -------------------------------------------
+
+    def site_origin(self, column: int, row: int) -> Point:
+        """Lower-left dbu coordinate of a grid site."""
+        self._check_site(column, row)
+        return Point(
+            self.region.x_lo + column * self.site_width,
+            self.region.y_lo + row * self.site_height,
+        )
+
+    def site_of(self, point: Point) -> Tuple[int, int]:
+        """Grid site containing a dbu point (clamped to the region)."""
+        column = (point.x - self.region.x_lo) // self.site_width
+        row = (point.y - self.region.y_lo) // self.site_height
+        column = max(0, min(self.columns - 1, column))
+        row = max(0, min(self.rows - 1, row))
+        return (column, row)
+
+    def _check_site(self, column: int, row: int) -> None:
+        if not (0 <= column < self.columns and 0 <= row < self.rows):
+            raise LayoutError(
+                f"site ({column}, {row}) outside grid "
+                f"{self.columns}x{self.rows}"
+            )
+
+    # -- occupancy ---------------------------------------------------------
+
+    def sites_for(self, column: int, row: int, span_x: int, span_y: int) -> Iterator[Tuple[int, int]]:
+        """Iterate the sites covered by an object of span (span_x, span_y)."""
+        if span_x <= 0 or span_y <= 0:
+            raise LayoutError("object span must be positive")
+        self._check_site(column, row)
+        self._check_site(column + span_x - 1, row + span_y - 1)
+        for dx in range(span_x):
+            for dy in range(span_y):
+                yield (column + dx, row + dy)
+
+    def can_place(self, column: int, row: int, span_x: int, span_y: int,
+                  ignore: Optional[str] = None) -> bool:
+        """True if an object of the given span fits at (column, row)."""
+        if column < 0 or row < 0:
+            return False
+        if column + span_x > self.columns or row + span_y > self.rows:
+            return False
+        for site in self.sites_for(column, row, span_x, span_y):
+            owner = self._occupancy.get(site)
+            if owner is not None and owner != ignore:
+                return False
+        return True
+
+    def place(self, name: str, column: int, row: int, span_x: int, span_y: int) -> None:
+        """Mark the covered sites as occupied by ``name``."""
+        if not self.can_place(column, row, span_x, span_y, ignore=name):
+            raise LayoutError(f"cannot place {name!r} at ({column}, {row})")
+        for site in self.sites_for(column, row, span_x, span_y):
+            self._occupancy[site] = name
+
+    def remove(self, name: str) -> None:
+        """Free every site occupied by ``name``."""
+        for site in [s for s, owner in self._occupancy.items() if owner == name]:
+            del self._occupancy[site]
+
+    def occupied_sites(self, name: Optional[str] = None) -> Set[Tuple[int, int]]:
+        """Sites occupied by ``name`` (or by anything when ``name`` is None)."""
+        if name is None:
+            return set(self._occupancy)
+        return {site for site, owner in self._occupancy.items() if owner == name}
+
+    def utilization(self) -> float:
+        """Fraction of grid sites currently occupied."""
+        return len(self._occupancy) / float(self.columns * self.rows)
+
+
+class RoutingGrid:
+    """A 3-D grid-based routing graph (paper Figure 3, right).
+
+    Nodes are (column, row, layer-index) triples; edges connect neighbouring
+    nodes along each layer's preferred direction plus vias between adjacent
+    layers.  Obstacles mark nodes the router must avoid (existing cell metal
+    and previously routed nets).
+    """
+
+    def __init__(
+        self,
+        region: Rect,
+        layers,
+        pitch: Optional[int] = None,
+        allow_off_direction: bool = False,
+    ) -> None:
+        """Create a routing grid.
+
+        Args:
+            region: routable region in dbu.
+            layers: ordered routing layers (list of
+                :class:`repro.technology.layers.Layer`).
+            pitch: grid pitch in dbu; defaults to the coarsest layer pitch.
+            allow_off_direction: when True, wrong-direction edges are allowed
+                (with a cost penalty applied by the router).
+        """
+        layers = list(layers)
+        if not layers:
+            raise LayoutError("routing grid needs at least one layer")
+        self.region = region
+        self.layers = layers
+        self.pitch = pitch or max(layer.pitch or 1 for layer in layers)
+        if self.pitch <= 0:
+            raise LayoutError("routing pitch must be positive")
+        self.columns = max(1, region.width // self.pitch + 1)
+        self.rows = max(1, region.height // self.pitch + 1)
+        self.allow_off_direction = allow_off_direction
+        self._obstacles: Set[GridNode] = set()
+        self._capacity_used: Dict[GridNode, int] = {}
+
+    # -- coordinate conversion -------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def node_count(self) -> int:
+        """Total number of grid nodes."""
+        return self.columns * self.rows * self.num_layers
+
+    def in_bounds(self, node: GridNode) -> bool:
+        """True if a node index is inside the grid."""
+        return (0 <= node.x < self.columns and 0 <= node.y < self.rows
+                and 0 <= node.layer < self.num_layers)
+
+    def node_to_point(self, node: GridNode) -> Point:
+        """dbu coordinate of a grid node."""
+        return Point(
+            self.region.x_lo + node.x * self.pitch,
+            self.region.y_lo + node.y * self.pitch,
+        )
+
+    def point_to_node(self, point: Point, layer: int = 0) -> GridNode:
+        """Nearest grid node to a dbu point on ``layer`` (clamped to bounds)."""
+        x = int(round((point.x - self.region.x_lo) / self.pitch))
+        y = int(round((point.y - self.region.y_lo) / self.pitch))
+        x = max(0, min(self.columns - 1, x))
+        y = max(0, min(self.rows - 1, y))
+        layer = max(0, min(self.num_layers - 1, layer))
+        return GridNode(x, y, layer)
+
+    # -- obstacles ---------------------------------------------------------
+
+    def add_obstacle(self, node: GridNode) -> None:
+        """Block a single node."""
+        if self.in_bounds(node):
+            self._obstacles.add(node)
+
+    def add_obstacle_rect(self, layer_index: int, rect: Rect, margin: int = 0) -> int:
+        """Block every node on ``layer_index`` covered by ``rect`` (+margin).
+
+        Returns the number of nodes blocked.
+        """
+        expanded = rect.expanded(margin)
+        lo = self.point_to_node(Point(expanded.x_lo, expanded.y_lo), layer_index)
+        hi = self.point_to_node(Point(expanded.x_hi, expanded.y_hi), layer_index)
+        count = 0
+        for x in range(lo.x, hi.x + 1):
+            for y in range(lo.y, hi.y + 1):
+                node = GridNode(x, y, layer_index)
+                point = self.node_to_point(node)
+                if expanded.contains_point(point):
+                    self._obstacles.add(node)
+                    count += 1
+        return count
+
+    def clear_obstacle(self, node: GridNode) -> None:
+        """Unblock a node (used to open pin access points)."""
+        self._obstacles.discard(node)
+
+    def is_blocked(self, node: GridNode) -> bool:
+        """True if a node is unavailable to the router."""
+        return node in self._obstacles
+
+    def obstacle_count(self) -> int:
+        """Number of blocked nodes."""
+        return len(self._obstacles)
+
+    # -- neighbourhood ------------------------------------------------------
+
+    def neighbors(self, node: GridNode) -> Iterator[Tuple[GridNode, float]]:
+        """Yield (neighbor, cost) pairs for the router.
+
+        In-layer moves follow the layer's preferred direction (or any
+        direction at a penalty when ``allow_off_direction`` is set); vertical
+        moves (vias) connect adjacent layers at a higher cost, matching the
+        VIA UP / VIA DOWN edges of the paper's 3-D routing grid.
+        """
+        layer = self.layers[node.layer]
+        direction = layer.direction
+        straight_cost = 1.0
+        off_cost = 2.5
+        via_cost = 4.0
+
+        horizontal = [(1, 0), (-1, 0)]
+        vertical = [(0, 1), (0, -1)]
+        if direction is MetalDirection.HORIZONTAL:
+            preferred, off = horizontal, vertical
+        elif direction is MetalDirection.VERTICAL:
+            preferred, off = vertical, horizontal
+        else:
+            preferred, off = horizontal + vertical, []
+
+        for dx, dy in preferred:
+            candidate = GridNode(node.x + dx, node.y + dy, node.layer)
+            if self.in_bounds(candidate) and not self.is_blocked(candidate):
+                yield candidate, straight_cost
+        if self.allow_off_direction:
+            for dx, dy in off:
+                candidate = GridNode(node.x + dx, node.y + dy, node.layer)
+                if self.in_bounds(candidate) and not self.is_blocked(candidate):
+                    yield candidate, off_cost
+        for dl in (1, -1):
+            candidate = GridNode(node.x, node.y, node.layer + dl)
+            if self.in_bounds(candidate) and not self.is_blocked(candidate):
+                yield candidate, via_cost

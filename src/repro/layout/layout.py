@@ -1,0 +1,279 @@
+"""Layout cells, shapes, pins and hierarchical instances.
+
+A :class:`LayoutCell` mirrors a netlist :class:`~repro.netlist.circuit.Circuit`
+on the physical side: it contains rectangles on technology layers
+(:class:`Shape`), named pin shapes (:class:`PinShape`) and placed child
+cells (:class:`LayoutInstance`).  The "Std" layout cells of the paper's
+template-based flow (manually designed SRAM cells, sense amplifiers, ...)
+and fully generated cells use the same representation, which is what makes
+the hierarchical placer able to mix them freely (paper Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Orientation, Point, Rect, Transform
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A rectangle on a named layer.
+
+    Attributes:
+        layer: technology layer name (e.g. ``"M1"``).
+        rect: geometry in database units.
+        net: optional net name the shape belongs to (used by DRC connectivity
+            waiving and by the router to treat existing metal as obstacles).
+    """
+
+    layer: str
+    rect: Rect
+    net: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PinShape:
+    """A named pin with physical geometry on a layer."""
+
+    name: str
+    layer: str
+    rect: Rect
+    direction: str = "inout"
+
+    @property
+    def access_point(self) -> Point:
+        """The point the router targets when connecting to this pin."""
+        return self.rect.center
+
+
+@dataclass
+class LayoutInstance:
+    """A placed child cell.
+
+    Attributes:
+        name: instance name unique in the parent.
+        cell: the referenced :class:`LayoutCell`.
+        transform: placement transform of the child in parent coordinates.
+    """
+
+    name: str
+    cell: "LayoutCell"
+    transform: Transform = field(default_factory=Transform)
+
+    def bounding_box(self) -> Optional[Rect]:
+        """Bounding box of the placed child in parent coordinates."""
+        child_bbox = self.cell.bounding_box()
+        if child_bbox is None:
+            return None
+        return self.transform.apply_rect(child_bbox)
+
+    def pin_access(self, pin_name: str) -> Point:
+        """Parent-coordinate access point of a pin of the child cell."""
+        pin = self.cell.pin(pin_name)
+        return self.transform.apply_point(pin.access_point)
+
+
+class LayoutCell:
+    """A layout cell: shapes, pins and child instances.
+
+    Cells may declare an explicit ``boundary`` (PR boundary) used for
+    placement legalisation and area reporting; when absent, the bounding
+    box of the contents is used.
+    """
+
+    def __init__(self, name: str, boundary: Optional[Rect] = None) -> None:
+        if not name:
+            raise LayoutError("layout cell name must be non-empty")
+        self.name = name
+        self.boundary = boundary
+        self._shapes: List[Shape] = []
+        self._pins: Dict[str, PinShape] = {}
+        self._instances: Dict[str, LayoutInstance] = {}
+
+    # -- content ------------------------------------------------------------
+
+    @property
+    def shapes(self) -> List[Shape]:
+        """Own (non-hierarchical) shapes."""
+        return list(self._shapes)
+
+    @property
+    def pins(self) -> List[PinShape]:
+        """Pin shapes in declaration order."""
+        return list(self._pins.values())
+
+    @property
+    def instances(self) -> List[LayoutInstance]:
+        """Placed child instances in insertion order."""
+        return list(self._instances.values())
+
+    def add_shape(self, layer: str, rect: Rect, net: Optional[str] = None) -> Shape:
+        """Add a rectangle on ``layer``."""
+        shape = Shape(layer, rect, net)
+        self._shapes.append(shape)
+        return shape
+
+    def add_pin(
+        self,
+        name: str,
+        layer: str,
+        rect: Rect,
+        direction: str = "inout",
+    ) -> PinShape:
+        """Declare a pin with physical geometry.
+
+        The pin geometry is also added as an ordinary shape attached to the
+        pin's net so DRC and routing see the metal.
+        """
+        if name in self._pins:
+            raise LayoutError(f"cell {self.name!r}: duplicate pin {name!r}")
+        pin = PinShape(name, layer, rect, direction)
+        self._pins[name] = pin
+        self.add_shape(layer, rect, net=name)
+        return pin
+
+    def has_pin(self, name: str) -> bool:
+        """True when a pin named ``name`` exists."""
+        return name in self._pins
+
+    def pin(self, name: str) -> PinShape:
+        """Return the pin called ``name``."""
+        try:
+            return self._pins[name]
+        except KeyError:
+            raise LayoutError(f"cell {self.name!r} has no pin {name!r}")
+
+    def add_instance(
+        self,
+        name: str,
+        cell: "LayoutCell",
+        transform: Optional[Transform] = None,
+    ) -> LayoutInstance:
+        """Place a child cell."""
+        if name in self._instances:
+            raise LayoutError(f"cell {self.name!r}: duplicate instance {name!r}")
+        if cell is self:
+            raise LayoutError(f"cell {self.name!r} cannot instantiate itself")
+        instance = LayoutInstance(name, cell, transform or Transform())
+        self._instances[name] = instance
+        return instance
+
+    def instance(self, name: str) -> LayoutInstance:
+        """Return the child instance called ``name``."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise LayoutError(f"cell {self.name!r} has no instance {name!r}")
+
+    def move_instance(self, name: str, transform: Transform) -> None:
+        """Re-place an existing child instance (used by the placer)."""
+        self.instance(name).transform = transform
+
+    # -- geometry queries -----------------------------------------------
+
+    def bounding_box(self) -> Optional[Rect]:
+        """Bounding box of the cell.
+
+        When a PR boundary is set it *is* the bounding box (contents are
+        expected to stay inside it), which also keeps deep hierarchies cheap
+        to query; otherwise the box is computed from shapes and children.
+        """
+        if self.boundary is not None:
+            return self.boundary
+        rects: List[Rect] = []
+        rects.extend(shape.rect for shape in self._shapes)
+        for instance in self._instances.values():
+            bbox = instance.bounding_box()
+            if bbox is not None:
+                rects.append(bbox)
+        return Rect.bounding(rects)
+
+    @property
+    def width(self) -> int:
+        """Width of the cell (boundary if set, else content bounding box)."""
+        box = self.boundary or self.bounding_box()
+        return box.width if box else 0
+
+    @property
+    def height(self) -> int:
+        """Height of the cell (boundary if set, else content bounding box)."""
+        box = self.boundary or self.bounding_box()
+        return box.height if box else 0
+
+    @property
+    def area(self) -> int:
+        """Area in dbu^2 of the boundary (or content bounding box)."""
+        box = self.boundary or self.bounding_box()
+        return box.area if box else 0
+
+    def set_boundary_from_contents(self, margin: int = 0) -> Rect:
+        """Set the PR boundary to the content bounding box plus a margin."""
+        bbox = self.bounding_box()
+        if bbox is None:
+            raise LayoutError(f"cell {self.name!r} is empty; cannot derive boundary")
+        self.boundary = bbox.expanded(margin)
+        return self.boundary
+
+    # -- flattening -----------------------------------------------------
+
+    def iter_flat_shapes(
+        self,
+        transform: Optional[Transform] = None,
+        depth: Optional[int] = None,
+    ) -> Iterator[Shape]:
+        """Yield all shapes of the cell and its children in top coordinates.
+
+        Args:
+            transform: transform to apply to everything (top call: identity).
+            depth: maximum hierarchy depth to descend (``None`` = unlimited,
+                ``0`` = own shapes only).
+        """
+        top = transform or Transform()
+        for shape in self._shapes:
+            yield Shape(shape.layer, top.apply_rect(shape.rect), shape.net)
+        if depth is not None and depth <= 0:
+            return
+        next_depth = None if depth is None else depth - 1
+        for instance in self._instances.values():
+            child_transform = top.compose(instance.transform)
+            yield from instance.cell.iter_flat_shapes(child_transform, next_depth)
+
+    def flat_shape_count(self) -> int:
+        """Total number of shapes in the fully flattened cell."""
+        return sum(1 for _ in self.iter_flat_shapes())
+
+    def instance_count(self, recursive: bool = False) -> int:
+        """Number of child instances (optionally counting the full hierarchy)."""
+        if not recursive:
+            return len(self._instances)
+        total = len(self._instances)
+        for instance in self._instances.values():
+            total += instance.cell.instance_count(recursive=True)
+        return total
+
+    def collect_cells(self) -> Dict[str, "LayoutCell"]:
+        """Return every distinct cell in the hierarchy, keyed by name."""
+        cells: Dict[str, LayoutCell] = {}
+
+        def visit(cell: "LayoutCell") -> None:
+            if cell.name in cells:
+                if cells[cell.name] is not cell:
+                    raise LayoutError(
+                        f"two different layout cells share the name {cell.name!r}"
+                    )
+                return
+            cells[cell.name] = cell
+            for instance in cell.instances:
+                visit(instance.cell)
+
+        visit(self)
+        return cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LayoutCell(name={self.name!r}, shapes={len(self._shapes)}, "
+            f"pins={len(self._pins)}, instances={len(self._instances)})"
+        )

@@ -1,0 +1,163 @@
+"""LEF (Library Exchange Format) abstract export.
+
+Generated ACIM macros are meant to be dropped into larger SoCs; the
+standard hand-off for that is a LEF abstract: the macro's outline, its pin
+shapes on the routing layers, and obstruction geometry covering the
+internals.  This module writes such abstracts for any
+:class:`~repro.layout.layout.LayoutCell`, plus the technology-header LEF
+(layer/via definitions) that placement-and-routing tools expect alongside.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import LayoutError
+from repro.layout.layout import LayoutCell
+from repro.technology.layers import LayerType, MetalDirection
+from repro.technology.tech import Technology
+from repro.units import DBU_PER_UM
+
+
+def _um(value_dbu: int) -> str:
+    """Format a dbu coordinate as LEF micrometers."""
+    return f"{value_dbu / DBU_PER_UM:.4f}"
+
+
+def write_tech_lef(technology: Technology, path: Union[str, Path]) -> str:
+    """Write the technology-header LEF (layers and vias).
+
+    Only the attributes consumed by standard P&R tools are emitted: layer
+    type, preferred direction, pitch, default width and spacing for routing
+    layers, and cut-layer definitions with a default via rule per pair.
+    """
+    lines: List[str] = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        f"UNITS",
+        f"  DATABASE MICRONS {DBU_PER_UM} ;",
+        "END UNITS",
+        "",
+        f"MANUFACTURINGGRID {technology.manufacturing_grid / DBU_PER_UM:.4f} ;",
+        "",
+    ]
+    for layer in technology.layers:
+        if layer.layer_type is LayerType.METAL and layer.is_routing:
+            direction = (
+                "HORIZONTAL" if layer.direction is MetalDirection.HORIZONTAL
+                else "VERTICAL"
+            )
+            lines += [
+                f"LAYER {layer.name}",
+                "  TYPE ROUTING ;",
+                f"  DIRECTION {direction} ;",
+                f"  PITCH {_um(layer.pitch)} ;",
+                f"  WIDTH {_um(layer.default_width or layer.min_width)} ;",
+                f"  SPACING {_um(layer.min_spacing)} ;",
+                f"END {layer.name}",
+                "",
+            ]
+        elif layer.is_via:
+            lines += [
+                f"LAYER {layer.name}",
+                "  TYPE CUT ;",
+                f"  SPACING {_um(layer.min_spacing)} ;",
+                f"END {layer.name}",
+                "",
+            ]
+    for via in technology.vias:
+        lower, upper = via.footprint()
+        half_cut = via.cut_size // 2
+        half_lower = lower // 2
+        half_upper = upper // 2
+        lines += [
+            f"VIA {via.name} DEFAULT",
+            f"  LAYER {via.lower_layer} ;",
+            f"    RECT {_um(-half_lower)} {_um(-half_lower)} "
+            f"{_um(half_lower)} {_um(half_lower)} ;",
+            f"  LAYER {via.cut_layer} ;",
+            f"    RECT {_um(-half_cut)} {_um(-half_cut)} "
+            f"{_um(half_cut)} {_um(half_cut)} ;",
+            f"  LAYER {via.upper_layer} ;",
+            f"    RECT {_um(-half_upper)} {_um(-half_upper)} "
+            f"{_um(half_upper)} {_um(half_upper)} ;",
+            f"END {via.name}",
+            "",
+        ]
+    lines.append("END LIBRARY")
+    text = "\n".join(lines) + "\n"
+    Path(path).write_text(text)
+    return text
+
+
+def write_macro_lef(
+    cell: LayoutCell,
+    technology: Technology,
+    path: Union[str, Path],
+    site_name: str = "acim_site",
+    obstruction_layers: Optional[Iterable[str]] = None,
+) -> str:
+    """Write a LEF abstract of ``cell``.
+
+    Pins keep their physical rectangles (only those on known routing layers
+    are exported); everything else becomes per-layer OBS obstruction
+    covering the macro outline, which is how hardened analog macros are
+    normally abstracted.
+    """
+    boundary = cell.boundary or cell.bounding_box()
+    if boundary is None:
+        raise LayoutError(f"cell {cell.name!r} is empty; cannot write LEF")
+    origin_x, origin_y = boundary.x_lo, boundary.y_lo
+    width, height = boundary.width, boundary.height
+    obstruction_layers = list(obstruction_layers or
+                              [layer.name for layer in technology.routing_layers[:3]])
+
+    lines: List[str] = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        f"MACRO {cell.name}",
+        "  CLASS BLOCK ;",
+        f"  ORIGIN {_um(-origin_x)} {_um(-origin_y)} ;",
+        f"  FOREIGN {cell.name} {_um(origin_x)} {_um(origin_y)} ;",
+        f"  SIZE {_um(width)} BY {_um(height)} ;",
+        "  SYMMETRY X Y ;",
+        f"  SITE {site_name} ;",
+    ]
+    direction_map = {
+        "input": "INPUT",
+        "output": "OUTPUT",
+        "inout": "INOUT",
+        "supply": "INOUT",
+    }
+    for pin in cell.pins:
+        if not technology.has_layer(pin.layer):
+            continue
+        use = "POWER" if pin.name in ("VDD", "VCM") else (
+            "GROUND" if pin.name == "VSS" else "SIGNAL")
+        lines += [
+            f"  PIN {pin.name}",
+            f"    DIRECTION {direction_map.get(pin.direction, 'INOUT')} ;",
+            f"    USE {use} ;",
+            "    PORT",
+            f"      LAYER {pin.layer} ;",
+            f"        RECT {_um(pin.rect.x_lo)} {_um(pin.rect.y_lo)} "
+            f"{_um(pin.rect.x_hi)} {_um(pin.rect.y_hi)} ;",
+            "    END",
+            f"  END {pin.name}",
+        ]
+    lines.append("  OBS")
+    for layer_name in obstruction_layers:
+        lines += [
+            f"    LAYER {layer_name} ;",
+            f"      RECT {_um(boundary.x_lo)} {_um(boundary.y_lo)} "
+            f"{_um(boundary.x_hi)} {_um(boundary.y_hi)} ;",
+        ]
+    lines.append("  END")
+    lines.append(f"END {cell.name}")
+    lines.append("")
+    lines.append("END LIBRARY")
+    text = "\n".join(lines) + "\n"
+    Path(path).write_text(text)
+    return text

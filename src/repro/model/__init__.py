@@ -1,0 +1,50 @@
+"""ACIM performance estimation model (paper section 3.2.1).
+
+The model evaluates a design point :class:`~repro.arch.spec.ACIMDesignSpec`
+on the four axes the paper optimises:
+
+* **SNR** — Equations 2–6 (full model) and Equation 11 (the simplified form
+  used as the optimisation objective f_SNR),
+* **throughput** — Equation 7,
+* **energy** — Equations 8–9,
+* **area** — Equation 10.
+
+:class:`~repro.model.estimator.ACIMEstimator` bundles everything into a
+single object returning an :class:`~repro.model.estimator.ACIMMetrics`
+record and the objective vector ``[-f_SNR, -f_T, f_E, f_A]`` consumed by the
+design-space explorer.  :mod:`~repro.model.calibration` derives the model
+constants from the paper's published Figure-8 datapoints and from the
+behavioral simulator.
+"""
+
+from repro.model.notation import WorkloadStatistics
+from repro.model.snr import SnrParameters, SnrModel
+from repro.model.throughput import ThroughputModel
+from repro.model.energy import EnergyParameters, EnergyModel
+from repro.model.area import AreaParameters, AreaModel
+from repro.model.estimator import ACIMEstimator, ACIMMetrics, ModelParameters
+from repro.model.backannotate import BackAnnotationResult, BackAnnotator
+from repro.model.calibration import (
+    derive_area_parameters_from_figure8,
+    fit_adc_energy_constants,
+    fit_snr_constants,
+)
+
+__all__ = [
+    "WorkloadStatistics",
+    "SnrParameters",
+    "SnrModel",
+    "ThroughputModel",
+    "EnergyParameters",
+    "EnergyModel",
+    "AreaParameters",
+    "AreaModel",
+    "ACIMEstimator",
+    "ACIMMetrics",
+    "ModelParameters",
+    "BackAnnotationResult",
+    "BackAnnotator",
+    "derive_area_parameters_from_figure8",
+    "fit_adc_energy_constants",
+    "fit_snr_constants",
+]

@@ -1,0 +1,127 @@
+"""Area model (paper Equation 10).
+
+The average area per bit cell is
+
+``A = A_SRAM + A_LC / L + A_COMP / H + B_ADC * A_DFF / H``
+
+where the local-array shared computing cell is amortised over its L bit
+cells and the per-column comparator and SAR flip-flops are amortised over
+the H cells of the column.  All areas are expressed in F^2 (squared feature
+sizes) so results are technology-normalised the same way the paper reports
+them; helpers convert to um^2 for a concrete technology.
+
+The default constants are derived from the paper's own Figure-8 datapoints
+(see :func:`repro.model.calibration.derive_area_parameters_from_figure8`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.arch.spec import ACIMDesignSpec
+from repro.units import f2_to_um2
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Cell-area constants of the area model, in F^2.
+
+    Attributes:
+        a_sram: A_SRAM, effective area of one 8T SRAM cell.
+        a_local_compute: A_LC, area of the local-array shared computing cell
+            (compute capacitor + group control switches).
+        a_comparator: A_COMP, area of the dynamic comparator / sense amp.
+        a_dff: A_DFF, area of one dynamic D flip-flop of the SAR logic.
+        feature_size: technology feature size F in meters (for um^2 reports).
+    """
+
+    a_sram: float = 1611.67
+    a_local_compute: float = 5050.67
+    a_comparator: float = 29000.0
+    a_dff: float = 5992.0
+    feature_size: float = 28e-9
+
+    def __post_init__(self) -> None:
+        for attr in ("a_sram", "a_local_compute", "a_comparator", "a_dff"):
+            if getattr(self, attr) <= 0:
+                raise ModelError(f"{attr} must be positive")
+        if self.feature_size <= 0:
+            raise ModelError("feature size must be positive")
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-bit area decomposition for one design point (all values in F^2).
+
+    Attributes:
+        sram: A_SRAM contribution.
+        local_compute: A_LC / L contribution.
+        comparator: A_COMP / H contribution.
+        sar_logic: B_ADC * A_DFF / H contribution.
+        per_bit: total per-bit area A.
+        total_f2: A * H * W, the whole-macro area in F^2.
+        total_um2: whole-macro area in um^2 for the configured feature size.
+    """
+
+    sram: float
+    local_compute: float
+    comparator: float
+    sar_logic: float
+    per_bit: float
+    total_f2: float
+    total_um2: float
+
+
+class AreaModel:
+    """Evaluates Equation 10 for design points."""
+
+    def __init__(self, parameters: AreaParameters = AreaParameters()) -> None:
+        self.parameters = parameters
+
+    def breakdown(self, spec: ACIMDesignSpec) -> AreaBreakdown:
+        """Full Equation-10 decomposition for ``spec``."""
+        p = self.parameters
+        sram = p.a_sram
+        local_compute = p.a_local_compute / spec.local_array_size
+        comparator = p.a_comparator / spec.height
+        sar_logic = spec.adc_bits * p.a_dff / spec.height
+        per_bit = sram + local_compute + comparator + sar_logic
+        total_f2 = per_bit * spec.array_size
+        return AreaBreakdown(
+            sram=sram,
+            local_compute=local_compute,
+            comparator=comparator,
+            sar_logic=sar_logic,
+            per_bit=per_bit,
+            total_f2=total_f2,
+            total_um2=f2_to_um2(total_f2, p.feature_size),
+        )
+
+    def area_per_bit_f2(self, spec: ACIMDesignSpec) -> float:
+        """Average area per bit in F^2 (Equation 10)."""
+        return self.breakdown(spec).per_bit
+
+    def total_area_um2(self, spec: ACIMDesignSpec) -> float:
+        """Total macro area in um^2."""
+        return self.breakdown(spec).total_um2
+
+    def estimated_dimensions_um(self, spec: ACIMDesignSpec) -> tuple:
+        """Rough (width, height) of the macro in um.
+
+        The macro width scales with the number of columns W and the height
+        with the column content; the product always equals the modelled
+        total area.  This is an estimate used for floorplan seeding and
+        reporting — the layout flow produces the real dimensions.
+        """
+        total_um2 = self.total_area_um2(spec)
+        p = self.parameters
+        f_um = p.feature_size / 1e-6
+        # Column width: an 8T cell plus its share of the local compute cell.
+        column_area_f2 = self.area_per_bit_f2(spec) * spec.height
+        column_height_f = spec.height * math.sqrt(self.parameters.a_sram) * 1.35
+        column_width_f = column_area_f2 / column_height_f
+        width_um = column_width_f * f_um * spec.width
+        height_um = total_um2 / width_um
+        return (width_um, height_um)

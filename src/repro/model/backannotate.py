@@ -1,0 +1,148 @@
+"""Back-annotation of the estimation model from extracted layouts.
+
+The paper's constants (ADC energy k1/k2, the redistribution time constant
+tau) come from post-layout simulation.  This module provides the analogous
+refinement loop for the reproduction:
+
+1. generate a layout for a design point,
+2. extract the read-bitline (RBL) parasitics with
+   :class:`repro.layout.extraction.ParasiticExtractor`,
+3. derive a post-layout time constant (tau = R_RBL * (C_RBL + C_CDAC)) and
+   a per-MAC wire-energy adder (C_RBL * VDD^2 amortised over the products
+   of one conversion),
+4. return a :class:`~repro.model.estimator.ModelParameters` copy with the
+   refined timing and energy constants, plus a record of what changed.
+
+The refined model lets users quantify how much the pre-layout estimates
+drift once real wire lengths are known — typically a few percent for the
+macro sizes the paper studies, which is what justifies using the analytic
+model inside the optimisation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.timing import TimingParameters
+from repro.layout.extraction import ParasiticExtractor, ParasiticReport
+from repro.model.energy import EnergyParameters
+from repro.model.estimator import ACIMEstimator, ModelParameters
+
+
+@dataclass(frozen=True)
+class BackAnnotationResult:
+    """Outcome of one back-annotation pass.
+
+    Attributes:
+        spec: the design point the layout was generated for.
+        parasitics: the column-level extraction report.
+        pre_layout: the model parameters used before back-annotation.
+        post_layout: the refined model parameters.
+        tau_pre / tau_post: redistribution time constants in seconds.
+        wire_energy_per_mac: added switched-wire energy per MAC in joules.
+        cycle_time_change: relative change of the cycle time (post/pre - 1).
+        energy_change: relative change of the per-MAC energy (post/pre - 1).
+    """
+
+    spec: ACIMDesignSpec
+    parasitics: ParasiticReport
+    pre_layout: ModelParameters
+    post_layout: ModelParameters
+    tau_pre: float
+    tau_post: float
+    wire_energy_per_mac: float
+    cycle_time_change: float
+    energy_change: float
+
+
+class BackAnnotator:
+    """Refines model parameters from an extracted column layout."""
+
+    def __init__(self, technology, parameters: Optional[ModelParameters] = None) -> None:
+        self.technology = technology
+        self.parameters = parameters or ModelParameters()
+        self.extractor = ParasiticExtractor(technology)
+
+    def annotate(
+        self,
+        spec: ACIMDesignSpec,
+        macro_layout,
+        rbl_net: str = "RBL",
+    ) -> BackAnnotationResult:
+        """Derive post-layout model parameters for ``spec``.
+
+        Args:
+            spec: the design point of the generated macro.
+            macro_layout: the macro :class:`repro.layout.LayoutCell` produced
+                by the layout generator (column routing must be enabled so
+                the RBL wires exist).
+            rbl_net: name of the column read bitline net.
+        """
+        spec.validate()
+        column = self._find_column(macro_layout)
+        report = self.extractor.extract(column, nets=None)
+        if rbl_net not in report.nets:
+            raise ModelError(
+                f"net {rbl_net!r} not found in routed column {column.name!r}; "
+                "generate the layout with route_column=True"
+            )
+        rbl = report.net(rbl_net)
+
+        electrical = self.technology.electrical
+        cdac_capacitance = spec.capacitor_units_per_column * electrical.unit_capacitance
+        tau_pre = self.parameters.timing.time_constant
+        tau_post = max(tau_pre, rbl.time_constant(load_capacitance=cdac_capacitance))
+
+        # Switched wire energy: the RBL swings by up to VDD/2 every
+        # conversion; amortise over the H/L MACs a conversion digitises.
+        wire_energy_per_conversion = rbl.capacitance * (electrical.vdd / 2.0) ** 2
+        wire_energy_per_mac = wire_energy_per_conversion / spec.local_arrays_per_column
+
+        refined_timing = TimingParameters(
+            compute_delay=self.parameters.timing.compute_delay,
+            time_constant=tau_post,
+            conversion_time_per_bit=self.parameters.timing.conversion_time_per_bit,
+            setup_margin=self.parameters.timing.setup_margin,
+        )
+        refined_energy = EnergyParameters(
+            e_compute=self.parameters.energy.e_compute + wire_energy_per_mac,
+            e_control=self.parameters.energy.e_control,
+            k1=self.parameters.energy.k1,
+            k2=self.parameters.energy.k2,
+            vdd=self.parameters.energy.vdd,
+        )
+        post_layout = replace(
+            self.parameters, timing=refined_timing, energy=refined_energy
+        )
+
+        pre_metrics = ACIMEstimator(self.parameters).evaluate(spec)
+        post_metrics = ACIMEstimator(post_layout).evaluate(spec)
+        cycle_change = (
+            (pre_metrics.macs_per_second / post_metrics.macs_per_second) - 1.0
+        )
+        energy_change = post_metrics.energy_per_mac / pre_metrics.energy_per_mac - 1.0
+
+        return BackAnnotationResult(
+            spec=spec,
+            parasitics=report,
+            pre_layout=self.parameters,
+            post_layout=post_layout,
+            tau_pre=tau_pre,
+            tau_post=tau_post,
+            wire_energy_per_mac=wire_energy_per_mac,
+            cycle_time_change=cycle_change,
+            energy_change=energy_change,
+        )
+
+    @staticmethod
+    def _find_column(macro_layout):
+        """Locate the routed column cell inside a generated macro layout."""
+        for name, cell in macro_layout.collect_cells().items():
+            if name.startswith("acim_column"):
+                return cell
+        raise ModelError(
+            f"macro layout {macro_layout.name!r} contains no ACIM column cell"
+        )

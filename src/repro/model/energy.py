@@ -1,0 +1,126 @@
+"""Energy model (paper Equations 8 and 9).
+
+The average energy of one 1-bit MAC is
+
+``E = E_compute + E_control + E_ADC / (H / L)``            (Eq. 8)
+
+where the ADC conversion energy is amortised over the H/L products that one
+conversion digitises, and the ADC energy follows Murmann's empirical SAR
+formula
+
+``E_ADC = k1 * (B_ADC + log2(VDD)) + k2 * 4^B_ADC * VDD^2``  (Eq. 9).
+
+``k1`` captures the roughly-linear-in-bits logic/comparator energy and
+``k2`` the exponential CDAC switching energy.  In the paper k1/k2 come from
+post-layout simulation; here they are fitted against the behavioral CDAC
+model (see :func:`repro.model.calibration.fit_adc_energy_constants`), with
+defaults chosen so the design-space extremes reproduce the published
+50–750 TOPS/W range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.arch.spec import ACIMDesignSpec
+from repro.units import OPS_PER_MAC
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Constants of the energy model.
+
+    Attributes:
+        e_compute: E_compute, energy of one 1-bit multiply in joules.
+        e_control: E_control, control/clocking energy per MAC in joules.
+        k1: linear ADC energy coefficient in joules per bit (Eq. 9).
+        k2: exponential CDAC energy coefficient in joules (Eq. 9).
+        vdd: supply voltage in volts.
+    """
+
+    e_compute: float = 1.8e-15
+    e_control: float = 0.9e-15
+    k1: float = 2.0e-15
+    k2: float = 0.15e-15
+    vdd: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.e_compute < 0 or self.e_control < 0:
+            raise ModelError("compute/control energies must be non-negative")
+        if self.k1 < 0 or self.k2 < 0:
+            raise ModelError("ADC energy coefficients must be non-negative")
+        if self.vdd <= 0:
+            raise ModelError("supply voltage must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-MAC energy decomposition for one design point.
+
+    Attributes:
+        compute: E_compute in joules.
+        control: E_control in joules.
+        adc_total: E_ADC of one full conversion in joules.
+        adc_per_mac: E_ADC / (H/L), the amortised ADC energy per MAC.
+        total_per_mac: total energy per MAC in joules.
+        tops_per_watt: energy efficiency in TOPS/W (2 ops per MAC).
+    """
+
+    compute: float
+    control: float
+    adc_total: float
+    adc_per_mac: float
+    total_per_mac: float
+    tops_per_watt: float
+
+
+class EnergyModel:
+    """Evaluates Equations 8 and 9 for design points."""
+
+    def __init__(self, parameters: EnergyParameters = EnergyParameters()) -> None:
+        self.parameters = parameters
+
+    def adc_energy(self, adc_bits: int) -> float:
+        """E_ADC of one conversion (Equation 9), in joules."""
+        if adc_bits < 1:
+            raise ModelError("ADC precision must be at least 1 bit")
+        p = self.parameters
+        return (
+            p.k1 * (adc_bits + math.log2(p.vdd))
+            + p.k2 * (4.0 ** adc_bits) * p.vdd ** 2
+        )
+
+    def breakdown(self, spec: ACIMDesignSpec) -> EnergyBreakdown:
+        """Full Equation-8 decomposition for ``spec``."""
+        p = self.parameters
+        adc_total = self.adc_energy(spec.adc_bits)
+        share = spec.local_arrays_per_column
+        adc_per_mac = adc_total / share
+        total = p.e_compute + p.e_control + adc_per_mac
+        if total <= 0:
+            raise ModelError("total energy per MAC must be positive")
+        tops_per_watt = OPS_PER_MAC / (total * 1.0e12)
+        return EnergyBreakdown(
+            compute=p.e_compute,
+            control=p.e_control,
+            adc_total=adc_total,
+            adc_per_mac=adc_per_mac,
+            total_per_mac=total,
+            tops_per_watt=tops_per_watt,
+        )
+
+    def energy_per_mac(self, spec: ACIMDesignSpec) -> float:
+        """Average energy of one 1-bit MAC in joules (Equation 8)."""
+        return self.breakdown(spec).total_per_mac
+
+    def tops_per_watt(self, spec: ACIMDesignSpec) -> float:
+        """Energy efficiency in TOPS/W."""
+        return self.breakdown(spec).tops_per_watt
+
+    def power(self, spec: ACIMDesignSpec, macs_per_second: float) -> float:
+        """Average power in watts at a given throughput."""
+        if macs_per_second < 0:
+            raise ModelError("throughput must be non-negative")
+        return self.energy_per_mac(spec) * macs_per_second

@@ -1,0 +1,176 @@
+"""The combined ACIM performance estimator and its objective vector.
+
+:class:`ACIMEstimator` evaluates a design point on all four axes the paper
+optimises and exposes the multi-objective vector
+
+``F(H, W, L, B_ADC) = [-f_SNR, -f_T, f_E, f_A]``    (Equation 12)
+
+used by the NSGA-II explorer (minimisation context: SNR and throughput are
+negated).  The default constants are the calibrated values documented in
+DESIGN.md; :class:`ModelParameters` lets applications override any subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.timing import TimingParameters
+from repro.model.area import AreaModel, AreaParameters
+from repro.model.energy import EnergyModel, EnergyParameters
+from repro.model.notation import WorkloadStatistics
+from repro.model.snr import SnrModel, SnrParameters
+from repro.model.throughput import ThroughputModel
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """All constants of the estimation model in one bundle.
+
+    Attributes:
+        snr: SNR-model parameters (C_o, kappa, k3, k4, ...).
+        energy: energy-model parameters (E_compute, E_control, k1, k2).
+        area: area-model parameters (A_SRAM, A_LC, A_COMP, A_DFF).
+        timing: timing parameters (t_com, tau, t_conv/bit).
+        workload: workload statistics (defaults to 1b x 1b, as in the paper).
+        use_simplified_snr: when True the explorer objective uses the
+            simplified Equation 11; otherwise the full Equations 2-6.
+    """
+
+    snr: SnrParameters = field(default_factory=SnrParameters)
+    energy: EnergyParameters = field(default_factory=EnergyParameters)
+    area: AreaParameters = field(default_factory=AreaParameters)
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    workload: WorkloadStatistics = field(default_factory=WorkloadStatistics.binary)
+    use_simplified_snr: bool = True
+
+    @classmethod
+    def calibrated(cls, **overrides) -> "ModelParameters":
+        """Return the default parameter set with the fitted k3/k4 constants.
+
+        The simplified-SNR coefficients are fitted against the full model on
+        construction so Equation 11 tracks Equations 2-6 for the default
+        workload; everything else uses the DESIGN.md calibration constants.
+        """
+        from repro.model.calibration import fit_snr_constants
+
+        base = cls(**overrides)
+        k3, k4, _residual = fit_snr_constants(
+            snr_parameters=base.snr, workload=base.workload
+        )
+        return replace(base, snr=replace(base.snr, k3=k3, k4=k4))
+
+
+@dataclass(frozen=True)
+class ACIMMetrics:
+    """Evaluation result of one design point.
+
+    Attributes:
+        spec: the evaluated design point.
+        snr_db: SNR in dB (simplified Equation 11 when the estimator is
+            configured that way, otherwise the full-model design SNR).
+        snr_total_db: full-model total SNR including workload quantization.
+        tops: throughput in TOPS (2 ops/MAC).
+        macs_per_second: throughput in MAC/s (the paper's T).
+        energy_per_mac: average energy per 1-bit MAC in joules.
+        tops_per_watt: energy efficiency in TOPS/W.
+        area_f2_per_bit: average area per bit in F^2.
+        total_area_um2: whole-macro area in um^2.
+    """
+
+    spec: ACIMDesignSpec
+    snr_db: float
+    snr_total_db: float
+    tops: float
+    macs_per_second: float
+    energy_per_mac: float
+    tops_per_watt: float
+    area_f2_per_bit: float
+    total_area_um2: float
+
+    def objectives(self) -> Tuple[float, float, float, float]:
+        """The Equation-12 minimisation vector ``[-f_SNR, -f_T, f_E, f_A]``."""
+        return (-self.snr_db, -self.tops, self.energy_per_mac, self.area_f2_per_bit)
+
+    def as_dict(self) -> dict:
+        """Flat dictionary (useful for CSV export and reports)."""
+        return {
+            "H": self.spec.height,
+            "W": self.spec.width,
+            "L": self.spec.local_array_size,
+            "B_ADC": self.spec.adc_bits,
+            "snr_db": self.snr_db,
+            "snr_total_db": self.snr_total_db,
+            "tops": self.tops,
+            "macs_per_second": self.macs_per_second,
+            "energy_per_mac_fJ": self.energy_per_mac * 1e15,
+            "tops_per_watt": self.tops_per_watt,
+            "area_f2_per_bit": self.area_f2_per_bit,
+            "total_area_um2": self.total_area_um2,
+        }
+
+
+class ACIMEstimator:
+    """Evaluates design points on SNR, throughput, energy and area."""
+
+    def __init__(self, parameters: Optional[ModelParameters] = None) -> None:
+        self.parameters = parameters or ModelParameters()
+        self._snr = SnrModel(self.parameters.snr, self.parameters.workload)
+        self._throughput = ThroughputModel(self.parameters.timing)
+        self._energy = EnergyModel(self.parameters.energy)
+        self._area = AreaModel(self.parameters.area)
+
+    # -- individual models ---------------------------------------------------
+
+    @property
+    def snr_model(self) -> SnrModel:
+        """The underlying SNR model."""
+        return self._snr
+
+    @property
+    def throughput_model(self) -> ThroughputModel:
+        """The underlying throughput model."""
+        return self._throughput
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        """The underlying energy model."""
+        return self._energy
+
+    @property
+    def area_model(self) -> AreaModel:
+        """The underlying area model."""
+        return self._area
+
+    # -- evaluation -----------------------------------------------------------
+
+    def snr_db(self, spec: ACIMDesignSpec) -> float:
+        """The f_SNR objective in dB for ``spec``."""
+        n = spec.local_arrays_per_column
+        if self.parameters.use_simplified_snr:
+            return self._snr.simplified_snr_db(spec.adc_bits, n)
+        return self._snr.design_snr_db(spec.adc_bits, n)
+
+    def evaluate(self, spec: ACIMDesignSpec) -> ACIMMetrics:
+        """Evaluate ``spec`` on every axis and return the metrics record."""
+        spec.validate()
+        n = spec.local_arrays_per_column
+        throughput = self._throughput.breakdown(spec)
+        energy = self._energy.breakdown(spec)
+        area = self._area.breakdown(spec)
+        return ACIMMetrics(
+            spec=spec,
+            snr_db=self.snr_db(spec),
+            snr_total_db=self._snr.total_snr_db(spec.adc_bits, n),
+            tops=throughput.tops,
+            macs_per_second=throughput.macs_per_second,
+            energy_per_mac=energy.total_per_mac,
+            tops_per_watt=energy.tops_per_watt,
+            area_f2_per_bit=area.per_bit,
+            total_area_um2=area.total_um2,
+        )
+
+    def objectives(self, spec: ACIMDesignSpec) -> Tuple[float, float, float, float]:
+        """The Equation-12 objective vector for ``spec``."""
+        return self.evaluate(spec).objectives()

@@ -1,0 +1,142 @@
+"""Workload statistics (the paper's Table 1 notation).
+
+The SNR model needs the statistical properties of the inputs (activations)
+and weights flowing through the macro: their standard deviations, maxima,
+second moments and quantization precisions.  :class:`WorkloadStatistics`
+holds these and provides factories for the distributions used throughout
+the reproduction (binary 1b x 1b computation as in the paper's section 4,
+plus Gaussian and uniform multi-bit variants used by the application-level
+examples).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.units import amplitude_db
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Statistical description of inputs (x) and weights (w).
+
+    Attributes:
+        sigma_x: standard deviation of the activations.
+        sigma_w: standard deviation of the weights.
+        x_max: maximum activation magnitude x_m.
+        w_max: maximum weight magnitude w_m.
+        mean_x_squared: E[x^2] of the activations.
+        bits_x: activation precision B_x in bits.
+        bits_w: weight precision B_w in bits.
+    """
+
+    sigma_x: float
+    sigma_w: float
+    x_max: float
+    w_max: float
+    mean_x_squared: float
+    bits_x: int = 1
+    bits_w: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sigma_x <= 0 or self.sigma_w <= 0:
+            raise ModelError("input/weight standard deviations must be positive")
+        if self.x_max <= 0 or self.w_max <= 0:
+            raise ModelError("input/weight maxima must be positive")
+        if self.mean_x_squared <= 0:
+            raise ModelError("E[x^2] must be positive")
+        if self.bits_x < 1 or self.bits_w < 1:
+            raise ModelError("precisions must be at least 1 bit")
+
+    # -- derived quantities -----------------------------------------------
+
+    @property
+    def zeta_x(self) -> float:
+        """Crest factor of the activations, zeta_x = x_m / sigma_x."""
+        return self.x_max / self.sigma_x
+
+    @property
+    def zeta_w(self) -> float:
+        """Crest factor of the weights, zeta_w = w_m / sigma_w."""
+        return self.w_max / self.sigma_w
+
+    @property
+    def zeta_x_db(self) -> float:
+        """zeta_x expressed in dB (20 log10)."""
+        return amplitude_db(self.zeta_x)
+
+    @property
+    def zeta_w_db(self) -> float:
+        """zeta_w expressed in dB (20 log10)."""
+        return amplitude_db(self.zeta_w)
+
+    @property
+    def delta_x(self) -> float:
+        """Activation quantization step, Delta_x = x_m * 2^-B_x (Eq. 4)."""
+        return self.x_max * 2.0 ** (-self.bits_x)
+
+    @property
+    def delta_w(self) -> float:
+        """Weight quantization step, Delta_w = w_m * 2^(-B_w + 1) (Eq. 4)."""
+        return self.w_max * 2.0 ** (-self.bits_w + 1)
+
+    def output_variance(self, dot_product_length: int) -> float:
+        """Variance of the pre-ADC output, sigma_yo^2 = N sigma_w^2 E[x^2]."""
+        if dot_product_length < 1:
+            raise ModelError("dot product length must be at least 1")
+        return dot_product_length * self.sigma_w ** 2 * self.mean_x_squared
+
+    # -- factories ----------------------------------------------------------
+
+    @classmethod
+    def binary(cls) -> "WorkloadStatistics":
+        """1b x 1b computation as used in the paper's evaluation.
+
+        Activations are Bernoulli(1/2) over {0, 1}; weights are equiprobable
+        over {-1, +1}.
+        """
+        return cls(
+            sigma_x=0.5,
+            sigma_w=1.0,
+            x_max=1.0,
+            w_max=1.0,
+            mean_x_squared=0.5,
+            bits_x=1,
+            bits_w=1,
+        )
+
+    @classmethod
+    def gaussian(
+        cls,
+        bits_x: int = 4,
+        bits_w: int = 4,
+        crest_factor: float = 3.0,
+    ) -> "WorkloadStatistics":
+        """Zero-mean Gaussian activations and weights clipped at ``crest_factor`` sigma."""
+        if crest_factor <= 0:
+            raise ModelError("crest factor must be positive")
+        sigma = 1.0
+        return cls(
+            sigma_x=sigma,
+            sigma_w=sigma,
+            x_max=crest_factor * sigma,
+            w_max=crest_factor * sigma,
+            mean_x_squared=sigma ** 2,
+            bits_x=bits_x,
+            bits_w=bits_w,
+        )
+
+    @classmethod
+    def uniform(cls, bits_x: int = 4, bits_w: int = 4) -> "WorkloadStatistics":
+        """Activations uniform on [0, 1], weights uniform on [-1, 1]."""
+        return cls(
+            sigma_x=1.0 / math.sqrt(12.0),
+            sigma_w=2.0 / math.sqrt(12.0),
+            x_max=1.0,
+            w_max=1.0,
+            mean_x_squared=1.0 / 3.0,
+            bits_x=bits_x,
+            bits_w=bits_w,
+        )

@@ -1,0 +1,241 @@
+"""SNR estimation model: paper Equations 2–6 (full) and Equation 11 (simplified).
+
+The total SNR of an analog MAC + SAR-ADC readout combines three noise
+mechanisms:
+
+* input/weight quantization noise (Eq. 4) — fixed by the workload precision,
+* analog non-ideality (Eq. 5) — capacitor mismatch, kT/C thermal noise and
+  (negligible, thanks to bottom-plate sampling) charge injection,
+* ADC output quantization noise (Eq. 6) — set by B_ADC and the dot-product
+  length N.
+
+The simplified Equation 11 collapses the constant terms into two fitted
+coefficients (k3, k4) and keeps only the design-dependent terms
+``6*B_ADC - 10*log10(H/L)``; it is the form the design-space explorer uses
+as its f_SNR objective.  :mod:`repro.model.calibration` fits k3/k4 against
+the full model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.notation import WorkloadStatistics
+from repro.units import BOLTZMANN_K, ROOM_TEMPERATURE_K, db_to_linear, linear_to_db
+
+
+@dataclass(frozen=True)
+class SnrParameters:
+    """Circuit-level parameters of the SNR model.
+
+    Attributes:
+        unit_capacitance: compute capacitor C_o (= C_F) in farads.
+        cap_mismatch_kappa: mismatch coefficient kappa with
+            sigma_C = kappa * sqrt(C)  (layout/technology dependent).
+        vdd: supply voltage in volts.
+        temperature_k: temperature in Kelvin for the kT/C term.
+        charge_injection_variance: sigma_inj^2; essentially zero because the
+            architecture uses bottom-plate charge redistribution.
+        k3: fitted coefficient of the simplified Equation 11.
+        k4: fitted constant of the simplified Equation 11 in dB.
+    """
+
+    unit_capacitance: float = 1.0e-15
+    cap_mismatch_kappa: float = 4.0e-10
+    vdd: float = 0.9
+    temperature_k: float = ROOM_TEMPERATURE_K
+    charge_injection_variance: float = 0.0
+    k3: float = 1.0e-15
+    k4: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.unit_capacitance <= 0:
+            raise ModelError("unit capacitance must be positive")
+        if self.cap_mismatch_kappa < 0:
+            raise ModelError("mismatch coefficient must be non-negative")
+        if self.vdd <= 0:
+            raise ModelError("supply voltage must be positive")
+        if self.temperature_k <= 0:
+            raise ModelError("temperature must be positive")
+        if self.charge_injection_variance < 0:
+            raise ModelError("charge injection variance must be non-negative")
+
+    @property
+    def cap_sigma(self) -> float:
+        """Absolute capacitor mismatch sigma_C = kappa * sqrt(C_o) in farads."""
+        return self.cap_mismatch_kappa * math.sqrt(self.unit_capacitance)
+
+    @property
+    def cap_relative_variance(self) -> float:
+        """Relative mismatch variance sigma_C^2 / C_o^2."""
+        return (self.cap_sigma / self.unit_capacitance) ** 2
+
+    @property
+    def thermal_noise_variance(self) -> float:
+        """kT/C thermal noise variance sigma_theta^2 in V^2."""
+        return BOLTZMANN_K * self.temperature_k / self.unit_capacitance
+
+
+class SnrModel:
+    """Full and simplified SNR models for the synthesizable ACIM."""
+
+    def __init__(
+        self,
+        parameters: SnrParameters = SnrParameters(),
+        workload: WorkloadStatistics = WorkloadStatistics.binary(),
+    ) -> None:
+        self.parameters = parameters
+        self.workload = workload
+
+    # -- Equation 4: input quantization noise -----------------------------
+
+    def input_quantization_variance(self, dot_product_length: int) -> float:
+        """sigma_qi^2 = N/12 * (Delta_x^2 sigma_w^2 + Delta_w^2 E[x^2])."""
+        w = self.workload
+        n = self._check_n(dot_product_length)
+        return (n / 12.0) * (
+            w.delta_x ** 2 * w.sigma_w ** 2 + w.delta_w ** 2 * w.mean_x_squared
+        )
+
+    # -- Equation 5: analog non-ideality -----------------------------------
+
+    def analog_noise_variance(self, dot_product_length: int) -> float:
+        """sigma_eta^2 per Equation 5 (mismatch + thermal + injection)."""
+        p = self.parameters
+        w = self.workload
+        n = self._check_n(dot_product_length)
+        prefactor = (2.0 / 3.0) * (1.0 - 4.0 ** (-w.bits_w)) * n
+        per_term = (
+            w.mean_x_squared * p.cap_relative_variance
+            + 2.0 * p.thermal_noise_variance / (p.vdd ** 2)
+            + p.charge_injection_variance
+        )
+        return prefactor * per_term
+
+    # -- Equation 3 components ---------------------------------------------
+
+    def snr_analog(self, dot_product_length: int) -> float:
+        """SNR_a (linear): output variance over analog noise variance."""
+        n = self._check_n(dot_product_length)
+        noise = self.analog_noise_variance(n)
+        if noise == 0.0:
+            return math.inf
+        return self.workload.output_variance(n) / noise
+
+    def sqnr_input(self, dot_product_length: int) -> float:
+        """SQNR_i (linear): output variance over input-quantization noise."""
+        n = self._check_n(dot_product_length)
+        noise = self.input_quantization_variance(n)
+        if noise == 0.0:
+            return math.inf
+        return self.workload.output_variance(n) / noise
+
+    def snr_pre(self, dot_product_length: int) -> float:
+        """SNR before the ADC (Equation 3), linear."""
+        return _parallel(
+            self.snr_analog(dot_product_length),
+            self.sqnr_input(dot_product_length),
+        )
+
+    # -- Equation 6: ADC quantization --------------------------------------
+
+    def sqnr_output_db(self, adc_bits: int, dot_product_length: int) -> float:
+        """SQNR_y in dB (Equation 6)."""
+        if adc_bits < 1:
+            raise ModelError("ADC precision must be at least 1 bit")
+        n = self._check_n(dot_product_length)
+        w = self.workload
+        return (
+            6.0 * adc_bits
+            + 4.8
+            - (w.zeta_x_db + w.zeta_w_db)
+            - 10.0 * math.log10(n)
+        )
+
+    def sqnr_output(self, adc_bits: int, dot_product_length: int) -> float:
+        """SQNR_y as a linear ratio."""
+        return db_to_linear(self.sqnr_output_db(adc_bits, dot_product_length))
+
+    # -- Equation 2: total SNR ----------------------------------------------
+
+    def total_snr(self, adc_bits: int, dot_product_length: int) -> float:
+        """SNR_T (linear) combining pre-ADC SNR and ADC quantization."""
+        return _parallel(
+            self.snr_pre(dot_product_length),
+            self.sqnr_output(adc_bits, dot_product_length),
+        )
+
+    def total_snr_db(self, adc_bits: int, dot_product_length: int) -> float:
+        """SNR_T in dB."""
+        return linear_to_db(self.total_snr(adc_bits, dot_product_length))
+
+    def design_snr(self, adc_bits: int, dot_product_length: int) -> float:
+        """Design-dependent SNR (linear): analog noise + ADC quantization only.
+
+        Input/weight quantization (SQNR_i) is set by the workload precision,
+        not by (H, W, L, B_ADC); excluding it isolates the part of the SNR
+        the explorer can actually influence, which is what the simplified
+        Equation 11 captures.
+        """
+        return _parallel(
+            self.snr_analog(dot_product_length),
+            self.sqnr_output(adc_bits, dot_product_length),
+        )
+
+    def design_snr_db(self, adc_bits: int, dot_product_length: int) -> float:
+        """Design-dependent SNR in dB."""
+        return linear_to_db(self.design_snr(adc_bits, dot_product_length))
+
+    # -- Equation 11: simplified objective ------------------------------------
+
+    def simplified_snr_db(self, adc_bits: int, local_arrays_per_column: int) -> float:
+        """f_SNR of Equation 11:
+
+        ``SNR(dB) = 6 B_ADC - 10 log10(H/L) - 10 log10(k3 / C_o) + k4``.
+        """
+        if adc_bits < 1:
+            raise ModelError("ADC precision must be at least 1 bit")
+        n = self._check_n(local_arrays_per_column)
+        p = self.parameters
+        return (
+            6.0 * adc_bits
+            - 10.0 * math.log10(n)
+            - 10.0 * math.log10(p.k3 / p.unit_capacitance)
+            + p.k4
+        )
+
+    # -- noise budget report ---------------------------------------------------
+
+    def noise_budget(self, adc_bits: int, dot_product_length: int) -> dict:
+        """Return every noise contribution (variances and dB SNRs) for reporting."""
+        n = self._check_n(dot_product_length)
+        return {
+            "output_variance": self.workload.output_variance(n),
+            "input_quantization_variance": self.input_quantization_variance(n),
+            "analog_noise_variance": self.analog_noise_variance(n),
+            "snr_analog_db": linear_to_db(self.snr_analog(n)),
+            "sqnr_input_db": linear_to_db(self.sqnr_input(n)),
+            "sqnr_output_db": self.sqnr_output_db(adc_bits, n),
+            "snr_pre_db": linear_to_db(self.snr_pre(n)),
+            "total_snr_db": self.total_snr_db(adc_bits, n),
+            "design_snr_db": self.design_snr_db(adc_bits, n),
+        }
+
+    @staticmethod
+    def _check_n(dot_product_length: int) -> int:
+        if dot_product_length < 1:
+            raise ModelError("dot product length must be at least 1")
+        return dot_product_length
+
+
+def _parallel(a: float, b: float) -> float:
+    """Combine two SNRs as [1/a + 1/b]^-1 (Equations 2 and 3)."""
+    if math.isinf(a):
+        return b
+    if math.isinf(b):
+        return a
+    if a <= 0 or b <= 0:
+        raise ModelError("SNR terms must be positive")
+    return 1.0 / (1.0 / a + 1.0 / b)

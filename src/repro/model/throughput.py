@@ -1,0 +1,73 @@
+"""Throughput model (paper Equation 7).
+
+``T = (H / L) * W / (t_com + t_set + t_conv)``
+
+Every column performs an (H/L)-long analog dot product per cycle, and all W
+columns operate in parallel, so a cycle completes (H/L)*W multiply-accumulate
+operations.  The cycle time decomposes into the MAC compute delay, the
+charge-redistribution setup time (which must exceed ``0.69 * tau * B_ADC``)
+and ``B_ADC`` SAR comparison rounds.  The timing constants live in
+:class:`repro.arch.timing.TimingParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.arch.timing import TimingModel, TimingParameters
+from repro.units import OPS_PER_MAC, ops_to_tops
+
+
+@dataclass(frozen=True)
+class ThroughputBreakdown:
+    """The Equation-7 terms for one design point.
+
+    Attributes:
+        compute_time: t_com in seconds.
+        setup_time: t_set in seconds.
+        conversion_time: t_conv in seconds.
+        cycle_time: total cycle time in seconds.
+        macs_per_cycle: (H / L) * W.
+        macs_per_second: throughput in MAC/s (the paper's T).
+        tops: throughput in TOPS counting 2 ops per MAC.
+    """
+
+    compute_time: float
+    setup_time: float
+    conversion_time: float
+    cycle_time: float
+    macs_per_cycle: int
+    macs_per_second: float
+    tops: float
+
+
+class ThroughputModel:
+    """Evaluates Equation 7 for design points."""
+
+    def __init__(self, timing: TimingParameters = TimingParameters()) -> None:
+        self.timing = timing
+
+    def breakdown(self, spec: ACIMDesignSpec) -> ThroughputBreakdown:
+        """Full Equation-7 term breakdown for ``spec``."""
+        model = TimingModel(spec, self.timing)
+        macs_per_cycle = model.macs_per_cycle()
+        cycle = model.cycle_time
+        macs_per_second = macs_per_cycle / cycle
+        return ThroughputBreakdown(
+            compute_time=model.compute_time,
+            setup_time=model.setup_time,
+            conversion_time=model.conversion_time,
+            cycle_time=cycle,
+            macs_per_cycle=macs_per_cycle,
+            macs_per_second=macs_per_second,
+            tops=ops_to_tops(macs_per_second * OPS_PER_MAC),
+        )
+
+    def macs_per_second(self, spec: ACIMDesignSpec) -> float:
+        """Throughput T in MAC/s (Equation 7)."""
+        return self.breakdown(spec).macs_per_second
+
+    def tops(self, spec: ACIMDesignSpec) -> float:
+        """Throughput in TOPS (2 operations per MAC)."""
+        return self.breakdown(spec).tops

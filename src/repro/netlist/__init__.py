@@ -1,0 +1,48 @@
+"""Hierarchical netlist data structures and SPICE I/O.
+
+The customized cell library (paper Figure 4) provides *netlists* for every
+ACIM component and the template-based netlist generator assembles them into
+the full macro netlist.  This package supplies the underlying circuit
+database: devices, hierarchical circuits with instances/nets/pins, SPICE
+reading and writing, and traversal utilities (flattening, counting,
+hierarchy walks).
+"""
+
+from repro.netlist.device import (
+    Capacitor,
+    Device,
+    DeviceType,
+    Mosfet,
+    MosType,
+    Resistor,
+)
+from repro.netlist.circuit import Circuit, Instance, Net, Pin, PinDirection
+from repro.netlist.spice import parse_spice, write_spice
+from repro.netlist.traversal import (
+    count_devices,
+    count_leaf_instances,
+    flatten,
+    hierarchy_depth,
+    iter_hierarchy,
+)
+
+__all__ = [
+    "Capacitor",
+    "Device",
+    "DeviceType",
+    "Mosfet",
+    "MosType",
+    "Resistor",
+    "Circuit",
+    "Instance",
+    "Net",
+    "Pin",
+    "PinDirection",
+    "parse_spice",
+    "write_spice",
+    "count_devices",
+    "count_leaf_instances",
+    "flatten",
+    "hierarchy_depth",
+    "iter_hierarchy",
+]

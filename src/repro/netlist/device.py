@@ -1,0 +1,158 @@
+"""Primitive device models used in cell netlists.
+
+The cell library builds every ACIM component (8T SRAM cell, sense amplifier,
+comparator, SAR logic, CMOS switches, compute capacitors) from these three
+primitive device kinds: MOSFETs, capacitors and resistors.  Devices carry
+the electrical sizing needed by the behavioral simulator and the energy
+model (widths, lengths, capacitances) but no layout information — layouts
+live in :mod:`repro.layout`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class DeviceType(enum.Enum):
+    """Primitive device categories."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    CAPACITOR = "capacitor"
+    RESISTOR = "resistor"
+
+
+class MosType(enum.Enum):
+    """MOSFET polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass
+class Device:
+    """Base class for primitive devices.
+
+    Attributes:
+        name: instance name unique within its parent circuit (e.g. ``"M1"``).
+        terminals: mapping from terminal name to net name.
+    """
+
+    name: str
+    terminals: Dict[str, str] = field(default_factory=dict)
+
+    #: Terminal names this device type requires, in SPICE card order.
+    TERMINAL_ORDER: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("device name must be non-empty")
+
+    @property
+    def device_type(self) -> DeviceType:
+        """The :class:`DeviceType` of this device."""
+        raise NotImplementedError
+
+    def connect(self, terminal: str, net: str) -> None:
+        """Bind a terminal to a net name."""
+        if self.TERMINAL_ORDER and terminal not in self.TERMINAL_ORDER:
+            raise ValueError(
+                f"device {self.name!r} has no terminal {terminal!r}; "
+                f"expected one of {self.TERMINAL_ORDER}"
+            )
+        self.terminals[terminal] = net
+
+    def nets(self) -> Tuple[str, ...]:
+        """Net names in terminal order (only connected terminals)."""
+        return tuple(
+            self.terminals[t] for t in self.TERMINAL_ORDER if t in self.terminals
+        )
+
+    def is_fully_connected(self) -> bool:
+        """True if every required terminal is bound to a net."""
+        return all(t in self.terminals for t in self.TERMINAL_ORDER)
+
+
+@dataclass
+class Mosfet(Device):
+    """A MOSFET with drain/gate/source/body terminals.
+
+    Attributes:
+        mos_type: NMOS or PMOS.
+        width: channel width in meters.
+        length: channel length in meters.
+        fingers: number of fingers (layout hint, electrically width-neutral).
+    """
+
+    mos_type: MosType = MosType.NMOS
+    width: float = 100e-9
+    length: float = 30e-9
+    fingers: int = 1
+
+    TERMINAL_ORDER: Tuple[str, ...] = ("D", "G", "S", "B")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError(f"MOSFET {self.name!r}: width and length must be positive")
+        if self.fingers < 1:
+            raise ValueError(f"MOSFET {self.name!r}: fingers must be >= 1")
+
+    @property
+    def device_type(self) -> DeviceType:
+        return DeviceType.NMOS if self.mos_type is MosType.NMOS else DeviceType.PMOS
+
+    def gate_capacitance(self, cap_per_um: float = 1.0e-15) -> float:
+        """Approximate gate capacitance in farads.
+
+        Args:
+            cap_per_um: gate capacitance per micrometer of width, from the
+                technology's electrical parameters.
+        """
+        return cap_per_um * (self.width / 1e-6)
+
+
+@dataclass
+class Capacitor(Device):
+    """A capacitor (MOM compute capacitor C_F or explicit load C_L).
+
+    Attributes:
+        capacitance: capacitance value in farads.
+    """
+
+    capacitance: float = 1e-15
+
+    TERMINAL_ORDER: Tuple[str, ...] = ("PLUS", "MINUS")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance <= 0:
+            raise ValueError(f"capacitor {self.name!r}: capacitance must be positive")
+
+    @property
+    def device_type(self) -> DeviceType:
+        return DeviceType.CAPACITOR
+
+
+@dataclass
+class Resistor(Device):
+    """A resistor.
+
+    Attributes:
+        resistance: resistance value in ohms.
+    """
+
+    resistance: float = 1e3
+
+    TERMINAL_ORDER: Tuple[str, ...] = ("PLUS", "MINUS")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0:
+            raise ValueError(f"resistor {self.name!r}: resistance must be positive")
+
+    @property
+    def device_type(self) -> DeviceType:
+        return DeviceType.RESISTOR

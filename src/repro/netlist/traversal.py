@@ -1,0 +1,117 @@
+"""Hierarchy traversal utilities: walking, counting and flattening.
+
+The estimation model, the layout flow and several tests need to reason
+about the full (flattened) device content of a hierarchical macro netlist
+— for example counting the 8T SRAM cells of a generated array, or
+measuring hierarchy depth for the template-based placer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.netlist.device import Capacitor, Device, DeviceType, Mosfet, Resistor
+
+
+def iter_hierarchy(circuit, path: str = "") -> Iterator[Tuple[str, object]]:
+    """Yield ``(hierarchical_path, circuit)`` pairs depth-first, top first.
+
+    The top circuit is yielded with its own name as the path; children are
+    yielded with ``/``-separated instance paths.
+    """
+    top_path = path or circuit.name
+    yield top_path, circuit
+    for instance in circuit.instances:
+        child_path = f"{top_path}/{instance.name}"
+        yield from iter_hierarchy(instance.reference, child_path)
+
+
+def hierarchy_depth(circuit) -> int:
+    """Number of hierarchy levels below and including ``circuit``."""
+    if circuit.is_leaf():
+        return 1
+    return 1 + max(hierarchy_depth(inst.reference) for inst in circuit.instances)
+
+
+def count_leaf_instances(circuit) -> Dict[str, int]:
+    """Count how many times each leaf circuit appears in the flattened design."""
+    counts: Dict[str, int] = {}
+
+    def visit(current, multiplier: int) -> None:
+        if current.is_leaf():
+            counts[current.name] = counts.get(current.name, 0) + multiplier
+            return
+        for instance in current.instances:
+            visit(instance.reference, multiplier)
+
+    if circuit.is_leaf():
+        counts[circuit.name] = 1
+    else:
+        for instance in circuit.instances:
+            visit(instance.reference, 1)
+    return counts
+
+
+def count_devices(circuit) -> Dict[DeviceType, int]:
+    """Count primitive devices by type over the flattened hierarchy."""
+    counts: Dict[DeviceType, int] = {}
+
+    def visit(current) -> None:
+        for device in current.devices:
+            counts[device.device_type] = counts.get(device.device_type, 0) + 1
+        for instance in current.instances:
+            visit(instance.reference)
+
+    visit(circuit)
+    return counts
+
+
+def flatten(circuit, separator: str = "/") -> Dict[str, Device]:
+    """Flatten the hierarchy into a mapping from full device path to device.
+
+    Device terminal connectivity is preserved as-is (net names are not
+    re-mapped into the top namespace); the flattened view is intended for
+    counting and inspection, not for electrical extraction.
+    """
+    flat: Dict[str, Device] = {}
+
+    def visit(current, prefix: str) -> None:
+        for device in current.devices:
+            flat[f"{prefix}{device.name}"] = device
+        for instance in current.instances:
+            visit(instance.reference, f"{prefix}{instance.name}{separator}")
+
+    visit(circuit, "")
+    return flat
+
+
+def total_capacitance(circuit) -> float:
+    """Sum of all capacitor values in the flattened hierarchy, in farads."""
+    total = 0.0
+
+    def visit(current) -> None:
+        nonlocal total
+        for device in current.devices:
+            if isinstance(device, Capacitor):
+                total += device.capacitance
+        for instance in current.instances:
+            visit(instance.reference)
+
+    visit(circuit)
+    return total
+
+
+def total_transistor_width(circuit) -> float:
+    """Sum of MOSFET widths (meters) in the flattened hierarchy."""
+    total = 0.0
+
+    def visit(current) -> None:
+        nonlocal total
+        for device in current.devices:
+            if isinstance(device, Mosfet):
+                total += device.width * device.fingers
+        for instance in current.instances:
+            visit(instance.reference)
+
+    visit(circuit)
+    return total

@@ -1,0 +1,51 @@
+"""Template-based hierarchical placement (paper section 3.3, Figure 7).
+
+Two placement engines are provided:
+
+* :class:`~repro.placement.grid_placer.GridPlacer` — the classic grid-based
+  simulated-annealing placer over a 2-D partitioned grid (paper Figure 3),
+  minimising half-perimeter wire length subject to AMS constraints
+  (symmetry, alignment, abutment).
+* :class:`~repro.placement.hierarchical.HierarchicalPlacer` — the
+  template-based placer used by the EasyACIM flow: at every hierarchy level
+  the placement *inside* "Std" cells or subcircuits is kept, and only the
+  over-cell placement of that level is performed, either from an explicit
+  :class:`~repro.placement.template.PlacementTemplate` (rows, columns,
+  arrays) or by falling back to the grid placer.
+"""
+
+from repro.placement.netmodel import PlacementNet, PlacementObject, PlacementProblem
+from repro.placement.constraints import (
+    AbutmentConstraint,
+    AlignmentConstraint,
+    ArrayConstraint,
+    PlacementConstraint,
+    SymmetryConstraint,
+)
+from repro.placement.grid_placer import GridPlacer, GridPlacerConfig, PlacementResult
+from repro.placement.template import (
+    ColumnStackTemplate,
+    PlacementTemplate,
+    RowTemplate,
+    TemplateSlot,
+)
+from repro.placement.hierarchical import HierarchicalPlacer
+
+__all__ = [
+    "PlacementNet",
+    "PlacementObject",
+    "PlacementProblem",
+    "AbutmentConstraint",
+    "AlignmentConstraint",
+    "ArrayConstraint",
+    "PlacementConstraint",
+    "SymmetryConstraint",
+    "GridPlacer",
+    "GridPlacerConfig",
+    "PlacementResult",
+    "ColumnStackTemplate",
+    "PlacementTemplate",
+    "RowTemplate",
+    "TemplateSlot",
+    "HierarchicalPlacer",
+]

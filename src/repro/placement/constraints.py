@@ -1,0 +1,173 @@
+"""AMS placement constraints: symmetry, alignment, abutment, arrays.
+
+Beyond plain HPWL, analog/mixed-signal placement must honour structural
+constraints (paper section 2.3).  Each constraint exposes a ``violation``
+measure in dbu that the annealing placer adds (weighted) to its cost, and a
+``satisfied`` predicate used by tests and by the hierarchical placer's
+post-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import PlacementError
+
+
+class PlacementConstraint:
+    """Base class of all placement constraints."""
+
+    def violation(self, problem) -> float:
+        """Violation magnitude in dbu (0 when satisfied)."""
+        raise NotImplementedError
+
+    def satisfied(self, problem, tolerance: float = 0.0) -> bool:
+        """True when the violation does not exceed ``tolerance``."""
+        return self.violation(problem) <= tolerance
+
+
+@dataclass
+class SymmetryConstraint(PlacementConstraint):
+    """Pairs of objects must be mirror-symmetric about a common vertical axis.
+
+    Attributes:
+        pairs: (left object, right object) name pairs.
+        self_symmetric: objects whose center must lie on the axis.
+    """
+
+    pairs: List[Sequence[str]] = field(default_factory=list)
+    self_symmetric: List[str] = field(default_factory=list)
+
+    def violation(self, problem) -> float:
+        centers = []
+        for left_name, right_name in self.pairs:
+            left = problem.object(left_name)
+            right = problem.object(right_name)
+            if not (left.placed and right.placed):
+                continue
+            centers.append((left.rect().center, right.rect().center))
+        axis_candidates = [
+            (l.x + r.x) / 2.0 for l, r in centers
+        ]
+        for name in self.self_symmetric:
+            obj = problem.object(name)
+            if obj.placed:
+                axis_candidates.append(float(obj.rect().center.x))
+        if not axis_candidates:
+            return 0.0
+        axis = sum(axis_candidates) / len(axis_candidates)
+        violation = 0.0
+        for left_center, right_center in centers:
+            violation += abs((left_center.x + right_center.x) / 2.0 - axis)
+            violation += abs(left_center.y - right_center.y)
+        for name in self.self_symmetric:
+            obj = problem.object(name)
+            if obj.placed:
+                violation += abs(obj.rect().center.x - axis)
+        return violation
+
+
+@dataclass
+class AlignmentConstraint(PlacementConstraint):
+    """Objects must share an edge coordinate (left/right/bottom/top).
+
+    Attributes:
+        objects: names of the aligned objects.
+        edge: one of ``"left"``, ``"right"``, ``"bottom"``, ``"top"``.
+    """
+
+    objects: List[str] = field(default_factory=list)
+    edge: str = "left"
+
+    _EDGES = ("left", "right", "bottom", "top")
+
+    def __post_init__(self) -> None:
+        if self.edge not in self._EDGES:
+            raise PlacementError(f"unknown alignment edge {self.edge!r}")
+
+    def _edge_value(self, rect) -> int:
+        return {
+            "left": rect.x_lo,
+            "right": rect.x_hi,
+            "bottom": rect.y_lo,
+            "top": rect.y_hi,
+        }[self.edge]
+
+    def violation(self, problem) -> float:
+        values = [
+            self._edge_value(problem.object(name).rect())
+            for name in self.objects
+            if problem.object(name).placed
+        ]
+        if len(values) < 2:
+            return 0.0
+        reference = min(values)
+        return float(sum(value - reference for value in values))
+
+
+@dataclass
+class AbutmentConstraint(PlacementConstraint):
+    """Consecutive objects must abut (no gap, no overlap) in one direction.
+
+    Attributes:
+        objects: names in abutment order (bottom-to-top or left-to-right).
+        direction: ``"vertical"`` or ``"horizontal"``.
+    """
+
+    objects: List[str] = field(default_factory=list)
+    direction: str = "vertical"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("vertical", "horizontal"):
+            raise PlacementError(f"unknown abutment direction {self.direction!r}")
+
+    def violation(self, problem) -> float:
+        violation = 0.0
+        placed = [problem.object(name) for name in self.objects]
+        if any(not obj.placed for obj in placed):
+            return 0.0
+        for lower, upper in zip(placed, placed[1:]):
+            lower_rect, upper_rect = lower.rect(), upper.rect()
+            if self.direction == "vertical":
+                violation += abs(upper_rect.y_lo - lower_rect.y_hi)
+                violation += abs(upper_rect.x_lo - lower_rect.x_lo)
+            else:
+                violation += abs(upper_rect.x_lo - lower_rect.x_hi)
+                violation += abs(upper_rect.y_lo - lower_rect.y_lo)
+        return violation
+
+
+@dataclass
+class ArrayConstraint(PlacementConstraint):
+    """Objects must form a regular grid with fixed pitches.
+
+    Attributes:
+        objects: names in row-major order.
+        columns: number of grid columns.
+        pitch_x: horizontal pitch in dbu.
+        pitch_y: vertical pitch in dbu.
+    """
+
+    objects: List[str] = field(default_factory=list)
+    columns: int = 1
+    pitch_x: int = 0
+    pitch_y: int = 0
+
+    def __post_init__(self) -> None:
+        if self.columns < 1:
+            raise PlacementError("array constraint needs at least one column")
+
+    def violation(self, problem) -> float:
+        placed = [problem.object(name) for name in self.objects]
+        if any(not obj.placed for obj in placed):
+            return 0.0
+        origin = placed[0].rect()
+        violation = 0.0
+        for index, obj in enumerate(placed):
+            row, column = divmod(index, self.columns)
+            expected_x = origin.x_lo + column * self.pitch_x
+            expected_y = origin.y_lo + row * self.pitch_y
+            rect = obj.rect()
+            violation += abs(rect.x_lo - expected_x) + abs(rect.y_lo - expected_y)
+        return violation

@@ -1,0 +1,273 @@
+"""Grid-based simulated-annealing placer (paper Figure 3, left).
+
+The placer discretises the placement region into uniform sites, seeds every
+movable object onto free sites, then anneals with three move types
+(relocate, swap, small shift) against a cost that combines weighted HPWL,
+constraint violation and an overlap penalty.  It is intentionally a classic
+textbook engine: the EasyACIM flow relies on *templates* for the big regular
+structures and only needs this engine for small over-cell placements and as
+a fallback, so robustness and clarity win over raw speed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point, Rect
+from repro.placement.netmodel import PlacementObject, PlacementProblem
+
+
+@dataclass(frozen=True)
+class GridPlacerConfig:
+    """Annealing schedule and cost weights.
+
+    Attributes:
+        site: grid site edge length in dbu.
+        initial_temperature: starting annealing temperature (cost units).
+        cooling_rate: geometric cooling factor per outer iteration.
+        moves_per_temperature: inner-loop moves at each temperature.
+        min_temperature: stop once the temperature falls below this.
+        constraint_weight: cost weight of constraint violations.
+        overlap_weight: cost weight of object overlap area.
+        seed: random seed.
+    """
+
+    site: int = 500
+    initial_temperature: float = 2.0e5
+    cooling_rate: float = 0.9
+    moves_per_temperature: int = 120
+    min_temperature: float = 1.0
+    constraint_weight: float = 4.0
+    overlap_weight: float = 0.05
+    seed: int = 7
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a placement run.
+
+    Attributes:
+        positions: object name -> lower-left corner.
+        hpwl: final weighted HPWL.
+        constraint_violation: final total constraint violation.
+        overlap: final overlap area (0 for a legal placement).
+        iterations: number of accepted moves.
+    """
+
+    positions: Dict[str, Point]
+    hpwl: float
+    constraint_violation: float
+    overlap: int
+    iterations: int
+
+    @property
+    def legal(self) -> bool:
+        """True when no two objects overlap."""
+        return self.overlap == 0
+
+
+class GridPlacer:
+    """Simulated-annealing placement over a uniform grid."""
+
+    def __init__(self, config: GridPlacerConfig = GridPlacerConfig()) -> None:
+        self.config = config
+
+    # -- public API ----------------------------------------------------------
+
+    def place(self, problem: PlacementProblem) -> PlacementResult:
+        """Place every movable object of ``problem`` in-place and return the result."""
+        rng = random.Random(self.config.seed)
+        movable = problem.movable_objects
+        if not movable:
+            return self._result(problem, iterations=0)
+        self._initial_placement(problem, rng)
+        cost = self._cost(problem)
+        temperature = self.config.initial_temperature
+        accepted = 0
+        while temperature > self.config.min_temperature:
+            for _ in range(self.config.moves_per_temperature):
+                move = self._propose_move(problem, rng)
+                if move is None:
+                    continue
+                undo = self._apply_move(problem, move)
+                new_cost = self._cost(problem)
+                delta = new_cost - cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    cost = new_cost
+                    accepted += 1
+                else:
+                    undo()
+            temperature *= self.config.cooling_rate
+        self._legalize(problem, rng)
+        return self._result(problem, iterations=accepted)
+
+    # -- initial placement ----------------------------------------------------
+
+    def _initial_placement(self, problem: PlacementProblem, rng: random.Random) -> None:
+        """Greedy row packing of the movable objects (fixed ones stay put)."""
+        region = problem.region
+        cursor_x, cursor_y = region.x_lo, region.y_lo
+        row_height = 0
+        ordered = sorted(
+            problem.movable_objects, key=lambda o: (o.height, o.width), reverse=True
+        )
+        for obj in ordered:
+            if cursor_x + obj.width > region.x_hi:
+                cursor_x = region.x_lo
+                cursor_y += row_height
+                row_height = 0
+            if cursor_y + obj.height > region.y_hi:
+                # Out of room: fall back to a random in-region position; the
+                # annealer and legaliser will sort out overlaps.
+                cursor_y = region.y_lo
+            obj.position = Point(cursor_x, cursor_y)
+            cursor_x += obj.width
+            row_height = max(row_height, obj.height)
+
+    # -- cost and moves -----------------------------------------------------------
+
+    def _cost(self, problem: PlacementProblem) -> float:
+        return (
+            problem.total_hpwl()
+            + self.config.constraint_weight * problem.constraint_penalty()
+            + self.config.overlap_weight * problem.overlap_area()
+        )
+
+    def _propose_move(
+        self, problem: PlacementProblem, rng: random.Random
+    ) -> Optional[Tuple[str, ...]]:
+        movable = problem.movable_objects
+        if not movable:
+            return None
+        kind = rng.random()
+        if kind < 0.45 or len(movable) < 2:
+            obj = rng.choice(movable)
+            target = self._random_site(problem, obj, rng)
+            return ("relocate", obj.name, target)
+        if kind < 0.8:
+            a, b = rng.sample(movable, 2)
+            return ("swap", a.name, b.name)
+        obj = rng.choice(movable)
+        dx = rng.choice((-2, -1, 1, 2)) * self.config.site
+        dy = rng.choice((-2, -1, 1, 2)) * self.config.site
+        return ("shift", obj.name, dx, dy)
+
+    def _random_site(
+        self, problem: PlacementProblem, obj: PlacementObject, rng: random.Random
+    ) -> Point:
+        region = problem.region
+        max_x = max(region.x_lo, region.x_hi - obj.width)
+        max_y = max(region.y_lo, region.y_hi - obj.height)
+        site = self.config.site
+        x = region.x_lo + rng.randrange(max(1, (max_x - region.x_lo) // site + 1)) * site
+        y = region.y_lo + rng.randrange(max(1, (max_y - region.y_lo) // site + 1)) * site
+        return Point(min(x, max_x), min(y, max_y))
+
+    def _apply_move(self, problem: PlacementProblem, move: Tuple) -> callable:
+        """Apply a move and return an undo closure."""
+        if move[0] == "relocate":
+            _, name, target = move
+            obj = problem.object(name)
+            old = obj.position
+            obj.position = target
+
+            def undo():
+                obj.position = old
+
+            return undo
+        if move[0] == "swap":
+            _, name_a, name_b = move
+            obj_a, obj_b = problem.object(name_a), problem.object(name_b)
+            old_a, old_b = obj_a.position, obj_b.position
+            # Swapped positions are clamped so differently-sized objects
+            # cannot end up hanging outside the placement region.
+            obj_a.position = self._clamp(problem, obj_a, old_b)
+            obj_b.position = self._clamp(problem, obj_b, old_a)
+
+            def undo():
+                obj_a.position, obj_b.position = old_a, old_b
+
+            return undo
+        if move[0] == "shift":
+            _, name, dx, dy = move
+            obj = problem.object(name)
+            old = obj.position
+            region = problem.region
+            new_x = min(max(region.x_lo, old.x + dx), region.x_hi - obj.width)
+            new_y = min(max(region.y_lo, old.y + dy), region.y_hi - obj.height)
+            obj.position = Point(new_x, new_y)
+
+            def undo():
+                obj.position = old
+
+            return undo
+        raise PlacementError(f"unknown move {move[0]!r}")
+
+    @staticmethod
+    def _clamp(problem: PlacementProblem, obj: PlacementObject, target: Point) -> Point:
+        """Clamp a candidate position so ``obj`` stays inside the region."""
+        region = problem.region
+        x = min(max(region.x_lo, target.x), max(region.x_lo, region.x_hi - obj.width))
+        y = min(max(region.y_lo, target.y), max(region.y_lo, region.y_hi - obj.height))
+        return Point(x, y)
+
+    # -- legalisation ----------------------------------------------------------
+
+    def _legalize(self, problem: PlacementProblem, rng: random.Random) -> None:
+        """Remove residual overlaps by nudging objects to free grid sites."""
+        for _ in range(200):
+            if problem.overlap_area() == 0:
+                return
+            moved = False
+            for obj in problem.movable_objects:
+                if self._overlaps_any(problem, obj):
+                    spot = self._find_free_site(problem, obj)
+                    if spot is not None:
+                        obj.position = spot
+                        moved = True
+            if not moved:
+                break
+
+    def _overlaps_any(self, problem: PlacementProblem, obj: PlacementObject) -> bool:
+        rect = obj.rect()
+        for other in problem.objects:
+            if other.name == obj.name or not other.placed:
+                continue
+            if rect.overlaps(other.rect()):
+                return True
+        return False
+
+    def _find_free_site(
+        self, problem: PlacementProblem, obj: PlacementObject
+    ) -> Optional[Point]:
+        region = problem.region
+        site = self.config.site
+        others = [o.rect() for o in problem.objects if o.name != obj.name and o.placed]
+        y = region.y_lo
+        while y + obj.height <= region.y_hi:
+            x = region.x_lo
+            while x + obj.width <= region.x_hi:
+                candidate = Rect.from_size(x, y, obj.width, obj.height)
+                if not any(candidate.overlaps(other) for other in others):
+                    return Point(x, y)
+                x += site
+            y += site
+        return None
+
+    # -- result -------------------------------------------------------------------
+
+    def _result(self, problem: PlacementProblem, iterations: int) -> PlacementResult:
+        positions = {
+            obj.name: obj.position for obj in problem.objects if obj.placed
+        }
+        return PlacementResult(
+            positions=positions,
+            hpwl=problem.total_hpwl(),
+            constraint_violation=problem.constraint_penalty(),
+            overlap=problem.overlap_area(),
+            iterations=iterations,
+        )

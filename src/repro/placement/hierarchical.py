@@ -1,0 +1,162 @@
+"""The template-based hierarchical placer (paper section 3.3, Figure 7).
+
+At every hierarchy level the placement *inside* a "Std" layout cell or an
+already-placed subcircuit is kept untouched; only the over-cell placement
+of that level's direct children is performed.  Children are placed either:
+
+* from an explicit :class:`~repro.placement.template.PlacementTemplate`
+  (columns, rows, grids — the regular structures of the ACIM macro), or
+* by the annealing :class:`~repro.placement.grid_placer.GridPlacer` when no
+  template applies (small irregular over-cell placements), using the nets
+  and constraints supplied by the caller.
+
+Working bottom-up through the hierarchy — leaf cells, local arrays,
+columns, the full array — yields the final macro floorplan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point, Rect, Transform
+from repro.layout.layout import LayoutCell
+from repro.placement.constraints import PlacementConstraint
+from repro.placement.grid_placer import GridPlacer, GridPlacerConfig, PlacementResult
+from repro.placement.netmodel import (
+    PlacementNet,
+    PlacementObject,
+    PlacementProblem,
+)
+from repro.placement.template import PlacementTemplate
+
+
+class HierarchicalPlacer:
+    """Places the direct children of layout cells, level by level."""
+
+    def __init__(self, grid_placer: Optional[GridPlacer] = None) -> None:
+        self.grid_placer = grid_placer or GridPlacer(GridPlacerConfig())
+
+    # -- template-driven placement ------------------------------------------------
+
+    def place_with_template(
+        self, cell: LayoutCell, template: PlacementTemplate
+    ) -> Dict[str, Point]:
+        """Place ``cell``'s children according to ``template``.
+
+        Returns the applied instance positions.  Instances not mentioned by
+        the template keep their current transforms.
+        """
+        sizes = self._instance_sizes(cell)
+        slots = template.place(sizes)
+        positions: Dict[str, Point] = {}
+        for slot in slots:
+            if slot.name not in sizes:
+                raise PlacementError(
+                    f"template slot {slot.name!r} has no matching instance in "
+                    f"cell {cell.name!r}"
+                )
+            cell.move_instance(slot.name, Transform(slot.position.x, slot.position.y))
+            positions[slot.name] = slot.position
+        return positions
+
+    # -- optimisation-driven placement ----------------------------------------------
+
+    def place_with_optimizer(
+        self,
+        cell: LayoutCell,
+        nets: Sequence[PlacementNet] = (),
+        constraints: Sequence[PlacementConstraint] = (),
+        region: Optional[Rect] = None,
+        fixed_instances: Iterable[str] = (),
+    ) -> PlacementResult:
+        """Place ``cell``'s children with the annealing grid placer.
+
+        Args:
+            cell: the parent whose direct children are placed.
+            nets: connectivity between children, expressed on child pin names.
+            constraints: AMS placement constraints.
+            region: placement region; defaults to the cell boundary or a
+                region sized for the combined child area.
+            fixed_instances: children that must keep their current position.
+        """
+        fixed = set(fixed_instances)
+        problem = PlacementProblem(region or self._default_region(cell))
+        for instance in cell.instances:
+            bbox = instance.cell.boundary or instance.cell.bounding_box()
+            if bbox is None:
+                raise PlacementError(
+                    f"instance {instance.name!r} references an empty cell"
+                )
+            pin_offsets = {
+                pin.name: Point(
+                    pin.access_point.x - bbox.x_lo, pin.access_point.y - bbox.y_lo
+                )
+                for pin in instance.cell.pins
+            }
+            is_fixed = instance.name in fixed
+            position = None
+            if is_fixed:
+                position = Point(instance.transform.dx, instance.transform.dy)
+            problem.add_object(PlacementObject(
+                name=instance.name,
+                width=bbox.width,
+                height=bbox.height,
+                pin_offsets=pin_offsets,
+                fixed=is_fixed,
+                position=position,
+            ))
+        for net in nets:
+            problem.add_net(net)
+        for constraint in constraints:
+            problem.add_constraint(constraint)
+        result = self.grid_placer.place(problem)
+        for name, position in result.positions.items():
+            if name in fixed:
+                continue
+            cell.move_instance(name, Transform(position.x, position.y))
+        return result
+
+    # -- combined entry point ---------------------------------------------------------
+
+    def place(
+        self,
+        cell: LayoutCell,
+        template: Optional[PlacementTemplate] = None,
+        nets: Sequence[PlacementNet] = (),
+        constraints: Sequence[PlacementConstraint] = (),
+        region: Optional[Rect] = None,
+    ):
+        """Template placement when a template is given, optimisation otherwise."""
+        if template is not None:
+            return self.place_with_template(cell, template)
+        return self.place_with_optimizer(
+            cell, nets=nets, constraints=constraints, region=region
+        )
+
+    # -- helpers ------------------------------------------------------------------------
+
+    @staticmethod
+    def _instance_sizes(cell: LayoutCell) -> Dict[str, Tuple[int, int]]:
+        sizes: Dict[str, Tuple[int, int]] = {}
+        for instance in cell.instances:
+            bbox = instance.cell.boundary or instance.cell.bounding_box()
+            if bbox is None:
+                raise PlacementError(
+                    f"instance {instance.name!r} references an empty cell"
+                )
+            sizes[instance.name] = (bbox.width, bbox.height)
+        return sizes
+
+    def _default_region(self, cell: LayoutCell) -> Rect:
+        if cell.boundary is not None:
+            return cell.boundary
+        sizes = self._instance_sizes(cell)
+        if not sizes:
+            raise PlacementError(f"cell {cell.name!r} has no children to place")
+        total_area = sum(w * h for w, h in sizes.values())
+        max_width = max(w for w, _h in sizes.values())
+        max_height = max(h for _w, h in sizes.values())
+        # Square-ish region with 40% whitespace, at least one object each way.
+        side = int((total_area * 1.4) ** 0.5)
+        return Rect(0, 0, max(side, max_width), max(side, max_height))

@@ -1,0 +1,173 @@
+"""Placement problem model: movable objects, nets and the problem container.
+
+The placer works on an abstracted view of the layout: each movable object
+is a rectangle (the PR boundary of a child layout cell) with named pin
+offsets, and each net is a set of (object, pin) terminals plus optional
+fixed terminals.  This keeps the placement engines independent of the full
+layout database and easy to test in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point, Rect, hpwl
+
+
+@dataclass
+class PlacementObject:
+    """A movable (or fixed) rectangular object.
+
+    Attributes:
+        name: unique object name.
+        width: object width in dbu.
+        height: object height in dbu.
+        pin_offsets: pin name -> offset from the object's lower-left corner.
+        fixed: True when the placer must not move the object.
+        position: lower-left corner in dbu (None until placed).
+    """
+
+    name: str
+    width: int
+    height: int
+    pin_offsets: Dict[str, Point] = field(default_factory=dict)
+    fixed: bool = False
+    position: Optional[Point] = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise PlacementError(f"object {self.name!r} must have positive size")
+        if self.fixed and self.position is None:
+            raise PlacementError(f"fixed object {self.name!r} needs a position")
+
+    @property
+    def placed(self) -> bool:
+        """True once the object has a position."""
+        return self.position is not None
+
+    def rect(self) -> Rect:
+        """Bounding rectangle at the current position."""
+        if self.position is None:
+            raise PlacementError(f"object {self.name!r} is not placed")
+        return Rect.from_size(self.position.x, self.position.y, self.width, self.height)
+
+    def pin_position(self, pin: str) -> Point:
+        """Absolute position of a pin (object center when the pin is unknown)."""
+        if self.position is None:
+            raise PlacementError(f"object {self.name!r} is not placed")
+        offset = self.pin_offsets.get(pin)
+        if offset is None:
+            return self.rect().center
+        return Point(self.position.x + offset.x, self.position.y + offset.y)
+
+
+@dataclass
+class PlacementNet:
+    """A net connecting pins of placement objects (and fixed points).
+
+    Attributes:
+        name: net name.
+        terminals: (object name, pin name) pairs.
+        fixed_points: absolute points (e.g. top-level pins) included in HPWL.
+        weight: HPWL weight (critical nets can be weighted more heavily).
+    """
+
+    name: str
+    terminals: List[Tuple[str, str]] = field(default_factory=list)
+    fixed_points: List[Point] = field(default_factory=list)
+    weight: float = 1.0
+
+
+class PlacementProblem:
+    """A set of objects, nets and constraints to be placed inside a region."""
+
+    def __init__(self, region: Rect) -> None:
+        if region.width <= 0 or region.height <= 0:
+            raise PlacementError("placement region must have positive area")
+        self.region = region
+        self._objects: Dict[str, PlacementObject] = {}
+        self._nets: List[PlacementNet] = []
+        self.constraints: List = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add_object(self, obj: PlacementObject) -> PlacementObject:
+        """Register an object (names must be unique)."""
+        if obj.name in self._objects:
+            raise PlacementError(f"duplicate placement object {obj.name!r}")
+        self._objects[obj.name] = obj
+        return obj
+
+    def add_net(self, net: PlacementNet) -> PlacementNet:
+        """Register a net; all referenced objects must already exist."""
+        for obj_name, _pin in net.terminals:
+            if obj_name not in self._objects:
+                raise PlacementError(
+                    f"net {net.name!r} references unknown object {obj_name!r}"
+                )
+        self._nets.append(net)
+        return net
+
+    def add_constraint(self, constraint) -> None:
+        """Attach a placement constraint (see :mod:`repro.placement.constraints`)."""
+        self.constraints.append(constraint)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def objects(self) -> List[PlacementObject]:
+        return list(self._objects.values())
+
+    @property
+    def movable_objects(self) -> List[PlacementObject]:
+        return [obj for obj in self._objects.values() if not obj.fixed]
+
+    @property
+    def nets(self) -> List[PlacementNet]:
+        return list(self._nets)
+
+    def object(self, name: str) -> PlacementObject:
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise PlacementError(f"unknown placement object {name!r}")
+
+    # -- cost --------------------------------------------------------------------
+
+    def total_hpwl(self) -> float:
+        """Weighted half-perimeter wire length of all nets."""
+        total = 0.0
+        for net in self._nets:
+            points = [
+                self.object(obj_name).pin_position(pin)
+                for obj_name, pin in net.terminals
+            ]
+            points.extend(net.fixed_points)
+            total += net.weight * hpwl(points)
+        return total
+
+    def constraint_penalty(self) -> float:
+        """Total violation of all attached constraints."""
+        return sum(constraint.violation(self) for constraint in self.constraints)
+
+    def overlap_area(self) -> int:
+        """Total pairwise overlap area between placed objects (0 when legal)."""
+        placed = [obj for obj in self._objects.values() if obj.placed]
+        total = 0
+        for i, a in enumerate(placed):
+            rect_a = a.rect()
+            for b in placed[i + 1:]:
+                intersection = rect_a.intersection(b.rect())
+                if intersection is not None:
+                    total += intersection.area
+        return total
+
+    def all_inside_region(self) -> bool:
+        """True when every placed object lies inside the placement region."""
+        return all(
+            self.region.contains_rect(obj.rect())
+            for obj in self._objects.values()
+            if obj.placed
+        )

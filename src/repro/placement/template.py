@@ -1,0 +1,146 @@
+"""Placement templates for the regular structures of the ACIM macro.
+
+The EasyACIM macro is dominated by regular structures — columns of stacked
+cells and arrays of identical columns — for which a template beats any
+general-purpose placer (this is the "template-based" half of the paper's
+placer).  A template assigns deterministic positions to named slots; the
+hierarchical placer applies templates where they exist and falls back to
+the annealing grid placer elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point
+
+
+@dataclass(frozen=True)
+class TemplateSlot:
+    """One placed slot of a template.
+
+    Attributes:
+        name: instance name the slot is for.
+        position: lower-left corner in dbu.
+    """
+
+    name: str
+    position: Point
+
+
+class PlacementTemplate:
+    """Base class: a deterministic assignment of instance names to positions."""
+
+    def place(self, sizes: Dict[str, Tuple[int, int]]) -> List[TemplateSlot]:
+        """Compute slot positions.
+
+        Args:
+            sizes: instance name -> (width, height) in dbu.
+
+        Returns:
+            One slot per instance the template covers.
+        """
+        raise NotImplementedError
+
+    def bounding_size(self, sizes: Dict[str, Tuple[int, int]]) -> Tuple[int, int]:
+        """(width, height) of the template's occupied area."""
+        slots = self.place(sizes)
+        if not slots:
+            return (0, 0)
+        max_x = max(slot.position.x + sizes[slot.name][0] for slot in slots)
+        max_y = max(slot.position.y + sizes[slot.name][1] for slot in slots)
+        return (max_x, max_y)
+
+
+@dataclass
+class ColumnStackTemplate(PlacementTemplate):
+    """Stack instances bottom-to-top at a fixed x offset (an ACIM column).
+
+    Attributes:
+        order: instance names from bottom to top.
+        x_offset: common x coordinate of every instance.
+        start_y: y coordinate of the bottom instance.
+        spacing: extra vertical spacing between consecutive instances.
+    """
+
+    order: List[str] = field(default_factory=list)
+    x_offset: int = 0
+    start_y: int = 0
+    spacing: int = 0
+
+    def place(self, sizes: Dict[str, Tuple[int, int]]) -> List[TemplateSlot]:
+        slots: List[TemplateSlot] = []
+        y = self.start_y
+        for name in self.order:
+            if name not in sizes:
+                raise PlacementError(f"column template: unknown instance {name!r}")
+            slots.append(TemplateSlot(name, Point(self.x_offset, y)))
+            y += sizes[name][1] + self.spacing
+        return slots
+
+
+@dataclass
+class RowTemplate(PlacementTemplate):
+    """Place instances left-to-right at a fixed y offset (a row of columns).
+
+    Attributes:
+        order: instance names from left to right.
+        y_offset: common y coordinate.
+        start_x: x coordinate of the left-most instance.
+        spacing: extra horizontal spacing between consecutive instances.
+    """
+
+    order: List[str] = field(default_factory=list)
+    y_offset: int = 0
+    start_x: int = 0
+    spacing: int = 0
+
+    def place(self, sizes: Dict[str, Tuple[int, int]]) -> List[TemplateSlot]:
+        slots: List[TemplateSlot] = []
+        x = self.start_x
+        for name in self.order:
+            if name not in sizes:
+                raise PlacementError(f"row template: unknown instance {name!r}")
+            slots.append(TemplateSlot(name, Point(x, self.y_offset)))
+            x += sizes[name][0] + self.spacing
+        return slots
+
+
+@dataclass
+class GridArrayTemplate(PlacementTemplate):
+    """Place instances on a regular row-major grid (an array of bit cells).
+
+    Attributes:
+        order: instance names in row-major order (bottom row first).
+        columns: number of grid columns.
+        pitch_x: horizontal pitch; defaults to each instance's own width.
+        pitch_y: vertical pitch; defaults to the row's tallest instance.
+        origin: lower-left corner of the grid.
+    """
+
+    order: List[str] = field(default_factory=list)
+    columns: int = 1
+    pitch_x: Optional[int] = None
+    pitch_y: Optional[int] = None
+    origin: Point = field(default_factory=lambda: Point(0, 0))
+
+    def place(self, sizes: Dict[str, Tuple[int, int]]) -> List[TemplateSlot]:
+        if self.columns < 1:
+            raise PlacementError("grid template needs at least one column")
+        slots: List[TemplateSlot] = []
+        y = self.origin.y
+        for row_start in range(0, len(self.order), self.columns):
+            row = self.order[row_start: row_start + self.columns]
+            x = self.origin.x
+            row_height = 0
+            for name in row:
+                if name not in sizes:
+                    raise PlacementError(f"grid template: unknown instance {name!r}")
+                width, height = sizes[name]
+                slots.append(TemplateSlot(name, Point(x, y)))
+                x += self.pitch_x if self.pitch_x is not None else width
+                row_height = max(row_height, height)
+            y += self.pitch_y if self.pitch_y is not None else row_height
+        return slots

@@ -1,0 +1,17 @@
+"""Text-based reporting and plotting utilities.
+
+The benchmark harness reproduces the paper's *figures* as data series; this
+package renders those series in the terminal (ASCII scatter plots with
+per-category markers) and exports them as CSV so they can be re-plotted
+with any external tool.
+"""
+
+from repro.reporting.ascii_plots import AsciiScatter, render_pareto_front
+from repro.reporting.export import export_csv, export_json
+
+__all__ = [
+    "AsciiScatter",
+    "render_pareto_front",
+    "export_csv",
+    "export_json",
+]

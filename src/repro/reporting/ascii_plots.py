@@ -1,0 +1,152 @@
+"""ASCII scatter plots for design-space figures.
+
+matplotlib is not a dependency of the reproduction, so the Figure-9 /
+Figure-10 style scatter plots are rendered as fixed-width character grids:
+one marker character per category, log or linear axes, and a legend.  The
+output is deterministic, diff-able in CI, and good enough to see the shape
+of the design space directly in a terminal or a text report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Marker characters assigned to categories, in registration order.
+_MARKERS = "ox+*#@%&sd"
+
+
+@dataclass
+class _Series:
+    label: str
+    marker: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class AsciiScatter:
+    """A character-grid scatter plot with per-category markers."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        width: int = 64,
+        height: int = 20,
+        log_x: bool = False,
+        log_y: bool = False,
+    ) -> None:
+        if width < 16 or height < 8:
+            raise ReproError("plot must be at least 16 x 8 characters")
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.log_x = log_x
+        self.log_y = log_y
+        self._series: List[_Series] = []
+
+    # -- data -----------------------------------------------------------------
+
+    def add_series(self, label: str, points: Sequence[Tuple[float, float]]) -> None:
+        """Add one category of (x, y) points."""
+        marker = _MARKERS[len(self._series) % len(_MARKERS)]
+        series = _Series(label=label, marker=marker, points=list(points))
+        for x, y in series.points:
+            self._check_value(x, self.log_x, "x")
+            self._check_value(y, self.log_y, "y")
+        self._series.append(series)
+
+    @staticmethod
+    def _check_value(value: float, log_scale: bool, axis: str) -> None:
+        if log_scale and value <= 0:
+            raise ReproError(f"log-scale {axis} axis requires positive values")
+        if math.isnan(value) or math.isinf(value):
+            raise ReproError(f"non-finite {axis} value in scatter plot")
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the plot as a multi-line string."""
+        points = [(x, y) for series in self._series for x, y in series.points]
+        if not points:
+            raise ReproError("cannot render an empty scatter plot")
+        xs = [self._scale(x, self.log_x) for x, _y in points]
+        ys = [self._scale(y, self.log_y) for _x, y in points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self._series:
+            for x, y in series.points:
+                column = int(round(
+                    (self._scale(x, self.log_x) - x_lo) / x_span * (self.width - 1)))
+                row = int(round(
+                    (self._scale(y, self.log_y) - y_lo) / y_span * (self.height - 1)))
+                grid[self.height - 1 - row][column] = series.marker
+
+        lines = [self.title]
+        raw_x_lo, raw_x_hi = min(x for x, _ in points), max(x for x, _ in points)
+        raw_y_lo, raw_y_hi = min(y for _, y in points), max(y for _, y in points)
+        lines.append(f"y: {self.y_label}  [{raw_y_lo:.3g} .. {raw_y_hi:.3g}]"
+                     f"{' (log)' if self.log_y else ''}")
+        border = "+" + "-" * self.width + "+"
+        lines.append(border)
+        for row in grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append(border)
+        lines.append(f"x: {self.x_label}  [{raw_x_lo:.3g} .. {raw_x_hi:.3g}]"
+                     f"{' (log)' if self.log_x else ''}")
+        legend = "  ".join(f"{series.marker}={series.label}" for series in self._series)
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _scale(value: float, log_scale: bool) -> float:
+        return math.log10(value) if log_scale else value
+
+
+def render_pareto_front(
+    designs,
+    x_metric: str = "area_f2_per_bit",
+    y_metric: str = "tops_per_watt",
+    category=None,
+    title: str = "EasyACIM design space",
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """Render evaluated designs as a Figure-10 style ASCII scatter.
+
+    Args:
+        designs: iterable of :class:`repro.dse.problem.EvaluatedDesign`.
+        x_metric / y_metric: attribute names of
+            :class:`repro.model.estimator.ACIMMetrics` to plot.
+        category: optional callable mapping a design to a category label;
+            defaults to a single series.
+        title: plot title.
+        width / height: plot size in characters.
+    """
+    designs = list(designs)
+    if not designs:
+        raise ReproError("no designs to plot")
+    plot = AsciiScatter(title, x_metric, y_metric, width=width, height=height)
+    if category is None:
+        plot.add_series("designs", [
+            (getattr(d.metrics, x_metric), getattr(d.metrics, y_metric))
+            for d in designs
+        ])
+        return plot.render()
+    groups: Dict[str, List[Tuple[float, float]]] = {}
+    for design in designs:
+        label = str(category(design))
+        groups.setdefault(label, []).append(
+            (getattr(design.metrics, x_metric), getattr(design.metrics, y_metric)))
+    for label in sorted(groups):
+        plot.add_series(label, groups[label])
+    return plot.render()

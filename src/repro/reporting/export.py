@@ -1,0 +1,89 @@
+"""CSV / JSON export of evaluated design sets and flow results.
+
+The benchmark harness and the examples print tables; downstream users
+usually want files.  These helpers serialise evaluated design sets (and any
+list of flat dictionaries) to CSV and JSON with stable column ordering so
+exports are reproducible and diff-able.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+
+def _to_rows(records: Iterable) -> List[Dict]:
+    """Normalise evaluated designs / metrics / dicts into flat dictionaries."""
+    rows: List[Dict] = []
+    for record in records:
+        if isinstance(record, dict):
+            rows.append(dict(record))
+        elif hasattr(record, "metrics") and hasattr(record.metrics, "as_dict"):
+            rows.append(record.metrics.as_dict())
+        elif hasattr(record, "as_dict"):
+            rows.append(record.as_dict())
+        else:
+            raise ReproError(
+                f"cannot export record of type {type(record).__name__}; "
+                "expected a dict or an object with as_dict()"
+            )
+    return rows
+
+
+def export_csv(
+    records: Iterable,
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> Path:
+    """Write records to a CSV file and return the path.
+
+    Args:
+        records: dicts, :class:`~repro.dse.problem.EvaluatedDesign` objects,
+            or anything exposing ``as_dict()``.
+        path: output file path.
+        columns: explicit column order; defaults to the keys of the first
+            record (missing keys in later records are left empty).
+    """
+    rows = _to_rows(records)
+    if not rows:
+        raise ReproError("nothing to export")
+    fieldnames = list(columns) if columns else list(rows[0].keys())
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_json(
+    records: Iterable,
+    path: Union[str, Path],
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write records (plus optional metadata) to a JSON file.
+
+    The JSON document has the shape ``{"metadata": {...}, "records": [...]}``
+    so benchmark provenance (array size, seeds, model parameters) can travel
+    with the data.
+    """
+    rows = _to_rows(records)
+    if not rows:
+        raise ReproError("nothing to export")
+    document = {"metadata": metadata or {}, "records": rows}
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Dict:
+    """Read back a document written by :func:`export_json`."""
+    data = json.loads(Path(path).read_text())
+    if "records" not in data:
+        raise ReproError(f"{path} is not an EasyACIM export (missing 'records')")
+    return data

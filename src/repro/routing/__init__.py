@@ -1,0 +1,34 @@
+"""Grid-based routing (paper Figure 3, right; section 3.3).
+
+The router works on the 3-D routing grid of :mod:`repro.layout.grid`:
+
+* :mod:`repro.routing.astar` — A* maze search between node sets,
+* :class:`~repro.routing.router.GridRouter` — routes whole nets (multi-pin,
+  with net ordering and a rip-up-and-retry pass) and converts node paths to
+  wire rectangles and vias,
+* :mod:`repro.routing.tracks` — pre-defined routing tracks for power and
+  SAR-control nets (the "pre-defined routing tracks for critical nets"
+  the paper credits for its fast layout generation),
+* :class:`~repro.routing.hier_router.HierarchicalRouter` — the
+  template-based hierarchical integration: at each hierarchy level only the
+  inter-connection routing between already-finished child cells is done.
+"""
+
+from repro.routing.astar import AStarSearch, SearchResult
+from repro.routing.tracks import PredefinedTrack, TrackPlan, power_track_plan
+from repro.routing.router import GridRouter, NetRoute, RoutingRequest, RoutingResult
+from repro.routing.hier_router import HierarchicalRouter, LogicalNet
+
+__all__ = [
+    "AStarSearch",
+    "SearchResult",
+    "PredefinedTrack",
+    "TrackPlan",
+    "power_track_plan",
+    "GridRouter",
+    "NetRoute",
+    "RoutingRequest",
+    "RoutingResult",
+    "HierarchicalRouter",
+    "LogicalNet",
+]

@@ -1,0 +1,115 @@
+"""A* maze search on the 3-D routing grid.
+
+The search connects a set of source nodes to a set of target nodes using
+the neighbour/cost structure of :class:`repro.layout.grid.RoutingGrid`
+(preferred-direction moves, optional off-direction moves at a penalty, via
+moves between adjacent layers).  Multi-source / multi-target search is the
+primitive the net router builds Steiner-ish multi-pin routes from: each new
+pin is connected to the whole already-routed tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.layout.grid import GridNode, RoutingGrid
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one A* search.
+
+    Attributes:
+        path: node sequence from a source to a target (inclusive), empty when
+            no path was found.
+        cost: total path cost.
+        expanded: number of nodes expanded (a routing-effort metric).
+    """
+
+    path: List[GridNode] = field(default_factory=list)
+    cost: float = 0.0
+    expanded: int = 0
+
+    @property
+    def found(self) -> bool:
+        """True when a path was found."""
+        return bool(self.path)
+
+
+class AStarSearch:
+    """A* search over a routing grid."""
+
+    def __init__(self, grid: RoutingGrid, max_expansions: int = 400_000) -> None:
+        if max_expansions <= 0:
+            raise RoutingError("max_expansions must be positive")
+        self.grid = grid
+        self.max_expansions = max_expansions
+
+    def search(
+        self,
+        sources: Iterable[GridNode],
+        targets: Iterable[GridNode],
+    ) -> SearchResult:
+        """Find the cheapest path from any source to any target."""
+        source_list = [node for node in sources if self.grid.in_bounds(node)]
+        target_set: Set[GridNode] = {
+            node for node in targets if self.grid.in_bounds(node)
+        }
+        if not source_list or not target_set:
+            return SearchResult()
+
+        open_heap: List[Tuple[float, int, GridNode]] = []
+        best_cost: Dict[GridNode, float] = {}
+        parent: Dict[GridNode, Optional[GridNode]] = {}
+        counter = 0
+        for node in source_list:
+            heapq.heappush(open_heap, (self._heuristic(node, target_set), counter, node))
+            counter += 1
+            best_cost[node] = 0.0
+            parent[node] = None
+
+        expanded = 0
+        while open_heap:
+            _priority, _tie, node = heapq.heappop(open_heap)
+            if node in target_set:
+                return SearchResult(
+                    path=self._reconstruct(parent, node),
+                    cost=best_cost[node],
+                    expanded=expanded,
+                )
+            expanded += 1
+            if expanded > self.max_expansions:
+                break
+            node_cost = best_cost[node]
+            for neighbor, step_cost in self.grid.neighbors(node):
+                candidate = node_cost + step_cost
+                if candidate < best_cost.get(neighbor, float("inf")):
+                    best_cost[neighbor] = candidate
+                    parent[neighbor] = node
+                    priority = candidate + self._heuristic(neighbor, target_set)
+                    heapq.heappush(open_heap, (priority, counter, neighbor))
+                    counter += 1
+        return SearchResult(expanded=expanded)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _heuristic(node: GridNode, targets: Set[GridNode]) -> float:
+        """Admissible heuristic: minimum Manhattan distance to any target."""
+        return min(
+            abs(node.x - t.x) + abs(node.y - t.y) + abs(node.layer - t.layer)
+            for t in targets
+        )
+
+    @staticmethod
+    def _reconstruct(
+        parent: Dict[GridNode, Optional[GridNode]], end: GridNode
+    ) -> List[GridNode]:
+        path = [end]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path

@@ -1,0 +1,165 @@
+"""Hierarchical inter-connection routing (paper section 3.3, Figure 7).
+
+At each hierarchy level the routing *inside* "Std" cells and finished
+subcircuits is kept; only the interconnections between the level's direct
+children (and the level's own pre-defined tracks) are routed.  The
+:class:`HierarchicalRouter`:
+
+1. builds a routing grid over the parent cell's extent,
+2. blocks the lowest routing layer under every child instance (over-cell
+   routing is only allowed on the higher layers, as in a real macro),
+3. blocks any pre-defined tracks,
+4. expresses each :class:`LogicalNet` (net name -> child instance pins) as a
+   :class:`~repro.routing.router.RoutingRequest` using the children's pin
+   access points,
+5. runs the :class:`~repro.routing.router.GridRouter` and adds the resulting
+   wires and via markers as shapes of the parent cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.layout.geometry import Point, Rect
+from repro.layout.grid import RoutingGrid
+from repro.layout.layout import LayoutCell
+from repro.routing.router import GridRouter, RoutingRequest, RoutingResult
+from repro.routing.tracks import TrackPlan
+from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class LogicalNet:
+    """A net expressed on child-instance pins.
+
+    Attributes:
+        name: net name.
+        terminals: (instance name, pin name) pairs.
+        layer: preferred routing layer name for the pin escape.
+        critical: forwarded to the router's net ordering.
+    """
+
+    name: str
+    terminals: Tuple[Tuple[str, str], ...]
+    layer: str = "M2"
+    critical: bool = False
+
+
+@dataclass
+class HierRoutingReport:
+    """Summary of one hierarchical routing pass.
+
+    Attributes:
+        result: the underlying grid-routing result.
+        grid_nodes: size of the routing grid used.
+        blocked_nodes: obstacle nodes (cells + tracks) before routing.
+    """
+
+    result: RoutingResult
+    grid_nodes: int
+    blocked_nodes: int
+
+
+class HierarchicalRouter:
+    """Routes the interconnections of one hierarchy level."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        routing_layers: Sequence[str] = ("M2", "M3", "M4"),
+        pitch: Optional[int] = None,
+        max_expansions: int = 400_000,
+    ) -> None:
+        self.technology = technology
+        if len(routing_layers) < 1:
+            raise RoutingError("need at least one routing layer")
+        self.routing_layers = [technology.layer(name) for name in routing_layers]
+        self.pitch = pitch
+        self.max_expansions = max_expansions
+
+    # -- public API --------------------------------------------------------------
+
+    def route_cell(
+        self,
+        cell: LayoutCell,
+        nets: Sequence[LogicalNet],
+        track_plan: Optional[TrackPlan] = None,
+        margin: int = 2000,
+        block_lowest_layer_under_cells: bool = True,
+    ) -> HierRoutingReport:
+        """Route ``nets`` between the direct children of ``cell``.
+
+        Wire shapes and via markers are added to ``cell``; pre-defined
+        tracks from ``track_plan`` are realised first and treated as
+        obstacles.
+        """
+        extent = self._extent(cell, margin)
+        grid = RoutingGrid(
+            region=extent,
+            layers=self.routing_layers,
+            pitch=self.pitch,
+            allow_off_direction=True,
+        )
+        blocked = 0
+        if block_lowest_layer_under_cells:
+            for instance in cell.instances:
+                bbox = instance.bounding_box()
+                if bbox is not None:
+                    blocked += grid.add_obstacle_rect(0, bbox, margin=0)
+        if track_plan is not None:
+            track_plan.realize(cell)
+            blocked += track_plan.block(grid, self.technology)
+
+        requests = [self._to_request(cell, net, grid) for net in nets]
+        router = GridRouter(grid, self.technology, max_expansions=self.max_expansions)
+        result = router.route(requests)
+        self._emit(cell, result)
+        return HierRoutingReport(
+            result=result,
+            grid_nodes=grid.node_count(),
+            blocked_nodes=blocked,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _extent(self, cell: LayoutCell, margin: int) -> Rect:
+        bbox = cell.boundary or cell.bounding_box()
+        if bbox is None:
+            raise RoutingError(f"cell {cell.name!r} is empty; nothing to route")
+        return bbox.expanded(margin)
+
+    def _layer_index(self, name: str) -> int:
+        for index, layer in enumerate(self.routing_layers):
+            if layer.name == name:
+                return index
+        # Fall back to the lowest available routing layer.
+        return 0
+
+    def _to_request(
+        self, cell: LayoutCell, net: LogicalNet, grid: RoutingGrid
+    ) -> RoutingRequest:
+        pins: List[Tuple[Point, int]] = []
+        for instance_name, pin_name in net.terminals:
+            instance = cell.instance(instance_name)
+            if not instance.cell.has_pin(pin_name):
+                raise RoutingError(
+                    f"net {net.name!r}: instance {instance_name!r} "
+                    f"({instance.cell.name!r}) has no pin {pin_name!r}"
+                )
+            point = instance.pin_access(pin_name)
+            pin_layer_name = instance.cell.pin(pin_name).layer
+            layer_index = self._layer_index(pin_layer_name)
+            pins.append((point, layer_index))
+            # Make sure the pin's landing node is routable.
+            grid.clear_obstacle(grid.point_to_node(point, layer_index))
+        if len(pins) < 2:
+            raise RoutingError(f"net {net.name!r} has fewer than two terminals")
+        return RoutingRequest(net=net.name, pins=tuple(pins), critical=net.critical)
+
+    @staticmethod
+    def _emit(cell: LayoutCell, result: RoutingResult) -> None:
+        for route in result.routes.values():
+            for layer_name, rect in route.wires:
+                cell.add_shape(layer_name, rect, net=route.net)

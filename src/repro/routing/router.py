@@ -1,0 +1,214 @@
+"""Net-level grid router: multi-pin nets, ordering, rip-up-and-retry.
+
+:class:`GridRouter` routes a list of :class:`RoutingRequest` objects on one
+:class:`~repro.layout.grid.RoutingGrid`:
+
+* nets are ordered shortest-bounding-box first (short local nets are the
+  hardest to detour, so they go first),
+* each multi-pin net is built incrementally: every further pin is connected
+  to the *whole* already-routed tree with a multi-source A* search,
+* routed wires become obstacles for subsequent nets,
+* nets that fail get one retry in a final pass after everything else has
+  been routed (a simple rip-up-free variant of rip-up-and-reroute that is
+  sufficient for the regular, low-congestion ACIM structures).
+
+Paths are converted into wire rectangles per layer plus via markers, ready
+to be added to a layout cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RoutingError
+from repro.layout.geometry import Point, Rect
+from repro.layout.grid import GridNode, RoutingGrid
+from repro.routing.astar import AStarSearch
+from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class RoutingRequest:
+    """One net to route.
+
+    Attributes:
+        net: net name.
+        pins: pin access points as (point, layer index) pairs.
+        critical: critical nets are routed first within their length class.
+    """
+
+    net: str
+    pins: Tuple[Tuple[Point, int], ...]
+    critical: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.pins) < 2:
+            raise RoutingError(f"net {self.net!r} needs at least two pins")
+
+    def bbox_semiperimeter(self) -> int:
+        """Half-perimeter of the pin bounding box (ordering heuristic)."""
+        xs = [p.x for p, _layer in self.pins]
+        ys = [p.y for p, _layer in self.pins]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+@dataclass
+class NetRoute:
+    """The routed geometry of one net.
+
+    Attributes:
+        net: net name.
+        nodes: all grid nodes used by the net.
+        wires: (layer name, rect) wire segments.
+        vias: (via name, point) markers where the route changes layers.
+        wirelength: total routed length in dbu.
+    """
+
+    net: str
+    nodes: List[GridNode] = field(default_factory=list)
+    wires: List[Tuple[str, Rect]] = field(default_factory=list)
+    vias: List[Tuple[str, Point]] = field(default_factory=list)
+    wirelength: int = 0
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing a set of nets.
+
+    Attributes:
+        routes: successfully routed nets, keyed by net name.
+        failed: names of nets that could not be routed.
+        total_wirelength: sum of all routed wirelengths in dbu.
+        via_count: total number of vias inserted.
+    """
+
+    routes: Dict[str, NetRoute] = field(default_factory=dict)
+    failed: List[str] = field(default_factory=list)
+    total_wirelength: int = 0
+    via_count: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested net was routed."""
+        return not self.failed
+
+
+class GridRouter:
+    """Routes nets sequentially on a 3-D routing grid."""
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        technology: Technology,
+        max_expansions: int = 400_000,
+    ) -> None:
+        self.grid = grid
+        self.technology = technology
+        self.search = AStarSearch(grid, max_expansions=max_expansions)
+
+    # -- public API ----------------------------------------------------------------
+
+    def route(self, requests: Sequence[RoutingRequest]) -> RoutingResult:
+        """Route every request; wires of earlier nets block later ones."""
+        result = RoutingResult()
+        ordered = sorted(
+            requests, key=lambda r: (not r.critical, r.bbox_semiperimeter())
+        )
+        deferred: List[RoutingRequest] = []
+        for request in ordered:
+            route = self._route_net(request)
+            if route is None:
+                deferred.append(request)
+            else:
+                self._commit(route, result)
+        for request in deferred:
+            route = self._route_net(request)
+            if route is None:
+                result.failed.append(request.net)
+            else:
+                self._commit(route, result)
+        return result
+
+    # -- net routing -----------------------------------------------------------------
+
+    def _route_net(self, request: RoutingRequest) -> Optional[NetRoute]:
+        pin_nodes = [self._pin_node(point, layer) for point, layer in request.pins]
+        # Pin nodes must be routable even if cell geometry blocked them.
+        for node in pin_nodes:
+            self.grid.clear_obstacle(node)
+        tree: List[GridNode] = [pin_nodes[0]]
+        all_nodes: Set[GridNode] = {pin_nodes[0]}
+        for target in pin_nodes[1:]:
+            if target in all_nodes:
+                continue
+            found = self.search.search(sources=tree, targets=[target])
+            if not found.found:
+                return None
+            for node in found.path:
+                if node not in all_nodes:
+                    all_nodes.add(node)
+                    tree.append(node)
+        route = NetRoute(net=request.net, nodes=list(all_nodes))
+        self._emit_geometry(route)
+        return route
+
+    def _commit(self, route: NetRoute, result: RoutingResult) -> None:
+        for node in route.nodes:
+            self.grid.add_obstacle(node)
+        result.routes[route.net] = route
+        result.total_wirelength += route.wirelength
+        result.via_count += len(route.vias)
+
+    def _pin_node(self, point: Point, layer: int) -> GridNode:
+        if not 0 <= layer < self.grid.num_layers:
+            raise RoutingError(f"pin layer index {layer} out of range")
+        return self.grid.point_to_node(point, layer)
+
+    # -- geometry emission ----------------------------------------------------------------
+
+    def _emit_geometry(self, route: NetRoute) -> None:
+        """Convert the node set into wire rectangles and via markers."""
+        nodes = set(route.nodes)
+        pitch = self.grid.pitch
+        wirelength = 0
+        for node in route.nodes:
+            layer = self.grid.layers[node.layer]
+            point = self.grid.node_to_point(node)
+            half_width = max(layer.default_width or layer.min_width, 10) // 2
+            # Emit a segment towards each same-layer neighbour that is also
+            # part of the net (only in +x / +y to avoid duplicates).
+            for dx, dy in ((1, 0), (0, 1)):
+                neighbor = GridNode(node.x + dx, node.y + dy, node.layer)
+                if neighbor not in nodes:
+                    continue
+                neighbor_point = self.grid.node_to_point(neighbor)
+                rect = Rect(
+                    min(point.x, neighbor_point.x) - half_width,
+                    min(point.y, neighbor_point.y) - half_width,
+                    max(point.x, neighbor_point.x) + half_width,
+                    max(point.y, neighbor_point.y) + half_width,
+                )
+                route.wires.append((layer.name, rect))
+                wirelength += pitch
+            # Via to the layer above, when both nodes belong to the net.
+            above = GridNode(node.x, node.y, node.layer + 1)
+            if above in nodes and node.layer + 1 < self.grid.num_layers:
+                upper_layer = self.grid.layers[node.layer + 1]
+                via = self.technology.via_between(layer.name, upper_layer.name)
+                route.vias.append((via.name, point))
+                lower_pad, upper_pad = via.footprint()
+                route.wires.append((layer.name, Rect.from_center(
+                    point, lower_pad, lower_pad)))
+                route.wires.append((upper_layer.name, Rect.from_center(
+                    point, upper_pad, upper_pad)))
+                route.wires.append((via.cut_layer, Rect.from_center(
+                    point, via.cut_size, via.cut_size)))
+        # Isolated single-node nets (pins already coincident) still get a pad.
+        if not route.wires and route.nodes:
+            node = route.nodes[0]
+            layer = self.grid.layers[node.layer]
+            point = self.grid.node_to_point(node)
+            width = max(layer.default_width or layer.min_width, 10)
+            route.wires.append((layer.name, Rect.from_center(point, width, width)))
+        route.wirelength = wirelength

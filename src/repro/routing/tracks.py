@@ -1,0 +1,158 @@
+"""Pre-defined routing tracks for power and critical control nets.
+
+The paper attributes its fast layout generation partly to "pre-defined
+routing tracks for critical nets including power nets and SAR logic control
+nets" (section 4).  A :class:`TrackPlan` captures such tracks: straight
+wires at fixed coordinates spanning the macro, realised directly as layout
+shapes without going through the maze router, and registered as obstacles
+so the signal router works around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.layout.geometry import Rect
+from repro.layout.grid import RoutingGrid
+from repro.layout.layout import LayoutCell
+from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class PredefinedTrack:
+    """One pre-defined straight track.
+
+    Attributes:
+        net: net name the track carries (VDD, VSS, VCM, SAR control, ...).
+        layer: routing layer name.
+        orientation: ``"horizontal"`` or ``"vertical"``.
+        position: y coordinate (horizontal) or x coordinate (vertical) of the
+            track centerline in dbu.
+        width: wire width in dbu.
+    """
+
+    net: str
+    layer: str
+    orientation: str
+    position: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.orientation not in ("horizontal", "vertical"):
+            raise RoutingError(f"unknown track orientation {self.orientation!r}")
+        if self.width <= 0:
+            raise RoutingError("track width must be positive")
+
+    def to_rect(self, extent: Rect) -> Rect:
+        """The track's wire rectangle spanning ``extent``."""
+        half = self.width // 2
+        if self.orientation == "horizontal":
+            return Rect(extent.x_lo, self.position - half,
+                        extent.x_hi, self.position + half)
+        return Rect(self.position - half, extent.y_lo,
+                    self.position + half, extent.y_hi)
+
+
+@dataclass
+class TrackPlan:
+    """A set of pre-defined tracks over a routing extent."""
+
+    extent: Rect
+    tracks: List[PredefinedTrack] = field(default_factory=list)
+
+    def add(self, track: PredefinedTrack) -> None:
+        """Append a track to the plan."""
+        self.tracks.append(track)
+
+    def nets(self) -> List[str]:
+        """All net names carried by the plan (in first-appearance order)."""
+        names: List[str] = []
+        for track in self.tracks:
+            if track.net not in names:
+                names.append(track.net)
+        return names
+
+    def realize(self, cell: LayoutCell) -> List[Rect]:
+        """Add every track as a wire shape to ``cell`` and return the rects."""
+        rects = []
+        for track in self.tracks:
+            rect = track.to_rect(self.extent)
+            cell.add_shape(track.layer, rect, net=track.net)
+            rects.append(rect)
+        return rects
+
+    def block(self, grid: RoutingGrid, technology: Technology) -> int:
+        """Mark every track as an obstacle on the routing grid.
+
+        Returns the number of grid nodes blocked.
+        """
+        blocked = 0
+        for track in self.tracks:
+            layer_index = technology.routing_layer_index(track.layer)
+            rect = track.to_rect(self.extent)
+            blocked += grid.add_obstacle_rect(layer_index, rect,
+                                              margin=track.width // 2)
+        return blocked
+
+
+def power_track_plan(
+    extent: Rect,
+    technology: Technology,
+    layer: str = "M5",
+    nets: Sequence[str] = ("VDD", "VSS", "VCM"),
+    pitch: Optional[int] = None,
+    width: Optional[int] = None,
+) -> TrackPlan:
+    """Interleaved horizontal power stripes across the macro.
+
+    Stripes for the given nets repeat with the given pitch from the bottom
+    to the top of ``extent`` — the standard power-mesh pattern of a memory
+    macro, here for VDD / VSS / VCM.
+    """
+    layer_def = technology.layer(layer)
+    stripe_width = width or max(layer_def.default_width * 2, layer_def.min_width)
+    stripe_pitch = pitch or max(20 * layer_def.pitch, 4 * stripe_width)
+    plan = TrackPlan(extent=extent)
+    y = extent.y_lo + stripe_pitch // 2
+    index = 0
+    while y + stripe_width // 2 <= extent.y_hi:
+        net = nets[index % len(nets)]
+        plan.add(PredefinedTrack(
+            net=net, layer=layer, orientation="horizontal",
+            position=y, width=stripe_width,
+        ))
+        y += stripe_pitch
+        index += 1
+    return plan
+
+
+def sar_control_track_plan(
+    extent: Rect,
+    technology: Technology,
+    adc_bits: int,
+    layer: str = "M3",
+    start_y: Optional[int] = None,
+    pitch: Optional[int] = None,
+) -> TrackPlan:
+    """Horizontal tracks for the SAR group-control nets P<i> / N<i>.
+
+    These nets span every column, so they get dedicated straight tracks in
+    the control region of the macro instead of maze-routed wires.
+    """
+    if adc_bits < 1:
+        raise RoutingError("adc_bits must be at least 1")
+    layer_def = technology.layer(layer)
+    track_pitch = pitch or 3 * layer_def.pitch
+    width = layer_def.default_width or layer_def.min_width
+    y = start_y if start_y is not None else extent.y_lo + track_pitch
+    plan = TrackPlan(extent=extent)
+    for bit in range(adc_bits):
+        for prefix in ("P", "N"):
+            plan.add(PredefinedTrack(
+                net=f"{prefix}{bit}", layer=layer, orientation="horizontal",
+                position=y, width=width,
+            ))
+            y += track_pitch
+    return plan

@@ -1,0 +1,56 @@
+"""Behavioral simulation of the synthesizable ACIM.
+
+The paper calibrates its estimation model with post-layout simulation on
+the TSMC28 PDK.  This package is the reproduction's substitute: a
+physics-level behavioral model of the charge-redistribution (QR) compute
+path and the SAR ADC, with the noise sources the SNR model cares about
+(capacitor mismatch, kT/C thermal noise, quantization), plus Monte-Carlo
+SNR measurement and workload generators.
+
+Main entry points:
+
+* :class:`~repro.sim.behavioral.QrColumnSimulator` — one column's MAC +
+  charge redistribution + SAR conversion.
+* :class:`~repro.sim.montecarlo.MonteCarloSnr` — measured SNR of a design
+  point over random workloads, used to validate Equations 2–6.
+* :func:`~repro.sim.sar_adc.sar_adc_energy` — behavioral ADC energy used to
+  fit the Equation-9 constants.
+"""
+
+from repro.sim.sar_adc import (
+    SarAdc,
+    cdac_switching_energy,
+    code_to_value,
+    sar_adc_energy,
+)
+from repro.sim.behavioral import NoiseSettings, QrColumnSimulator
+from repro.sim.montecarlo import MonteCarloSnr, SnrMeasurement
+from repro.sim.yield_analysis import (
+    MismatchYieldAnalyzer,
+    YieldResult,
+    yield_across_unit_capacitance,
+)
+from repro.sim.workloads import (
+    WorkloadGenerator,
+    binary_workload,
+    gaussian_workload,
+    measure_statistics,
+)
+
+__all__ = [
+    "SarAdc",
+    "cdac_switching_energy",
+    "code_to_value",
+    "sar_adc_energy",
+    "NoiseSettings",
+    "QrColumnSimulator",
+    "MonteCarloSnr",
+    "SnrMeasurement",
+    "MismatchYieldAnalyzer",
+    "YieldResult",
+    "yield_across_unit_capacitance",
+    "WorkloadGenerator",
+    "binary_workload",
+    "gaussian_workload",
+    "measure_statistics",
+]

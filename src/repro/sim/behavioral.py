@@ -1,0 +1,196 @@
+"""Behavioral model of one ACIM column: QR MAC, redistribution, SAR readout.
+
+The simulator follows the operating states of the paper's Figure 5/6:
+
+1. **MAC state** — every local array multiplies its selected stored weight
+   bit by the broadcast activation bit; the shared compute capacitor's top
+   plate settles to a voltage encoding the product.
+2. **Charge redistribution** — the bottom plates of all H/L compute
+   capacitors share charge on the read bitline; with (mismatched)
+   capacitances C_i the settled voltage is the capacitance-weighted mean of
+   the per-capacitor voltages, plus kT/C sampling noise.
+3. **SAR conversion** — the shared-capacitor CDAC digitises the bitline
+   voltage into B_ADC bits.
+
+The model is deliberately voltage-level (not transistor-level): it captures
+exactly the non-idealities the estimation model reasons about — capacitor
+mismatch, thermal noise, comparator noise and quantization — which is what
+is needed to validate Equations 2–6 by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.arch.spec import ACIMDesignSpec
+from repro.sim.sar_adc import SarAdc
+from repro.units import BOLTZMANN_K, ROOM_TEMPERATURE_K
+
+
+@dataclass(frozen=True)
+class NoiseSettings:
+    """Which non-idealities the behavioral simulation includes.
+
+    Attributes:
+        cap_mismatch_kappa: capacitor mismatch coefficient (sigma_C =
+            kappa * sqrt(C)); zero disables mismatch.
+        include_thermal_noise: add kT/C sampling noise on the redistributed
+            bitline voltage.
+        comparator_noise_sigma: RMS comparator input noise in volts.
+        temperature_k: temperature for the thermal noise term.
+        charge_injection_sigma: residual charge-injection noise in volts RMS
+            (practically zero with bottom-plate redistribution).
+    """
+
+    cap_mismatch_kappa: float = 4.0e-10
+    include_thermal_noise: bool = True
+    comparator_noise_sigma: float = 0.0
+    temperature_k: float = ROOM_TEMPERATURE_K
+    charge_injection_sigma: float = 0.0
+
+    @classmethod
+    def ideal(cls) -> "NoiseSettings":
+        """No analog non-idealities at all (quantization only)."""
+        return cls(
+            cap_mismatch_kappa=0.0,
+            include_thermal_noise=False,
+            comparator_noise_sigma=0.0,
+            charge_injection_sigma=0.0,
+        )
+
+
+class QrColumnSimulator:
+    """Behavioral simulation of one column of the synthesizable ACIM.
+
+    The column accumulates ``N = H / L`` product terms per cycle (one per
+    local array).  Products are represented in normalised form in [-1, 1]
+    (for the paper's 1b x 1b mode they take values in {-1, 0, +1}).
+    """
+
+    def __init__(
+        self,
+        spec: ACIMDesignSpec,
+        noise: NoiseSettings = NoiseSettings(),
+        unit_capacitance: float = 1.0e-15,
+        vdd: float = 0.9,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        spec.validate()
+        if unit_capacitance <= 0 or vdd <= 0:
+            raise SimulationError("capacitance and supply must be positive")
+        self.spec = spec
+        self.noise = noise
+        self.unit_capacitance = unit_capacitance
+        self.vdd = vdd
+        self.vcm = vdd / 2.0
+        self.rng = rng or np.random.default_rng(0)
+        self._capacitors = self._sample_capacitors()
+        self.adc = SarAdc(
+            bits=spec.adc_bits,
+            v_low=0.0,
+            v_high=vdd,
+            comparator_noise_sigma=noise.comparator_noise_sigma,
+        )
+
+    # -- construction helpers ---------------------------------------------
+
+    def _sample_capacitors(self) -> np.ndarray:
+        """Draw the per-local-array compute capacitor values (with mismatch)."""
+        n = self.spec.local_arrays_per_column
+        nominal = self.unit_capacitance
+        if self.noise.cap_mismatch_kappa <= 0:
+            return np.full(n, nominal)
+        sigma = self.noise.cap_mismatch_kappa * np.sqrt(nominal)
+        values = self.rng.normal(nominal, sigma, size=n)
+        # A capacitor can never be non-positive; mismatch is a tiny
+        # perturbation so clipping is purely defensive.
+        return np.clip(values, nominal * 0.5, nominal * 1.5)
+
+    @property
+    def capacitors(self) -> np.ndarray:
+        """The (mismatched) compute capacitor values of this column instance."""
+        return self._capacitors.copy()
+
+    # -- operating states ---------------------------------------------------
+
+    def mac_phase(self, products: np.ndarray) -> np.ndarray:
+        """MAC state: map normalised products to capacitor top-plate voltages.
+
+        Args:
+            products: array of length H/L with values in [-1, 1].
+
+        Returns:
+            Top-plate voltages after the MAC state settles.
+        """
+        products = np.asarray(products, dtype=float)
+        expected = self.spec.local_arrays_per_column
+        if products.shape != (expected,):
+            raise SimulationError(
+                f"expected {expected} products, got shape {products.shape}"
+            )
+        if np.any(np.abs(products) > 1.0 + 1e-9):
+            raise SimulationError("products must be normalised to [-1, 1]")
+        swing = self.vdd / 2.0
+        return self.vcm + products * swing
+
+    def charge_redistribution(self, top_plate_voltages: np.ndarray) -> float:
+        """Charge redistribution: capacitance-weighted mean + sampling noise."""
+        voltages = np.asarray(top_plate_voltages, dtype=float)
+        caps = self._capacitors
+        if voltages.shape != caps.shape:
+            raise SimulationError("voltage vector does not match capacitor count")
+        total_cap = float(np.sum(caps))
+        v_x = float(np.dot(caps, voltages) / total_cap)
+        if self.noise.include_thermal_noise:
+            sigma = np.sqrt(BOLTZMANN_K * self.noise.temperature_k / total_cap)
+            v_x += float(self.rng.normal(0.0, sigma))
+        if self.noise.charge_injection_sigma > 0:
+            v_x += float(self.rng.normal(0.0, self.noise.charge_injection_sigma))
+        return v_x
+
+    def convert(self, bitline_voltage: float) -> int:
+        """ADC conversion state: digitise the redistributed voltage."""
+        return self.adc.convert(bitline_voltage, rng=self.rng)
+
+    # -- end-to-end -------------------------------------------------------------
+
+    def compute_cycle(self, products: np.ndarray) -> Tuple[int, float]:
+        """Run one full MAC + conversion cycle.
+
+        Returns:
+            ``(code, estimated_sum)`` where ``estimated_sum`` is the digital
+            reconstruction of ``sum(products)`` in product units.
+        """
+        top_plates = self.mac_phase(products)
+        v_x = self.charge_redistribution(top_plates)
+        code = self.convert(v_x)
+        n = self.spec.local_arrays_per_column
+        # Invert the voltage mapping: v_x = VCM + (sum/N) * VDD/2.  The SAR
+        # decision thresholds sit half an LSB below each code, so the code's
+        # own voltage is already the centre of its quantization bin.
+        reconstructed_voltage = self.adc.code_to_voltage(code)
+        normalised = (reconstructed_voltage - self.vcm) / (self.vdd / 2.0)
+        return code, normalised * n
+
+    def dot_product(self, activations: np.ndarray, weights: np.ndarray) -> float:
+        """Compute a dot product of two +/-1/0 vectors through the column.
+
+        Args:
+            activations: length-N vector with values in [0, 1].
+            weights: length-N vector with values in [-1, 1].
+        """
+        activations = np.asarray(activations, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if activations.shape != weights.shape:
+            raise SimulationError("activation/weight shapes differ")
+        products = activations * weights
+        _code, estimate = self.compute_cycle(products)
+        return estimate
+
+    def ideal_dot_product(self, activations: np.ndarray, weights: np.ndarray) -> float:
+        """The noiseless, un-quantised reference result."""
+        return float(np.dot(np.asarray(activations, float), np.asarray(weights, float)))

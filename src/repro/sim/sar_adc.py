@@ -1,0 +1,186 @@
+"""Behavioral SAR ADC: successive-approximation conversion and energy.
+
+The synthesizable architecture reuses the compute capacitors as the SAR
+CDAC (groups with 1:1:2:...:2^(B-1) ratios, paper Figure 6), so the ADC
+behavior needed here is the plain binary-search conversion plus an energy
+model.  The energy model stands in for the paper's post-layout simulation
+when fitting the Equation-9 constants k1/k2:
+
+* CDAC switching energy grows with the total CDAC capacitance (2^B units),
+* the comparator must resolve ever smaller LSBs, so its energy follows the
+  classic noise-limited 4^B scaling,
+* SAR logic energy grows linearly with the number of bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SarAdc:
+    """A behavioral SAR ADC.
+
+    The converter digitises an input voltage within ``[v_low, v_high]`` into
+    ``bits`` bits by successive approximation.  Comparator input-referred
+    noise can be modelled with ``comparator_noise_sigma`` (volts RMS).
+
+    Attributes:
+        bits: resolution B_ADC.
+        v_low: lower reference voltage.
+        v_high: upper reference voltage.
+        comparator_noise_sigma: RMS input-referred comparator noise in volts.
+        comparator_offset: static comparator offset in volts.
+    """
+
+    bits: int
+    v_low: float = 0.0
+    v_high: float = 0.9
+    comparator_noise_sigma: float = 0.0
+    comparator_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise SimulationError("ADC resolution must be at least 1 bit")
+        if self.v_high <= self.v_low:
+            raise SimulationError("v_high must exceed v_low")
+        if self.comparator_noise_sigma < 0:
+            raise SimulationError("comparator noise must be non-negative")
+
+    @property
+    def full_scale(self) -> float:
+        """Full-scale input range in volts."""
+        return self.v_high - self.v_low
+
+    @property
+    def lsb(self) -> float:
+        """One LSB in volts."""
+        return self.full_scale / (2 ** self.bits)
+
+    def convert(self, v_in: float, rng: Optional[np.random.Generator] = None) -> int:
+        """Convert an input voltage to a digital code by binary search.
+
+        Inputs outside the reference range saturate to the end codes, like a
+        real converter.
+
+        Args:
+            v_in: input voltage in volts.
+            rng: random generator for comparator noise; required only when
+                ``comparator_noise_sigma`` is non-zero.
+        """
+        code = 0
+        for bit in range(self.bits - 1, -1, -1):
+            trial = code | (1 << bit)
+            threshold = self.v_low + (trial) * self.lsb - self.lsb / 2.0
+            noise = 0.0
+            if self.comparator_noise_sigma > 0.0:
+                generator = rng if rng is not None else np.random.default_rng()
+                noise = float(generator.normal(0.0, self.comparator_noise_sigma))
+            if v_in + noise + self.comparator_offset >= threshold:
+                code = trial
+        return code
+
+    def convert_many(
+        self, voltages: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Vectorised conversion of an array of input voltages."""
+        voltages = np.asarray(voltages, dtype=float)
+        codes = np.zeros(voltages.shape, dtype=int)
+        generator = rng if rng is not None else np.random.default_rng()
+        for bit in range(self.bits - 1, -1, -1):
+            trial = codes | (1 << bit)
+            thresholds = self.v_low + trial * self.lsb - self.lsb / 2.0
+            if self.comparator_noise_sigma > 0.0:
+                noise = generator.normal(0.0, self.comparator_noise_sigma, voltages.shape)
+            else:
+                noise = 0.0
+            decisions = voltages + noise + self.comparator_offset >= thresholds
+            codes = np.where(decisions, trial, codes)
+        return codes
+
+    def code_to_voltage(self, code: int) -> float:
+        """Mid-tread reconstruction voltage of a code."""
+        if not 0 <= code < 2 ** self.bits:
+            raise SimulationError(f"code {code} out of range for {self.bits} bits")
+        return self.v_low + code * self.lsb
+
+
+def code_to_value(code, bits: int, low: float = -1.0, high: float = 1.0):
+    """Map an ADC code (scalar or array) back to the normalised value range."""
+    if bits < 1:
+        raise SimulationError("bits must be at least 1")
+    span = high - low
+    return low + (np.asarray(code, dtype=float) + 0.5) * span / (2 ** bits)
+
+
+# ---------------------------------------------------------------------------
+# Energy model (substitute for post-layout simulation)
+# ---------------------------------------------------------------------------
+
+
+def cdac_switching_energy(
+    bits: int,
+    unit_capacitance: float = 1.0e-15,
+    vdd: float = 0.9,
+    switching_factor: float = 0.66,
+) -> float:
+    """Average CDAC switching energy of one conversion, in joules.
+
+    The total CDAC capacitance is ``2^bits`` unit capacitors; the average
+    switching energy of a conventional/monotonic SAR switching scheme is a
+    fixed fraction of ``C_total * VDD^2``.
+    """
+    if bits < 1:
+        raise SimulationError("bits must be at least 1")
+    if unit_capacitance <= 0 or vdd <= 0:
+        raise SimulationError("capacitance and supply must be positive")
+    total_cap = (2 ** bits) * unit_capacitance
+    return switching_factor * total_cap * vdd ** 2
+
+
+def sar_adc_energy(
+    bits: int,
+    unit_capacitance: float = 1.0e-15,
+    vdd: float = 0.9,
+    logic_energy_per_bit: float = 1.8e-15,
+    comparator_energy_coefficient: float = 0.12e-15,
+) -> float:
+    """Behavioral per-conversion energy of the SAR ADC, in joules.
+
+    Three contributions are summed:
+
+    * SAR logic and clocking: linear in the number of bits,
+    * CDAC switching: proportional to the 2^B total capacitance,
+    * comparator: noise-limited, so it scales as 4^B (each extra bit halves
+      the LSB and quadruples the required comparator energy), normalised to
+      the supply squared as in the paper's Equation 9.
+
+    The function is the data source for
+    :func:`repro.model.calibration.fit_adc_energy_constants`.
+    """
+    if bits < 1:
+        raise SimulationError("bits must be at least 1")
+    logic = logic_energy_per_bit * bits
+    cdac = cdac_switching_energy(bits, unit_capacitance, vdd)
+    comparator = comparator_energy_coefficient * (4.0 ** bits) * vdd ** 2
+    return logic + cdac + comparator
+
+
+def adc_energy_samples(
+    bit_range: Tuple[int, int] = (2, 8),
+    unit_capacitance: float = 1.0e-15,
+    vdd: float = 0.9,
+) -> dict:
+    """Per-resolution energy samples used by the k1/k2 calibration fit."""
+    low, high = bit_range
+    if low < 1 or high < low:
+        raise SimulationError("invalid bit range")
+    return {
+        bits: sar_adc_energy(bits, unit_capacitance=unit_capacitance, vdd=vdd)
+        for bits in range(low, high + 1)
+    }

@@ -1,0 +1,158 @@
+"""Mismatch / yield analysis of a design point.
+
+The SNR model treats capacitor mismatch as an average noise contribution;
+real macros, however, are judged instance by instance: each fabricated
+column draws its own mismatch sample, and a column whose measured SNR falls
+below the application's requirement is a defective readout channel.  This
+module runs a population of independently mismatched behavioral columns,
+estimates the SNR distribution across instances, and reports the parametric
+yield against an SNR specification — the robustness view behind the paper's
+choice of a charge-domain (PVT-insensitive) compute model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.arch.spec import ACIMDesignSpec
+from repro.sim.behavioral import NoiseSettings, QrColumnSimulator
+from repro.sim.workloads import WorkloadGenerator, binary_workload
+from repro.units import linear_to_db
+
+
+@dataclass(frozen=True)
+class YieldResult:
+    """Result of a mismatch yield analysis.
+
+    Attributes:
+        spec: the analysed design point.
+        snr_spec_db: the SNR requirement instances are judged against.
+        instances: number of simulated column instances.
+        snr_mean_db / snr_std_db: distribution of per-instance SNR in dB.
+        snr_min_db / snr_max_db: extremes over the population.
+        yield_fraction: fraction of instances meeting the requirement.
+        per_instance_snr_db: the raw per-instance SNR values.
+    """
+
+    spec: ACIMDesignSpec
+    snr_spec_db: float
+    instances: int
+    snr_mean_db: float
+    snr_std_db: float
+    snr_min_db: float
+    snr_max_db: float
+    yield_fraction: float
+    per_instance_snr_db: List[float]
+
+    def meets_target(self, target_yield: float = 0.99) -> bool:
+        """True when the parametric yield reaches ``target_yield``."""
+        return self.yield_fraction >= target_yield
+
+
+class MismatchYieldAnalyzer:
+    """Estimates the SNR distribution and yield across mismatched instances."""
+
+    def __init__(
+        self,
+        spec: ACIMDesignSpec,
+        workload: Optional[WorkloadGenerator] = None,
+        noise: NoiseSettings = NoiseSettings(),
+        unit_capacitance: float = 1.0e-15,
+        vdd: float = 0.9,
+        seed: int = 99,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self.workload = workload or binary_workload()
+        self.noise = noise
+        self.unit_capacitance = unit_capacitance
+        self.vdd = vdd
+        self.seed = seed
+
+    def run(
+        self,
+        snr_spec_db: float,
+        instances: int = 32,
+        trials_per_instance: int = 200,
+    ) -> YieldResult:
+        """Simulate ``instances`` mismatched columns and compute the yield.
+
+        Args:
+            snr_spec_db: minimum acceptable per-column SNR.
+            instances: number of independent mismatch samples (fabricated
+                column instances).
+            trials_per_instance: random dot products per instance.
+        """
+        if instances < 2:
+            raise SimulationError("need at least two instances for a distribution")
+        if trials_per_instance < 20:
+            raise SimulationError("need at least 20 trials per instance")
+        rng = np.random.default_rng(self.seed)
+        length = self.spec.local_arrays_per_column
+        per_instance: List[float] = []
+        for index in range(instances):
+            simulator = QrColumnSimulator(
+                self.spec,
+                noise=self.noise,
+                unit_capacitance=self.unit_capacitance,
+                vdd=self.vdd,
+                rng=np.random.default_rng(self.seed + 1000 + index),
+            )
+            ideal = np.empty(trials_per_instance)
+            measured = np.empty(trials_per_instance)
+            for trial, (x_vec, w_vec) in enumerate(
+                self.workload.batches(length, trials_per_instance, rng)
+            ):
+                ideal[trial] = simulator.ideal_dot_product(x_vec, w_vec)
+                measured[trial] = simulator.dot_product(x_vec, w_vec)
+            errors = measured - ideal
+            signal_variance = float(np.var(ideal))
+            error_power = float(np.var(errors) + np.mean(errors) ** 2)
+            if error_power <= 0:
+                per_instance.append(200.0)
+            else:
+                per_instance.append(linear_to_db(signal_variance / error_power))
+        values = np.asarray(per_instance)
+        passing = float(np.mean(values >= snr_spec_db))
+        return YieldResult(
+            spec=self.spec,
+            snr_spec_db=snr_spec_db,
+            instances=instances,
+            snr_mean_db=float(np.mean(values)),
+            snr_std_db=float(np.std(values)),
+            snr_min_db=float(np.min(values)),
+            snr_max_db=float(np.max(values)),
+            yield_fraction=passing,
+            per_instance_snr_db=list(values),
+        )
+
+
+def yield_across_unit_capacitance(
+    spec: ACIMDesignSpec,
+    snr_spec_db: float,
+    capacitances: List[float],
+    instances: int = 16,
+    trials_per_instance: int = 120,
+    seed: int = 123,
+) -> List[YieldResult]:
+    """Sweep the unit compute capacitance and report yield at each point.
+
+    Larger unit capacitors reduce both relative mismatch (kappa/sqrt(C)) and
+    kT/C noise, so yield against a fixed SNR specification improves — the
+    sizing trade-off a designer would close with this sweep.
+    """
+    results = []
+    for capacitance in capacitances:
+        if capacitance <= 0:
+            raise SimulationError("unit capacitance must be positive")
+        analyzer = MismatchYieldAnalyzer(
+            spec, unit_capacitance=capacitance, seed=seed,
+        )
+        results.append(analyzer.run(
+            snr_spec_db, instances=instances, trials_per_instance=trials_per_instance,
+        ))
+    return results

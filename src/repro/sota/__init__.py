@@ -1,0 +1,15 @@
+"""Published state-of-the-art ACIM reference designs (paper Figure 10)."""
+
+from repro.sota.references import (
+    SOTA_DESIGNS,
+    SotaDesign,
+    compare_with_design_space,
+    design_by_label,
+)
+
+__all__ = [
+    "SOTA_DESIGNS",
+    "SotaDesign",
+    "compare_with_design_space",
+    "design_by_label",
+]

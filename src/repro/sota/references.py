@@ -1,0 +1,143 @@
+"""Reference datapoints of published SOTA ACIM macros.
+
+Figure 10 of the paper compares the EasyACIM design space against three
+recent JSSC/ISSCC silicon designs on the two most common ACIM metrics,
+energy efficiency (TOPS/W) and area (F^2/bit):
+
+* Design A — Yao et al., JSSC 2023: fully bit-flexible charge-domain CIM
+  with multi-functional computing bit cell (the design whose capacitor
+  reuse inspired EasyACIM's architecture),
+* Design B — Yu et al., JSSC 2022: 65 nm 8T SRAM CIM with column ADCs,
+* Design C — Dong et al., ISSCC 2020: 7 nm FinFET 351 TOPS/W macro.
+
+The numbers are the published headline figures normalised the way the
+paper plots them (1b-equivalent TOPS/W, F^2/bit).  They are fixed scatter
+points used for comparison; nothing in the reproduction depends on their
+exact values beyond the Figure-10 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.dse.problem import EvaluatedDesign
+
+
+@dataclass(frozen=True)
+class SotaDesign:
+    """One published reference design.
+
+    Attributes:
+        label: short label used in the Figure-10 comparison ("A", "B", "C").
+        name: citation-style name.
+        venue: publication venue and year.
+        technology_nm: process node in nanometers.
+        energy_efficiency_tops_w: published energy efficiency in TOPS/W
+            (1b-equivalent).
+        area_f2_per_bit: macro area normalised to F^2 per bit cell.
+        adc_bits: readout precision in bits.
+        array_size_kb: macro capacity in kilobits.
+    """
+
+    label: str
+    name: str
+    venue: str
+    technology_nm: int
+    energy_efficiency_tops_w: float
+    area_f2_per_bit: float
+    adc_bits: int
+    array_size_kb: int
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for reporting."""
+        return {
+            "label": self.label,
+            "name": self.name,
+            "venue": self.venue,
+            "tech_nm": self.technology_nm,
+            "tops_per_watt": self.energy_efficiency_tops_w,
+            "area_f2_per_bit": self.area_f2_per_bit,
+            "adc_bits": self.adc_bits,
+            "array_kb": self.array_size_kb,
+        }
+
+
+#: The three SOTA designs of Figure 10.
+SOTA_DESIGNS: List[SotaDesign] = [
+    SotaDesign(
+        label="A",
+        name="Yao et al. (bit-flexible multi-functional CIM)",
+        venue="JSSC 2023",
+        technology_nm=28,
+        energy_efficiency_tops_w=600.0,
+        area_f2_per_bit=5200.0,
+        adc_bits=5,
+        array_size_kb=16,
+    ),
+    SotaDesign(
+        label="B",
+        name="Yu et al. (8T SRAM CIM with column ADCs)",
+        venue="JSSC 2022",
+        technology_nm=65,
+        energy_efficiency_tops_w=250.0,
+        area_f2_per_bit=3100.0,
+        adc_bits=4,
+        array_size_kb=16,
+    ),
+    SotaDesign(
+        label="C",
+        name="Dong et al. (7nm FinFET CIM macro)",
+        venue="ISSCC 2020",
+        technology_nm=7,
+        energy_efficiency_tops_w=351.0,
+        area_f2_per_bit=2400.0,
+        adc_bits=4,
+        array_size_kb=64,
+    ),
+]
+
+
+def design_by_label(label: str) -> SotaDesign:
+    """Look up a reference design by its Figure-10 label."""
+    for design in SOTA_DESIGNS:
+        if design.label == label:
+            return design
+    raise ReproError(f"no SOTA reference design labelled {label!r}")
+
+
+def compare_with_design_space(
+    designs: Sequence[EvaluatedDesign],
+    references: Sequence[SotaDesign] = tuple(SOTA_DESIGNS),
+) -> Dict[str, dict]:
+    """Compare a generated design space against the SOTA references.
+
+    For each reference the comparison reports whether the generated space
+    contains a solution that is at least as energy-efficient, at least as
+    area-efficient, and one that matches-or-beats it on both axes at once
+    (i.e. the reference is dominated on the Figure-10 plane).
+    """
+    report: Dict[str, dict] = {}
+    for reference in references:
+        better_energy = [
+            d for d in designs
+            if d.metrics.tops_per_watt >= reference.energy_efficiency_tops_w
+        ]
+        better_area = [
+            d for d in designs
+            if d.metrics.area_f2_per_bit <= reference.area_f2_per_bit
+        ]
+        dominating = [
+            d for d in designs
+            if d.metrics.tops_per_watt >= reference.energy_efficiency_tops_w
+            and d.metrics.area_f2_per_bit <= reference.area_f2_per_bit
+        ]
+        report[reference.label] = {
+            "reference": reference.as_dict(),
+            "solutions_with_better_efficiency": len(better_energy),
+            "solutions_with_better_area": len(better_area),
+            "solutions_dominating": len(dominating),
+            "covered": bool(better_energy) and bool(better_area),
+        }
+    return report

@@ -1,0 +1,40 @@
+"""Synthetic process technology description (substitute for the TSMC28 PDK).
+
+The paper implements EasyACIM on the TSMC28 PDK; that PDK is proprietary, so
+this package provides a self-consistent synthetic 28 nm-class technology —
+layer stack, via definitions, design rules and a layer map — exposing exactly
+the information the placement, routing, DRC and layout-export stages consume.
+
+Public entry points:
+
+* :func:`repro.technology.tech.generic28` — the default technology used by
+  every example and benchmark.
+* :class:`repro.technology.tech.Technology` — the container binding layers,
+  rules and electrical parameters together.
+"""
+
+from repro.technology.layers import (
+    Layer,
+    LayerPurpose,
+    LayerType,
+    MetalDirection,
+    ViaDefinition,
+)
+from repro.technology.rules import DesignRule, DesignRuleSet, RuleType
+from repro.technology.tech import Technology, generic28
+from repro.technology.library_io import technology_from_dict, technology_to_dict
+
+__all__ = [
+    "Layer",
+    "LayerPurpose",
+    "LayerType",
+    "MetalDirection",
+    "ViaDefinition",
+    "DesignRule",
+    "DesignRuleSet",
+    "RuleType",
+    "Technology",
+    "generic28",
+    "technology_from_dict",
+    "technology_to_dict",
+]

@@ -1,0 +1,181 @@
+"""Layer and via definitions for the synthetic technology.
+
+A :class:`Layer` models one mask layer (diffusion, poly, metal, via, ...).
+Routing layers additionally carry a preferred direction, pitch and default
+wire width, which the grid router uses to build its 3-D routing grid.  A
+:class:`ViaDefinition` connects two adjacent metal layers through a cut
+layer and records the cut size and required metal enclosure.
+
+All geometric quantities are stored in integer database units (nanometers),
+consistent with :mod:`repro.layout`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class LayerType(enum.Enum):
+    """Broad classification of a mask layer."""
+
+    DIFFUSION = "diffusion"
+    WELL = "well"
+    POLY = "poly"
+    CONTACT = "contact"
+    METAL = "metal"
+    VIA = "via"
+    CAPACITOR = "capacitor"
+    MARKER = "marker"
+
+
+class LayerPurpose(enum.Enum):
+    """Purpose variant of a layer, mirroring GDS datatype usage."""
+
+    DRAWING = "drawing"
+    PIN = "pin"
+    LABEL = "label"
+    BLOCKAGE = "blockage"
+
+
+class MetalDirection(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A single mask layer of the technology.
+
+    Attributes:
+        name: unique layer name, e.g. ``"M1"``.
+        gds_layer: GDS stream layer number used on export.
+        gds_datatype: GDS datatype number (0 for drawing shapes).
+        layer_type: broad classification (metal, via, poly, ...).
+        direction: preferred routing direction for metal layers.
+        pitch: routing pitch in dbu for metal layers (track spacing).
+        default_width: default wire width in dbu for metal layers.
+        min_width: minimum legal shape width in dbu.
+        min_spacing: minimum same-layer spacing in dbu.
+        sheet_resistance: ohms per square, used by parasitic estimation.
+        capacitance_per_um: wire capacitance per micrometer in farads,
+            used by the routing-aware energy estimation.
+        purpose: drawing / pin / label purpose.
+    """
+
+    name: str
+    gds_layer: int
+    gds_datatype: int = 0
+    layer_type: LayerType = LayerType.METAL
+    direction: MetalDirection = MetalDirection.ANY
+    pitch: int = 0
+    default_width: int = 0
+    min_width: int = 0
+    min_spacing: int = 0
+    sheet_resistance: float = 0.0
+    capacitance_per_um: float = 0.0
+    purpose: LayerPurpose = LayerPurpose.DRAWING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+        if self.gds_layer < 0 or self.gds_datatype < 0:
+            raise ValueError("GDS layer/datatype numbers must be non-negative")
+        for attr in ("pitch", "default_width", "min_width", "min_spacing"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"layer {self.name}: {attr} must be non-negative")
+
+    @property
+    def is_routing(self) -> bool:
+        """True if the layer can carry router wires."""
+        return self.layer_type is LayerType.METAL and self.pitch > 0
+
+    @property
+    def is_via(self) -> bool:
+        """True if the layer is a cut (via or contact) layer."""
+        return self.layer_type in (LayerType.VIA, LayerType.CONTACT)
+
+    def key(self) -> tuple:
+        """GDS (layer, datatype) pair used by the exporters."""
+        return (self.gds_layer, self.gds_datatype)
+
+
+@dataclass(frozen=True)
+class ViaDefinition:
+    """A via connecting two adjacent routing layers through a cut layer.
+
+    Attributes:
+        name: unique via name, e.g. ``"VIA12"``.
+        lower_layer: name of the lower metal layer.
+        cut_layer: name of the cut layer.
+        upper_layer: name of the upper metal layer.
+        cut_size: square cut edge length in dbu.
+        cut_spacing: minimum cut-to-cut spacing in dbu.
+        enclosure_lower: metal enclosure of the cut on the lower layer (dbu).
+        enclosure_upper: metal enclosure of the cut on the upper layer (dbu).
+        resistance: per-cut resistance in ohms.
+    """
+
+    name: str
+    lower_layer: str
+    cut_layer: str
+    upper_layer: str
+    cut_size: int
+    cut_spacing: int
+    enclosure_lower: int
+    enclosure_upper: int
+    resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cut_size <= 0:
+            raise ValueError(f"via {self.name}: cut size must be positive")
+        if self.cut_spacing < 0:
+            raise ValueError(f"via {self.name}: cut spacing must be non-negative")
+        if self.enclosure_lower < 0 or self.enclosure_upper < 0:
+            raise ValueError(f"via {self.name}: enclosures must be non-negative")
+
+    def connects(self, layer_a: str, layer_b: str) -> bool:
+        """True if this via connects the two given metal layers (any order)."""
+        pair = {self.lower_layer, self.upper_layer}
+        return pair == {layer_a, layer_b}
+
+    def footprint(self) -> tuple:
+        """Return (lower, upper) pad edge lengths in dbu including enclosure."""
+        lower = self.cut_size + 2 * self.enclosure_lower
+        upper = self.cut_size + 2 * self.enclosure_upper
+        return (lower, upper)
+
+
+@dataclass
+class LayerMap:
+    """Mapping between logical layer names and GDS (layer, datatype) pairs.
+
+    The layer map is one of the "technology files" listed as a flow input in
+    the paper (Figure 4).  It is intentionally a thin, serialisable object.
+    """
+
+    entries: dict = field(default_factory=dict)
+
+    def add(self, name: str, gds_layer: int, gds_datatype: int = 0) -> None:
+        """Register a layer name to (layer, datatype) mapping."""
+        if name in self.entries:
+            raise ValueError(f"duplicate layer-map entry {name!r}")
+        self.entries[name] = (gds_layer, gds_datatype)
+
+    def lookup(self, name: str) -> Optional[tuple]:
+        """Return the (layer, datatype) pair for ``name`` or ``None``."""
+        return self.entries.get(name)
+
+    def reverse_lookup(self, gds_layer: int, gds_datatype: int = 0) -> Optional[str]:
+        """Return the layer name for a (layer, datatype) pair, if known."""
+        for name, key in self.entries.items():
+            if key == (gds_layer, gds_datatype):
+                return name
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,153 @@
+"""Serialisation of :class:`~repro.technology.tech.Technology` to/from dicts.
+
+The paper's flow consumes "technology files" (Figure 4).  This module gives
+the reproduction an equivalent externalised representation: a plain,
+JSON-compatible dictionary that can be written to disk, versioned, and read
+back without loss of the information the flow needs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TechnologyError
+from repro.technology.layers import (
+    Layer,
+    LayerPurpose,
+    LayerType,
+    MetalDirection,
+    ViaDefinition,
+)
+from repro.technology.rules import DesignRule, DesignRuleSet, RuleType
+from repro.technology.tech import ElectricalParameters, Technology
+
+
+def technology_to_dict(tech: Technology) -> dict:
+    """Convert a technology to a JSON-compatible dictionary."""
+    return {
+        "name": tech.name,
+        "feature_size": tech.feature_size,
+        "manufacturing_grid": tech.manufacturing_grid,
+        "layers": [_layer_to_dict(layer) for layer in tech.layers],
+        "vias": [_via_to_dict(via) for via in tech.vias],
+        "rules": [_rule_to_dict(rule) for rule in tech.rules],
+        "electrical": {
+            "vdd": tech.electrical.vdd,
+            "vcm": tech.electrical.vcm,
+            "temperature_k": tech.electrical.temperature_k,
+            "unit_capacitance": tech.electrical.unit_capacitance,
+            "cap_mismatch_kappa": tech.electrical.cap_mismatch_kappa,
+            "gate_capacitance_per_um": tech.electrical.gate_capacitance_per_um,
+            "wire_capacitance_per_um": tech.electrical.wire_capacitance_per_um,
+        },
+    }
+
+
+def technology_from_dict(data: dict) -> Technology:
+    """Rebuild a technology from the dictionary produced by
+    :func:`technology_to_dict`."""
+    try:
+        layers = [_layer_from_dict(entry) for entry in data["layers"]]
+        vias = [_via_from_dict(entry) for entry in data.get("vias", [])]
+        rules = DesignRuleSet(_rule_from_dict(entry) for entry in data.get("rules", []))
+        electrical = ElectricalParameters(**data.get("electrical", {}))
+        return Technology(
+            name=data["name"],
+            feature_size=data["feature_size"],
+            layers=layers,
+            vias=vias,
+            rules=rules,
+            electrical=electrical,
+            manufacturing_grid=data.get("manufacturing_grid", 1),
+        )
+    except KeyError as exc:
+        raise TechnologyError(f"technology dictionary missing field: {exc}") from exc
+
+
+def save_technology(tech: Technology, path: Union[str, Path]) -> None:
+    """Write a technology description to a JSON file."""
+    Path(path).write_text(json.dumps(technology_to_dict(tech), indent=2))
+
+
+def load_technology(path: Union[str, Path]) -> Technology:
+    """Read a technology description from a JSON file."""
+    return technology_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# private helpers
+# ---------------------------------------------------------------------------
+
+
+def _layer_to_dict(layer: Layer) -> dict:
+    return {
+        "name": layer.name,
+        "gds_layer": layer.gds_layer,
+        "gds_datatype": layer.gds_datatype,
+        "layer_type": layer.layer_type.value,
+        "direction": layer.direction.value,
+        "pitch": layer.pitch,
+        "default_width": layer.default_width,
+        "min_width": layer.min_width,
+        "min_spacing": layer.min_spacing,
+        "sheet_resistance": layer.sheet_resistance,
+        "capacitance_per_um": layer.capacitance_per_um,
+        "purpose": layer.purpose.value,
+    }
+
+
+def _layer_from_dict(data: dict) -> Layer:
+    return Layer(
+        name=data["name"],
+        gds_layer=data["gds_layer"],
+        gds_datatype=data.get("gds_datatype", 0),
+        layer_type=LayerType(data.get("layer_type", "metal")),
+        direction=MetalDirection(data.get("direction", "any")),
+        pitch=data.get("pitch", 0),
+        default_width=data.get("default_width", 0),
+        min_width=data.get("min_width", 0),
+        min_spacing=data.get("min_spacing", 0),
+        sheet_resistance=data.get("sheet_resistance", 0.0),
+        capacitance_per_um=data.get("capacitance_per_um", 0.0),
+        purpose=LayerPurpose(data.get("purpose", "drawing")),
+    )
+
+
+def _via_to_dict(via: ViaDefinition) -> dict:
+    return {
+        "name": via.name,
+        "lower_layer": via.lower_layer,
+        "cut_layer": via.cut_layer,
+        "upper_layer": via.upper_layer,
+        "cut_size": via.cut_size,
+        "cut_spacing": via.cut_spacing,
+        "enclosure_lower": via.enclosure_lower,
+        "enclosure_upper": via.enclosure_upper,
+        "resistance": via.resistance,
+    }
+
+
+def _via_from_dict(data: dict) -> ViaDefinition:
+    return ViaDefinition(**data)
+
+
+def _rule_to_dict(rule: DesignRule) -> dict:
+    return {
+        "rule_type": rule.rule_type.value,
+        "layer": rule.layer,
+        "value": rule.value,
+        "other_layer": rule.other_layer,
+        "name": rule.name,
+    }
+
+
+def _rule_from_dict(data: dict) -> DesignRule:
+    return DesignRule(
+        rule_type=RuleType(data["rule_type"]),
+        layer=data["layer"],
+        value=data["value"],
+        other_layer=data.get("other_layer"),
+        name=data.get("name", ""),
+    )

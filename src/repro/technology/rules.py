@@ -1,0 +1,138 @@
+"""Design-rule definitions and the rule set consumed by the DRC checker.
+
+Only the rule categories actually needed by the EasyACIM layout flow are
+modelled: minimum width, minimum spacing, minimum area, enclosure and
+extension rules.  The DRC checker in :mod:`repro.layout.drc` evaluates these
+rules over the flattened layout geometry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class RuleType(enum.Enum):
+    """Supported design-rule categories."""
+
+    MIN_WIDTH = "min_width"
+    MIN_SPACING = "min_spacing"
+    MIN_AREA = "min_area"
+    ENCLOSURE = "enclosure"
+    EXTENSION = "extension"
+
+
+@dataclass(frozen=True)
+class DesignRule:
+    """A single design rule.
+
+    Attributes:
+        rule_type: the category of the rule.
+        layer: primary layer the rule applies to.
+        value: rule value in dbu (or dbu^2 for area rules).
+        other_layer: secondary layer for enclosure / extension rules.
+        name: optional human-readable rule name for DRC reports.
+    """
+
+    rule_type: RuleType
+    layer: str
+    value: int
+    other_layer: Optional[str] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("rule value must be non-negative")
+        if self.rule_type in (RuleType.ENCLOSURE, RuleType.EXTENSION) and not self.other_layer:
+            raise ValueError(f"{self.rule_type.value} rule requires other_layer")
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in DRC reports."""
+        label = self.name or self.rule_type.value
+        if self.other_layer:
+            return f"{label}({self.layer}/{self.other_layer}) >= {self.value}"
+        return f"{label}({self.layer}) >= {self.value}"
+
+
+class DesignRuleSet:
+    """Collection of design rules indexed by layer and rule type."""
+
+    def __init__(self, rules: Optional[Iterable[DesignRule]] = None) -> None:
+        self._rules: List[DesignRule] = []
+        self._by_key: Dict[Tuple[RuleType, str, Optional[str]], DesignRule] = {}
+        for rule in rules or ():
+            self.add(rule)
+
+    def add(self, rule: DesignRule) -> None:
+        """Add a rule, rejecting duplicates for the same (type, layers) key."""
+        key = (rule.rule_type, rule.layer, rule.other_layer)
+        if key in self._by_key:
+            raise ValueError(f"duplicate rule for {key}")
+        self._by_key[key] = rule
+        self._rules.append(rule)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def get(
+        self,
+        rule_type: RuleType,
+        layer: str,
+        other_layer: Optional[str] = None,
+    ) -> Optional[DesignRule]:
+        """Return the matching rule or ``None``."""
+        return self._by_key.get((rule_type, layer, other_layer))
+
+    def value(
+        self,
+        rule_type: RuleType,
+        layer: str,
+        other_layer: Optional[str] = None,
+        default: int = 0,
+    ) -> int:
+        """Return the rule value, or ``default`` when no rule exists."""
+        rule = self.get(rule_type, layer, other_layer)
+        return rule.value if rule is not None else default
+
+    def min_width(self, layer: str, default: int = 0) -> int:
+        """Minimum width of shapes on ``layer`` in dbu."""
+        return self.value(RuleType.MIN_WIDTH, layer, default=default)
+
+    def min_spacing(self, layer: str, default: int = 0) -> int:
+        """Minimum same-layer spacing on ``layer`` in dbu."""
+        return self.value(RuleType.MIN_SPACING, layer, default=default)
+
+    def min_area(self, layer: str, default: int = 0) -> int:
+        """Minimum shape area on ``layer`` in dbu^2."""
+        return self.value(RuleType.MIN_AREA, layer, default=default)
+
+    def enclosure(self, outer_layer: str, inner_layer: str, default: int = 0) -> int:
+        """Required enclosure of ``inner_layer`` shapes by ``outer_layer``."""
+        return self.value(RuleType.ENCLOSURE, outer_layer, inner_layer, default=default)
+
+    def layers(self) -> List[str]:
+        """All layers that have at least one rule."""
+        seen = []
+        for rule in self._rules:
+            if rule.layer not in seen:
+                seen.append(rule.layer)
+        return seen
+
+    @classmethod
+    def from_layer_defaults(cls, layers) -> "DesignRuleSet":
+        """Build width/spacing rules from per-layer defaults.
+
+        Args:
+            layers: iterable of :class:`repro.technology.layers.Layer`.
+        """
+        rules = cls()
+        for layer in layers:
+            if layer.min_width > 0:
+                rules.add(DesignRule(RuleType.MIN_WIDTH, layer.name, layer.min_width))
+            if layer.min_spacing > 0:
+                rules.add(DesignRule(RuleType.MIN_SPACING, layer.name, layer.min_spacing))
+        return rules

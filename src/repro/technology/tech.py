@@ -1,0 +1,281 @@
+"""The :class:`Technology` container and the ``generic28`` factory.
+
+``generic28()`` builds the synthetic 28 nm-class technology used throughout
+the reproduction as the stand-in for the proprietary TSMC28 PDK.  Its metal
+pitches, via sizes and electrical parameters are chosen to be
+self-consistent and representative of a 28 nm planar process; the cell
+footprints in :mod:`repro.cells` are then calibrated on top of it so that
+the Figure-8 macro dimensions of the paper are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import TechnologyError
+from repro.technology.layers import (
+    Layer,
+    LayerMap,
+    LayerType,
+    MetalDirection,
+    ViaDefinition,
+)
+from repro.technology.rules import DesignRule, DesignRuleSet, RuleType
+
+
+@dataclass
+class ElectricalParameters:
+    """Process electrical parameters consumed by the estimation model.
+
+    Attributes:
+        vdd: nominal supply voltage in volts.
+        vcm: common-mode voltage used by the QR compute model in volts.
+        temperature_k: junction temperature in Kelvin.
+        unit_capacitance: compute capacitor C_F value in farads.
+        cap_mismatch_kappa: capacitor mismatch coefficient kappa such that
+            sigma_C = kappa * sqrt(C) (Tripathi & Murmann fringe-cap model).
+        gate_capacitance_per_um: MOS gate capacitance per micron of width.
+        wire_capacitance_per_um: average routed-wire capacitance per micron.
+    """
+
+    vdd: float = 0.9
+    vcm: float = 0.45
+    temperature_k: float = 300.15
+    unit_capacitance: float = 1.0e-15
+    cap_mismatch_kappa: float = 4.0e-10
+    gate_capacitance_per_um: float = 1.0e-15
+    wire_capacitance_per_um: float = 0.2e-15
+
+
+class Technology:
+    """A complete technology description.
+
+    Binds together the layer stack, via definitions, design rules, layer map
+    and electrical parameters.  This is one of the three flow inputs in the
+    paper's Figure 4 ("technology files").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        feature_size: float,
+        layers: Iterable[Layer],
+        vias: Iterable[ViaDefinition] = (),
+        rules: Optional[DesignRuleSet] = None,
+        electrical: Optional[ElectricalParameters] = None,
+        manufacturing_grid: int = 1,
+    ) -> None:
+        """Create a technology.
+
+        Args:
+            name: technology name, e.g. ``"generic28"``.
+            feature_size: feature size F in meters (used for F^2 reporting).
+            layers: all mask layers.
+            vias: via definitions between adjacent routing layers.
+            rules: design rules; derived from layer defaults when omitted.
+            electrical: electrical parameters; defaults when omitted.
+            manufacturing_grid: snapping grid in dbu.
+        """
+        if feature_size <= 0:
+            raise TechnologyError("feature size must be positive")
+        if manufacturing_grid <= 0:
+            raise TechnologyError("manufacturing grid must be positive")
+        self.name = name
+        self.feature_size = feature_size
+        self.manufacturing_grid = manufacturing_grid
+        self._layers: Dict[str, Layer] = {}
+        for layer in layers:
+            if layer.name in self._layers:
+                raise TechnologyError(f"duplicate layer {layer.name!r}")
+            self._layers[layer.name] = layer
+        self._vias: Dict[str, ViaDefinition] = {}
+        for via in vias:
+            if via.name in self._vias:
+                raise TechnologyError(f"duplicate via {via.name!r}")
+            for ref in (via.lower_layer, via.cut_layer, via.upper_layer):
+                if ref not in self._layers:
+                    raise TechnologyError(
+                        f"via {via.name!r} references unknown layer {ref!r}"
+                    )
+            self._vias[via.name] = via
+        self.rules = rules or DesignRuleSet.from_layer_defaults(self._layers.values())
+        self.electrical = electrical or ElectricalParameters()
+        self.layer_map = LayerMap()
+        for layer in self._layers.values():
+            self.layer_map.add(layer.name, layer.gds_layer, layer.gds_datatype)
+
+    # -- layer access -------------------------------------------------------
+
+    def layer(self, name: str) -> Layer:
+        """Return the layer with ``name``; raise :class:`TechnologyError` if absent."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise TechnologyError(f"unknown layer {name!r} in technology {self.name!r}")
+
+    def has_layer(self, name: str) -> bool:
+        """True if the technology defines a layer called ``name``."""
+        return name in self._layers
+
+    @property
+    def layers(self) -> List[Layer]:
+        """All layers in definition order."""
+        return list(self._layers.values())
+
+    @property
+    def routing_layers(self) -> List[Layer]:
+        """Metal layers available to the router, in stack order."""
+        return [layer for layer in self._layers.values() if layer.is_routing]
+
+    def routing_layer_index(self, name: str) -> int:
+        """Index of a routing layer within :attr:`routing_layers`."""
+        for index, layer in enumerate(self.routing_layers):
+            if layer.name == name:
+                return index
+        raise TechnologyError(f"{name!r} is not a routing layer")
+
+    # -- via access ---------------------------------------------------------
+
+    @property
+    def vias(self) -> List[ViaDefinition]:
+        """All via definitions."""
+        return list(self._vias.values())
+
+    def via(self, name: str) -> ViaDefinition:
+        """Return the via definition called ``name``."""
+        try:
+            return self._vias[name]
+        except KeyError:
+            raise TechnologyError(f"unknown via {name!r} in technology {self.name!r}")
+
+    def via_between(self, layer_a: str, layer_b: str) -> ViaDefinition:
+        """Return the via connecting two routing layers (any order)."""
+        for via in self._vias.values():
+            if via.connects(layer_a, layer_b):
+                return via
+        raise TechnologyError(f"no via between {layer_a!r} and {layer_b!r}")
+
+    # -- convenience --------------------------------------------------------
+
+    def feature_size_nm(self) -> float:
+        """Feature size in nanometers."""
+        return self.feature_size * 1e9
+
+    def validate(self) -> None:
+        """Check internal consistency of the technology.
+
+        Raises:
+            TechnologyError: when the routing stack is unusable (fewer than
+                two routing layers, or a missing via between adjacent ones).
+        """
+        routing = self.routing_layers
+        if len(routing) < 2:
+            raise TechnologyError("technology needs at least two routing layers")
+        for lower, upper in zip(routing, routing[1:]):
+            try:
+                self.via_between(lower.name, upper.name)
+            except TechnologyError:
+                raise TechnologyError(
+                    f"missing via between adjacent routing layers "
+                    f"{lower.name!r} and {upper.name!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Technology(name={self.name!r}, F={self.feature_size_nm():.0f}nm, "
+            f"layers={len(self._layers)}, vias={len(self._vias)})"
+        )
+
+
+def generic28(
+    unit_capacitance: float = 1.0e-15,
+    vdd: float = 0.9,
+) -> Technology:
+    """Build the synthetic generic 28 nm technology.
+
+    The metal stack provides M1..M6 with alternating preferred directions,
+    a MOM-capacitor marker layer used by the compute-capacitor cell, and
+    poly/diffusion layers for the device-level cells.  Pitches and widths
+    are representative of a 28 nm planar node (all values in nanometers).
+
+    Args:
+        unit_capacitance: compute capacitor value C_F in farads.
+        vdd: nominal supply voltage.
+    """
+    layers = [
+        Layer("NWELL", 1, layer_type=LayerType.WELL, min_width=200, min_spacing=250),
+        Layer("DIFF", 2, layer_type=LayerType.DIFFUSION, min_width=50, min_spacing=80),
+        Layer("POLY", 3, layer_type=LayerType.POLY, min_width=30, min_spacing=90),
+        Layer("CONT", 4, layer_type=LayerType.CONTACT, min_width=40, min_spacing=80),
+        Layer(
+            "M1", 10, layer_type=LayerType.METAL, direction=MetalDirection.HORIZONTAL,
+            pitch=100, default_width=50, min_width=50, min_spacing=50,
+            sheet_resistance=0.8, capacitance_per_um=0.20e-15,
+        ),
+        Layer("VIA1", 11, layer_type=LayerType.VIA, min_width=50, min_spacing=70),
+        Layer(
+            "M2", 12, layer_type=LayerType.METAL, direction=MetalDirection.VERTICAL,
+            pitch=100, default_width=50, min_width=50, min_spacing=50,
+            sheet_resistance=0.8, capacitance_per_um=0.20e-15,
+        ),
+        Layer("VIA2", 13, layer_type=LayerType.VIA, min_width=50, min_spacing=70),
+        Layer(
+            "M3", 14, layer_type=LayerType.METAL, direction=MetalDirection.HORIZONTAL,
+            pitch=100, default_width=50, min_width=50, min_spacing=50,
+            sheet_resistance=0.7, capacitance_per_um=0.19e-15,
+        ),
+        Layer("VIA3", 15, layer_type=LayerType.VIA, min_width=50, min_spacing=70),
+        Layer(
+            "M4", 16, layer_type=LayerType.METAL, direction=MetalDirection.VERTICAL,
+            pitch=200, default_width=100, min_width=100, min_spacing=100,
+            sheet_resistance=0.4, capacitance_per_um=0.18e-15,
+        ),
+        Layer("VIA4", 17, layer_type=LayerType.VIA, min_width=100, min_spacing=140),
+        Layer(
+            "M5", 18, layer_type=LayerType.METAL, direction=MetalDirection.HORIZONTAL,
+            pitch=200, default_width=100, min_width=100, min_spacing=100,
+            sheet_resistance=0.4, capacitance_per_um=0.18e-15,
+        ),
+        Layer("VIA5", 19, layer_type=LayerType.VIA, min_width=100, min_spacing=140),
+        Layer(
+            "M6", 20, layer_type=LayerType.METAL, direction=MetalDirection.VERTICAL,
+            pitch=400, default_width=200, min_width=200, min_spacing=200,
+            sheet_resistance=0.2, capacitance_per_um=0.17e-15,
+        ),
+        Layer("MOMCAP", 30, layer_type=LayerType.CAPACITOR, min_width=50, min_spacing=50),
+        Layer("PRBOUND", 63, layer_type=LayerType.MARKER),
+    ]
+    vias = [
+        ViaDefinition("VIA12", "M1", "VIA1", "M2", cut_size=50, cut_spacing=70,
+                      enclosure_lower=10, enclosure_upper=10, resistance=8.0),
+        ViaDefinition("VIA23", "M2", "VIA2", "M3", cut_size=50, cut_spacing=70,
+                      enclosure_lower=10, enclosure_upper=10, resistance=8.0),
+        ViaDefinition("VIA34", "M3", "VIA3", "M4", cut_size=50, cut_spacing=70,
+                      enclosure_lower=10, enclosure_upper=25, resistance=6.0),
+        ViaDefinition("VIA45", "M4", "VIA4", "M5", cut_size=100, cut_spacing=140,
+                      enclosure_lower=25, enclosure_upper=25, resistance=4.0),
+        ViaDefinition("VIA56", "M5", "VIA5", "M6", cut_size=100, cut_spacing=140,
+                      enclosure_lower=25, enclosure_upper=50, resistance=3.0),
+    ]
+    rules = DesignRuleSet.from_layer_defaults(layers)
+    rules.add(DesignRule(RuleType.MIN_AREA, "M1", 10000, name="M1.area"))
+    rules.add(DesignRule(RuleType.MIN_AREA, "M2", 10000, name="M2.area"))
+    rules.add(DesignRule(RuleType.ENCLOSURE, "M1", 10, other_layer="VIA1", name="M1.enc.VIA1"))
+    rules.add(DesignRule(RuleType.ENCLOSURE, "M2", 10, other_layer="VIA1", name="M2.enc.VIA1"))
+    electrical = ElectricalParameters(
+        vdd=vdd,
+        vcm=vdd / 2.0,
+        unit_capacitance=unit_capacitance,
+    )
+    tech = Technology(
+        name="generic28",
+        feature_size=28e-9,
+        layers=layers,
+        vias=vias,
+        rules=rules,
+        electrical=electrical,
+        manufacturing_grid=5,
+    )
+    tech.validate()
+    return tech

@@ -1,0 +1,167 @@
+"""Physical constants, unit helpers and dB conversions.
+
+All internal quantities in the library use SI base units (seconds, meters,
+farads, joules, volts) unless a function name says otherwise.  Layout
+coordinates use nanometers stored as integers (database units), which is
+conventional for IC layout databases and avoids floating-point snapping
+issues; :data:`DBU_PER_UM` gives the conversion factor.
+
+The helpers here are deliberately tiny, pure functions so that the
+estimation model (:mod:`repro.model`) and the behavioral simulator
+(:mod:`repro.sim`) can share a single, well-tested vocabulary for unit
+conversions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant in J/K, used for kT/C thermal-noise calculations.
+BOLTZMANN_K = 1.380649e-23
+
+#: Default simulation temperature in Kelvin (27 degrees Celsius).
+ROOM_TEMPERATURE_K = 300.15
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+#: Layout database units per micrometer (1 dbu = 1 nm).
+DBU_PER_UM = 1000
+
+# ---------------------------------------------------------------------------
+# dB helpers
+# ---------------------------------------------------------------------------
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises:
+        ValueError: if ``value`` is not strictly positive.
+    """
+    if value <= 0.0:
+        raise ValueError(f"cannot convert non-positive ratio {value!r} to dB")
+    return 10.0 * math.log10(value)
+
+
+def amplitude_db(value: float) -> float:
+    """Convert an amplitude ratio (e.g. x_m / sigma_x) to dB (20 log10)."""
+    if value <= 0.0:
+        raise ValueError(f"cannot convert non-positive amplitude {value!r} to dB")
+    return 20.0 * math.log10(value)
+
+
+# ---------------------------------------------------------------------------
+# Feature-size (F^2) area normalisation
+# ---------------------------------------------------------------------------
+
+
+def f2_area_m2(f2: float, feature_size_m: float) -> float:
+    """Convert an area expressed in F^2 to square meters.
+
+    Args:
+        f2: area in squared feature sizes (the paper reports F^2/bit).
+        feature_size_m: technology feature size F in meters (28 nm for the
+            paper's TSMC28 implementation).
+    """
+    if feature_size_m <= 0:
+        raise ValueError("feature size must be positive")
+    return f2 * feature_size_m * feature_size_m
+
+
+def area_m2_to_f2(area_m2: float, feature_size_m: float) -> float:
+    """Convert an area in square meters to squared feature sizes (F^2)."""
+    if feature_size_m <= 0:
+        raise ValueError("feature size must be positive")
+    return area_m2 / (feature_size_m * feature_size_m)
+
+
+def um2_to_f2(area_um2: float, feature_size_m: float) -> float:
+    """Convert an area in square micrometers to F^2."""
+    return area_m2_to_f2(area_um2 * MICRO * MICRO, feature_size_m)
+
+
+def f2_to_um2(f2: float, feature_size_m: float) -> float:
+    """Convert an area in F^2 to square micrometers."""
+    return f2_area_m2(f2, feature_size_m) / (MICRO * MICRO)
+
+
+# ---------------------------------------------------------------------------
+# Throughput / efficiency helpers
+# ---------------------------------------------------------------------------
+
+#: Number of arithmetic operations counted per multiply-accumulate.
+OPS_PER_MAC = 2
+
+
+def ops_to_tops(ops_per_second: float) -> float:
+    """Convert operations/second to TOPS (tera-operations per second)."""
+    return ops_per_second / TERA
+
+
+def tops_per_watt(ops_per_second: float, power_watt: float) -> float:
+    """Compute energy efficiency in TOPS/W from throughput and power."""
+    if power_watt <= 0:
+        raise ValueError("power must be positive")
+    return ops_per_second / power_watt / TERA
+
+
+def energy_per_op_to_tops_per_watt(energy_joule: float) -> float:
+    """Convert energy per operation (J/op) to TOPS/W.
+
+    TOPS/W is the reciprocal of energy per operation expressed in pJ/op:
+    1 pJ/op corresponds to 1 TOPS/W.
+    """
+    if energy_joule <= 0:
+        raise ValueError("energy per operation must be positive")
+    return 1.0 / (energy_joule / PICO)
+
+
+def tops_per_watt_to_energy_per_op(tops_w: float) -> float:
+    """Convert an efficiency in TOPS/W back to energy per operation (J)."""
+    if tops_w <= 0:
+        raise ValueError("efficiency must be positive")
+    return PICO / tops_w
+
+
+# ---------------------------------------------------------------------------
+# dbu (integer nanometer) helpers for the layout database
+# ---------------------------------------------------------------------------
+
+
+def um_to_dbu(um: float) -> int:
+    """Convert micrometers to integer database units (nanometers)."""
+    return int(round(um * DBU_PER_UM))
+
+
+def dbu_to_um(dbu: int) -> float:
+    """Convert integer database units (nanometers) to micrometers."""
+    return dbu / DBU_PER_UM
+
+
+def snap_to_grid(value_dbu: int, grid_dbu: int) -> int:
+    """Snap a database-unit coordinate to the nearest multiple of ``grid_dbu``."""
+    if grid_dbu <= 0:
+        raise ValueError("grid must be positive")
+    return int(round(value_dbu / grid_dbu)) * grid_dbu

@@ -1,0 +1,40 @@
+"""Shared fixtures for the EasyACIM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.cells.library import default_cell_library
+from repro.model.estimator import ACIMEstimator
+from repro.technology.tech import generic28
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The synthetic generic 28 nm technology used by all physical tests."""
+    return generic28()
+
+
+@pytest.fixture(scope="session")
+def cell_library(technology):
+    """The default cell library on the session technology."""
+    return default_cell_library(technology)
+
+
+@pytest.fixture(scope="session")
+def estimator():
+    """A default-parameter estimator shared by model-level tests."""
+    return ACIMEstimator()
+
+
+@pytest.fixture
+def small_spec():
+    """A small feasible design spec (fast netlist / layout generation)."""
+    return ACIMDesignSpec(height=16, width=4, local_array_size=4, adc_bits=2)
+
+
+@pytest.fixture
+def figure8_spec_b():
+    """Figure 8(b): the balanced 16 kb design point (H=128, L=8, B=3)."""
+    return ACIMDesignSpec(height=128, width=128, local_array_size=8, adc_bits=3)

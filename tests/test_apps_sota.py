@@ -1,0 +1,161 @@
+"""Unit tests for application mapping/evaluation and the SOTA references."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.arch.spec import ACIMDesignSpec
+from repro.apps import (
+    ApplicationEvaluator,
+    ArrayMapper,
+    LayerKind,
+    NetworkLayer,
+    NetworkModel,
+    example_cnn,
+    example_snn,
+    example_transformer,
+)
+from repro.dse.exhaustive import exhaustive_pareto_front
+from repro.sota import SOTA_DESIGNS, compare_with_design_space, design_by_label
+
+
+class TestNetworks:
+    def test_example_networks_have_layers(self):
+        for network in (example_cnn(), example_transformer(), example_snn()):
+            assert network.layers
+            assert network.total_macs > 0
+            assert network.total_weights > 0
+
+    def test_transformer_needs_more_snr_than_snn(self):
+        assert example_transformer().min_snr_db > example_snn().min_snr_db
+
+    def test_layer_mac_count(self):
+        layer = NetworkLayer("fc", LayerKind.FULLY_CONNECTED, input_length=100,
+                             output_count=10, vectors_per_inference=2)
+        assert layer.macs_per_inference == 2000
+        assert layer.weight_count == 1000
+
+    def test_invalid_layer(self):
+        with pytest.raises(ReproError):
+            NetworkLayer("bad", LayerKind.FULLY_CONNECTED, input_length=0, output_count=1)
+
+
+class TestMapping:
+    SPEC = ACIMDesignSpec(128, 128, 8, 3)
+
+    def test_layer_that_fits_one_tile(self):
+        mapper = ArrayMapper(self.SPEC)
+        layer = NetworkLayer("small", LayerKind.FULLY_CONNECTED, input_length=16,
+                             output_count=64, vectors_per_inference=1)
+        mapping = mapper.map_layer(layer)
+        assert mapping.row_tiles == 1
+        assert mapping.column_tiles == 1
+        assert mapping.cycles_per_inference == 1
+        assert mapping.digital_accumulations == 1
+
+    def test_long_accumulation_needs_row_tiles(self):
+        mapper = ArrayMapper(self.SPEC)
+        layer = NetworkLayer("long", LayerKind.FULLY_CONNECTED, input_length=256,
+                             output_count=16, vectors_per_inference=1)
+        mapping = mapper.map_layer(layer)
+        assert mapping.row_tiles == 16
+        assert mapping.digital_accumulations == 16
+
+    def test_wide_layer_needs_column_tiles(self):
+        mapper = ArrayMapper(self.SPEC)
+        layer = NetworkLayer("wide", LayerKind.FULLY_CONNECTED, input_length=16,
+                             output_count=300, vectors_per_inference=1)
+        assert mapper.map_layer(layer).column_tiles == 3
+
+    def test_network_mapping_totals(self):
+        report = ArrayMapper(self.SPEC).map_network(example_cnn())
+        assert report.total_cycles >= sum(
+            layer.vectors_per_inference for layer in example_cnn().layers)
+        assert 0 < report.mean_utilization <= 1.0
+
+    def test_utilization_bounded(self):
+        report = ArrayMapper(self.SPEC).map_network(example_transformer())
+        assert 0 < report.mean_utilization <= 1.0
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ReproError):
+            ArrayMapper(self.SPEC).map_network(NetworkModel("empty"))
+
+
+class TestApplicationEvaluator:
+    def test_evaluation_produces_positive_metrics(self):
+        result = ApplicationEvaluator().evaluate(
+            ACIMDesignSpec(128, 128, 8, 3), example_cnn())
+        assert result.latency_seconds > 0
+        assert result.energy_per_inference > 0
+        assert result.inferences_per_second > 0
+
+    def test_transformer_requires_higher_precision_macro(self):
+        evaluator = ApplicationEvaluator()
+        low_precision = ACIMDesignSpec(512, 32, 4, 3)
+        high_precision = ACIMDesignSpec(512, 32, 2, 7)
+        transformer = example_transformer()
+        low_result = evaluator.evaluate(low_precision, transformer)
+        high_result = evaluator.evaluate(high_precision, transformer)
+        assert high_result.effective_snr_db > low_result.effective_snr_db
+        assert not low_result.meets_snr_requirement
+
+    def test_snn_prefers_energy_over_snr(self):
+        evaluator = ApplicationEvaluator()
+        result = evaluator.evaluate(ACIMDesignSpec(512, 32, 16, 2), example_snn())
+        assert result.energy_per_inference < 1e-6
+
+    def test_digital_accumulation_penalty(self):
+        evaluator = ApplicationEvaluator()
+        spec = ACIMDesignSpec(128, 128, 8, 3)
+        result = evaluator.evaluate(spec, example_transformer())
+        assert result.effective_snr_db < result.macro_metrics.snr_db
+
+    def test_result_dictionary(self):
+        result = ApplicationEvaluator().evaluate(
+            ACIMDesignSpec(128, 128, 8, 3), example_cnn())
+        record = result.as_dict()
+        assert record["network"] == "edge_cnn"
+        assert record["H"] == 128
+
+    def test_pareto_set_contains_a_point_per_scenario(self):
+        # The motivation of the paper: one Pareto set serves different
+        # applications; verify at least one solution meets each scenario's
+        # SNR requirement for a 16 kb array.
+        evaluator = ApplicationEvaluator()
+        designs = exhaustive_pareto_front(16384)
+        for network in (example_cnn(), example_snn()):
+            results = [evaluator.evaluate(d.spec, network) for d in designs[:80]]
+            assert any(r.meets_snr_requirement for r in results), network.name
+
+
+class TestSotaReferences:
+    def test_three_reference_designs(self):
+        assert len(SOTA_DESIGNS) == 3
+        assert {d.label for d in SOTA_DESIGNS} == {"A", "B", "C"}
+
+    def test_lookup_by_label(self):
+        assert design_by_label("A").technology_nm == 28
+        with pytest.raises(ReproError):
+            design_by_label("Z")
+
+    def test_reference_values_in_paper_ranges(self):
+        # The paper's claimed EasyACIM ranges bracket the SOTA points.
+        for design in SOTA_DESIGNS:
+            assert 50 <= design.energy_efficiency_tops_w <= 750
+            assert 1500 <= design.area_f2_per_bit <= 7500
+
+    def test_comparison_report_structure(self):
+        designs = exhaustive_pareto_front(16384)
+        report = compare_with_design_space(designs)
+        assert set(report) == {"A", "B", "C"}
+        for entry in report.values():
+            assert "solutions_with_better_efficiency" in entry
+            assert entry["reference"]["tops_per_watt"] > 0
+
+    def test_design_space_covers_every_reference(self):
+        # Figure 10's claim: the generated space reaches both better-than-
+        # reference efficiency and better-than-reference area (on separate
+        # solutions at least).
+        designs = exhaustive_pareto_front(16384)
+        report = compare_with_design_space(designs)
+        assert all(entry["covered"] for entry in report.values())

@@ -1,0 +1,210 @@
+"""Unit tests for the synthesizable architecture (spec, structure, timing)."""
+
+import pytest
+
+from repro.errors import ModelError, SpecificationError
+from repro.arch import (
+    ACIMDesignSpec,
+    COMPUTE_MODEL_CATALOG,
+    ComputeModel,
+    OperatingState,
+    SynthesizableACIM,
+    TimingModel,
+    TimingParameters,
+    enumerate_design_space,
+    valid_heights,
+)
+from repro.arch.compute_models import select_compute_model
+from repro.arch.spec import design_space_size
+
+
+class TestDesignSpec:
+    def test_figure8_specs_are_feasible(self):
+        for height, width, local in ((128, 128, 2), (128, 128, 8), (64, 256, 8)):
+            spec = ACIMDesignSpec(height, width, local, 3)
+            assert spec.is_feasible(16 * 1024)
+
+    def test_derived_quantities(self, figure8_spec_b):
+        spec = figure8_spec_b
+        assert spec.array_size == 16384
+        assert spec.local_arrays_per_column == 16
+        assert spec.dot_product_length == 16
+        assert spec.capacitor_units_per_column == 8
+
+    def test_sar_group_ratios(self):
+        spec = ACIMDesignSpec(64, 4, 4, 3)
+        assert spec.sar_group_ratios == (1, 1, 2, 4)
+        assert sum(spec.sar_group_ratios) == 2 ** 3
+
+    def test_adc_bits_constraint(self):
+        # H/L = 8 supports at most 3 bits.
+        assert ACIMDesignSpec(64, 4, 8, 3).is_feasible()
+        assert not ACIMDesignSpec(64, 4, 8, 4).is_feasible()
+
+    def test_local_larger_than_height_infeasible(self):
+        assert not ACIMDesignSpec(8, 4, 16, 1).is_feasible()
+
+    def test_height_not_multiple_of_local_infeasible(self):
+        assert not ACIMDesignSpec(12, 4, 8, 1).is_feasible()
+
+    def test_array_size_constraint(self):
+        spec = ACIMDesignSpec(128, 128, 8, 3)
+        assert spec.is_feasible(16384)
+        assert not spec.is_feasible(8192)
+
+    def test_validate_raises_with_reason(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            ACIMDesignSpec(64, 4, 8, 5).validate()
+        assert "2^" in str(excinfo.value) or "H/L" in str(excinfo.value)
+
+    def test_describe_mentions_parameters(self, figure8_spec_b):
+        text = figure8_spec_b.describe()
+        assert "H=128" in text and "B_ADC=3" in text
+
+    def test_ordering_and_hashing(self):
+        a = ACIMDesignSpec(64, 4, 8, 3)
+        b = ACIMDesignSpec(64, 4, 8, 3)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestDesignSpaceEnumeration:
+    def test_valid_heights_divide_array_size(self):
+        for height in valid_heights(16384):
+            assert 16384 % height == 0
+
+    def test_valid_heights_power_of_two_filter(self):
+        heights = valid_heights(48, power_of_two_only=True)
+        assert heights == [1, 2, 4, 8, 16]
+
+    def test_enumeration_yields_only_feasible(self):
+        for spec in enumerate_design_space(4096):
+            assert spec.is_feasible(4096)
+
+    def test_enumeration_respects_limits(self):
+        specs = list(enumerate_design_space(1024, local_array_sizes=(2, 4),
+                                            max_adc_bits=3))
+        assert specs
+        assert all(s.adc_bits <= 3 for s in specs)
+        assert all(s.local_array_size in (2, 4) for s in specs)
+
+    def test_larger_arrays_have_larger_design_space(self):
+        assert design_space_size(16384) > design_space_size(1024)
+
+    def test_bad_array_size(self):
+        with pytest.raises(SpecificationError):
+            valid_heights(0)
+
+
+class TestSynthesizableACIM:
+    def test_compute_model_is_qr(self):
+        assert SynthesizableACIM.compute_model is ComputeModel.CHARGE_REDISTRIBUTION
+
+    def test_column_structure(self, figure8_spec_b):
+        acim = SynthesizableACIM(figure8_spec_b)
+        column = acim.column_plan(0)
+        assert column.num_local_arrays == 16
+        assert column.num_rows == 128
+        assert column.total_cdac_units() == 8
+        assert len(column.sar_groups) == figure8_spec_b.adc_bits + 1
+
+    def test_sar_group_weights_follow_binary_ratio(self, figure8_spec_b):
+        acim = SynthesizableACIM(figure8_spec_b)
+        weights = [g.weight for g in acim.column_plan(0).sar_groups]
+        assert weights == [1, 1, 2, 4]
+
+    def test_local_array_rows_partition_column(self, figure8_spec_b):
+        acim = SynthesizableACIM(figure8_spec_b)
+        rows = [r for array in acim.column_plan(0).local_arrays for r in array.rows]
+        assert rows == list(range(128))
+
+    def test_unused_local_arrays(self, figure8_spec_b):
+        acim = SynthesizableACIM(figure8_spec_b)
+        assert acim.unused_local_arrays_per_column() == 16 - 8
+
+    def test_component_counts(self, figure8_spec_b):
+        counts = SynthesizableACIM(figure8_spec_b).component_counts()
+        assert counts["sram8t"] == 16384
+        assert counts["comparator"] == 128
+        assert counts["sar_dff"] == 3 * 128
+        assert counts["local_compute"] == 16 * 128
+
+    def test_columns_are_identical(self, small_spec):
+        acim = SynthesizableACIM(small_spec)
+        columns = acim.columns()
+        assert len(columns) == small_spec.width
+        assert all(c.local_arrays == columns[0].local_arrays for c in columns)
+
+    def test_invalid_column_index(self, small_spec):
+        acim = SynthesizableACIM(small_spec)
+        with pytest.raises(SpecificationError):
+            acim.column_plan(small_spec.width)
+
+    def test_describe_contains_ratio(self, figure8_spec_b):
+        assert "1:1:2:4" in SynthesizableACIM(figure8_spec_b).describe()
+
+    def test_infeasible_spec_rejected(self):
+        with pytest.raises(SpecificationError):
+            SynthesizableACIM(ACIMDesignSpec(8, 4, 8, 4))
+
+
+class TestComputeModels:
+    def test_catalog_has_three_models(self):
+        assert len(COMPUTE_MODEL_CATALOG) == 3
+
+    def test_selection_is_qr(self):
+        assert select_compute_model() is ComputeModel.CHARGE_REDISTRIBUTION
+
+    def test_qr_supports_capacitor_reuse(self):
+        qr = COMPUTE_MODEL_CATALOG[ComputeModel.CHARGE_REDISTRIBUTION]
+        assert qr.supports_capacitor_reuse
+        assert not qr.pvt_sensitive
+
+    def test_is_more_robust_than_current_summing(self):
+        qr = COMPUTE_MODEL_CATALOG[ComputeModel.CHARGE_REDISTRIBUTION]
+        cs = COMPUTE_MODEL_CATALOG[ComputeModel.CURRENT_SUMMING]
+        assert qr.robustness_score() > cs.robustness_score()
+
+
+class TestTiming:
+    def test_cycle_time_near_five_ns_for_figure8(self, figure8_spec_b):
+        model = TimingModel(figure8_spec_b)
+        assert model.cycle_time == pytest.approx(5.0e-9, rel=0.05)
+
+    def test_setup_time_respects_lower_bound(self, figure8_spec_b):
+        model = TimingModel(figure8_spec_b)
+        assert model.setup_time >= model.minimum_setup_time
+
+    def test_conversion_time_scales_with_bits(self):
+        short = TimingModel(ACIMDesignSpec(64, 4, 8, 2))
+        long = TimingModel(ACIMDesignSpec(64, 4, 8, 3))
+        assert long.conversion_time > short.conversion_time
+
+    def test_macs_per_cycle(self, figure8_spec_b):
+        assert TimingModel(figure8_spec_b).macs_per_cycle() == 16 * 128
+
+    def test_events_cover_both_states(self, small_spec):
+        events = TimingModel(small_spec).events()
+        states = {event.state for event in events}
+        assert states == {OperatingState.MAC, OperatingState.ADC_CONVERSION}
+
+    def test_events_are_time_ordered(self, small_spec):
+        events = TimingModel(small_spec).events()
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_comparison_events_match_adc_bits(self, small_spec):
+        events = TimingModel(small_spec).events()
+        comparisons = [e for e in events if e.signal.startswith("COMP[")]
+        assert len(comparisons) == small_spec.adc_bits
+
+    def test_state_durations_sum_to_cycle(self, small_spec):
+        model = TimingModel(small_spec)
+        durations = model.state_durations()
+        assert sum(durations.values()) == pytest.approx(model.cycle_time)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            TimingParameters(compute_delay=-1.0)
+        with pytest.raises(ModelError):
+            TimingParameters(setup_margin=0.5)

@@ -1,0 +1,120 @@
+"""Unit tests for model calibration (Figure-8 constants, k1..k4 fits)."""
+
+import math
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.model.area import AreaModel
+from repro.model.calibration import (
+    FIGURE8_REFERENCE,
+    calibrate_cycle_time_from_figure8,
+    derive_area_parameters_from_figure8,
+    fit_adc_energy_constants,
+    fit_snr_constants,
+)
+from repro.model.energy import EnergyParameters
+from repro.model.notation import WorkloadStatistics
+from repro.model.snr import SnrModel, SnrParameters
+from repro.arch.spec import ACIMDesignSpec
+from repro.sim.sar_adc import sar_adc_energy
+
+
+class TestAreaCalibration:
+    def test_reference_has_three_points(self):
+        assert len(FIGURE8_REFERENCE) == 3
+
+    def test_derived_constants_reproduce_figure8(self):
+        params = derive_area_parameters_from_figure8()
+        model = AreaModel(params)
+        for (h, w, l, b), (_tops, f2) in FIGURE8_REFERENCE.items():
+            spec = ACIMDesignSpec(h, w, l, b)
+            assert model.area_per_bit_f2(spec) == pytest.approx(f2, rel=0.01)
+
+    def test_derived_constants_match_defaults(self):
+        params = derive_area_parameters_from_figure8()
+        defaults = AreaModel().parameters
+        assert params.a_sram == pytest.approx(defaults.a_sram, rel=0.01)
+        assert params.a_local_compute == pytest.approx(defaults.a_local_compute, rel=0.01)
+        lumped_fit = params.a_comparator + 3 * params.a_dff
+        lumped_default = defaults.a_comparator + 3 * defaults.a_dff
+        assert lumped_fit == pytest.approx(lumped_default, rel=0.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(CalibrationError):
+            derive_area_parameters_from_figure8(comparator_fraction=1.5)
+
+
+class TestCycleTimeCalibration:
+    def test_cycle_time_close_to_default_timing(self):
+        implied = calibrate_cycle_time_from_figure8()
+        assert implied == pytest.approx(5.0e-9, rel=0.05)
+
+
+class TestSnrCalibration:
+    def test_fit_produces_positive_constants(self):
+        k3, k4, rms = fit_snr_constants()
+        assert k3 > 0
+        assert rms >= 0
+
+    def test_fitted_simplified_model_tracks_full_model(self):
+        params = SnrParameters()
+        k3, k4, rms = fit_snr_constants(snr_parameters=params)
+        fitted = SnrParameters(
+            unit_capacitance=params.unit_capacitance,
+            cap_mismatch_kappa=params.cap_mismatch_kappa,
+            k3=k3, k4=k4,
+        )
+        model = SnrModel(fitted)
+        errors = []
+        for bits in (2, 3, 4, 5):
+            for n in (8, 16, 32, 64, 128):
+                if n < 2 ** bits:
+                    continue
+                errors.append(abs(
+                    model.simplified_snr_db(bits, n) - model.design_snr_db(bits, n)))
+        assert sum(errors) / len(errors) < 3.0
+
+    def test_k4_reflects_workload_crest_factors(self):
+        workload = WorkloadStatistics.binary()
+        _k3, k4, _rms = fit_snr_constants(workload=workload)
+        assert k4 == pytest.approx(4.8 - workload.zeta_x_db - workload.zeta_w_db)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_snr_constants(adc_bits_range=[8], local_arrays_range=[4])
+
+
+class TestAdcEnergyCalibration:
+    def test_fit_from_behavioral_model(self):
+        k1, k2, rel_rms = fit_adc_energy_constants()
+        assert k1 > 0 and k2 > 0
+        assert rel_rms < 0.35
+
+    def test_fitted_constants_in_default_ballpark(self):
+        k1, k2, _ = fit_adc_energy_constants()
+        defaults = EnergyParameters()
+        assert math.log10(k1) == pytest.approx(math.log10(defaults.k1), abs=0.5)
+        assert math.log10(k2) == pytest.approx(math.log10(defaults.k2), abs=0.5)
+
+    def test_fit_from_explicit_samples(self):
+        vdd = 0.9
+        true_k1, true_k2 = 2.0e-15, 0.1e-15
+        samples = {
+            bits: true_k1 * (bits + math.log2(vdd)) + true_k2 * 4 ** bits * vdd ** 2
+            for bits in range(2, 9)
+        }
+        k1, k2, rel_rms = fit_adc_energy_constants(samples, vdd=vdd)
+        assert k1 == pytest.approx(true_k1, rel=1e-6)
+        assert k2 == pytest.approx(true_k2, rel=1e-6)
+        assert rel_rms < 1e-9
+
+    def test_behavioral_energy_monotonic_in_bits(self):
+        energies = [sar_adc_energy(bits) for bits in range(2, 9)]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_adc_energy_constants({3: -1.0, 4: 1.0})
+        with pytest.raises(CalibrationError):
+            fit_adc_energy_constants({4: 1.0e-15})

@@ -1,0 +1,171 @@
+"""Unit tests for the customized cell library."""
+
+import pytest
+
+from repro.errors import CellLibraryError, FlowError
+from repro.cells import (
+    CellFootprints,
+    CellLibrary,
+    CmosSwitchCell,
+    ComputeCapacitorCell,
+    DynamicComparatorCell,
+    InputBufferCell,
+    LocalComputeCell,
+    OutputBufferCell,
+    SarDffCell,
+    SenseAmplifierCell,
+    Sram8TCell,
+    default_cell_library,
+)
+from repro.cells.library import sar_controller_for
+from repro.cells.sar_logic import SarControlCell
+from repro.model.area import AreaParameters
+from repro.netlist.device import DeviceType
+from repro.netlist.traversal import count_devices, total_capacitance
+from repro.units import um2_to_f2
+
+
+class TestFootprints:
+    def test_derived_from_area_parameters(self):
+        footprints = CellFootprints.from_area_parameters(AreaParameters())
+        # A_SRAM ~ 1612 F^2 at a 2 um column pitch is ~0.63 um tall.
+        assert footprints.sram == pytest.approx(632, abs=3)
+        assert footprints.local_compute == pytest.approx(1980, abs=10)
+        assert footprints.comparator == pytest.approx(11368, abs=60)
+        assert footprints.sar_dff == pytest.approx(2349, abs=15)
+
+    def test_column_height_matches_figure8b(self):
+        footprints = CellFootprints.from_area_parameters(AreaParameters())
+        # Figure 8(b): H=128, L=8, B=3 columns are about 131 um tall.
+        height = footprints.column_height(128, 8, 3)
+        assert height == pytest.approx(131_000, rel=0.02)
+
+    def test_column_height_matches_figure8a(self):
+        footprints = CellFootprints.from_area_parameters(AreaParameters())
+        height = footprints.column_height(128, 2, 3)
+        assert height == pytest.approx(226_000, rel=0.02)
+
+    def test_column_height_requires_multiple(self):
+        footprints = CellFootprints.from_area_parameters(AreaParameters())
+        with pytest.raises(CellLibraryError):
+            footprints.column_height(100, 8, 3)
+
+    def test_invalid_footprints_rejected(self):
+        with pytest.raises(CellLibraryError):
+            CellFootprints(column_width=0, sram=1, local_compute=1, comparator=1,
+                           sar_dff=1, io_buffer=1)
+
+
+class TestCellTemplates:
+    CELLS = ["sram8t", "compute_cap", "local_compute", "sense_amp", "comparator",
+             "sar_dff", "cmos_switch", "input_buffer", "output_buffer"]
+
+    def test_library_provides_all_cells(self, cell_library):
+        for name in self.CELLS:
+            assert cell_library.has_cell(name)
+
+    def test_netlists_validate(self, cell_library):
+        for name in self.CELLS:
+            cell_library.netlist(name).validate()
+
+    def test_layouts_have_boundaries_and_pins(self, cell_library):
+        for name in self.CELLS:
+            layout = cell_library.layout(name)
+            assert layout.boundary is not None and layout.boundary.area > 0
+            assert layout.pins
+
+    def test_netlist_layout_pin_consistency(self, cell_library):
+        assert cell_library.check_consistency() == []
+
+    def test_sram_has_eight_transistors(self, cell_library):
+        counts = count_devices(cell_library.netlist("sram8t"))
+        assert counts[DeviceType.NMOS] + counts[DeviceType.PMOS] == 8
+
+    def test_local_compute_has_compute_capacitor(self, cell_library, technology):
+        capacitance = total_capacitance(cell_library.netlist("local_compute"))
+        assert capacitance == pytest.approx(technology.electrical.unit_capacitance)
+
+    def test_switch_is_complementary_pair(self, cell_library):
+        counts = count_devices(cell_library.netlist("cmos_switch"))
+        assert counts[DeviceType.NMOS] == 1
+        assert counts[DeviceType.PMOS] == 1
+
+    def test_comparator_pins(self, cell_library):
+        pins = {p.name for p in cell_library.netlist("comparator").pins}
+        assert {"INP", "INN", "CLK", "COM", "COMB"} <= pins
+
+    def test_supply_rails_present_in_every_layout(self, cell_library):
+        for name in self.CELLS:
+            layout = cell_library.layout(name)
+            assert layout.has_pin("VDD") and layout.has_pin("VSS")
+
+    def test_layout_shapes_stay_inside_boundary(self, cell_library):
+        for name in self.CELLS:
+            layout = cell_library.layout(name)
+            boundary = layout.boundary
+            for shape in layout.shapes:
+                assert boundary.expanded(1).contains_rect(shape.rect), (
+                    f"{name}: shape on {shape.layer} escapes the boundary")
+
+    def test_cell_area_f2_close_to_model_constants(self, cell_library, technology):
+        area_params = AreaParameters()
+        sram_area = cell_library.template("sram8t").area_f2(technology)
+        assert sram_area == pytest.approx(area_params.a_sram, rel=0.02)
+        comp_area = cell_library.template("comparator").area_f2(technology)
+        assert comp_area == pytest.approx(area_params.a_comparator, rel=0.02)
+
+    def test_describe_mentions_devices(self, cell_library):
+        text = cell_library.template("sram8t").describe()
+        assert "8 devices" in text
+
+    def test_invalid_footprint_rejected(self):
+        with pytest.raises(CellLibraryError):
+            Sram8TCell(height_dbu=0)
+
+
+class TestSarController:
+    def test_controller_stacks_dffs(self, cell_library, technology):
+        controller = sar_controller_for(cell_library, bits=4)
+        assert isinstance(controller, SarControlCell)
+        netlist = controller.netlist()
+        assert len(netlist.instances) == 4
+        layout = controller.layout(technology)
+        assert layout.instance_count() == 4
+        dff_height = cell_library.template("sar_dff").height_dbu
+        assert layout.boundary.height == 4 * dff_height
+
+    def test_controller_exposes_per_bit_outputs(self, cell_library, technology):
+        controller = sar_controller_for(cell_library, bits=3)
+        pins = {p.name for p in controller.netlist().pins}
+        assert {"P0", "P1", "P2", "N0", "N1", "N2"} <= pins
+        layout = controller.layout(technology)
+        assert layout.has_pin("P2") and layout.has_pin("N0")
+
+    def test_controller_requires_positive_bits(self, cell_library):
+        with pytest.raises(CellLibraryError):
+            sar_controller_for(cell_library, bits=0)
+
+
+class TestCellLibraryContainer:
+    def test_duplicate_registration_rejected(self, technology):
+        library = CellLibrary("dup", technology)
+        library.register(Sram8TCell(632))
+        with pytest.raises(CellLibraryError):
+            library.register(Sram8TCell(632))
+
+    def test_unknown_cell_raises(self, cell_library):
+        with pytest.raises(CellLibraryError):
+            cell_library.template("not_a_cell")
+
+    def test_layout_view_is_cached(self, cell_library):
+        assert cell_library.layout("sram8t") is cell_library.layout("sram8t")
+
+    def test_report_lists_cells(self, cell_library):
+        report = cell_library.report()
+        assert "sram8t" in report and "comparator" in report
+
+    def test_custom_area_parameters_change_footprints(self, technology):
+        big = AreaParameters(a_sram=3000.0, a_local_compute=5050.67,
+                             a_comparator=29000.0, a_dff=5992.0)
+        library = default_cell_library(technology, area_parameters=big)
+        assert library.template("sram8t").height_dbu > 1000

@@ -1,0 +1,98 @@
+"""Unit tests for the GDSII writer/reader."""
+
+import struct
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.gdsii import read_gds, write_gds, _to_real8, _from_real8
+from repro.layout.geometry import Orientation, Rect, Transform
+from repro.layout.layout import LayoutCell
+
+
+def _hierarchy():
+    leaf = LayoutCell("leaf", boundary=Rect(0, 0, 1000, 500))
+    leaf.add_shape("M1", Rect(0, 0, 1000, 100))
+    leaf.add_shape("M2", Rect(200, 0, 300, 500))
+    top = LayoutCell("top", boundary=Rect(0, 0, 5000, 5000))
+    top.add_shape("M3", Rect(0, 0, 5000, 200))
+    top.add_instance("L0", leaf, Transform(100, 100))
+    top.add_instance("L1", leaf, Transform(2000, 100, Orientation.MY))
+    top.add_instance("L2", leaf, Transform(3000, 3000, Orientation.R90))
+    return top
+
+
+class TestReal8:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1.0, 1e-9, 1e-3, 90.0, 270.0, 2.5e-7])
+    def test_roundtrip(self, value):
+        assert _from_real8(_to_real8(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestGdsWriter:
+    def test_file_begins_with_header_record(self, tmp_path, technology):
+        path = tmp_path / "out.gds"
+        write_gds(_hierarchy(), path, technology)
+        data = path.read_bytes()
+        length, record_type, data_type = struct.unpack_from(">HBB", data, 0)
+        assert record_type == 0x00  # HEADER
+        assert data_type == 0x02
+
+    def test_write_returns_byte_count(self, tmp_path, technology):
+        path = tmp_path / "out.gds"
+        count = write_gds(_hierarchy(), path, technology)
+        assert count == path.stat().st_size
+
+    def test_unknown_layer_raises(self, tmp_path, technology):
+        cell = LayoutCell("bad")
+        cell.add_shape("NOT_A_LAYER", Rect(0, 0, 10, 10))
+        with pytest.raises(LayoutError):
+            write_gds(cell, tmp_path / "bad.gds", technology)
+
+    def test_deterministic_output(self, tmp_path, technology):
+        path_a = tmp_path / "a.gds"
+        path_b = tmp_path / "b.gds"
+        write_gds(_hierarchy(), path_a, technology)
+        write_gds(_hierarchy(), path_b, technology)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestGdsRoundtrip:
+    def test_structures_and_references_preserved(self, tmp_path, technology):
+        path = tmp_path / "rt.gds"
+        write_gds(_hierarchy(), path, technology)
+        cells = read_gds(path, technology)
+        assert set(cells) == {"top", "leaf"}
+        top = cells["top"]
+        assert top.instance_count() == 3
+        assert len(top.shapes) == 1
+
+    def test_geometry_preserved(self, tmp_path, technology):
+        path = tmp_path / "rt.gds"
+        write_gds(_hierarchy(), path, technology)
+        leaf = read_gds(path, technology)["leaf"]
+        rects = sorted((s.layer, s.rect) for s in leaf.shapes)
+        assert ("M1", Rect(0, 0, 1000, 100)) in rects
+        assert ("M2", Rect(200, 0, 300, 500)) in rects
+
+    def test_orientations_preserved(self, tmp_path, technology):
+        path = tmp_path / "rt.gds"
+        write_gds(_hierarchy(), path, technology)
+        top = read_gds(path, technology)["top"]
+        orientations = {inst.transform.orientation for inst in top.instances}
+        assert Orientation.MY in orientations
+        assert Orientation.R90 in orientations
+
+    def test_positions_preserved(self, tmp_path, technology):
+        path = tmp_path / "rt.gds"
+        write_gds(_hierarchy(), path, technology)
+        top = read_gds(path, technology)["top"]
+        offsets = {(inst.transform.dx, inst.transform.dy) for inst in top.instances}
+        assert (100, 100) in offsets
+        assert (3000, 3000) in offsets
+
+    def test_library_cell_roundtrip(self, tmp_path, technology, cell_library):
+        path = tmp_path / "sram.gds"
+        original = cell_library.layout("sram8t")
+        write_gds(original, path, technology)
+        rebuilt = read_gds(path, technology)["sram8t"]
+        assert len(rebuilt.shapes) == len(original.shapes)

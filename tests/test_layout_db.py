@@ -1,0 +1,276 @@
+"""Unit tests for the layout database (cells, instances, grids, DRC)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    DRCChecker,
+    GridNode,
+    LayoutCell,
+    PlacementGrid,
+    Rect,
+    RoutingGrid,
+    Transform,
+)
+from repro.layout.drc import summarize_violations
+from repro.layout.geometry import Orientation, Point
+
+
+def _leaf(name="leaf", width=1000, height=500):
+    cell = LayoutCell(name, boundary=Rect(0, 0, width, height))
+    cell.add_shape("M1", Rect(100, 100, width - 100, height - 100), net="X")
+    cell.add_pin("A", "M1", Rect(0, 200, 100, 300))
+    return cell
+
+
+class TestLayoutCell:
+    def test_boundary_is_bounding_box(self):
+        cell = _leaf()
+        assert cell.bounding_box() == Rect(0, 0, 1000, 500)
+        assert cell.width == 1000 and cell.height == 500
+
+    def test_bounding_box_from_contents_when_no_boundary(self):
+        cell = LayoutCell("c")
+        cell.add_shape("M1", Rect(10, 10, 110, 60))
+        assert cell.bounding_box() == Rect(10, 10, 110, 60)
+
+    def test_empty_cell_has_no_bbox(self):
+        assert LayoutCell("empty").bounding_box() is None
+
+    def test_duplicate_pin_rejected(self):
+        cell = _leaf()
+        with pytest.raises(LayoutError):
+            cell.add_pin("A", "M1", Rect(0, 0, 10, 10))
+
+    def test_pin_lookup(self):
+        cell = _leaf()
+        assert cell.pin("A").layer == "M1"
+        assert cell.has_pin("A")
+        with pytest.raises(LayoutError):
+            cell.pin("B")
+
+    def test_instance_placement_and_pin_access(self):
+        parent = LayoutCell("parent")
+        child = _leaf()
+        instance = parent.add_instance("I0", child, Transform(5000, 1000))
+        assert instance.bounding_box() == Rect(5000, 1000, 6000, 1500)
+        access = instance.pin_access("A")
+        assert access == Point(5000 + 50, 1000 + 250)
+
+    def test_duplicate_instance_rejected(self):
+        parent = LayoutCell("parent")
+        child = _leaf()
+        parent.add_instance("I0", child)
+        with pytest.raises(LayoutError):
+            parent.add_instance("I0", child)
+
+    def test_self_instantiation_rejected(self):
+        cell = _leaf()
+        with pytest.raises(LayoutError):
+            cell.add_instance("X", cell)
+
+    def test_flat_shapes_respect_transforms(self):
+        parent = LayoutCell("parent")
+        child = _leaf()
+        parent.add_instance("I0", child, Transform(10000, 0))
+        flat = list(parent.iter_flat_shapes())
+        # child has 2 shapes (internal + pin shape)
+        assert len(flat) == 2
+        assert all(shape.rect.x_lo >= 10000 for shape in flat)
+
+    def test_flat_shapes_depth_limit(self):
+        parent = LayoutCell("parent")
+        parent.add_shape("M1", Rect(0, 0, 10, 10))
+        parent.add_instance("I0", _leaf())
+        own_only = list(parent.iter_flat_shapes(depth=0))
+        assert len(own_only) == 1
+
+    def test_instance_count_recursive(self):
+        grand = _leaf("grand")
+        mid = LayoutCell("mid")
+        mid.add_instance("G0", grand)
+        top = LayoutCell("top")
+        top.add_instance("M0", mid)
+        top.add_instance("M1", mid)
+        assert top.instance_count() == 2
+        assert top.instance_count(recursive=True) == 4
+
+    def test_collect_cells(self):
+        mid = LayoutCell("mid")
+        mid.add_instance("G0", _leaf("grand"))
+        top = LayoutCell("top")
+        top.add_instance("M0", mid)
+        cells = top.collect_cells()
+        assert set(cells) == {"top", "mid", "grand"}
+
+    def test_set_boundary_from_contents(self):
+        cell = LayoutCell("c")
+        cell.add_shape("M1", Rect(100, 100, 400, 300))
+        boundary = cell.set_boundary_from_contents(margin=50)
+        assert boundary == Rect(50, 50, 450, 350)
+
+    def test_set_boundary_on_empty_cell_raises(self):
+        with pytest.raises(LayoutError):
+            LayoutCell("c").set_boundary_from_contents()
+
+    def test_move_instance(self):
+        parent = LayoutCell("parent")
+        parent.add_instance("I0", _leaf())
+        parent.move_instance("I0", Transform(123, 456))
+        assert parent.instance("I0").transform.dx == 123
+
+
+class TestPlacementGrid:
+    def test_dimensions(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        assert grid.columns == 10
+        assert grid.rows == 5
+
+    def test_place_and_occupancy(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        grid.place("A", 0, 0, 2, 2)
+        assert not grid.can_place(1, 1, 1, 1)
+        assert grid.can_place(1, 1, 1, 1, ignore="A")
+        assert grid.can_place(2, 2, 2, 2)
+        assert grid.utilization() == pytest.approx(4 / 50)
+
+    def test_remove_frees_sites(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        grid.place("A", 0, 0, 2, 2)
+        grid.remove("A")
+        assert grid.can_place(0, 0, 2, 2)
+
+    def test_out_of_bounds_placement(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        assert not grid.can_place(9, 4, 2, 2)
+
+    def test_site_conversion(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        assert grid.site_origin(3, 2) == Point(300, 200)
+        assert grid.site_of(Point(350, 220)) == (3, 2)
+
+    def test_invalid_site_raises(self):
+        grid = PlacementGrid(Rect(0, 0, 1000, 500), 100, 100)
+        with pytest.raises(LayoutError):
+            grid.site_origin(100, 0)
+
+
+class TestRoutingGrid:
+    def _grid(self, technology):
+        return RoutingGrid(Rect(0, 0, 2000, 2000), technology.routing_layers[:3],
+                           pitch=100)
+
+    def test_node_count(self, technology):
+        grid = self._grid(technology)
+        assert grid.node_count() == grid.columns * grid.rows * 3
+
+    def test_point_node_roundtrip(self, technology):
+        grid = self._grid(technology)
+        node = grid.point_to_node(Point(500, 700), 1)
+        assert grid.node_to_point(node) == Point(500, 700)
+
+    def test_obstacles_block_neighbors(self, technology):
+        grid = self._grid(technology)
+        node = GridNode(5, 5, 0)
+        blocked = GridNode(6, 5, 0)
+        grid.add_obstacle(blocked)
+        neighbors = [n for n, _cost in grid.neighbors(node)]
+        assert blocked not in neighbors
+
+    def test_obstacle_rect_blocks_area(self, technology):
+        grid = self._grid(technology)
+        count = grid.add_obstacle_rect(0, Rect(0, 0, 500, 500))
+        assert count > 0
+        assert grid.is_blocked(GridNode(2, 2, 0))
+
+    def test_clear_obstacle(self, technology):
+        grid = self._grid(technology)
+        node = GridNode(3, 3, 1)
+        grid.add_obstacle(node)
+        grid.clear_obstacle(node)
+        assert not grid.is_blocked(node)
+
+    def test_preferred_direction_neighbors(self, technology):
+        grid = self._grid(technology)
+        # Layer 0 (M1) is horizontal: in-layer neighbors only differ in x.
+        node = GridNode(5, 5, 0)
+        in_layer = [n for n, _c in grid.neighbors(node) if n.layer == 0]
+        assert all(n.y == 5 for n in in_layer)
+
+    def test_via_neighbors_have_higher_cost(self, technology):
+        grid = self._grid(technology)
+        node = GridNode(5, 5, 1)
+        costs = {n.layer: cost for n, cost in grid.neighbors(node)}
+        assert costs[2] > costs[1]
+
+
+class TestDRC:
+    def test_clean_cell(self, technology):
+        cell = LayoutCell("clean", boundary=Rect(0, 0, 2000, 2000))
+        cell.add_shape("M1", Rect(0, 0, 500, 200), net="a")
+        cell.add_shape("M1", Rect(0, 400, 500, 600), net="b")
+        checker = DRCChecker(technology)
+        assert checker.is_clean(cell)
+
+    def test_width_violation(self, technology):
+        cell = LayoutCell("narrow")
+        cell.add_shape("M1", Rect(0, 0, 20, 500))
+        violations = DRCChecker(technology).check(cell)
+        assert any(v.rule == "min_width" for v in violations)
+
+    def test_spacing_violation(self, technology):
+        cell = LayoutCell("tight")
+        cell.add_shape("M1", Rect(0, 0, 500, 200), net="a")
+        cell.add_shape("M1", Rect(0, 220, 500, 420), net="b")
+        violations = DRCChecker(technology).check(cell)
+        assert any(v.rule == "min_spacing" for v in violations)
+
+    def test_same_net_shapes_do_not_violate_spacing(self, technology):
+        cell = LayoutCell("same_net")
+        cell.add_shape("M1", Rect(0, 0, 500, 200), net="a")
+        cell.add_shape("M1", Rect(0, 210, 500, 400), net="a")
+        violations = DRCChecker(technology).check(cell)
+        assert not any(v.rule == "min_spacing" for v in violations)
+
+    def test_area_violation(self, technology):
+        cell = LayoutCell("tiny")
+        cell.add_shape("M1", Rect(0, 0, 60, 60))
+        violations = DRCChecker(technology).check(cell)
+        assert any(v.rule == "min_area" for v in violations)
+
+    def test_violations_found_in_hierarchy(self, technology):
+        child = LayoutCell("child")
+        child.add_shape("M1", Rect(0, 0, 20, 500))
+        parent = LayoutCell("parent")
+        parent.add_instance("I0", child, Transform(1000, 1000))
+        violations = DRCChecker(technology).check(parent)
+        assert violations and violations[0].location.x_lo >= 1000
+
+    def test_summary(self, technology):
+        cell = LayoutCell("narrow")
+        cell.add_shape("M1", Rect(0, 0, 20, 500))
+        summary = summarize_violations(DRCChecker(technology).check(cell))
+        assert summary.get("min_width", 0) >= 1
+
+    def test_library_leaf_cells_have_no_overlapping_different_nets(
+        self, technology, cell_library
+    ):
+        # Leaf library cells should at least not contain metal shorts.
+        checker = DRCChecker(technology)
+        for name in ("sram8t", "sar_dff", "cmos_switch"):
+            violations = checker.check(cell_library.layout(name))
+            shorts = [v for v in violations if v.rule == "min_spacing" and v.measured == 0]
+            assert not shorts, f"{name} has overlapping shapes on different nets"
+
+
+class TestDefExport:
+    def test_def_contains_components(self, tmp_path):
+        from repro.layout.def_export import write_def
+
+        parent = LayoutCell("top", boundary=Rect(0, 0, 5000, 5000))
+        parent.add_instance("I0", _leaf(), Transform(100, 200))
+        text = write_def(parent, tmp_path / "top.def")
+        assert "DESIGN top ;" in text
+        assert "COMPONENTS 1 ;" in text
+        assert "- I0 leaf + PLACED ( 100 200 ) R0 ;" in text
+        assert (tmp_path / "top.def").exists()

@@ -1,0 +1,260 @@
+"""Unit tests for the estimation model (SNR, throughput, energy, area)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.arch.spec import ACIMDesignSpec
+from repro.model import (
+    ACIMEstimator,
+    AreaModel,
+    AreaParameters,
+    EnergyModel,
+    EnergyParameters,
+    ModelParameters,
+    SnrModel,
+    SnrParameters,
+    ThroughputModel,
+    WorkloadStatistics,
+)
+
+
+class TestWorkloadStatistics:
+    def test_binary_statistics(self):
+        stats = WorkloadStatistics.binary()
+        assert stats.mean_x_squared == pytest.approx(0.5)
+        assert stats.zeta_x == pytest.approx(2.0)
+        assert stats.zeta_w == pytest.approx(1.0)
+
+    def test_quantization_steps(self):
+        stats = WorkloadStatistics.binary()
+        assert stats.delta_x == pytest.approx(0.5)
+        assert stats.delta_w == pytest.approx(1.0)
+
+    def test_output_variance_scales_with_n(self):
+        stats = WorkloadStatistics.binary()
+        assert stats.output_variance(32) == pytest.approx(2 * stats.output_variance(16))
+
+    def test_gaussian_factory(self):
+        stats = WorkloadStatistics.gaussian(bits_x=4, bits_w=4, crest_factor=3.0)
+        assert stats.zeta_x == pytest.approx(3.0)
+        assert stats.bits_x == 4
+
+    def test_invalid_statistics_rejected(self):
+        with pytest.raises(ModelError):
+            WorkloadStatistics(sigma_x=0, sigma_w=1, x_max=1, w_max=1, mean_x_squared=1)
+        with pytest.raises(ModelError):
+            WorkloadStatistics(sigma_x=1, sigma_w=1, x_max=1, w_max=1,
+                               mean_x_squared=1, bits_x=0)
+
+
+class TestSnrModel:
+    def test_total_snr_combines_terms_as_parallel(self):
+        model = SnrModel()
+        total = model.total_snr(4, 16)
+        assert total <= model.snr_pre(16)
+        assert total <= model.sqnr_output(4, 16)
+
+    def test_snr_increases_with_adc_bits(self):
+        model = SnrModel()
+        assert model.design_snr_db(5, 32) > model.design_snr_db(3, 32)
+
+    def test_snr_decreases_with_accumulation_length(self):
+        model = SnrModel()
+        assert model.design_snr_db(4, 16) > model.design_snr_db(4, 64)
+
+    def test_sqnr_output_six_db_per_bit(self):
+        model = SnrModel()
+        delta = model.sqnr_output_db(6, 16) - model.sqnr_output_db(5, 16)
+        assert delta == pytest.approx(6.0)
+
+    def test_sqnr_output_minus_three_db_per_doubling(self):
+        model = SnrModel()
+        delta = model.sqnr_output_db(5, 32) - model.sqnr_output_db(5, 16)
+        assert delta == pytest.approx(-10 * math.log10(2))
+
+    def test_analog_snr_independent_of_n(self):
+        model = SnrModel()
+        from repro.units import linear_to_db
+        assert linear_to_db(model.snr_analog(16)) == pytest.approx(
+            linear_to_db(model.snr_analog(256)), abs=1e-9)
+
+    def test_analog_snr_improves_with_larger_capacitor(self):
+        small_cap = SnrModel(SnrParameters(unit_capacitance=0.5e-15))
+        large_cap = SnrModel(SnrParameters(unit_capacitance=4e-15))
+        assert large_cap.snr_analog(16) > small_cap.snr_analog(16)
+
+    def test_simplified_form_structure(self):
+        params = SnrParameters(k3=1e-15, k4=5.0, unit_capacitance=1e-15)
+        model = SnrModel(params)
+        value = model.simplified_snr_db(3, 16)
+        expected = 6 * 3 - 10 * math.log10(16) - 10 * math.log10(1.0) + 5.0
+        assert value == pytest.approx(expected)
+
+    def test_noise_budget_keys(self):
+        budget = SnrModel().noise_budget(3, 16)
+        assert {"snr_analog_db", "sqnr_output_db", "total_snr_db"} <= set(budget)
+
+    def test_invalid_inputs(self):
+        model = SnrModel()
+        with pytest.raises(ModelError):
+            model.sqnr_output_db(0, 16)
+        with pytest.raises(ModelError):
+            model.design_snr_db(3, 0)
+
+    def test_charge_injection_ignored_by_default(self):
+        assert SnrParameters().charge_injection_variance == 0.0
+
+
+class TestThroughputModel:
+    def test_figure8a_throughput(self):
+        spec = ACIMDesignSpec(128, 128, 2, 3)
+        assert ThroughputModel().tops(spec) == pytest.approx(3.277, rel=0.03)
+
+    def test_figure8b_throughput(self, figure8_spec_b):
+        assert ThroughputModel().tops(figure8_spec_b) == pytest.approx(0.813, rel=0.03)
+
+    def test_figure8c_matches_figure8b(self, figure8_spec_b):
+        spec_c = ACIMDesignSpec(64, 256, 8, 3)
+        model = ThroughputModel()
+        assert model.tops(spec_c) == pytest.approx(model.tops(figure8_spec_b), rel=1e-6)
+
+    def test_smaller_l_increases_throughput(self):
+        model = ThroughputModel()
+        fast = ACIMDesignSpec(128, 128, 2, 3)
+        slow = ACIMDesignSpec(128, 128, 8, 3)
+        assert model.tops(fast) > model.tops(slow)
+
+    def test_more_adc_bits_decrease_throughput(self):
+        model = ThroughputModel()
+        low = ACIMDesignSpec(128, 128, 4, 3)
+        high = ACIMDesignSpec(128, 128, 4, 5)
+        assert model.tops(low) > model.tops(high)
+
+    def test_breakdown_sums_to_cycle(self, figure8_spec_b):
+        b = ThroughputModel().breakdown(figure8_spec_b)
+        assert b.cycle_time == pytest.approx(
+            b.compute_time + b.setup_time + b.conversion_time)
+        assert b.tops == pytest.approx(2 * b.macs_per_second / 1e12)
+
+
+class TestEnergyModel:
+    def test_adc_energy_grows_exponentially(self):
+        model = EnergyModel()
+        assert model.adc_energy(8) > 10 * model.adc_energy(4)
+
+    def test_energy_amortised_over_local_arrays(self):
+        model = EnergyModel()
+        few = ACIMDesignSpec(32, 8, 4, 3)     # H/L = 8
+        many = ACIMDesignSpec(256, 8, 4, 3)   # H/L = 64
+        assert model.energy_per_mac(few) > model.energy_per_mac(many)
+
+    def test_efficiency_range_matches_paper_claims(self):
+        # The paper claims 50-750 TOPS/W across the design space.
+        model = EnergyModel()
+        worst = ACIMDesignSpec(2048, 8, 8, 8)
+        best = ACIMDesignSpec(2048, 8, 32, 1)
+        assert model.tops_per_watt(worst) == pytest.approx(60, rel=0.35)
+        assert model.tops_per_watt(best) == pytest.approx(720, rel=0.15)
+
+    def test_breakdown_consistency(self, figure8_spec_b):
+        b = EnergyModel().breakdown(figure8_spec_b)
+        assert b.total_per_mac == pytest.approx(b.compute + b.control + b.adc_per_mac)
+        assert b.adc_per_mac == pytest.approx(b.adc_total / 16)
+
+    def test_power_scales_with_throughput(self, figure8_spec_b):
+        model = EnergyModel()
+        assert model.power(figure8_spec_b, 2e12) == pytest.approx(
+            2 * model.power(figure8_spec_b, 1e12))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            EnergyParameters(k1=-1.0)
+        with pytest.raises(ModelError):
+            EnergyModel().adc_energy(0)
+
+
+class TestAreaModel:
+    @pytest.mark.parametrize("height,width,local,expected", [
+        (128, 128, 2, 4504.0),
+        (128, 128, 8, 2610.0),
+        (64, 256, 8, 2977.0),
+    ])
+    def test_figure8_areas(self, height, width, local, expected):
+        spec = ACIMDesignSpec(height, width, local, 3)
+        assert AreaModel().area_per_bit_f2(spec) == pytest.approx(expected, rel=0.005)
+
+    def test_figure8_total_area_in_um2(self, figure8_spec_b):
+        # 256 um x 131 um from the paper's Figure 8(b).
+        total = AreaModel().total_area_um2(figure8_spec_b)
+        assert total == pytest.approx(256 * 131, rel=0.02)
+
+    def test_larger_l_reduces_area(self):
+        model = AreaModel()
+        assert model.area_per_bit_f2(ACIMDesignSpec(128, 128, 8, 3)) < \
+            model.area_per_bit_f2(ACIMDesignSpec(128, 128, 2, 3))
+
+    def test_larger_h_amortises_column_overhead(self):
+        model = AreaModel()
+        assert model.area_per_bit_f2(ACIMDesignSpec(128, 128, 8, 3)) < \
+            model.area_per_bit_f2(ACIMDesignSpec(64, 256, 8, 3))
+
+    def test_more_adc_bits_increase_area(self):
+        model = AreaModel()
+        assert model.area_per_bit_f2(ACIMDesignSpec(128, 128, 8, 3)) < \
+            model.area_per_bit_f2(ACIMDesignSpec(128, 128, 8, 4))
+
+    def test_breakdown_sums(self, figure8_spec_b):
+        b = AreaModel().breakdown(figure8_spec_b)
+        assert b.per_bit == pytest.approx(
+            b.sram + b.local_compute + b.comparator + b.sar_logic)
+        assert b.total_f2 == pytest.approx(b.per_bit * 16384)
+
+    def test_estimated_dimensions_consistent_with_area(self, figure8_spec_b):
+        model = AreaModel()
+        width_um, height_um = model.estimated_dimensions_um(figure8_spec_b)
+        assert width_um * height_um == pytest.approx(
+            model.total_area_um2(figure8_spec_b), rel=1e-6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            AreaParameters(a_sram=0.0)
+
+
+class TestEstimator:
+    def test_objectives_signs(self, estimator, figure8_spec_b):
+        metrics = estimator.evaluate(figure8_spec_b)
+        objectives = metrics.objectives()
+        assert objectives[0] == pytest.approx(-metrics.snr_db)
+        assert objectives[1] == pytest.approx(-metrics.tops)
+        assert objectives[2] == pytest.approx(metrics.energy_per_mac)
+        assert objectives[3] == pytest.approx(metrics.area_f2_per_bit)
+
+    def test_metrics_dictionary(self, estimator, figure8_spec_b):
+        record = estimator.evaluate(figure8_spec_b).as_dict()
+        assert record["H"] == 128 and record["B_ADC"] == 3
+        assert record["area_f2_per_bit"] == pytest.approx(2610, rel=0.01)
+
+    def test_infeasible_spec_rejected(self, estimator):
+        with pytest.raises(Exception):
+            estimator.evaluate(ACIMDesignSpec(8, 4, 8, 4))
+
+    def test_full_snr_option(self, figure8_spec_b):
+        est = ACIMEstimator(ModelParameters(use_simplified_snr=False))
+        metrics = est.evaluate(figure8_spec_b)
+        assert metrics.snr_db == pytest.approx(
+            est.snr_model.design_snr_db(3, 16), abs=1e-9)
+
+    def test_calibrated_parameters_align_simplified_and_full(self, figure8_spec_b):
+        params = ModelParameters.calibrated()
+        est = ACIMEstimator(params)
+        simplified = est.snr_model.simplified_snr_db(3, 16)
+        full = est.snr_model.design_snr_db(3, 16)
+        assert simplified == pytest.approx(full, abs=4.0)
+
+    def test_sub_models_exposed(self, estimator):
+        assert estimator.snr_model is not None
+        assert estimator.area_model is not None
+        assert estimator.energy_model is not None
+        assert estimator.throughput_model is not None

@@ -1,0 +1,257 @@
+"""Unit tests for the placement package (model, constraints, placers, templates)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point, Rect
+from repro.layout.layout import LayoutCell
+from repro.placement import (
+    AbutmentConstraint,
+    AlignmentConstraint,
+    ArrayConstraint,
+    ColumnStackTemplate,
+    GridPlacer,
+    GridPlacerConfig,
+    HierarchicalPlacer,
+    PlacementNet,
+    PlacementObject,
+    PlacementProblem,
+    RowTemplate,
+    SymmetryConstraint,
+)
+from repro.placement.template import GridArrayTemplate
+
+
+def _problem(num_objects=4, region=Rect(0, 0, 10000, 10000)):
+    problem = PlacementProblem(region)
+    for i in range(num_objects):
+        problem.add_object(PlacementObject(f"obj{i}", width=1000, height=800))
+    for i in range(num_objects - 1):
+        problem.add_net(PlacementNet(f"net{i}", terminals=[
+            (f"obj{i}", "pin"), (f"obj{i + 1}", "pin")]))
+    return problem
+
+
+class TestPlacementModel:
+    def test_object_requires_position_before_rect(self):
+        obj = PlacementObject("a", 100, 100)
+        with pytest.raises(PlacementError):
+            obj.rect()
+
+    def test_fixed_object_needs_position(self):
+        with pytest.raises(PlacementError):
+            PlacementObject("a", 100, 100, fixed=True)
+
+    def test_pin_position_uses_offsets(self):
+        obj = PlacementObject("a", 100, 100,
+                              pin_offsets={"x": Point(10, 20)},
+                              position=Point(1000, 2000))
+        assert obj.pin_position("x") == Point(1010, 2020)
+        assert obj.pin_position("unknown") == obj.rect().center
+
+    def test_duplicate_object_rejected(self):
+        problem = _problem()
+        with pytest.raises(PlacementError):
+            problem.add_object(PlacementObject("obj0", 10, 10))
+
+    def test_net_referencing_unknown_object_rejected(self):
+        problem = _problem()
+        with pytest.raises(PlacementError):
+            problem.add_net(PlacementNet("bad", terminals=[("ghost", "pin")]))
+
+    def test_hpwl_of_two_placed_objects(self):
+        problem = _problem(2)
+        problem.object("obj0").position = Point(0, 0)
+        problem.object("obj1").position = Point(3000, 0)
+        # centres are (500,400) and (3500,400): HPWL = 3000.
+        assert problem.total_hpwl() == pytest.approx(3000)
+
+    def test_overlap_area(self):
+        problem = _problem(2)
+        problem.object("obj0").position = Point(0, 0)
+        problem.object("obj1").position = Point(500, 0)
+        assert problem.overlap_area() == 500 * 800
+
+    def test_all_inside_region(self):
+        problem = _problem(1, region=Rect(0, 0, 1200, 1200))
+        problem.object("obj0").position = Point(500, 500)
+        assert not problem.all_inside_region()
+        problem.object("obj0").position = Point(0, 0)
+        assert problem.all_inside_region()
+
+
+class TestConstraints:
+    def test_symmetry_violation_zero_when_symmetric(self):
+        problem = _problem(2)
+        problem.object("obj0").position = Point(0, 0)
+        problem.object("obj1").position = Point(4000, 0)
+        constraint = SymmetryConstraint(pairs=[("obj0", "obj1")])
+        assert constraint.violation(problem) == pytest.approx(0.0)
+
+    def test_symmetry_violation_grows_with_misalignment(self):
+        problem = _problem(2)
+        problem.object("obj0").position = Point(0, 0)
+        problem.object("obj1").position = Point(4000, 700)
+        constraint = SymmetryConstraint(pairs=[("obj0", "obj1")])
+        assert constraint.violation(problem) > 0
+
+    def test_alignment_constraint(self):
+        problem = _problem(3)
+        for i, x in enumerate((0, 0, 500)):
+            problem.object(f"obj{i}").position = Point(x, i * 1000)
+        constraint = AlignmentConstraint(objects=["obj0", "obj1", "obj2"], edge="left")
+        assert constraint.violation(problem) == 500
+        assert not constraint.satisfied(problem)
+
+    def test_alignment_unknown_edge(self):
+        with pytest.raises(PlacementError):
+            AlignmentConstraint(objects=["a"], edge="middle")
+
+    def test_abutment_constraint_satisfied_when_stacked(self):
+        problem = _problem(3)
+        for i in range(3):
+            problem.object(f"obj{i}").position = Point(0, i * 800)
+        constraint = AbutmentConstraint(objects=["obj0", "obj1", "obj2"])
+        assert constraint.satisfied(problem)
+
+    def test_abutment_detects_gap(self):
+        problem = _problem(2)
+        problem.object("obj0").position = Point(0, 0)
+        problem.object("obj1").position = Point(0, 900)
+        constraint = AbutmentConstraint(objects=["obj0", "obj1"])
+        assert constraint.violation(problem) == 100
+
+    def test_array_constraint(self):
+        problem = _problem(4)
+        positions = [(0, 0), (1000, 0), (0, 800), (1000, 800)]
+        for i, (x, y) in enumerate(positions):
+            problem.object(f"obj{i}").position = Point(x, y)
+        constraint = ArrayConstraint(objects=[f"obj{i}" for i in range(4)],
+                                     columns=2, pitch_x=1000, pitch_y=800)
+        assert constraint.satisfied(problem)
+        problem.object("obj3").position = Point(1100, 800)
+        assert constraint.violation(problem) == 100
+
+
+class TestGridPlacer:
+    CONFIG = GridPlacerConfig(initial_temperature=5e4, cooling_rate=0.8,
+                              moves_per_temperature=60, seed=11)
+
+    def test_placement_is_legal(self):
+        problem = _problem(6)
+        result = GridPlacer(self.CONFIG).place(problem)
+        assert result.legal
+        assert problem.all_inside_region()
+
+    def test_placement_improves_over_random_spread(self):
+        problem = _problem(6)
+        result = GridPlacer(self.CONFIG).place(problem)
+        # A chain of 6 connected 1000-wide objects should end up well under
+        # the worst-case wirelength of the 10 000 x 10 000 region.
+        assert result.hpwl < 6 * 8000
+
+    def test_fixed_objects_do_not_move(self):
+        problem = _problem(4)
+        problem.add_object(PlacementObject("anchor", 500, 500, fixed=True,
+                                           position=Point(9000, 9000)))
+        GridPlacer(self.CONFIG).place(problem)
+        assert problem.object("anchor").position == Point(9000, 9000)
+
+    def test_constraints_reduce_violation(self):
+        problem = _problem(4)
+        constraint = AlignmentConstraint(objects=["obj0", "obj1", "obj2", "obj3"],
+                                         edge="left")
+        problem.add_constraint(constraint)
+        config = GridPlacerConfig(initial_temperature=1e5, cooling_rate=0.85,
+                                  moves_per_temperature=120, constraint_weight=50.0,
+                                  seed=5)
+        GridPlacer(config).place(problem)
+        # The annealer should reduce misalignment to a small residue.
+        assert constraint.violation(problem) < 4000
+
+    def test_empty_problem(self):
+        problem = PlacementProblem(Rect(0, 0, 1000, 1000))
+        result = GridPlacer(self.CONFIG).place(problem)
+        assert result.positions == {}
+
+
+class TestTemplates:
+    def test_column_stack(self):
+        template = ColumnStackTemplate(order=["a", "b", "c"], x_offset=100)
+        sizes = {"a": (1000, 500), "b": (1000, 700), "c": (1000, 300)}
+        slots = {s.name: s.position for s in template.place(sizes)}
+        assert slots["a"] == Point(100, 0)
+        assert slots["b"] == Point(100, 500)
+        assert slots["c"] == Point(100, 1200)
+        assert template.bounding_size(sizes) == (1100, 1500)
+
+    def test_row_template(self):
+        template = RowTemplate(order=["a", "b"], spacing=50)
+        sizes = {"a": (1000, 500), "b": (800, 500)}
+        slots = {s.name: s.position for s in template.place(sizes)}
+        assert slots["b"] == Point(1050, 0)
+
+    def test_grid_array_template(self):
+        template = GridArrayTemplate(order=[f"c{i}" for i in range(6)], columns=3,
+                                     pitch_x=1000, pitch_y=600)
+        sizes = {f"c{i}": (900, 500) for i in range(6)}
+        slots = {s.name: s.position for s in template.place(sizes)}
+        assert slots["c4"] == Point(1000, 600)
+
+    def test_template_unknown_instance(self):
+        template = ColumnStackTemplate(order=["missing"])
+        with pytest.raises(PlacementError):
+            template.place({"other": (10, 10)})
+
+
+class TestHierarchicalPlacer:
+    def _child(self, name="child"):
+        cell = LayoutCell(name, boundary=Rect(0, 0, 2000, 1000))
+        cell.add_pin("P", "M1", Rect(0, 400, 100, 600))
+        return cell
+
+    def test_template_placement_moves_instances(self):
+        parent = LayoutCell("parent")
+        child = self._child()
+        for i in range(3):
+            parent.add_instance(f"I{i}", child)
+        placer = HierarchicalPlacer()
+        positions = placer.place_with_template(
+            parent, ColumnStackTemplate(order=["I0", "I1", "I2"]))
+        assert positions["I2"] == Point(0, 2000)
+        assert parent.instance("I2").transform.dy == 2000
+
+    def test_template_with_unknown_slot_raises(self):
+        parent = LayoutCell("parent")
+        parent.add_instance("I0", self._child())
+        placer = HierarchicalPlacer()
+        with pytest.raises(PlacementError):
+            placer.place_with_template(parent, ColumnStackTemplate(order=["nope"]))
+
+    def test_optimizer_placement_produces_legal_result(self):
+        parent = LayoutCell("parent", boundary=Rect(0, 0, 12000, 12000))
+        child = self._child()
+        for i in range(4):
+            parent.add_instance(f"I{i}", child)
+        nets = [PlacementNet("n01", terminals=[("I0", "P"), ("I1", "P")]),
+                PlacementNet("n23", terminals=[("I2", "P"), ("I3", "P")])]
+        placer = HierarchicalPlacer(GridPlacer(GridPlacerConfig(
+            initial_temperature=5e4, moves_per_temperature=50, seed=3)))
+        result = placer.place_with_optimizer(parent, nets=nets)
+        assert result.legal
+
+    def test_place_dispatches_on_template(self):
+        parent = LayoutCell("parent")
+        parent.add_instance("I0", self._child())
+        placer = HierarchicalPlacer()
+        positions = placer.place(parent, template=ColumnStackTemplate(order=["I0"]))
+        assert positions == {"I0": Point(0, 0)}
+
+    def test_keeps_child_internals(self):
+        # The child's own pin geometry must be untouched by parent placement.
+        parent = LayoutCell("parent")
+        child = self._child()
+        parent.add_instance("I0", child)
+        HierarchicalPlacer().place_with_template(
+            parent, ColumnStackTemplate(order=["I0"], x_offset=5000))
+        assert child.pin("P").rect == Rect(0, 400, 100, 600)

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
+from repro.dse.pareto import crowding_distance, dominates, non_dominated_sort, pareto_front
+from repro.layout.geometry import Orientation, Point, Rect, Transform, hpwl
+from repro.model.energy import EnergyModel
+from repro.model.snr import SnrModel
+from repro.model.throughput import ThroughputModel
+from repro.netlist.spice import format_si, parse_si
+from repro.sim.sar_adc import SarAdc
+from repro.units import db_to_linear, linear_to_db
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+coords = st.integers(min_value=-100_000, max_value=100_000)
+rects = st.builds(Rect, coords, coords, coords, coords)
+points = st.builds(Point, coords, coords)
+orientations = st.sampled_from(list(Orientation))
+transforms = st.builds(Transform, coords, coords, orientations)
+
+
+@given(rects)
+def test_rect_always_normalised(rect):
+    assert rect.x_lo <= rect.x_hi
+    assert rect.y_lo <= rect.y_hi
+    assert rect.area >= 0
+
+
+@given(rects, rects)
+def test_rect_union_contains_both(a, b):
+    union = a.union(b)
+    assert union.contains_rect(a)
+    assert union.contains_rect(b)
+
+
+@given(rects, rects)
+def test_rect_intersection_symmetric_and_contained(a, b):
+    inter_ab = a.intersection(b)
+    inter_ba = b.intersection(a)
+    assert inter_ab == inter_ba
+    if inter_ab is not None:
+        assert a.expanded(0).contains_rect(inter_ab)
+        assert b.contains_rect(inter_ab)
+
+
+@given(rects, rects)
+def test_rect_overlap_implies_zero_spacing(a, b):
+    if a.overlaps(b):
+        assert a.spacing_to(b) == 0
+
+
+@given(transforms, rects)
+def test_transform_preserves_area(transform, rect):
+    assert transform.apply_rect(rect).area == rect.area
+
+
+@given(transforms, transforms, points)
+def test_transform_composition_matches_sequential(outer, inner, point):
+    composed = outer.compose(inner)
+    assert composed.apply_point(point) == outer.apply_point(inner.apply_point(point))
+
+
+@given(st.lists(points, min_size=2, max_size=12))
+def test_hpwl_invariant_under_translation(point_list):
+    shifted = [p.translated(137, -59) for p in point_list]
+    assert hpwl(point_list) == hpwl(shifted)
+
+
+@given(st.lists(points, min_size=2, max_size=12))
+def test_hpwl_non_negative_and_monotone_under_subset(point_list):
+    total = hpwl(point_list)
+    assert total >= 0
+    assert total >= hpwl(point_list[:-1]) or len(point_list) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Pareto dominance
+# ---------------------------------------------------------------------------
+
+objective_vectors = st.lists(
+    st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False),
+              st.floats(0, 100, allow_nan=False)),
+    min_size=1, max_size=25,
+)
+
+
+@given(objective_vectors)
+def test_dominance_is_irreflexive_and_antisymmetric(points_list):
+    for u in points_list:
+        assert not dominates(u, u)
+    for u in points_list:
+        for v in points_list:
+            assert not (dominates(u, v) and dominates(v, u))
+
+
+@given(objective_vectors)
+def test_pareto_front_members_are_not_dominated(points_list):
+    front = pareto_front(points_list)
+    assert front
+    for index in front:
+        assert not any(
+            dominates(points_list[j], points_list[index])
+            for j in range(len(points_list)) if j != index)
+
+
+@given(objective_vectors)
+def test_non_dominated_sort_is_a_partition(points_list):
+    fronts = non_dominated_sort(points_list)
+    flattened = sorted(i for front in fronts for i in front)
+    assert flattened == list(range(len(points_list)))
+    # Earlier fronts never contain points dominated by later fronts.
+    for rank, front in enumerate(fronts):
+        for later in fronts[rank + 1:]:
+            for i in front:
+                assert not any(dominates(points_list[j], points_list[i]) for j in later)
+
+
+@given(objective_vectors)
+def test_crowding_distances_are_non_negative(points_list):
+    distances = crowding_distance(points_list)
+    assert len(distances) == len(points_list)
+    assert all(d >= 0 for d in distances)
+
+
+# ---------------------------------------------------------------------------
+# Design-space specification
+# ---------------------------------------------------------------------------
+
+@given(
+    height_exp=st.integers(min_value=1, max_value=10),
+    width=st.integers(min_value=1, max_value=512),
+    local_exp=st.integers(min_value=0, max_value=5),
+    adc_bits=st.integers(min_value=1, max_value=8),
+)
+def test_feasible_specs_satisfy_equation12(height_exp, width, local_exp, adc_bits):
+    height = 2 ** height_exp
+    local = 2 ** local_exp
+    spec = ACIMDesignSpec(height, width, local, adc_bits)
+    if spec.is_feasible():
+        assert spec.height % spec.local_array_size == 0
+        assert spec.local_arrays_per_column >= 2 ** spec.adc_bits
+        assert spec.local_array_size <= spec.height
+        assert sum(spec.sar_group_ratios) == 2 ** spec.adc_bits
+
+
+@given(array_exp=st.integers(min_value=6, max_value=14))
+@settings(max_examples=20, deadline=None)
+def test_enumerated_design_space_is_feasible_and_unique(array_exp):
+    array_size = 2 ** array_exp
+    specs = list(enumerate_design_space(array_size, max_adc_bits=6))
+    assume(specs)
+    assert len({s.as_tuple() for s in specs}) == len(specs)
+    for spec in specs:
+        assert spec.array_size == array_size
+        assert spec.is_feasible(array_size)
+
+
+# ---------------------------------------------------------------------------
+# Estimation model monotonicity
+# ---------------------------------------------------------------------------
+
+feasible_specs = st.builds(
+    lambda h_exp, l_exp, b: ACIMDesignSpec(
+        2 ** h_exp, 4, 2 ** l_exp, min(b, h_exp - l_exp) or 1),
+    h_exp=st.integers(min_value=3, max_value=11),
+    l_exp=st.integers(min_value=1, max_value=3),
+    b=st.integers(min_value=1, max_value=8),
+).filter(lambda s: s.is_feasible())
+
+
+@given(feasible_specs)
+@settings(max_examples=60, deadline=None)
+def test_throughput_energy_area_are_positive_and_consistent(spec):
+    throughput = ThroughputModel().breakdown(spec)
+    energy = EnergyModel().breakdown(spec)
+    assert throughput.tops > 0
+    assert throughput.cycle_time > 0
+    assert energy.total_per_mac > 0
+    assert energy.tops_per_watt > 0
+    # TOPS/W must equal 2 ops / energy-per-MAC expressed in pJ.
+    assert energy.tops_per_watt * (energy.total_per_mac * 1e12) == pytest.approx(2.0)
+
+
+@given(feasible_specs, st.integers(min_value=1, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_snr_monotone_in_adc_bits(spec, bits):
+    model = SnrModel()
+    n = spec.local_arrays_per_column
+    assert model.design_snr_db(bits + 1, n) >= model.design_snr_db(bits, n)
+
+
+# ---------------------------------------------------------------------------
+# dB and SPICE number round-trips
+# ---------------------------------------------------------------------------
+
+@given(st.floats(min_value=-120.0, max_value=120.0, allow_nan=False))
+def test_db_roundtrip(value_db):
+    assert math.isclose(linear_to_db(db_to_linear(value_db)), value_db, abs_tol=1e-9)
+
+
+@given(st.floats(min_value=1e-17, max_value=1e14, allow_nan=False))
+def test_spice_number_roundtrip(value):
+    assert math.isclose(parse_si(format_si(value)), value, rel_tol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# SAR ADC invariants
+# ---------------------------------------------------------------------------
+
+@given(
+    bits=st.integers(min_value=1, max_value=10),
+    value=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+def test_sar_adc_code_in_range_and_accurate(bits, value):
+    adc = SarAdc(bits=bits, v_low=0.0, v_high=0.9)
+    code = adc.convert(value)
+    assert 0 <= code < 2 ** bits
+    if adc.lsb / 2 < value < 0.9 - adc.lsb:
+        assert abs(adc.code_to_voltage(code) - value) <= adc.lsb / 2 + 1e-12
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=8),
+    v_a=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    v_b=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+def test_sar_adc_monotonicity_property(bits, v_a, v_b):
+    adc = SarAdc(bits=bits, v_low=0.0, v_high=0.9)
+    low, high = sorted((v_a, v_b))
+    assert adc.convert(low) <= adc.convert(high)

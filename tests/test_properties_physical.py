@@ -1,0 +1,129 @@
+"""Property-based tests on the physical-design substrate (router, placer, GDS).
+
+These complement tests/test_properties.py (which covers geometry, Pareto
+dominance and the estimation model) with invariants of the layout-facing
+engines: routed nets must actually connect their pins through contiguous
+grid nodes, placements must stay legal, and GDSII round-trips must preserve
+geometry for arbitrary rectangle sets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.layout.geometry import Point, Rect
+from repro.layout.gdsii import read_gds, write_gds
+from repro.layout.grid import GridNode, RoutingGrid
+from repro.layout.layout import LayoutCell
+from repro.placement.grid_placer import GridPlacer, GridPlacerConfig
+from repro.placement.netmodel import PlacementNet, PlacementObject, PlacementProblem
+from repro.routing.router import GridRouter, RoutingRequest
+from repro.technology.tech import generic28
+
+_TECH = generic28()
+
+# ---------------------------------------------------------------------------
+# Router connectivity invariants
+# ---------------------------------------------------------------------------
+
+pin_coords = st.tuples(
+    st.integers(min_value=0, max_value=4000),
+    st.integers(min_value=0, max_value=4000),
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(pins=st.lists(pin_coords, min_size=2, max_size=5, unique=True),
+       layer=st.integers(min_value=0, max_value=2))
+def test_routed_net_is_connected_and_covers_all_pins(pins, layer):
+    grid = RoutingGrid(Rect(0, 0, 4000, 4000), _TECH.routing_layers[:3],
+                       pitch=200, allow_off_direction=True)
+    router = GridRouter(grid, _TECH)
+    request = RoutingRequest(
+        "net", pins=tuple((Point(x, y), layer) for x, y in pins))
+    result = router.route([request])
+    assert result.complete
+    route = result.routes["net"]
+    nodes = set(route.nodes)
+    # Every pin lands on a node of the route.
+    for x, y in pins:
+        node = grid.point_to_node(Point(x, y), layer)
+        assert node in nodes
+    # The node set is connected under 6-neighbourhood (grid adjacency).
+    start = next(iter(nodes))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for dx, dy, dl in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                           (0, 0, 1), (0, 0, -1)):
+            neighbor = GridNode(current.x + dx, current.y + dy, current.layer + dl)
+            if neighbor in nodes and neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    assert seen == nodes
+
+
+# ---------------------------------------------------------------------------
+# Placer legality invariants
+# ---------------------------------------------------------------------------
+
+object_sizes = st.lists(
+    st.tuples(st.integers(min_value=400, max_value=1500),
+              st.integers(min_value=400, max_value=1500)),
+    min_size=2, max_size=7,
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sizes=object_sizes, seed=st.integers(min_value=0, max_value=100))
+def test_grid_placer_produces_legal_in_region_placements(sizes, seed):
+    region = Rect(0, 0, 12_000, 12_000)
+    problem = PlacementProblem(region)
+    for index, (width, height) in enumerate(sizes):
+        problem.add_object(PlacementObject(f"obj{index}", width, height))
+    for index in range(len(sizes) - 1):
+        problem.add_net(PlacementNet(f"n{index}", terminals=[
+            (f"obj{index}", "p"), (f"obj{index + 1}", "p")]))
+    config = GridPlacerConfig(initial_temperature=2e4, cooling_rate=0.75,
+                              moves_per_temperature=40, seed=seed)
+    result = GridPlacer(config).place(problem)
+    assert result.legal
+    assert problem.all_inside_region()
+    assert result.hpwl >= 0
+
+
+# ---------------------------------------------------------------------------
+# GDSII round-trip invariants
+# ---------------------------------------------------------------------------
+
+layer_names = st.sampled_from(["M1", "M2", "M3", "DIFF", "POLY"])
+rect_values = st.tuples(
+    st.integers(min_value=-50_000, max_value=50_000),
+    st.integers(min_value=-50_000, max_value=50_000),
+    st.integers(min_value=1, max_value=5_000),
+    st.integers(min_value=1, max_value=5_000),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shapes=st.lists(st.tuples(layer_names, rect_values), min_size=1, max_size=12))
+def test_gds_roundtrip_preserves_arbitrary_rectangles(tmp_path_factory, shapes):
+    cell = LayoutCell("prop_cell")
+    expected = []
+    for layer, (x, y, width, height) in shapes:
+        rect = Rect.from_size(x, y, width, height)
+        cell.add_shape(layer, rect)
+        expected.append((layer, rect))
+    path = tmp_path_factory.mktemp("gds") / "prop.gds"
+    write_gds(cell, path, _TECH)
+    rebuilt = read_gds(path, _TECH)["prop_cell"]
+    recovered = [(shape.layer, shape.rect) for shape in rebuilt.shapes]
+
+    def key(entry):
+        layer, rect = entry
+        return (layer, rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
+
+    assert sorted(recovered, key=key) == sorted(expected, key=key)

@@ -1,0 +1,208 @@
+"""Unit tests for the routing package (A*, tracks, net router, hierarchical)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.layout.geometry import Point, Rect
+from repro.layout.grid import GridNode, RoutingGrid
+from repro.layout.layout import LayoutCell
+from repro.routing import (
+    AStarSearch,
+    GridRouter,
+    HierarchicalRouter,
+    LogicalNet,
+    PredefinedTrack,
+    RoutingRequest,
+    TrackPlan,
+    power_track_plan,
+)
+from repro.routing.tracks import sar_control_track_plan
+
+
+@pytest.fixture
+def routing_grid(technology):
+    return RoutingGrid(Rect(0, 0, 5000, 5000), technology.routing_layers[:3],
+                       pitch=100, allow_off_direction=True)
+
+
+class TestAStar:
+    def test_straight_path(self, routing_grid):
+        search = AStarSearch(routing_grid)
+        result = search.search([GridNode(0, 10, 0)], [GridNode(20, 10, 0)])
+        assert result.found
+        assert result.path[0] == GridNode(0, 10, 0)
+        assert result.path[-1] == GridNode(20, 10, 0)
+        assert len(result.path) == 21
+
+    def test_path_changes_layer_when_needed(self, routing_grid):
+        # Layer 0 (M1) is horizontal-preferred; going straight up requires a
+        # via to the vertical layer unless off-direction is allowed cheaper.
+        search = AStarSearch(routing_grid)
+        result = search.search([GridNode(10, 0, 0)], [GridNode(10, 30, 1)])
+        assert result.found
+        assert any(node.layer == 1 for node in result.path)
+
+    def test_detours_around_obstacles(self, routing_grid):
+        for y in range(0, 40):
+            routing_grid.add_obstacle(GridNode(25, y, 0))
+            routing_grid.add_obstacle(GridNode(25, y, 1))
+            routing_grid.add_obstacle(GridNode(25, y, 2))
+        search = AStarSearch(routing_grid)
+        result = search.search([GridNode(10, 10, 0)], [GridNode(40, 10, 0)])
+        assert result.found
+        assert all(node.x != 25 or node.y >= 40 for node in result.path)
+
+    def test_unreachable_target(self, technology):
+        grid = RoutingGrid(Rect(0, 0, 1000, 1000), technology.routing_layers[:1],
+                           pitch=100)
+        # Wall across the full grid on the single layer.
+        for y in range(grid.rows):
+            grid.add_obstacle(GridNode(5, y, 0))
+        result = AStarSearch(grid).search([GridNode(0, 0, 0)], [GridNode(9, 0, 0)])
+        assert not result.found
+
+    def test_multi_source_uses_nearest(self, routing_grid):
+        search = AStarSearch(routing_grid)
+        sources = [GridNode(0, 0, 0), GridNode(18, 10, 0)]
+        result = search.search(sources, [GridNode(20, 10, 0)])
+        assert result.found
+        assert result.path[0] == GridNode(18, 10, 0)
+
+    def test_empty_inputs(self, routing_grid):
+        assert not AStarSearch(routing_grid).search([], [GridNode(0, 0, 0)]).found
+
+
+class TestTracks:
+    def test_track_rect_orientation(self):
+        extent = Rect(0, 0, 10000, 10000)
+        horizontal = PredefinedTrack("VDD", "M5", "horizontal", 500, 200)
+        vertical = PredefinedTrack("VSS", "M6", "vertical", 800, 200)
+        assert horizontal.to_rect(extent) == Rect(0, 400, 10000, 600)
+        assert vertical.to_rect(extent) == Rect(700, 0, 900, 10000)
+
+    def test_invalid_orientation(self):
+        with pytest.raises(RoutingError):
+            PredefinedTrack("VDD", "M5", "diagonal", 0, 100)
+
+    def test_power_plan_interleaves_nets(self, technology):
+        plan = power_track_plan(Rect(0, 0, 20000, 40000), technology)
+        assert set(plan.nets()) == {"VDD", "VSS", "VCM"}
+        assert len(plan.tracks) >= 3
+
+    def test_power_plan_realize_adds_shapes(self, technology):
+        cell = LayoutCell("macro", boundary=Rect(0, 0, 20000, 40000))
+        plan = power_track_plan(cell.boundary, technology)
+        rects = plan.realize(cell)
+        assert len(rects) == len(plan.tracks)
+        assert len(cell.shapes) == len(plan.tracks)
+
+    def test_sar_control_plan_has_two_tracks_per_bit(self, technology):
+        plan = sar_control_track_plan(Rect(0, 0, 50000, 50000), technology, adc_bits=4)
+        assert len(plan.tracks) == 8
+        assert "P3" in plan.nets() and "N0" in plan.nets()
+
+    def test_track_plan_blocks_grid(self, technology, routing_grid):
+        plan = TrackPlan(extent=routing_grid.region)
+        plan.add(PredefinedTrack("VDD", "M2", "vertical", 2500, 100))
+        blocked = plan.block(routing_grid, technology)
+        assert blocked > 0
+
+
+class TestGridRouter:
+    def test_two_pin_net(self, technology, routing_grid):
+        router = GridRouter(routing_grid, technology)
+        request = RoutingRequest("n1", pins=((Point(100, 100), 0), (Point(3000, 100), 0)))
+        result = router.route([request])
+        assert result.complete
+        route = result.routes["n1"]
+        assert route.wirelength > 0
+        assert route.wires
+
+    def test_multi_pin_net_connects_all_pins(self, technology, routing_grid):
+        router = GridRouter(routing_grid, technology)
+        pins = tuple((Point(500 * i + 100, 900), 1) for i in range(5))
+        result = router.route([RoutingRequest("bus", pins=pins)])
+        assert result.complete
+        nodes = {(n.x, n.y) for n in result.routes["bus"].nodes}
+        for point, _layer in pins:
+            node = routing_grid.point_to_node(point, 1)
+            assert (node.x, node.y) in nodes
+
+    def test_routed_nets_block_each_other(self, technology, routing_grid):
+        router = GridRouter(routing_grid, technology)
+        requests = [
+            RoutingRequest("a", pins=((Point(0, 1000), 0), (Point(4000, 1000), 0))),
+            RoutingRequest("b", pins=((Point(0, 1100), 0), (Point(4000, 1100), 0))),
+        ]
+        result = router.route(requests)
+        assert result.complete
+        nodes_a = set(result.routes["a"].nodes)
+        nodes_b = set(result.routes["b"].nodes)
+        assert not nodes_a & nodes_b
+
+    def test_vias_emitted_for_layer_changes(self, technology, routing_grid):
+        router = GridRouter(routing_grid, technology)
+        request = RoutingRequest("v", pins=((Point(1000, 1000), 0), (Point(1000, 3000), 2)))
+        result = router.route([request])
+        assert result.complete
+        assert result.routes["v"].vias
+        assert result.via_count >= 1
+
+    def test_request_needs_two_pins(self):
+        with pytest.raises(RoutingError):
+            RoutingRequest("n", pins=((Point(0, 0), 0),))
+
+    def test_critical_nets_routed_first(self, technology, routing_grid):
+        router = GridRouter(routing_grid, technology)
+        requests = [
+            RoutingRequest("long", pins=((Point(0, 0), 0), (Point(4900, 4900), 1))),
+            RoutingRequest("short_critical", critical=True,
+                           pins=((Point(2000, 2000), 0), (Point(2400, 2000), 0))),
+        ]
+        result = router.route(requests)
+        assert result.complete
+
+
+class TestHierarchicalRouter:
+    def _parent_with_children(self):
+        child = LayoutCell("block", boundary=Rect(0, 0, 2000, 1000))
+        child.add_pin("P", "M2", Rect(900, 800, 1100, 1000))
+        parent = LayoutCell("parent")
+        from repro.layout.geometry import Transform
+        parent.add_instance("B0", child, Transform(0, 0))
+        parent.add_instance("B1", child, Transform(6000, 0))
+        parent.add_instance("B2", child, Transform(3000, 5000))
+        parent.boundary = Rect(0, 0, 10000, 8000)
+        return parent
+
+    def test_routes_logical_net_between_instances(self, technology):
+        parent = self._parent_with_children()
+        router = HierarchicalRouter(technology, pitch=200)
+        report = router.route_cell(parent, [
+            LogicalNet("shared", terminals=(("B0", "P"), ("B1", "P"), ("B2", "P"))),
+        ])
+        assert report.result.complete
+        assert any(shape.net == "shared" for shape in parent.shapes)
+
+    def test_missing_pin_raises(self, technology):
+        parent = self._parent_with_children()
+        router = HierarchicalRouter(technology, pitch=200)
+        with pytest.raises(RoutingError):
+            router.route_cell(parent, [
+                LogicalNet("bad", terminals=(("B0", "NOPE"), ("B1", "P"))),
+            ])
+
+    def test_track_plan_realised_during_routing(self, technology):
+        parent = self._parent_with_children()
+        plan = power_track_plan(parent.boundary, technology)
+        router = HierarchicalRouter(technology, pitch=200)
+        report = router.route_cell(parent, [
+            LogicalNet("n", terminals=(("B0", "P"), ("B1", "P"))),
+        ], track_plan=plan)
+        assert report.blocked_nodes > 0
+        assert any(shape.net == "VDD" for shape in parent.shapes)
+
+    def test_empty_cell_raises(self, technology):
+        router = HierarchicalRouter(technology)
+        with pytest.raises(RoutingError):
+            router.route_cell(LayoutCell("empty"), [])

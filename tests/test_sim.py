@@ -1,0 +1,204 @@
+"""Unit tests for the behavioral simulation (SAR ADC, QR column, Monte Carlo)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.spec import ACIMDesignSpec
+from repro.sim import (
+    MonteCarloSnr,
+    NoiseSettings,
+    QrColumnSimulator,
+    SarAdc,
+    binary_workload,
+    cdac_switching_energy,
+    code_to_value,
+    gaussian_workload,
+    measure_statistics,
+    sar_adc_energy,
+)
+from repro.sim.sar_adc import adc_energy_samples
+from repro.sim.workloads import sparse_workload
+
+
+class TestSarAdc:
+    def test_full_scale_codes(self):
+        adc = SarAdc(bits=4, v_low=0.0, v_high=1.6)
+        assert adc.convert(-0.5) == 0
+        assert adc.convert(2.0) == 15
+
+    def test_midscale_code(self):
+        adc = SarAdc(bits=3, v_low=0.0, v_high=0.8)
+        assert adc.convert(0.4) == 4
+
+    def test_conversion_is_monotonic(self):
+        adc = SarAdc(bits=5, v_low=0.0, v_high=0.9)
+        voltages = np.linspace(0.0, 0.9, 200)
+        codes = [adc.convert(v) for v in voltages]
+        assert all(b >= a for a, b in zip(codes, codes[1:]))
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        adc = SarAdc(bits=6, v_low=0.0, v_high=0.9)
+        rng = np.random.default_rng(1)
+        for v in rng.uniform(0.01, 0.89, 100):
+            reconstructed = adc.code_to_voltage(adc.convert(v))
+            assert abs(reconstructed - v) <= adc.lsb / 2 + 1e-12
+
+    def test_vectorised_matches_scalar(self):
+        adc = SarAdc(bits=4, v_low=0.0, v_high=0.9)
+        voltages = np.linspace(0.0, 0.9, 33)
+        vector_codes = adc.convert_many(voltages)
+        scalar_codes = np.array([adc.convert(v) for v in voltages])
+        assert np.array_equal(vector_codes, scalar_codes)
+
+    def test_comparator_noise_changes_results(self):
+        noisy = SarAdc(bits=8, v_low=0.0, v_high=0.9, comparator_noise_sigma=0.01)
+        rng = np.random.default_rng(7)
+        codes = {noisy.convert(0.45, rng=rng) for _ in range(50)}
+        assert len(codes) > 1
+
+    def test_code_to_value_range(self):
+        values = code_to_value(np.arange(8), bits=3, low=-1.0, high=1.0)
+        assert values[0] == pytest.approx(-0.875)
+        assert values[-1] == pytest.approx(0.875)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(SimulationError):
+            SarAdc(bits=0)
+        with pytest.raises(SimulationError):
+            SarAdc(bits=3, v_low=1.0, v_high=0.5)
+        with pytest.raises(SimulationError):
+            SarAdc(bits=3).code_to_voltage(8)
+
+
+class TestAdcEnergy:
+    def test_cdac_energy_scales_with_total_capacitance(self):
+        assert cdac_switching_energy(6) == pytest.approx(2 * cdac_switching_energy(5))
+
+    def test_total_energy_monotonic(self):
+        energies = [sar_adc_energy(b) for b in range(1, 9)]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_energy_samples_helper(self):
+        samples = adc_energy_samples((2, 6))
+        assert set(samples) == {2, 3, 4, 5, 6}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            sar_adc_energy(0)
+        with pytest.raises(SimulationError):
+            cdac_switching_energy(3, unit_capacitance=-1e-15)
+
+
+class TestQrColumnSimulator:
+    def _spec(self):
+        return ACIMDesignSpec(64, 8, 4, 3)
+
+    def test_ideal_simulation_matches_ideal_dot_product_coarsely(self):
+        simulator = QrColumnSimulator(self._spec(), noise=NoiseSettings.ideal())
+        rng = np.random.default_rng(3)
+        n = self._spec().local_arrays_per_column
+        for _ in range(20):
+            x = (rng.random(n) < 0.5).astype(float)
+            w = rng.choice((-1.0, 1.0), n)
+            ideal = simulator.ideal_dot_product(x, w)
+            measured = simulator.dot_product(x, w)
+            # With B=3 over a +/-16 range one LSB is 4 product units.
+            assert abs(measured - ideal) <= 2.5
+
+    def test_zero_products_give_midscale(self):
+        simulator = QrColumnSimulator(self._spec(), noise=NoiseSettings.ideal())
+        code, estimate = simulator.compute_cycle(np.zeros(16))
+        assert abs(estimate) <= 2.0
+        assert code in (2 ** 3 // 2 - 1, 2 ** 3 // 2)
+
+    def test_full_scale_positive(self):
+        simulator = QrColumnSimulator(self._spec(), noise=NoiseSettings.ideal())
+        code, estimate = simulator.compute_cycle(np.ones(16))
+        assert code == 7
+        assert estimate > 10
+
+    def test_mismatch_sampling_repeatable_with_seed(self):
+        spec = self._spec()
+        sim_a = QrColumnSimulator(spec, rng=np.random.default_rng(5))
+        sim_b = QrColumnSimulator(spec, rng=np.random.default_rng(5))
+        assert np.allclose(sim_a.capacitors, sim_b.capacitors)
+
+    def test_mismatch_disabled_gives_nominal_caps(self):
+        simulator = QrColumnSimulator(self._spec(), noise=NoiseSettings.ideal())
+        assert np.allclose(simulator.capacitors, 1e-15)
+
+    def test_wrong_product_count_rejected(self):
+        simulator = QrColumnSimulator(self._spec())
+        with pytest.raises(SimulationError):
+            simulator.mac_phase(np.zeros(5))
+
+    def test_out_of_range_products_rejected(self):
+        simulator = QrColumnSimulator(self._spec())
+        with pytest.raises(SimulationError):
+            simulator.mac_phase(np.full(16, 2.0))
+
+    def test_charge_redistribution_is_capacitance_weighted_mean(self):
+        simulator = QrColumnSimulator(self._spec(), noise=NoiseSettings.ideal())
+        voltages = np.linspace(0.0, 0.9, 16)
+        v_x = simulator.charge_redistribution(voltages)
+        assert v_x == pytest.approx(np.mean(voltages))
+
+    def test_infeasible_spec_rejected(self):
+        with pytest.raises(Exception):
+            QrColumnSimulator(ACIMDesignSpec(8, 4, 8, 4))
+
+
+class TestWorkloads:
+    def test_binary_statistics_match_claim(self):
+        stats = measure_statistics(binary_workload(), length=128, samples=100)
+        assert stats["measured_mean_x_squared"] == pytest.approx(
+            stats["claimed_mean_x_squared"], abs=0.05)
+        assert stats["measured_sigma_w"] == pytest.approx(
+            stats["claimed_sigma_w"], abs=0.05)
+
+    def test_sparse_workload_density(self):
+        generator = sparse_workload(density=0.1)
+        x, _w = generator.sample(10_000, np.random.default_rng(0))
+        assert np.mean(x) == pytest.approx(0.1, abs=0.02)
+
+    def test_gaussian_workload_is_quantised(self):
+        generator = gaussian_workload(bits_x=2, bits_w=2)
+        x, w = generator.sample(1000, np.random.default_rng(0))
+        assert len(np.unique(np.round(x, 6))) <= 2 ** 2 + 1
+        assert np.max(np.abs(w)) <= generator.statistics.w_max + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            binary_workload(activation_density=0.0)
+        with pytest.raises(SimulationError):
+            binary_workload().sample(0)
+
+
+class TestMonteCarloSnr:
+    def test_snr_improves_with_adc_bits(self):
+        low = MonteCarloSnr(ACIMDesignSpec(64, 8, 4, 2), seed=9).run(trials=600)
+        high = MonteCarloSnr(ACIMDesignSpec(64, 8, 4, 4), seed=9).run(trials=600)
+        assert high.snr_db > low.snr_db + 5.0
+
+    def test_snr_degrades_with_longer_accumulation(self):
+        short = MonteCarloSnr(ACIMDesignSpec(64, 8, 8, 3), seed=11).run(trials=600)
+        long = MonteCarloSnr(ACIMDesignSpec(256, 8, 4, 3), seed=11).run(trials=600)
+        assert short.snr_db > long.snr_db
+
+    def test_measured_snr_tracks_analytic_model(self, estimator):
+        spec = ACIMDesignSpec(64, 8, 4, 4)
+        measurement = MonteCarloSnr(spec, seed=21).run(trials=1500)
+        analytic = estimator.snr_model.design_snr_db(
+            spec.adc_bits, spec.local_arrays_per_column)
+        assert measurement.snr_db == pytest.approx(analytic, abs=4.0)
+
+    def test_measurement_record_fields(self):
+        measurement = MonteCarloSnr(ACIMDesignSpec(32, 4, 4, 3), seed=2).run(trials=200)
+        assert measurement.trials >= 200 - 8
+        assert measurement.signal_variance > 0
+        assert measurement.error_variance > 0
+
+    def test_too_few_trials_rejected(self):
+        with pytest.raises(SimulationError):
+            MonteCarloSnr(ACIMDesignSpec(32, 4, 4, 3)).run(trials=5)

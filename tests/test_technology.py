@@ -1,0 +1,207 @@
+"""Unit tests for the technology package (layers, rules, generic28, I/O)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology import (
+    DesignRule,
+    DesignRuleSet,
+    Layer,
+    LayerType,
+    MetalDirection,
+    RuleType,
+    Technology,
+    ViaDefinition,
+    generic28,
+    technology_from_dict,
+    technology_to_dict,
+)
+from repro.technology.layers import LayerMap
+
+
+class TestLayer:
+    def test_routing_layer_flag(self):
+        layer = Layer("M1", 10, layer_type=LayerType.METAL, pitch=100,
+                      default_width=50, min_width=50, min_spacing=50)
+        assert layer.is_routing
+        assert not layer.is_via
+
+    def test_non_routing_metal_without_pitch(self):
+        layer = Layer("MTOP", 30, layer_type=LayerType.METAL)
+        assert not layer.is_routing
+
+    def test_via_layer_flag(self):
+        layer = Layer("VIA1", 11, layer_type=LayerType.VIA)
+        assert layer.is_via
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("", 1)
+
+    def test_negative_gds_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("M1", -1)
+
+    def test_key_is_layer_datatype_pair(self):
+        assert Layer("M1", 10, gds_datatype=5).key() == (10, 5)
+
+
+class TestViaDefinition:
+    def test_connects_is_order_independent(self):
+        via = ViaDefinition("VIA12", "M1", "VIA1", "M2", 50, 70, 10, 10)
+        assert via.connects("M1", "M2")
+        assert via.connects("M2", "M1")
+        assert not via.connects("M1", "M3")
+
+    def test_footprint_includes_enclosure(self):
+        via = ViaDefinition("VIA12", "M1", "VIA1", "M2", 50, 70, 10, 20)
+        assert via.footprint() == (70, 90)
+
+    def test_invalid_cut_size(self):
+        with pytest.raises(ValueError):
+            ViaDefinition("V", "M1", "VIA1", "M2", 0, 70, 10, 10)
+
+
+class TestLayerMap:
+    def test_add_and_lookup(self):
+        layer_map = LayerMap()
+        layer_map.add("M1", 10)
+        assert layer_map.lookup("M1") == (10, 0)
+        assert layer_map.lookup("M9") is None
+
+    def test_reverse_lookup(self):
+        layer_map = LayerMap()
+        layer_map.add("M2", 12, 0)
+        assert layer_map.reverse_lookup(12, 0) == "M2"
+        assert layer_map.reverse_lookup(99) is None
+
+    def test_duplicate_rejected(self):
+        layer_map = LayerMap()
+        layer_map.add("M1", 10)
+        with pytest.raises(ValueError):
+            layer_map.add("M1", 11)
+
+
+class TestDesignRules:
+    def test_lookup_by_type_and_layer(self):
+        rules = DesignRuleSet([
+            DesignRule(RuleType.MIN_WIDTH, "M1", 50),
+            DesignRule(RuleType.MIN_SPACING, "M1", 60),
+        ])
+        assert rules.min_width("M1") == 50
+        assert rules.min_spacing("M1") == 60
+        assert rules.min_width("M2", default=42) == 42
+
+    def test_duplicate_rule_rejected(self):
+        rules = DesignRuleSet()
+        rules.add(DesignRule(RuleType.MIN_WIDTH, "M1", 50))
+        with pytest.raises(ValueError):
+            rules.add(DesignRule(RuleType.MIN_WIDTH, "M1", 60))
+
+    def test_enclosure_requires_other_layer(self):
+        with pytest.raises(ValueError):
+            DesignRule(RuleType.ENCLOSURE, "M1", 10)
+
+    def test_from_layer_defaults(self):
+        layers = [Layer("M1", 10, min_width=50, min_spacing=60)]
+        rules = DesignRuleSet.from_layer_defaults(layers)
+        assert rules.min_width("M1") == 50
+        assert rules.min_spacing("M1") == 60
+
+    def test_describe_mentions_layer(self):
+        rule = DesignRule(RuleType.MIN_WIDTH, "M1", 50, name="M1.W")
+        assert "M1" in rule.describe()
+
+
+class TestGeneric28:
+    def test_validates(self, technology):
+        technology.validate()
+
+    def test_feature_size(self, technology):
+        assert technology.feature_size_nm() == pytest.approx(28.0)
+
+    def test_has_six_routing_layers(self, technology):
+        assert len(technology.routing_layers) == 6
+
+    def test_routing_directions_alternate(self, technology):
+        directions = [layer.direction for layer in technology.routing_layers]
+        for lower, upper in zip(directions, directions[1:]):
+            assert lower != upper
+
+    def test_vias_exist_between_adjacent_layers(self, technology):
+        routing = technology.routing_layers
+        for lower, upper in zip(routing, routing[1:]):
+            assert technology.via_between(lower.name, upper.name) is not None
+
+    def test_unknown_layer_raises(self, technology):
+        with pytest.raises(TechnologyError):
+            technology.layer("M99")
+
+    def test_unknown_via_raises(self, technology):
+        with pytest.raises(TechnologyError):
+            technology.via_between("M1", "M6")
+
+    def test_layer_map_covers_all_layers(self, technology):
+        assert len(technology.layer_map) == len(technology.layers)
+
+    def test_electrical_defaults(self, technology):
+        assert technology.electrical.vdd == pytest.approx(0.9)
+        assert technology.electrical.vcm == pytest.approx(0.45)
+        assert technology.electrical.unit_capacitance == pytest.approx(1e-15)
+
+    def test_routing_layer_index(self, technology):
+        assert technology.routing_layer_index("M1") == 0
+        assert technology.routing_layer_index("M3") == 2
+        with pytest.raises(TechnologyError):
+            technology.routing_layer_index("POLY")
+
+
+class TestTechnologyConstruction:
+    def test_duplicate_layer_rejected(self):
+        layers = [Layer("M1", 10), Layer("M1", 11)]
+        with pytest.raises(TechnologyError):
+            Technology("t", 28e-9, layers)
+
+    def test_via_referencing_unknown_layer_rejected(self):
+        layers = [Layer("M1", 10, pitch=100), Layer("VIA1", 11), Layer("M2", 12, pitch=100)]
+        vias = [ViaDefinition("V", "M1", "VIA1", "M9", 50, 70, 10, 10)]
+        with pytest.raises(TechnologyError):
+            Technology("t", 28e-9, layers, vias)
+
+    def test_validate_requires_two_routing_layers(self):
+        tech = Technology("t", 28e-9, [Layer("M1", 10, pitch=100, min_width=50)])
+        with pytest.raises(TechnologyError):
+            tech.validate()
+
+    def test_bad_feature_size(self):
+        with pytest.raises(TechnologyError):
+            Technology("t", 0.0, [Layer("M1", 10)])
+
+
+class TestTechnologySerialisation:
+    def test_roundtrip_preserves_layers_and_rules(self, technology):
+        data = technology_to_dict(technology)
+        rebuilt = technology_from_dict(data)
+        assert rebuilt.name == technology.name
+        assert len(rebuilt.layers) == len(technology.layers)
+        assert len(rebuilt.vias) == len(technology.vias)
+        assert rebuilt.rules.min_width("M1") == technology.rules.min_width("M1")
+        assert rebuilt.electrical.vdd == technology.electrical.vdd
+        rebuilt.validate()
+
+    def test_roundtrip_preserves_directions(self, technology):
+        rebuilt = technology_from_dict(technology_to_dict(technology))
+        assert rebuilt.layer("M2").direction is MetalDirection.VERTICAL
+
+    def test_missing_field_raises(self):
+        with pytest.raises(TechnologyError):
+            technology_from_dict({"name": "broken"})
+
+    def test_save_and_load_file(self, technology, tmp_path):
+        from repro.technology.library_io import load_technology, save_technology
+
+        path = tmp_path / "tech.json"
+        save_technology(technology, path)
+        loaded = load_technology(path)
+        assert loaded.name == technology.name
+        assert loaded.feature_size == technology.feature_size

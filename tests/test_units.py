@@ -1,0 +1,95 @@
+"""Unit tests for repro.units (constants, conversions, dB helpers)."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDbHelpers:
+    def test_db_roundtrip(self):
+        assert units.linear_to_db(units.db_to_linear(17.3)) == pytest.approx(17.3)
+
+    def test_db_of_ten_is_ten(self):
+        assert units.linear_to_db(10.0) == pytest.approx(10.0)
+
+    def test_db_of_one_is_zero(self):
+        assert units.linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_zero_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_amplitude_db_uses_20log(self):
+        assert units.amplitude_db(10.0) == pytest.approx(20.0)
+
+    def test_amplitude_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.amplitude_db(0.0)
+
+
+class TestAreaConversions:
+    F28 = 28e-9
+
+    def test_f2_to_um2_roundtrip(self):
+        f2 = 2610.0
+        um2 = units.f2_to_um2(f2, self.F28)
+        assert units.um2_to_f2(um2, self.F28) == pytest.approx(f2)
+
+    def test_one_f2_at_28nm(self):
+        assert units.f2_area_m2(1.0, self.F28) == pytest.approx(784e-18)
+
+    def test_figure8b_area_consistency(self):
+        # 16 kb at 2610 F^2/bit is about 33 500 um^2 (256 um x 131 um).
+        total_um2 = units.f2_to_um2(2610.0 * 16384, self.F28)
+        assert total_um2 == pytest.approx(256.0 * 131.0, rel=0.02)
+
+    def test_invalid_feature_size(self):
+        with pytest.raises(ValueError):
+            units.f2_area_m2(100.0, 0.0)
+
+
+class TestEfficiencyConversions:
+    def test_one_pj_per_op_is_one_tops_per_watt(self):
+        assert units.energy_per_op_to_tops_per_watt(1e-12) == pytest.approx(1.0)
+
+    def test_efficiency_roundtrip(self):
+        energy = 3.3e-15
+        eff = units.energy_per_op_to_tops_per_watt(energy)
+        assert units.tops_per_watt_to_energy_per_op(eff) == pytest.approx(energy)
+
+    def test_tops_per_watt(self):
+        assert units.tops_per_watt(2e12, 1.0) == pytest.approx(2.0)
+
+    def test_tops_per_watt_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            units.tops_per_watt(1e12, 0.0)
+
+    def test_ops_to_tops(self):
+        assert units.ops_to_tops(3.277e12) == pytest.approx(3.277)
+
+
+class TestDbuHelpers:
+    def test_um_dbu_roundtrip(self):
+        assert units.dbu_to_um(units.um_to_dbu(1.234)) == pytest.approx(1.234)
+
+    def test_snap_to_grid(self):
+        assert units.snap_to_grid(1003, 5) == 1005
+        assert units.snap_to_grid(1002, 5) == 1000
+
+    def test_snap_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            units.snap_to_grid(100, 0)
+
+    def test_boltzmann_constant(self):
+        assert units.BOLTZMANN_K == pytest.approx(1.380649e-23)
+
+    def test_kt_over_c_magnitude(self):
+        # kT/C for 1 fF at room temperature is about (2 mV)^2.
+        sigma = math.sqrt(units.BOLTZMANN_K * units.ROOM_TEMPERATURE_K / 1e-15)
+        assert 1.5e-3 < sigma < 2.5e-3
