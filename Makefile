@@ -1,0 +1,28 @@
+# CI entry points for the EasyACIM reproduction.
+#
+#   make test         tier-1 test suite (the PR gate)
+#   make smoke        quickstart flow through the parallel engine (2 workers)
+#   make bench-quick  CI-sized engine scaling benchmark (no baseline write)
+#   make bench        full engine scaling benchmark, records BENCH_engine.json
+#   make ci           what every PR must pass: tier-1 + parallel smoke
+#
+# PYTHONPATH is set here so no editable install is needed on CI runners.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench bench-quick ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) examples/quickstart.py --workers 2
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_engine_scaling.py --quick --workers 2
+
+bench:
+	$(PYTHON) benchmarks/bench_engine_scaling.py
+
+ci: test smoke

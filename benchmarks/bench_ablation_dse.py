@@ -74,11 +74,15 @@ def test_ablation_nsga2_uses_fewer_unique_evaluations(estimator):
     config = NSGA2Config(population_size=40, generations=20, seed=8)
     from repro.dse.problem import ACIMDesignProblem
     from repro.dse.nsga2 import NSGA2
+    from repro.engine import EvaluationCache, EvaluationEngine
 
-    problem = ACIMDesignProblem(ARRAY_SIZE, estimator=estimator)
+    # A private engine+cache so the count reflects this run's unique specs,
+    # not whatever the process-wide shared cache already holds.
+    engine = EvaluationEngine("serial", cache=EvaluationCache())
+    problem = ACIMDesignProblem(ARRAY_SIZE, estimator=estimator, engine=engine)
     optimizer = NSGA2(problem, config)
     optimizer.run()
-    unique_points = len(problem._metrics_cache)
+    unique_points = engine.stats.evaluations
     total_points = len(evaluate_all(ARRAY_SIZE, estimator=estimator))
 
     emit("Ablation A1 — evaluation economy", format_table([{

@@ -13,23 +13,47 @@ few seconds:
 Run with::
 
     python examples/quickstart.py
+    python examples/quickstart.py --backend process --workers 2
+
+The ``--backend``/``--workers`` pair routes the exploration batches and the
+netlist/layout fan-out through the parallel evaluation engine (the CI smoke
+job runs ``--workers 2`` so the parallel path is exercised on every PR).
 """
 
 from __future__ import annotations
 
+import argparse
 import tempfile
 
 from repro import EasyACIMFlow, FlowInputs, NSGA2Config
 from repro.dse.distill import DistillationCriteria
-from repro.flow.report import design_table, format_table, solution_report
+from repro.flow.report import (
+    design_table,
+    engine_stats_table,
+    format_table,
+    solution_report,
+)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=("serial", "thread", "process"),
+                        default=None,
+                        help="evaluation-engine backend (default: serial, "
+                             "or process when --workers is given)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="engine pool size (implies --backend process)")
+    args = parser.parse_args(argv)
+    backend = args.backend or ("process" if args.workers else "serial")
+
     inputs = FlowInputs(
         array_size=1024,
-        nsga2=NSGA2Config(population_size=40, generations=20, seed=1),
+        nsga2=NSGA2Config(population_size=40, generations=20, seed=1,
+                          backend=backend, workers=args.workers),
         criteria=DistillationCriteria(min_snr_db=10.0, name="quickstart"),
         max_layouts=2,
+        backend=backend,
+        workers=args.workers,
     )
     flow = EasyACIMFlow(inputs)
 
@@ -53,6 +77,9 @@ def main() -> None:
             print(f"  {key}: {report.width_um:.1f} x {report.height_um:.1f} um, "
                   f"{report.area_f2_per_bit:.0f} F^2/bit, "
                   f"GDS at {report.gds_path}")
+
+        print("\nEvaluation-engine statistics:")
+        print(format_table(engine_stats_table(result.engine_stats)))
 
 
 if __name__ == "__main__":

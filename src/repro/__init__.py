@@ -22,6 +22,8 @@ The subpackages are usable on their own:
 * :mod:`repro.arch` — the synthesizable architecture and its constraints,
 * :mod:`repro.model` — the performance estimation model (Equations 2-11),
 * :mod:`repro.dse` — Pareto tools and the NSGA-II explorer (Equation 12),
+* :mod:`repro.engine` — the batched/parallel/cached evaluation engine every
+  evaluation consumer routes through (``docs/engine.md``),
 * :mod:`repro.sim` — behavioral QR / SAR ADC simulation and Monte-Carlo SNR,
 * :mod:`repro.cells`, :mod:`repro.technology`, :mod:`repro.netlist`,
   :mod:`repro.layout`, :mod:`repro.placement`, :mod:`repro.routing` — the
@@ -34,6 +36,7 @@ The subpackages are usable on their own:
 from repro.arch.spec import ACIMDesignSpec
 from repro.arch.architecture import SynthesizableACIM
 from repro.dse.distill import DistillationCriteria
+from repro.engine import EngineStats, EvaluationCache, EvaluationEngine
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.nsga2 import NSGA2Config
 from repro.flow.controller import EasyACIMFlow, FlowInputs, FlowResult
@@ -50,6 +53,9 @@ __all__ = [
     "ACIMDesignSpec",
     "SynthesizableACIM",
     "DistillationCriteria",
+    "EngineStats",
+    "EvaluationCache",
+    "EvaluationEngine",
     "DesignSpaceExplorer",
     "ExplorationResult",
     "NSGA2Config",

@@ -20,13 +20,19 @@ from typing import List, Optional, Sequence
 
 from repro import __version__
 from repro.arch.spec import ACIMDesignSpec
+from repro.engine import BACKENDS
 from repro.cells.library import default_cell_library
 from repro.dse.distill import DistillationCriteria, distill
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.nsga2 import NSGA2Config
 from repro.flow.layout_gen import LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
-from repro.flow.report import design_table, format_table, pareto_summary
+from repro.flow.report import (
+    design_table,
+    engine_stats_table,
+    format_table,
+    pareto_summary,
+)
 from repro.flow.testbench import TestbenchGenerator
 from repro.model.estimator import ACIMEstimator
 from repro.netlist.spice import write_spice
@@ -52,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--population", type=int, default=80)
     explore.add_argument("--generations", type=int, default=40)
     explore.add_argument("--seed", type=int, default=1)
+    explore.add_argument("--backend", choices=list(BACKENDS), default=None,
+                         help="evaluation-engine backend for population "
+                              "batches (default: serial, or process when "
+                              "--workers is given)")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="engine pool size (implies --backend process; "
+                              "default pool size: all CPU cores)")
+    explore.add_argument("--engine-stats", action="store_true",
+                         help="print evaluation-engine statistics")
     explore.add_argument("--min-snr-db", type=float, default=None,
                          help="user distillation: minimum SNR in dB")
     explore.add_argument("--min-tops", type=float, default=None,
@@ -117,10 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
+    backend = args.backend or ("process" if args.workers else "serial")
     explorer = DesignSpaceExplorer(config=NSGA2Config(
         population_size=args.population,
         generations=args.generations,
         seed=args.seed,
+        backend=backend,
+        workers=args.workers,
     ))
     result = explorer.explore(args.array_size)
     designs = result.pareto_set
@@ -139,6 +157,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
           f"{len(result.pareto_set)} Pareto solutions "
           f"({len(designs)} after distillation), "
           f"{result.evaluations} evaluations, {result.runtime_seconds:.2f} s")
+    if args.engine_stats and result.engine_stats:
+        print(format_table(engine_stats_table(result.engine_stats)))
     if designs:
         print(format_table([pareto_summary(designs)]))
         print()

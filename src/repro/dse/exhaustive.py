@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
 from repro.dse.pareto import pareto_front
 from repro.dse.problem import EvaluatedDesign
+from repro.engine import EvaluationEngine, default_engine
 from repro.model.estimator import ACIMEstimator
 
 
@@ -25,18 +26,26 @@ def evaluate_all(
     estimator: Optional[ACIMEstimator] = None,
     local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
     max_adc_bits: int = 8,
+    engine: Optional[EvaluationEngine] = None,
 ) -> List[EvaluatedDesign]:
-    """Evaluate every feasible design point of an array size."""
+    """Evaluate every feasible design point of an array size.
+
+    The whole grid is submitted to the evaluation engine as one batch, so a
+    ``thread``/``process`` engine parallelises it and repeat calls (e.g. the
+    sensitivity analyzer's baseline) are served from the shared cache.
+    """
     estimator = estimator or ACIMEstimator()
-    designs: List[EvaluatedDesign] = []
-    for spec in enumerate_design_space(
+    engine = engine or default_engine()
+    specs = list(enumerate_design_space(
         array_size,
         local_array_sizes=local_array_sizes,
         max_adc_bits=max_adc_bits,
-    ):
-        metrics = estimator.evaluate(spec)
-        designs.append(EvaluatedDesign(spec, metrics, metrics.objectives()))
-    return designs
+    ))
+    metrics_list = engine.evaluate_specs(estimator, specs)
+    return [
+        EvaluatedDesign(spec, metrics, metrics.objectives())
+        for spec, metrics in zip(specs, metrics_list)
+    ]
 
 
 def exhaustive_pareto_front(
@@ -44,6 +53,7 @@ def exhaustive_pareto_front(
     estimator: Optional[ACIMEstimator] = None,
     local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
     max_adc_bits: int = 8,
+    engine: Optional[EvaluationEngine] = None,
 ) -> List[EvaluatedDesign]:
     """The exact Pareto frontier of an array size's full design space."""
     designs = evaluate_all(
@@ -51,6 +61,7 @@ def exhaustive_pareto_front(
         estimator=estimator,
         local_array_sizes=local_array_sizes,
         max_adc_bits=max_adc_bits,
+        engine=engine,
     )
     if not designs:
         return []

@@ -18,6 +18,7 @@ from repro.arch.spec import ACIMDesignSpec
 from repro.dse.nsga2 import NSGA2, NSGA2Config
 from repro.dse.pareto import pareto_front
 from repro.dse.problem import ACIMDesignProblem, EvaluatedDesign
+from repro.engine import EvaluationEngine
 from repro.model.estimator import ACIMEstimator
 
 
@@ -30,8 +31,10 @@ class ExplorationResult:
         pareto_set: non-dominated evaluated designs, deduplicated.
         evaluations: number of objective evaluations the optimiser used.
         generations: number of NSGA-II generations run.
-        runtime_seconds: wall-clock exploration time.
+        runtime_seconds: wall-clock exploration time (monotonic clock).
         history: per-generation statistics from the optimiser.
+        engine_stats: evaluation-engine statistics (backend, batches, cache
+            hits, evaluations/sec) of this run, when an engine was used.
     """
 
     array_size: int
@@ -40,6 +43,7 @@ class ExplorationResult:
     generations: int
     runtime_seconds: float
     history: List[Dict[str, float]] = field(default_factory=list)
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
     def specs(self) -> List[ACIMDesignSpec]:
         """The Pareto-frontier design specs."""
@@ -74,11 +78,13 @@ class DesignSpaceExplorer:
         config: NSGA2Config = NSGA2Config(),
         local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
         max_adc_bits: int = 8,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         self.estimator = estimator or ACIMEstimator()
         self.config = config
         self.local_array_sizes = local_array_sizes
         self.max_adc_bits = max_adc_bits
+        self.engine = engine
 
     def explore(
         self,
@@ -89,7 +95,25 @@ class DesignSpaceExplorer:
         """Run the exploration for a user-defined array size.
 
         Returns the deduplicated Pareto-frontier set of feasible solutions.
+        When no engine was injected, one is built from the config's
+        ``backend``/``workers`` for this run and shut down afterwards.
         """
+        engine = self.engine or EvaluationEngine(
+            self.config.backend, workers=self.config.workers
+        )
+        try:
+            return self._explore(engine, array_size, min_height, max_height)
+        finally:
+            if engine is not self.engine:
+                engine.close()
+
+    def _explore(
+        self,
+        engine: EvaluationEngine,
+        array_size: int,
+        min_height: int,
+        max_height: Optional[int],
+    ) -> ExplorationResult:
         problem = ACIMDesignProblem(
             array_size,
             estimator=self.estimator,
@@ -97,8 +121,10 @@ class DesignSpaceExplorer:
             max_adc_bits=self.max_adc_bits,
             min_height=min_height,
             max_height=max_height,
+            engine=engine,
         )
         optimizer = NSGA2(problem, self.config)
+        stats_baseline = engine.stats.snapshot()
         start = time.perf_counter()
         final_population = optimizer.run()
         runtime = time.perf_counter() - start
@@ -129,10 +155,32 @@ class DesignSpaceExplorer:
             generations=self.config.generations,
             runtime_seconds=runtime,
             history=optimizer.history,
+            engine_stats=engine.stats.since(stats_baseline).as_dict(),
         )
 
     def explore_many(
         self, array_sizes: Sequence[int], **kwargs
     ) -> Dict[int, ExplorationResult]:
-        """Explore several array sizes (used by the Figure-9(a)(b) sweep)."""
-        return {size: self.explore(size, **kwargs) for size in array_sizes}
+        """Explore several array sizes (used by the Figure-9(a)(b) sweep).
+
+        One engine (and thus one worker pool and cache view) is shared
+        across all sizes so the sweep amortizes pool spawn cost.
+        """
+        min_height = kwargs.pop("min_height", 2)
+        max_height = kwargs.pop("max_height", None)
+        if kwargs:
+            raise TypeError(
+                f"explore_many() got unexpected keyword arguments "
+                f"{sorted(kwargs)}"
+            )
+        engine = self.engine or EvaluationEngine(
+            self.config.backend, workers=self.config.workers
+        )
+        try:
+            return {
+                size: self._explore(engine, size, min_height, max_height)
+                for size in array_sizes
+            }
+        finally:
+            if engine is not self.engine:
+                engine.close()

@@ -67,6 +67,10 @@ class NSGA2Config:
             (otherwise it is a copy of one parent before mutation).
         mutation_probability: probability the child genome is mutated.
         seed: random seed for reproducibility.
+        backend: evaluation-engine backend (``serial``/``thread``/``process``)
+            used for population batches.  Evaluation never consumes the RNG,
+            so every backend produces the identical evolution for a seed.
+        workers: engine pool size (None: the machine's CPU count).
     """
 
     population_size: int = 80
@@ -74,8 +78,12 @@ class NSGA2Config:
     crossover_probability: float = 0.9
     mutation_probability: float = 0.4
     seed: int = 1
+    backend: str = "serial"
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
+        from repro.engine import validate_backend
+
         if self.population_size < 4:
             raise OptimizationError("population size must be at least 4")
         if self.generations < 1:
@@ -84,6 +92,9 @@ class NSGA2Config:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise OptimizationError(f"{name} must be in [0, 1]")
+        validate_backend(self.backend)
+        if self.workers is not None and self.workers < 1:
+            raise OptimizationError("workers must be at least 1")
 
 
 class NSGA2(Generic[Genome]):
@@ -95,7 +106,15 @@ class NSGA2(Generic[Genome]):
     * ``evaluate(genome) -> (objectives, violation)``
     * ``crossover(a, b, rng) -> Genome``
     * ``mutate(genome, rng) -> Genome``
-    * optionally ``genome_key(genome)`` for duplicate suppression.
+    * optionally ``genome_key(genome)`` for duplicate suppression,
+    * optionally ``evaluate_many(genomes) -> [(objectives, violation)]`` for
+      population-batch evaluation (the ACIM problem routes this through the
+      :class:`~repro.engine.engine.EvaluationEngine`).
+
+    The initial population and each generation's offspring are evaluated as
+    one batch.  Genome generation (which consumes the RNG) happens strictly
+    before evaluation (which never does), so batched and per-genome
+    evaluation produce bit-identical runs for a fixed seed.
     """
 
     def __init__(self, problem, config: NSGA2Config = NSGA2Config()) -> None:
@@ -127,30 +146,45 @@ class NSGA2(Generic[Genome]):
     # -- population management -----------------------------------------------
 
     def _initial_population(self, rng: random.Random) -> List[Individual]:
-        population = []
+        genomes: List[Genome] = []
         seen = set()
         attempts = 0
-        while len(population) < self.config.population_size:
+        while len(genomes) < self.config.population_size:
             genome = self.problem.random_genome(rng)
             key = self._genome_key(genome)
             attempts += 1
             if key in seen and attempts < self.config.population_size * 20:
                 continue
             seen.add(key)
-            population.append(self._evaluate(genome))
-        return population
+            genomes.append(genome)
+        return self._evaluate_many(genomes)
 
-    def _evaluate(self, genome: Genome) -> Individual:
-        objectives, violation = self.problem.evaluate(genome)
-        self._evaluations += 1
-        return Individual(genome=genome, objectives=tuple(objectives),
-                          violation=float(violation))
+    def _evaluate_many(self, genomes: List[Genome]) -> List[Individual]:
+        """Evaluate a genome batch, preferring the problem's batched path."""
+        evaluate_many = getattr(self.problem, "evaluate_many", None)
+        if evaluate_many is not None:
+            evaluations = evaluate_many(genomes)
+            if len(evaluations) != len(genomes):
+                raise OptimizationError(
+                    f"problem.evaluate_many returned {len(evaluations)} "
+                    f"results for {len(genomes)} genomes"
+                )
+        else:
+            evaluations = [self.problem.evaluate(genome) for genome in genomes]
+        self._evaluations += len(genomes)
+        return [
+            Individual(genome=genome, objectives=tuple(objectives),
+                       violation=float(violation))
+            for genome, (objectives, violation) in zip(genomes, evaluations)
+        ]
 
     def _make_offspring(
         self, population: List[Individual], rng: random.Random
     ) -> List[Individual]:
-        offspring: List[Individual] = []
-        while len(offspring) < self.config.population_size:
+        # Selection and variation consume the RNG; evaluation does not, so
+        # the child genomes are generated first and evaluated as one batch.
+        child_genomes: List[Genome] = []
+        while len(child_genomes) < self.config.population_size:
             parent_a = self._tournament(population, rng)
             parent_b = self._tournament(population, rng)
             if rng.random() < self.config.crossover_probability:
@@ -161,8 +195,8 @@ class NSGA2(Generic[Genome]):
                 child_genome = rng.choice((parent_a, parent_b)).genome
             if rng.random() < self.config.mutation_probability:
                 child_genome = self.problem.mutate(child_genome, rng)
-            offspring.append(self._evaluate(child_genome))
-        return offspring
+            child_genomes.append(child_genome)
+        return self._evaluate_many(child_genomes)
 
     def _environmental_selection(
         self, combined: List[Individual]

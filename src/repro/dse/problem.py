@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import OptimizationError
 from repro.arch.spec import ACIMDesignSpec, valid_heights
+from repro.engine import EvaluationEngine, default_engine
 from repro.model.estimator import ACIMEstimator, ACIMMetrics
 
 #: Genome type: (height_index, local_index, adc_bits).
@@ -54,11 +55,13 @@ class ACIMDesignProblem:
         max_adc_bits: int = 8,
         min_height: int = 2,
         max_height: Optional[int] = None,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         if array_size < 4:
             raise OptimizationError("array size must be at least 4 bit cells")
         self.array_size = array_size
         self.estimator = estimator or ACIMEstimator()
+        self.engine = engine or default_engine()
         self.local_array_sizes = tuple(sorted(set(local_array_sizes)))
         if not self.local_array_sizes:
             raise OptimizationError("at least one local array size is required")
@@ -75,7 +78,6 @@ class ACIMDesignProblem:
             )
         self.heights = heights
         self._cache: Dict[Genome, Tuple[Tuple[float, ...], float]] = {}
-        self._metrics_cache: Dict[ACIMDesignSpec, ACIMMetrics] = {}
 
     # -- genome <-> spec -------------------------------------------------------
 
@@ -118,20 +120,44 @@ class ACIMDesignProblem:
 
     def evaluate(self, genome: Genome) -> Tuple[Tuple[float, ...], float]:
         """Objective vector and constraint violation of a genome."""
-        key = genome
-        if key in self._cache:
-            return self._cache[key]
-        spec = self.decode(genome)
-        violation = self._violation(spec)
-        if violation > 0.0:
-            # Infeasible points never enter the Pareto ranking among feasible
-            # ones; give them a neutral objective vector.
-            result = ((0.0, 0.0, 0.0, 0.0), violation)
-        else:
-            metrics = self._evaluate_spec(spec)
-            result = (metrics.objectives(), 0.0)
-        self._cache[key] = result
-        return result
+        return self.evaluate_many([genome])[0]
+
+    def evaluate_many(
+        self, genomes: Sequence[Genome]
+    ) -> List[Tuple[Tuple[float, ...], float]]:
+        """Batched :meth:`evaluate`: results in genome order.
+
+        Violations are computed inline (they are pure arithmetic); the
+        feasible specs are submitted to the evaluation engine as one batch,
+        which serves repeats from the shared cache and fans the misses out
+        across the configured backend.
+        """
+        results: List[Optional[Tuple[Tuple[float, ...], float]]] = [None] * len(genomes)
+        batch_indices: List[int] = []
+        batch_specs: List[ACIMDesignSpec] = []
+        for index, genome in enumerate(genomes):
+            cached = self._cache.get(genome)
+            if cached is not None:
+                results[index] = cached
+                continue
+            spec = self.decode(genome)
+            violation = self._violation(spec)
+            if violation > 0.0:
+                # Infeasible points never enter the Pareto ranking among
+                # feasible ones; give them a neutral objective vector.
+                result = ((0.0, 0.0, 0.0, 0.0), violation)
+                self._cache[genome] = result
+                results[index] = result
+            else:
+                batch_indices.append(index)
+                batch_specs.append(spec)
+        if batch_specs:
+            metrics_list = self.engine.evaluate_specs(self.estimator, batch_specs)
+            for index, metrics in zip(batch_indices, metrics_list):
+                result = (metrics.objectives(), 0.0)
+                self._cache[genomes[index]] = result
+                results[index] = result
+        return results  # type: ignore[return-value]
 
     def crossover(self, a: Genome, b: Genome, rng: random.Random) -> Genome:
         """Uniform crossover on the three genes."""
@@ -174,9 +200,9 @@ class ACIMDesignProblem:
         return violation
 
     def _evaluate_spec(self, spec: ACIMDesignSpec) -> ACIMMetrics:
-        if spec not in self._metrics_cache:
-            self._metrics_cache[spec] = self.estimator.evaluate(spec)
-        return self._metrics_cache[spec]
+        # Routed through the engine so the metrics land in the shared bounded
+        # cache and survive across problem instances and explorer runs.
+        return self.engine.evaluate_specs(self.estimator, [spec])[0]
 
     def evaluated_design(self, genome: Genome) -> EvaluatedDesign:
         """Full evaluation record of a (feasible) genome."""

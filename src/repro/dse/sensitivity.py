@@ -25,6 +25,7 @@ from repro.arch.spec import ACIMDesignSpec
 from repro.arch.timing import TimingParameters
 from repro.dse.exhaustive import evaluate_all
 from repro.dse.pareto import pareto_front
+from repro.engine import EvaluationEngine, default_engine
 from repro.model.area import AreaParameters
 from repro.model.energy import EnergyParameters
 from repro.model.estimator import ACIMEstimator, ModelParameters
@@ -105,10 +106,23 @@ def perturb_parameters(
 
 
 class SensitivityAnalyzer:
-    """Perturbs model constants and measures the impact on conclusions."""
+    """Perturbs model constants and measures the impact on conclusions.
 
-    def __init__(self, base: Optional[ModelParameters] = None) -> None:
+    Args:
+        base: baseline model constants (defaults to the stock bundle).
+        engine: evaluation engine the perturbed design-space grids are
+            batched through; defaults to a serial engine on the shared
+            cache, so the unperturbed baseline grid is computed only once
+            across repeated analyses.
+    """
+
+    def __init__(
+        self,
+        base: Optional[ModelParameters] = None,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> None:
         self.base = base or ModelParameters()
+        self.engine = engine or default_engine()
 
     # -- single design point ------------------------------------------------
 
@@ -150,7 +164,8 @@ class SensitivityAnalyzer:
         """Pareto-frontier stability under perturbation of each constant."""
         baseline_designs = evaluate_all(
             array_size, estimator=ACIMEstimator(self.base),
-            local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits)
+            local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits,
+            engine=self.engine)
         baseline_front = self._front_tuples(baseline_designs)
         baseline_eff = max(d.metrics.tops_per_watt for d in baseline_designs)
         baseline_area = min(d.metrics.area_f2_per_bit for d in baseline_designs)
@@ -160,7 +175,8 @@ class SensitivityAnalyzer:
             perturbed_params = perturb_parameters(self.base, parameter, relative_change)
             designs = evaluate_all(
                 array_size, estimator=ACIMEstimator(perturbed_params),
-                local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits)
+                local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits,
+                engine=self.engine)
             front = self._front_tuples(designs)
             union = baseline_front | front
             intersection = baseline_front & front

@@ -1,0 +1,35 @@
+"""Unified evaluation engine: batched, parallel, cached design evaluation.
+
+Every evaluation consumer in the repository — the NSGA-II explorer, the
+exhaustive baseline, the sensitivity analyzer, the flow controller's
+netlist/layout fan-out and the scaling benchmarks — routes through
+:class:`EvaluationEngine`, which pairs a pluggable executor backend
+(``serial`` / ``thread`` / ``process``) with a bounded shared memoization
+cache keyed by ``(spec, model-params, tech)``.
+
+See ``docs/engine.md`` for backend selection and cache semantics.
+"""
+
+from repro.engine.cache import (
+    EvaluationCache,
+    parameters_cache_key,
+    reset_shared_cache,
+    shared_cache,
+    spec_cache_key,
+)
+from repro.engine.engine import EngineStats, EvaluationEngine, default_engine
+from repro.engine.executors import BACKENDS, resolve_workers, validate_backend
+
+__all__ = [
+    "BACKENDS",
+    "EngineStats",
+    "EvaluationCache",
+    "EvaluationEngine",
+    "default_engine",
+    "parameters_cache_key",
+    "reset_shared_cache",
+    "resolve_workers",
+    "shared_cache",
+    "spec_cache_key",
+    "validate_backend",
+]

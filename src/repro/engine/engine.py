@@ -1,0 +1,292 @@
+"""The unified evaluation engine: batched, parallel, cached evaluation.
+
+:class:`EvaluationEngine` is the single seam every evaluation consumer in
+the repository routes through — the NSGA-II explorer's population batches,
+the exhaustive baseline's full grids, the sensitivity analyzer's perturbed
+sweeps and the flow controller's netlist/layout fan-out.  It combines
+
+* an executor backend (``serial`` / ``thread`` / ``process``, see
+  :mod:`repro.engine.executors`),
+* the shared bounded memoization cache keyed by ``(spec, model-params,
+  tech)`` (see :mod:`repro.engine.cache`), and
+* hit/miss/timing statistics exposed to results and reports.
+
+Determinism contract: for a fixed input order the engine returns results in
+exactly that order regardless of backend, so an NSGA-II run with a fixed
+seed produces the identical Pareto set under ``serial`` and ``process``
+execution (the regression suite asserts this bit-identically).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.engine.cache import (
+    EvaluationCache,
+    parameters_cache_key,
+    shared_cache,
+    spec_cache_key,
+)
+from repro.engine.executors import (
+    BACKENDS,
+    create_executor,
+    resolve_workers,
+    validate_backend,
+)
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics of one engine instance.
+
+    Attributes:
+        backend: executor backend name.
+        workers: pool size (1 for ``serial``).
+        batches: number of batch submissions (``map`` or ``evaluate_specs``).
+        tasks: total items routed through the engine.
+        evaluations: spec evaluations actually computed (cache misses).
+        cache_hits: spec evaluations answered from the cache.
+        busy_seconds: wall-clock time spent inside engine calls.
+    """
+
+    backend: str
+    workers: int
+    batches: int = 0
+    tasks: int = 0
+    evaluations: int = 0
+    cache_hits: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def evaluations_per_second(self) -> float:
+        """Computed evaluations per busy second (0 when idle)."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.evaluations / self.busy_seconds
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the counters at this instant."""
+        return replace(self)
+
+    def since(self, baseline: "EngineStats") -> "EngineStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`.
+
+        Engines are long-lived (one per flow, shared across `explore_many`
+        sizes), so per-run statistics are reported as deltas instead of the
+        cumulative totals.
+        """
+        return EngineStats(
+            backend=self.backend,
+            workers=self.workers,
+            batches=self.batches - baseline.batches,
+            tasks=self.tasks - baseline.tasks,
+            evaluations=self.evaluations - baseline.evaluations,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            busy_seconds=self.busy_seconds - baseline.busy_seconds,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for result records and report tables."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "batches": self.batches,
+            "tasks": self.tasks,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "evaluations_per_second": round(self.evaluations_per_second, 1),
+        }
+
+
+# -- process-pool work functions (module level for picklability) -------------
+
+#: Per-worker estimator memo, keyed by the model-parameters cache key so a
+#: long-lived pool serving several parameter bundles (sensitivity sweeps)
+#: builds each estimator once per worker instead of once per chunk.
+_WORKER_ESTIMATORS: Dict[tuple, object] = {}
+
+
+def _evaluate_spec_chunk(parameters, spec_tuples: Sequence[tuple]) -> list:
+    """Evaluate a chunk of spec tuples, reusing a per-process estimator."""
+    from repro.arch.spec import ACIMDesignSpec
+    from repro.model.estimator import ACIMEstimator
+
+    key = parameters_cache_key(parameters)
+    estimator = _WORKER_ESTIMATORS.get(key)
+    if estimator is None:
+        estimator = ACIMEstimator(parameters)
+        _WORKER_ESTIMATORS[key] = estimator
+    return estimator.evaluate_batch(
+        [ACIMDesignSpec(*spec_tuple) for spec_tuple in spec_tuples]
+    )
+
+
+class EvaluationEngine:
+    """Batched, parallel, cached evaluation of design points and tasks.
+
+    Args:
+        backend: ``serial`` (default), ``thread`` or ``process``.
+        workers: pool size; defaults to the machine's CPU count.
+        cache: evaluation cache; defaults to the process-wide shared cache.
+        chunk_size: items per pool task; defaults to an even split into
+            ``4 * workers`` chunks so stragglers rebalance.
+
+    The executor is created lazily on first use and reused across batches;
+    call :meth:`close` (or use the engine as a context manager) to release
+    pool workers deterministically.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        cache: Optional[EvaluationCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.backend = validate_backend(backend)
+        self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
+        self.cache = cache if cache is not None else shared_cache()
+        self.chunk_size = chunk_size
+        self._executor = None
+        self._stats = EngineStats(backend=self.backend, workers=self.workers)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_executor(self):
+        if self._executor is None and self.backend != "serial":
+            self._executor = create_executor(self.backend, self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the executor pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregate batch/cache/timing statistics of this engine."""
+        return self._stats
+
+    def _chunk(self, count: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return max(1, count // (self.workers * 4) or 1)
+
+    # -- generic parallel map -------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Item], Result],
+        items: Sequence[Item],
+        chunk_size: Optional[int] = None,
+    ) -> List[Result]:
+        """Apply ``fn`` to every item, preserving input order.
+
+        With the ``process`` backend ``fn`` and the items must be picklable;
+        the flow controller uses this for its netlist/layout fan-out.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        try:
+            if not items or self.backend == "serial":
+                return [fn(item) for item in items]
+            executor = self._ensure_executor()
+            chunksize = chunk_size or self._chunk(len(items))
+            return list(executor.map(fn, items, chunksize=chunksize))
+        finally:
+            self._stats.batches += 1
+            self._stats.tasks += len(items)
+            self._stats.busy_seconds += time.perf_counter() - start
+
+    # -- cached spec evaluation ----------------------------------------------
+
+    def evaluate_specs(self, estimator, specs: Sequence) -> List:
+        """Evaluate design specs through ``estimator``, cached and batched.
+
+        Returns one :class:`~repro.model.estimator.ACIMMetrics` per spec, in
+        input order.  Hits are served from the cache; misses are deduplicated
+        and dispatched to the backend as chunks, then inserted into the cache
+        by the calling process (workers never mutate the cache).
+        """
+        specs = list(specs)
+        start = time.perf_counter()
+        try:
+            if not specs:
+                return []
+            params = estimator.parameters
+            params_key = parameters_cache_key(params)
+            keys = [
+                spec_cache_key(spec, params_key=params_key) for spec in specs
+            ]
+            results: Dict[tuple, object] = {}
+            missing: List = []
+            pending = set()
+            for spec, key in zip(specs, keys):
+                if key in results or key in pending:
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                    self._stats.cache_hits += 1
+                else:
+                    pending.add(key)
+                    missing.append(spec)
+            if missing:
+                computed = self._compute(estimator, params, missing)
+                for spec, metrics in zip(missing, computed):
+                    key = spec_cache_key(spec, params_key=params_key)
+                    results[key] = metrics
+                    self.cache.put(key, metrics)
+                self._stats.evaluations += len(missing)
+            return [results[key] for key in keys]
+        finally:
+            self._stats.batches += 1
+            self._stats.tasks += len(specs)
+            self._stats.busy_seconds += time.perf_counter() - start
+
+    def _compute(self, estimator, params, specs: List) -> List:
+        """Evaluate cache misses on the configured backend, in order."""
+        if self.backend == "serial" or len(specs) == 1:
+            return estimator.evaluate_batch(specs)
+        executor = self._ensure_executor()
+        chunksize = self._chunk(len(specs))
+        chunks = [
+            specs[i:i + chunksize] for i in range(0, len(specs), chunksize)
+        ]
+        if self.backend == "thread":
+            futures = [
+                executor.submit(estimator.evaluate_batch, chunk)
+                for chunk in chunks
+            ]
+        else:
+            spec_chunks = [
+                [spec.as_tuple() for spec in chunk] for chunk in chunks
+            ]
+            futures = [
+                executor.submit(_evaluate_spec_chunk, params, chunk)
+                for chunk in spec_chunks
+            ]
+        results: List = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+
+def default_engine() -> EvaluationEngine:
+    """A fresh serial engine bound to the shared cache (the cheap default)."""
+    return EvaluationEngine("serial")

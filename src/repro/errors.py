@@ -68,3 +68,7 @@ class SimulationError(ReproError):
 
 class FlowError(ReproError):
     """The top-level flow controller failed to complete a stage."""
+
+
+class EngineError(ReproError):
+    """The evaluation engine was misconfigured (unknown backend, ...)."""

@@ -25,6 +25,7 @@ from repro.flow.baselines import (
 )
 from repro.flow.report import (
     design_table,
+    engine_stats_table,
     format_table,
     pareto_summary,
     solution_report,
@@ -44,6 +45,7 @@ __all__ = [
     "TraditionalManualFlow",
     "flow_comparison_table",
     "design_table",
+    "engine_stats_table",
     "format_table",
     "pareto_summary",
     "solution_report",

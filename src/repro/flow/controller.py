@@ -1,6 +1,7 @@
 """The top flow controller (paper Figure 4).
 
-:class:`EasyACIMFlow` wires the whole pipeline together:
+:class:`EasyACIMFlow` wires the whole pipeline together, mirroring the
+paper's Figure-4 narrative left to right:
 
 1. take the three user inputs — customized cell library, synthesizable
    architecture (implicit in the generators) and technology files — plus
@@ -10,6 +11,19 @@
 3. apply the user's distillation criteria to keep only the solutions that
    match the application scenario,
 4. generate a netlist and a layout for every distilled solution.
+
+Every evaluation-shaped stage routes through one
+:class:`~repro.engine.engine.EvaluationEngine` (see ``docs/engine.md``):
+stage 2 evaluates NSGA-II populations as batches against the shared
+memoization cache, and stage 4 fans the distilled solutions' netlist and
+layout generation out across the engine's worker pool instead of a serial
+for-loop — on the ``process`` backend each worker rebuilds its generators
+from the (picklable) cell library and ships the finished layout report
+back.  The backend and worker count come from :class:`FlowInputs`
+(``backend``/``workers``), so the same flow description scales from a
+laptop smoke run to a many-core sweep without code changes; the engine's
+hit/miss/timing statistics are surfaced on :class:`FlowResult` for the
+reporting layer.
 
 The result object keeps every intermediate product so examples, tests and
 benchmarks can inspect any stage.
@@ -28,6 +42,7 @@ from repro.dse.distill import DistillationCriteria, distill
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.nsga2 import NSGA2Config
 from repro.dse.problem import EvaluatedDesign
+from repro.engine import EvaluationEngine
 from repro.flow.layout_gen import LayoutGenerationReport, LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.model.estimator import ACIMEstimator, ModelParameters
@@ -47,6 +62,11 @@ class FlowInputs:
         nsga2: explorer configuration.
         model: estimation-model parameters.
         max_layouts: cap on how many distilled solutions get full layouts.
+        backend: evaluation-engine backend (``serial``/``thread``/``process``)
+            used for exploration batches and the netlist/layout fan-out.
+            When left at ``serial`` while ``nsga2.backend`` requests a
+            parallel backend, the optimizer's choice drives the whole flow.
+        workers: engine pool size (None: ``nsga2.workers``, else CPU count).
     """
 
     array_size: int
@@ -56,6 +76,8 @@ class FlowInputs:
     nsga2: NSGA2Config = field(default_factory=NSGA2Config)
     model: Optional[ModelParameters] = None
     max_layouts: int = 3
+    backend: str = "serial"
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -68,7 +90,9 @@ class FlowResult:
         distilled: the Pareto solutions surviving user distillation.
         netlists: generated macro netlists keyed by design-spec tuple.
         layouts: layout-generation reports keyed by design-spec tuple.
-        runtime_seconds: end-to-end wall-clock time.
+        runtime_seconds: end-to-end wall-clock time (monotonic clock).
+        engine_stats: evaluation-engine statistics of this run (backend,
+            batches, cache hits, evaluations/sec).
     """
 
     inputs: FlowInputs
@@ -77,6 +101,7 @@ class FlowResult:
     netlists: Dict[tuple, Circuit] = field(default_factory=dict)
     layouts: Dict[tuple, LayoutGenerationReport] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+    engine_stats: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable multi-line summary of the flow outcome."""
@@ -88,6 +113,14 @@ class FlowResult:
             f"  layouts generated         : {len(self.layouts)}",
             f"  total runtime             : {self.runtime_seconds:.2f} s",
         ]
+        if self.engine_stats:
+            lines.append(
+                f"  engine                    : "
+                f"{self.engine_stats.get('backend')} x "
+                f"{self.engine_stats.get('workers')} workers, "
+                f"{self.engine_stats.get('cache_hits', 0)} cache hits, "
+                f"{self.engine_stats.get('evaluations', 0)} evaluations"
+            )
         for key, report in self.layouts.items():
             lines.append(
                 f"    layout {key}: {report.width_um:.0f} x {report.height_um:.0f} um, "
@@ -96,8 +129,42 @@ class FlowResult:
         return "\n".join(lines)
 
 
+def _generate_solution_artifacts(task):
+    """Fan-out work unit: netlist + layout for one distilled solution.
+
+    Module-level (and argument-picklable) so the ``process`` backend can
+    ship it to pool workers; the serial and thread backends run it as-is.
+    Rebuilding the generators from the library is trivial next to the
+    layout generation itself.  Returns ``(spec_tuple, netlist | None,
+    layout_report | None)``.
+    """
+    (library, spec_tuple, want_netlist, want_layout,
+     route_columns, output_dir) = task
+    netlist_generator = TemplateNetlistGenerator(library)
+    layout_generator = LayoutGenerator(library)
+    spec = ACIMDesignSpec(*spec_tuple)
+    netlist = netlist_generator.generate(spec) if want_netlist else None
+    report = None
+    if want_layout:
+        report = layout_generator.generate(
+            spec,
+            route_column=route_columns,
+            export=output_dir is not None,
+            output_dir=output_dir,
+        )
+    return spec_tuple, netlist, report
+
+
 class EasyACIMFlow:
-    """End-to-end automated ACIM generation."""
+    """End-to-end automated ACIM generation.
+
+    The flow owns one :class:`EvaluationEngine` built from the inputs'
+    ``backend``/``workers``; exploration and the netlist/layout fan-out
+    share its pool and cache.  The pool is released at the end of every
+    :meth:`run` (and respawned lazily on the next), so no explicit cleanup
+    is required; long-lived services can also use the flow as a context
+    manager or call :meth:`close`.
+    """
 
     def __init__(self, inputs: FlowInputs) -> None:
         if inputs.array_size < 16:
@@ -109,9 +176,30 @@ class EasyACIMFlow:
         if problems:
             raise FlowError("cell library inconsistent: " + "; ".join(problems))
         estimator = ACIMEstimator(inputs.model) if inputs.model else ACIMEstimator()
-        self.explorer = DesignSpaceExplorer(estimator=estimator, config=inputs.nsga2)
+        # One backend choice drives the whole flow.  FlowInputs is the
+        # source of truth; when it is left at the serial default but the
+        # optimizer config asks for a parallel backend, honor the config
+        # rather than silently ignoring it.
+        backend = inputs.backend
+        if backend == "serial" and inputs.nsga2.backend != "serial":
+            backend = inputs.nsga2.backend
+        workers = inputs.workers if inputs.workers is not None else inputs.nsga2.workers
+        self.engine = EvaluationEngine(backend, workers=workers)
+        self.explorer = DesignSpaceExplorer(
+            estimator=estimator, config=inputs.nsga2, engine=self.engine
+        )
         self.netlist_generator = TemplateNetlistGenerator(self.library)
         self.layout_generator = LayoutGenerator(self.library)
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent)."""
+        self.engine.close()
+
+    def __enter__(self) -> "EasyACIMFlow":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- individual stages -----------------------------------------------------------
 
@@ -156,26 +244,42 @@ class EasyACIMFlow:
             output_dir: where to export GDS/DEF when layouts are generated.
         """
         start = time.perf_counter()
-        exploration = self.explore()
-        distilled = self.distill(exploration)
-        result = FlowResult(
-            inputs=self.inputs,
-            exploration=exploration,
-            distilled=distilled,
-        )
-        selected = distilled[: self.inputs.max_layouts]
-        if generate_netlists:
-            for design in selected:
-                result.netlists[design.spec.as_tuple()] = self.generate_netlist(
-                    design.spec
-                )
-        if generate_layouts:
-            for design in selected:
-                result.layouts[design.spec.as_tuple()] = self.generate_layout(
-                    design.spec,
-                    route_column=route_columns,
-                    export=output_dir is not None,
-                    output_dir=output_dir,
-                )
-        result.runtime_seconds = time.perf_counter() - start
-        return result
+        stats_baseline = self.engine.stats.snapshot()
+        try:
+            exploration = self.explore()
+            distilled = self.distill(exploration)
+            result = FlowResult(
+                inputs=self.inputs,
+                exploration=exploration,
+                distilled=distilled,
+            )
+            selected = distilled[: self.inputs.max_layouts]
+            if selected and (generate_netlists or generate_layouts):
+                tasks = [
+                    (
+                        self.library,
+                        design.spec.as_tuple(),
+                        generate_netlists,
+                        generate_layouts,
+                        route_columns,
+                        output_dir,
+                    )
+                    for design in selected
+                ]
+                # Fan the per-solution generation out across the engine: one
+                # task per solution so the pool load-balances the expensive
+                # layouts.
+                for spec_tuple, netlist, report in self.engine.map(
+                    _generate_solution_artifacts, tasks, chunk_size=1
+                ):
+                    if netlist is not None:
+                        result.netlists[spec_tuple] = netlist
+                    if report is not None:
+                        result.layouts[spec_tuple] = report
+            result.engine_stats = self.engine.stats.since(stats_baseline).as_dict()
+            result.runtime_seconds = time.perf_counter() - start
+            return result
+        finally:
+            # Release pool workers between runs; the executor respawns
+            # lazily if the flow is run again.
+            self.engine.close()

@@ -88,6 +88,27 @@ def solution_report(design: EvaluatedDesign) -> str:
     return "\n".join(lines)
 
 
+def engine_stats_table(stats: Dict[str, float]) -> List[Dict]:
+    """One report row from an evaluation-engine statistics dictionary.
+
+    Consumes the ``engine_stats`` attached to :class:`ExplorationResult`
+    and :class:`FlowResult`; column order keeps the throughput figures
+    (evaluations/sec) next to the cache effectiveness (hits vs computed).
+    """
+    if not stats:
+        return []
+    return [{
+        "backend": stats.get("backend", "serial"),
+        "workers": stats.get("workers", 1),
+        "batches": stats.get("batches", 0),
+        "tasks": stats.get("tasks", 0),
+        "evaluations": stats.get("evaluations", 0),
+        "cache_hits": stats.get("cache_hits", 0),
+        "busy_s": stats.get("busy_seconds", 0.0),
+        "evals_per_s": stats.get("evaluations_per_second", 0.0),
+    }]
+
+
 def csv_lines(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> List[str]:
     """Render rows as CSV lines (header first)."""
     if not rows:

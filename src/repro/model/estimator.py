@@ -13,7 +13,7 @@ DESIGN.md; :class:`ModelParameters` lets applications override any subset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.spec import ACIMDesignSpec
 from repro.arch.timing import TimingParameters
@@ -154,22 +154,52 @@ class ACIMEstimator:
 
     def evaluate(self, spec: ACIMDesignSpec) -> ACIMMetrics:
         """Evaluate ``spec`` on every axis and return the metrics record."""
-        spec.validate()
-        n = spec.local_arrays_per_column
-        throughput = self._throughput.breakdown(spec)
-        energy = self._energy.breakdown(spec)
-        area = self._area.breakdown(spec)
-        return ACIMMetrics(
-            spec=spec,
-            snr_db=self.snr_db(spec),
-            snr_total_db=self._snr.total_snr_db(spec.adc_bits, n),
-            tops=throughput.tops,
-            macs_per_second=throughput.macs_per_second,
-            energy_per_mac=energy.total_per_mac,
-            tops_per_watt=energy.tops_per_watt,
-            area_f2_per_bit=area.per_bit,
-            total_area_um2=area.total_um2,
+        return self.evaluate_batch([spec])[0]
+
+    def evaluate_batch(self, specs: Sequence[ACIMDesignSpec]) -> List[ACIMMetrics]:
+        """Evaluate many specs at once, returning metrics in input order.
+
+        The spec-independent setup — model/method lookups, the choice of the
+        SNR objective — is hoisted out of the per-spec loop, and duplicate
+        specs in the batch are evaluated once.  This is the hot path the
+        :class:`~repro.engine.engine.EvaluationEngine` drives for population
+        batches and exhaustive grids.
+        """
+        snr_model = self._snr
+        snr_objective = (
+            snr_model.simplified_snr_db
+            if self.parameters.use_simplified_snr
+            else snr_model.design_snr_db
         )
+        total_snr = snr_model.total_snr_db
+        throughput_breakdown = self._throughput.breakdown
+        energy_breakdown = self._energy.breakdown
+        area_breakdown = self._area.breakdown
+
+        unique: Dict[ACIMDesignSpec, ACIMMetrics] = {}
+        results: List[ACIMMetrics] = []
+        for spec in specs:
+            metrics = unique.get(spec)
+            if metrics is None:
+                spec.validate()
+                n = spec.local_arrays_per_column
+                throughput = throughput_breakdown(spec)
+                energy = energy_breakdown(spec)
+                area = area_breakdown(spec)
+                metrics = ACIMMetrics(
+                    spec=spec,
+                    snr_db=snr_objective(spec.adc_bits, n),
+                    snr_total_db=total_snr(spec.adc_bits, n),
+                    tops=throughput.tops,
+                    macs_per_second=throughput.macs_per_second,
+                    energy_per_mac=energy.total_per_mac,
+                    tops_per_watt=energy.tops_per_watt,
+                    area_f2_per_bit=area.per_bit,
+                    total_area_um2=area.total_um2,
+                )
+                unique[spec] = metrics
+            results.append(metrics)
+        return results
 
     def objectives(self, spec: ACIMDesignSpec) -> Tuple[float, float, float, float]:
         """The Equation-12 objective vector for ``spec``."""

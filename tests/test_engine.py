@@ -1,0 +1,194 @@
+"""Tests of the unified evaluation engine (cache, backends, determinism)."""
+
+import pytest
+
+from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
+from repro.dse.exhaustive import evaluate_all
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.nsga2 import NSGA2Config
+from repro.engine import (
+    BACKENDS,
+    EvaluationCache,
+    EvaluationEngine,
+    parameters_cache_key,
+    spec_cache_key,
+    validate_backend,
+)
+from repro.errors import EngineError, OptimizationError
+from repro.model.estimator import ACIMEstimator, ModelParameters
+
+
+class TestEvaluationCache:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache(max_size=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_bounded_lru_eviction(self):
+        cache = EvaluationCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh recency: "b" is now LRU
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(EngineError):
+            EvaluationCache(max_size=0)
+
+    def test_parameter_keys_distinguish_bundles(self):
+        base = ModelParameters()
+        calibrated = ModelParameters.calibrated()
+        assert parameters_cache_key(base) != parameters_cache_key(calibrated)
+        spec = ACIMDesignSpec(64, 16, 2, 4)
+        assert spec_cache_key(spec, base) != spec_cache_key(spec, calibrated)
+
+
+class TestEvaluationEngine:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(EngineError):
+            EvaluationEngine("gpu")
+        with pytest.raises(EngineError):
+            validate_backend("cluster")
+
+    def test_map_preserves_order(self):
+        for backend in ("serial", "thread"):
+            with EvaluationEngine(backend, workers=2) as engine:
+                assert engine.map(_square, list(range(20))) == [
+                    i * i for i in range(20)
+                ]
+
+    def test_map_preserves_order_process(self):
+        with EvaluationEngine("process", workers=2) as engine:
+            assert engine.map(_square, list(range(20))) == [
+                i * i for i in range(20)
+            ]
+
+    def test_evaluate_specs_matches_serial_evaluate(self):
+        estimator = ACIMEstimator()
+        specs = list(enumerate_design_space(1024))
+        expected = [estimator.evaluate(spec) for spec in specs]
+        for backend in BACKENDS:
+            engine = EvaluationEngine(
+                backend, workers=2, cache=EvaluationCache()
+            )
+            with engine:
+                got = engine.evaluate_specs(estimator, specs)
+            assert got == expected, backend
+
+    def test_cache_hits_on_repeat_batches(self):
+        engine = EvaluationEngine("serial", cache=EvaluationCache())
+        estimator = ACIMEstimator()
+        specs = list(enumerate_design_space(1024))
+        engine.evaluate_specs(estimator, specs)
+        first_evals = engine.stats.evaluations
+        engine.evaluate_specs(estimator, specs)
+        assert engine.stats.evaluations == first_evals
+        assert engine.stats.cache_hits == len(specs)
+
+    def test_duplicate_specs_evaluated_once(self):
+        engine = EvaluationEngine("serial", cache=EvaluationCache())
+        estimator = ACIMEstimator()
+        spec = ACIMDesignSpec(64, 16, 2, 4)
+        results = engine.evaluate_specs(estimator, [spec, spec, spec])
+        assert results[0] == results[1] == results[2]
+        assert engine.stats.evaluations == 1
+
+    def test_stats_as_dict(self):
+        engine = EvaluationEngine("serial", cache=EvaluationCache())
+        engine.evaluate_specs(ACIMEstimator(), [ACIMDesignSpec(64, 16, 2, 4)])
+        stats = engine.stats.as_dict()
+        assert stats["backend"] == "serial"
+        assert stats["evaluations"] == 1
+        assert stats["busy_seconds"] > 0
+
+
+class TestEstimatorBatch:
+    def test_batch_equals_individual_evaluations(self):
+        estimator = ACIMEstimator(ModelParameters.calibrated())
+        specs = list(enumerate_design_space(4096))
+        batch = estimator.evaluate_batch(specs)
+        for spec, metrics in zip(specs, batch):
+            assert metrics == estimator.evaluate(spec)
+
+    def test_batch_with_full_snr_model(self):
+        params = ModelParameters(use_simplified_snr=False)
+        estimator = ACIMEstimator(params)
+        specs = list(enumerate_design_space(1024))
+        batch = estimator.evaluate_batch(specs)
+        for spec, metrics in zip(specs, batch):
+            assert metrics == estimator.evaluate(spec)
+
+
+class TestExhaustiveThroughEngine:
+    def test_evaluate_all_identical_across_backends(self):
+        serial = evaluate_all(4096)
+        for backend in ("thread", "process"):
+            with EvaluationEngine(
+                backend, workers=2, cache=EvaluationCache()
+            ) as engine:
+                parallel = evaluate_all(4096, engine=engine)
+            assert [d.spec for d in parallel] == [d.spec for d in serial]
+            assert [d.objectives for d in parallel] == [
+                d.objectives for d in serial
+            ]
+
+
+class TestSeedDeterminismAcrossBackends:
+    """The ISSUE's regression: same seed => identical Pareto set, any backend."""
+
+    def test_serial_and_process_backends_agree(self):
+        pareto_sets = {}
+        for backend in ("serial", "process"):
+            config = NSGA2Config(
+                population_size=28, generations=10, seed=11,
+                backend=backend, workers=2,
+            )
+            # A private cache per run so the comparison is between actual
+            # computations, not a warm shared cache.
+            engine = EvaluationEngine(
+                backend, workers=2, cache=EvaluationCache()
+            )
+            with engine:
+                explorer = DesignSpaceExplorer(config=config, engine=engine)
+                result = explorer.explore(4096)
+            pareto_sets[backend] = {
+                (design.spec.as_tuple(), design.objectives)
+                for design in result.pareto_set
+            }
+        assert pareto_sets["serial"] == pareto_sets["process"]
+
+    def test_engine_stats_surface_in_result(self):
+        config = NSGA2Config(population_size=16, generations=4, seed=2)
+        result = DesignSpaceExplorer(config=config).explore(1024)
+        assert result.engine_stats["backend"] == "serial"
+        assert result.engine_stats["tasks"] > 0
+
+    def test_engine_stats_are_per_run_deltas(self):
+        config = NSGA2Config(population_size=16, generations=4, seed=2)
+        with EvaluationEngine("serial", cache=EvaluationCache()) as engine:
+            explorer = DesignSpaceExplorer(config=config, engine=engine)
+            first = explorer.explore(1024)
+            second = explorer.explore(1024)
+        # Identical seeded runs submit the identical number of tasks; a
+        # cumulative (non-delta) snapshot would double on the second run.
+        assert second.engine_stats["tasks"] == first.engine_stats["tasks"]
+        # The second run is fully served by the engine's warm cache.
+        assert second.engine_stats["evaluations"] == 0
+        assert second.engine_stats["cache_hits"] > 0
+
+    def test_invalid_backend_in_config(self):
+        with pytest.raises(EngineError):
+            NSGA2Config(backend="gpu")
+        with pytest.raises(OptimizationError):
+            NSGA2Config(workers=0)
+
+
+def _square(value: int) -> int:
+    return value * value

@@ -122,6 +122,18 @@ class TestCli:
         assert "Pareto solutions" in captured
         assert csv_path.exists() and json_path.exists()
 
+    def test_explore_command_with_engine_backend(self, capsys):
+        exit_code = main([
+            "explore", "--array-size", "1024", "--population", "20",
+            "--generations", "6", "--seed", "3",
+            "--backend", "thread", "--workers", "2", "--engine-stats",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Pareto solutions" in captured
+        assert "thread" in captured
+        assert "evals_per_s" in captured
+
     def test_layout_command(self, tmp_path, capsys):
         exit_code = main([
             "layout", "--height", "16", "--width", "4", "--local", "4",
