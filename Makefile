@@ -1,17 +1,18 @@
 # CI entry points for the EasyACIM reproduction.
 #
-#   make test         tier-1 test suite (the PR gate)
-#   make smoke        quickstart flow through the parallel engine (2 workers)
-#   make bench-quick  CI-sized engine scaling benchmark (no baseline write)
-#   make bench        full engine scaling benchmark, records BENCH_engine.json
-#   make ci           what every PR must pass: tier-1 + parallel smoke
+#   make test            tier-1 test suite (the PR gate)
+#   make smoke           quickstart flow through the parallel engine (2 workers)
+#   make campaign-smoke  tiny campaign -> kill -> resume -> query (store path)
+#   make bench-quick     CI-sized engine scaling benchmark (no baseline write)
+#   make bench           full engine scaling benchmark, records BENCH_engine.json
+#   make ci              what every PR must pass: tier-1 + both smokes
 #
 # PYTHONPATH is set here so no editable install is needed on CI runners.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-quick ci
+.PHONY: test smoke campaign-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,10 +20,13 @@ test:
 smoke:
 	$(PYTHON) examples/quickstart.py --workers 2
 
+campaign-smoke:
+	$(PYTHON) examples/campaign_smoke.py
+
 bench-quick:
 	$(PYTHON) benchmarks/bench_engine_scaling.py --quick --workers 2
 
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke
+ci: test smoke campaign-smoke

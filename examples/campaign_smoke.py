@@ -1,0 +1,97 @@
+"""Campaign smoke test: tiny campaign -> kill -> resume -> query.
+
+Exercises the persistent-store durability path end to end (the CI
+``make campaign-smoke`` target):
+
+1. start a small named campaign and stop it after two generations — the
+   programmatic equivalent of ``kill -9`` between checkpoint commits;
+2. resume it from the SQLite store and run it to completion;
+3. assert the resumed Pareto front is bit-identical to an uninterrupted
+   exploration with the same configuration;
+4. run a second, overlapping campaign and assert it is served warm from
+   the persistent store (``store_hits > 0``);
+5. query the store across both campaigns.
+
+Exit code 0 means every durability guarantee held.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.dse.distill import DistillationCriteria
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.nsga2 import NSGA2Config
+from repro.flow.report import format_table
+from repro.reporting.campaigns import stored_design_table, store_summary_table
+from repro.store import CampaignManager, ResultStore
+
+ARRAY_SIZE = 1024
+CONFIG = NSGA2Config(population_size=16, generations=6, seed=3)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="easyacim-smoke-") as tmp:
+        store_path = Path(tmp) / "store.sqlite"
+
+        # 1. Start, then "kill" after two generations.
+        with ResultStore(store_path) as store:
+            manager = CampaignManager(store)
+            interrupted = manager.run(
+                "smoke", ARRAY_SIZE, config=CONFIG, stop_after_generations=2
+            )
+            assert interrupted.status == "interrupted", interrupted.status
+            print(f"interrupted at generation "
+                  f"{interrupted.generations_done}/{CONFIG.generations} "
+                  f"({store.checkpoint_count('smoke')} checkpoints committed)")
+
+        # 2. Resume from the store file alone (fresh handles, as a new
+        #    process would) and run to completion.
+        with ResultStore(store_path) as store:
+            resumed = CampaignManager(store).resume("smoke")
+            assert resumed.status == "completed", resumed.status
+            print(f"resumed to completion: {len(resumed.pareto_set)} "
+                  f"Pareto solutions, {resumed.evaluations} evaluations")
+
+            # 3. Bit-identity against an uninterrupted exploration.
+            reference = DesignSpaceExplorer(config=CONFIG).explore(ARRAY_SIZE)
+            signature = lambda designs: [
+                (d.spec.as_tuple(), d.objectives) for d in designs
+            ]
+            if signature(resumed.pareto_set) != signature(reference.pareto_set):
+                print("FAIL: resumed Pareto front differs from the "
+                      "uninterrupted run")
+                return 1
+            print("kill -> resume Pareto front is bit-identical to the "
+                  "uninterrupted run")
+
+        # 4. Overlapping second campaign warm-starts from the store.
+        with ResultStore(store_path) as store:
+            second = CampaignManager(store).run(
+                "smoke-overlap", ARRAY_SIZE,
+                config=NSGA2Config(population_size=16, generations=3, seed=9),
+            )
+            store_hits = second.engine_stats.get("store_hits", 0)
+            if store_hits <= 0:
+                print("FAIL: overlapping campaign saw no persistent-store hits")
+                return 1
+            print(f"overlapping campaign served {store_hits} evaluations "
+                  f"from the persistent store")
+
+            # 5. Cross-campaign query.
+            entries = store.query(
+                criteria=DistillationCriteria(min_snr_db=0.0),
+                rank_by="tops_per_watt", limit=5,
+            )
+            print()
+            print(format_table(store_summary_table(store.stats())))
+            print()
+            print(format_table(stored_design_table(entries)))
+        print("\ncampaign smoke: OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,8 @@ The subpackages are usable on their own:
 * :mod:`repro.dse` — Pareto tools and the NSGA-II explorer (Equation 12),
 * :mod:`repro.engine` — the batched/parallel/cached evaluation engine every
   evaluation consumer routes through (``docs/engine.md``),
+* :mod:`repro.store` — the persistent result store and resumable
+  exploration campaigns (``docs/campaigns.md``),
 * :mod:`repro.sim` — behavioral QR / SAR ADC simulation and Monte-Carlo SNR,
 * :mod:`repro.cells`, :mod:`repro.technology`, :mod:`repro.netlist`,
   :mod:`repro.layout`, :mod:`repro.placement`, :mod:`repro.routing` — the
@@ -45,6 +47,7 @@ from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.cells.library import CellLibrary, default_cell_library
 from repro.model.estimator import ACIMEstimator, ACIMMetrics, ModelParameters
 from repro.sim.montecarlo import MonteCarloSnr
+from repro.store import CampaignManager, CampaignResult, ResultStore
 from repro.technology.tech import Technology, generic28
 
 __version__ = "1.0.0"
@@ -70,6 +73,9 @@ __all__ = [
     "ACIMMetrics",
     "ModelParameters",
     "MonteCarloSnr",
+    "CampaignManager",
+    "CampaignResult",
+    "ResultStore",
     "Technology",
     "generic28",
     "__version__",

@@ -6,6 +6,9 @@ Usage (after ``pip install -e .``)::
     python -m repro layout --height 128 --width 128 --local 8 --adc-bits 3 --out out/
     python -m repro library --report
     python -m repro validate-snr --adc-bits 3 4 5 --trials 800
+    python -m repro campaign run nightly --store results.sqlite --array-size 16384
+    python -m repro campaign resume nightly --store results.sqlite
+    python -m repro campaign query --store results.sqlite --min-snr-db 20
 
 The CLI is a thin veneer over the library: every subcommand maps onto one
 public API entry point so scripted use and interactive use stay in sync.
@@ -37,8 +40,14 @@ from repro.flow.testbench import TestbenchGenerator
 from repro.model.estimator import ACIMEstimator
 from repro.netlist.spice import write_spice
 from repro.reporting.ascii_plots import render_pareto_front
+from repro.reporting.campaigns import (
+    campaign_table,
+    store_summary_table,
+    stored_design_table,
+)
 from repro.reporting.export import export_csv, export_json
 from repro.sim.montecarlo import MonteCarloSnr
+from repro.store import RANK_METRICS, CampaignManager, ResultStore
 from repro.technology.tech import generic28
 
 
@@ -114,6 +123,65 @@ def build_parser() -> argparse.ArgumentParser:
     library.add_argument("--report", action="store_true",
                          help="print the per-cell summary")
     library.set_defaults(handler=_cmd_library)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="persistent, resumable exploration campaigns (docs/campaigns.md)")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+
+    def _store_argument(subparser):
+        subparser.add_argument(
+            "--store", type=Path, default=Path("easyacim_store.sqlite"),
+            help="SQLite result-store file (default easyacim_store.sqlite)")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start a new named, checkpointed exploration campaign")
+    campaign_run.add_argument("name", help="unique campaign name")
+    _store_argument(campaign_run)
+    campaign_run.add_argument("--array-size", type=int, default=16 * 1024)
+    campaign_run.add_argument("--population", type=int, default=80)
+    campaign_run.add_argument("--generations", type=int, default=40)
+    campaign_run.add_argument("--seed", type=int, default=1)
+    campaign_run.add_argument("--backend", choices=list(BACKENDS), default=None)
+    campaign_run.add_argument("--workers", type=int, default=None)
+    campaign_run.add_argument("--checkpoint-every", type=int, default=1,
+                              help="commit a snapshot every N generations")
+    campaign_run.add_argument("--stop-after", type=int, default=None,
+                              help="stop (checkpointed, resumable) after N "
+                                   "generations in this invocation")
+    campaign_run.add_argument("--engine-stats", action="store_true")
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="continue a killed campaign from its last checkpoint")
+    campaign_resume.add_argument("name")
+    _store_argument(campaign_resume)
+    campaign_resume.add_argument("--stop-after", type=int, default=None)
+    campaign_resume.add_argument("--engine-stats", action="store_true")
+    campaign_resume.set_defaults(handler=_cmd_campaign_resume)
+
+    campaign_list = campaign_sub.add_parser(
+        "list", help="list every campaign in the store")
+    _store_argument(campaign_list)
+    campaign_list.set_defaults(handler=_cmd_campaign_list)
+
+    campaign_query = campaign_sub.add_parser(
+        "query", help="ranked design points across all campaigns")
+    _store_argument(campaign_query)
+    campaign_query.add_argument("--min-snr-db", type=float, default=None)
+    campaign_query.add_argument("--min-tops", type=float, default=None)
+    campaign_query.add_argument("--min-tops-per-watt", type=float, default=None)
+    campaign_query.add_argument("--max-area", type=float, default=None,
+                                help="maximum area in F^2/bit")
+    campaign_query.add_argument("--rank-by", choices=sorted(RANK_METRICS),
+                                default="tops_per_watt")
+    campaign_query.add_argument("--limit", type=int, default=None)
+    campaign_query.add_argument("--all", action="store_true",
+                                help="include Pareto-dominated points")
+    campaign_query.add_argument("--csv", type=Path, default=None)
+    campaign_query.add_argument("--json", type=Path, default=None)
+    campaign_query.set_defaults(handler=_cmd_campaign_query)
 
     validate = subparsers.add_parser(
         "validate-snr", help="Monte-Carlo validation of the SNR model")
@@ -239,6 +307,94 @@ def _cmd_library(args: argparse.Namespace) -> int:
             print(f"  - {problem}")
         return 1
     print("Library netlist/layout views are consistent.")
+    return 0
+
+
+def _print_campaign_outcome(result, engine_stats: bool) -> None:
+    print(format_table([result.as_dict()]))
+    if result.status == "interrupted":
+        print(f"Campaign {result.name!r} checkpointed at generation "
+              f"{result.generations_done}/{result.total_generations}; "
+              f"continue with: campaign resume {result.name}")
+    elif result.pareto_set:
+        print()
+        print(format_table(design_table(result.pareto_set)))
+    if engine_stats and result.engine_stats:
+        print(format_table(engine_stats_table(result.engine_stats)))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    backend = args.backend or ("process" if args.workers else "serial")
+    with ResultStore(args.store) as store:
+        manager = CampaignManager(store,
+                                  checkpoint_every=args.checkpoint_every)
+        result = manager.run(
+            args.name,
+            args.array_size,
+            config=NSGA2Config(
+                population_size=args.population,
+                generations=args.generations,
+                seed=args.seed,
+                backend=backend,
+                workers=args.workers,
+            ),
+            stop_after_generations=args.stop_after,
+        )
+        _print_campaign_outcome(result, args.engine_stats)
+    return 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        result = CampaignManager(store).resume(
+            args.name, stop_after_generations=args.stop_after)
+        _print_campaign_outcome(result, args.engine_stats)
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        records = store.list_campaigns()
+        print(format_table(store_summary_table(store.stats())))
+        print()
+        if records:
+            print(format_table(campaign_table(records)))
+        else:
+            print("(no campaigns)")
+    return 0
+
+
+def _cmd_campaign_query(args: argparse.Namespace) -> int:
+    criteria = DistillationCriteria(
+        min_snr_db=args.min_snr_db,
+        min_tops=args.min_tops,
+        min_tops_per_watt=args.min_tops_per_watt,
+        max_area_f2_per_bit=args.max_area,
+        name="cli-query",
+    )
+    with ResultStore(args.store) as store:
+        entries = store.query(
+            criteria=criteria,
+            pareto_only=not args.all,
+            rank_by=args.rank_by,
+            limit=args.limit,
+        )
+        rows = stored_design_table(entries)
+        if not rows:
+            print("(no stored design points match)")
+            return 1
+        print(f"{len(rows)} design points "
+              f"(ranked by {args.rank_by}, "
+              f"{'all' if args.all else 'Pareto-only'}):")
+        print(format_table(rows))
+        if args.csv:
+            export_csv(rows, args.csv)
+            print(f"CSV written to {args.csv}")
+        if args.json:
+            export_json(rows, args.json,
+                        metadata={"store": str(args.store),
+                                  "rank_by": args.rank_by})
+            print(f"JSON written to {args.json}")
     return 0
 
 

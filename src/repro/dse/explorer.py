@@ -69,6 +69,38 @@ class ExplorationResult:
         return sorted(rows, key=lambda row: row["snr_db"], reverse=True)
 
 
+def pareto_designs_from_population(problem, population) -> List[EvaluatedDesign]:
+    """Distil a final NSGA-II population into the evaluated Pareto set.
+
+    Keeps the feasible individuals, deduplicates them by decoded design
+    point, re-filters to the non-dominated subset and sorts by spec tuple —
+    the canonical reduction shared by :class:`DesignSpaceExplorer` and the
+    campaign manager, so an interrupted-and-resumed campaign reports the
+    exact set an uninterrupted exploration would.
+    """
+    array_size = problem.array_size
+    unique: Dict[tuple, EvaluatedDesign] = {}
+    for individual in population:
+        if not individual.feasible:
+            continue
+        spec = problem.decode(individual.genome)
+        if not spec.is_feasible(array_size):
+            continue
+        if spec.as_tuple() in unique:
+            continue
+        unique[spec.as_tuple()] = problem.evaluated_design(individual.genome)
+    designs = list(unique.values())
+    if not designs:
+        raise OptimizationError(
+            f"exploration found no feasible designs for array size {array_size}"
+        )
+    # Re-filter to the non-dominated subset after deduplication.
+    front = pareto_front([design.objectives for design in designs])
+    pareto_set = [designs[i] for i in front]
+    pareto_set.sort(key=lambda d: d.spec.as_tuple())
+    return pareto_set
+
+
 class DesignSpaceExplorer:
     """NSGA-II based explorer over the synthesizable-architecture space."""
 
@@ -129,25 +161,7 @@ class DesignSpaceExplorer:
         final_population = optimizer.run()
         runtime = time.perf_counter() - start
 
-        unique: Dict[tuple, EvaluatedDesign] = {}
-        for individual in final_population:
-            if not individual.feasible:
-                continue
-            spec = problem.decode(individual.genome)
-            if not spec.is_feasible(array_size):
-                continue
-            if spec.as_tuple() in unique:
-                continue
-            unique[spec.as_tuple()] = problem.evaluated_design(individual.genome)
-        designs = list(unique.values())
-        if not designs:
-            raise OptimizationError(
-                f"exploration found no feasible designs for array size {array_size}"
-            )
-        # Re-filter to the non-dominated subset after deduplication.
-        front = pareto_front([design.objectives for design in designs])
-        pareto_set = [designs[i] for i in front]
-        pareto_set.sort(key=lambda d: d.spec.as_tuple())
+        pareto_set = pareto_designs_from_population(problem, final_population)
         return ExplorationResult(
             array_size=array_size,
             pareto_set=pareto_set,

@@ -122,26 +122,135 @@ class NSGA2(Generic[Genome]):
         self.config = config
         self._evaluations = 0
         self.history: List[Dict[str, float]] = []
+        self._rng: Optional[random.Random] = None
+        self._population: Optional[List[Individual]] = None
+        self._generation = 0
 
     @property
     def evaluations(self) -> int:
         """Number of objective evaluations performed so far."""
         return self._evaluations
 
+    @property
+    def generation(self) -> int:
+        """Number of completed generations (0 right after initialization)."""
+        return self._generation
+
+    @property
+    def done(self) -> bool:
+        """True once the configured generation budget is exhausted."""
+        return (
+            self._population is not None
+            and self._generation >= self.config.generations
+        )
+
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> List[Individual]:
-        """Evolve the population and return the final non-dominated set."""
+        """Evolve the population and return the final non-dominated set.
+
+        Equivalent to :meth:`initialize` followed by :meth:`step` until
+        :attr:`done`; checkpointing drivers (the campaign manager) call the
+        stepwise API directly and snapshot :meth:`state` between steps.
+        """
+        self.initialize()
+        while not self.done:
+            self.step()
+        return self.result()
+
+    # -- stepwise / checkpointable API ----------------------------------------
+
+    def initialize(self) -> None:
+        """Seed the RNG and evaluate the initial population (generation 0)."""
         rng = random.Random(self.config.seed)
         population = self._initial_population(rng)
         self._assign_ranks(population)
-        for generation in range(self.config.generations):
-            offspring = self._make_offspring(population, rng)
-            population = self._environmental_selection(population + offspring)
-            self._record_history(generation, population)
+        self._rng = rng
+        self._population = population
+        self._generation = 0
+
+    def step(self) -> bool:
+        """Evolve one generation; returns True while generations remain.
+
+        RNG consumption is identical to the monolithic loop of :meth:`run`,
+        so any interleaving of steps and state snapshots reproduces the
+        uninterrupted evolution bit-identically.
+        """
+        if self._population is None:
+            raise OptimizationError("call initialize() before step()")
+        if self.done:
+            return False
+        offspring = self._make_offspring(self._population, self._rng)
+        self._population = self._environmental_selection(
+            self._population + offspring
+        )
+        self._record_history(self._generation, self._population)
+        self._generation += 1
+        return not self.done
+
+    def result(self) -> List[Individual]:
+        """The current population's feasible non-dominated set."""
+        if self._population is None:
+            raise OptimizationError("call initialize() before result()")
+        population = self._population
         return [ind for ind in population if ind.rank == 0 and ind.feasible] or [
             ind for ind in population if ind.rank == 0
         ]
+
+    def state(self) -> Dict:
+        """JSON-serializable snapshot of the full optimiser state.
+
+        Captures the RNG state, the evaluated population (genomes must be
+        nested tuples/lists of JSON scalars, as the ACIM genome is), the
+        generation counter, the evaluation budget spent and the history —
+        everything :meth:`restore_state` needs to continue bit-identically.
+        """
+        if self._population is None:
+            raise OptimizationError("call initialize() before state()")
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "generation": self._generation,
+            "evaluations": self._evaluations,
+            "rng_state": [version, list(internal), gauss_next],
+            "history": [dict(entry) for entry in self.history],
+            "population": [
+                {
+                    "genome": individual.genome,
+                    "objectives": list(individual.objectives),
+                    "violation": individual.violation,
+                    "rank": individual.rank,
+                    "crowding": individual.crowding,
+                }
+                for individual in self._population
+            ],
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore a :meth:`state` snapshot (inverse of JSON round-trip)."""
+        try:
+            version, internal, gauss_next = state["rng_state"]
+            rng = random.Random()
+            rng.setstate((version, tuple(internal), gauss_next))
+            population = [
+                Individual(
+                    genome=_tuplify(entry["genome"]),
+                    objectives=tuple(entry["objectives"]),
+                    violation=float(entry["violation"]),
+                    rank=int(entry["rank"]),
+                    crowding=float(entry["crowding"]),
+                )
+                for entry in state["population"]
+            ]
+            generation = int(state["generation"])
+            evaluations = int(state["evaluations"])
+            history = [dict(entry) for entry in state["history"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise OptimizationError(f"invalid NSGA-II state snapshot: {error}")
+        self._rng = rng
+        self._population = population
+        self._generation = generation
+        self._evaluations = evaluations
+        self.history = history
 
     # -- population management -----------------------------------------------
 
@@ -272,3 +381,10 @@ class NSGA2(Generic[Genome]):
             "front_size": float(len(front)),
             "evaluations": float(self._evaluations),
         })
+
+
+def _tuplify(value):
+    """Rebuild nested tuples from JSON lists (genome deserialization)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value

@@ -51,6 +51,9 @@ class EngineStats:
         tasks: total items routed through the engine.
         evaluations: spec evaluations actually computed (cache misses).
         cache_hits: spec evaluations answered from the cache.
+        store_hits: cache hits whose entry was hydrated from the
+            persistent result store (work amortized from past campaigns).
+        store_writes: evaluations flushed to the persistent store.
         busy_seconds: wall-clock time spent inside engine calls.
     """
 
@@ -60,6 +63,8 @@ class EngineStats:
     tasks: int = 0
     evaluations: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
+    store_writes: int = 0
     busy_seconds: float = 0.0
 
     @property
@@ -87,6 +92,8 @@ class EngineStats:
             tasks=self.tasks - baseline.tasks,
             evaluations=self.evaluations - baseline.evaluations,
             cache_hits=self.cache_hits - baseline.cache_hits,
+            store_hits=self.store_hits - baseline.store_hits,
+            store_writes=self.store_writes - baseline.store_writes,
             busy_seconds=self.busy_seconds - baseline.busy_seconds,
         )
 
@@ -99,6 +106,8 @@ class EngineStats:
             "tasks": self.tasks,
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
             "busy_seconds": round(self.busy_seconds, 6),
             "evaluations_per_second": round(self.evaluations_per_second, 1),
         }
@@ -136,6 +145,12 @@ class EvaluationEngine:
         cache: evaluation cache; defaults to the process-wide shared cache.
         chunk_size: items per pool task; defaults to an even split into
             ``4 * workers`` chunks so stragglers rebalance.
+        store: optional :class:`~repro.store.result_store.ResultStore`.
+            On startup the LRU cache is hydrated from the store (every past
+            campaign's evaluations become warm cache hits), and computed
+            misses are written behind in batches of ``store_flush_size``
+            (plus a final flush on :meth:`close`/:meth:`flush_store`).
+        store_flush_size: write-behind batch size.
 
     The executor is created lazily on first use and reused across batches;
     call :meth:`close` (or use the engine as a context manager) to release
@@ -148,6 +163,8 @@ class EvaluationEngine:
         workers: Optional[int] = None,
         cache: Optional[EvaluationCache] = None,
         chunk_size: Optional[int] = None,
+        store=None,
+        store_flush_size: int = 64,
     ) -> None:
         self.backend = validate_backend(backend)
         self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
@@ -155,6 +172,12 @@ class EvaluationEngine:
         self.chunk_size = chunk_size
         self._executor = None
         self._stats = EngineStats(backend=self.backend, workers=self.workers)
+        self.store = store
+        self.store_flush_size = max(1, store_flush_size)
+        self._store_buffer: List = []
+        self._store_keys = (
+            set(store.hydrate(self.cache)) if store is not None else set()
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -164,10 +187,18 @@ class EvaluationEngine:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the executor pool (idempotent)."""
+        """Flush the store buffer and shut the executor down (idempotent)."""
+        self.flush_store()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def flush_store(self) -> None:
+        """Write buffered evaluations behind to the persistent store."""
+        if self.store is not None and self._store_buffer:
+            self.store.put_many(self._store_buffer)
+            self._stats.store_writes += len(self._store_buffer)
+            self._store_buffer.clear()
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -243,6 +274,8 @@ class EvaluationEngine:
                 if cached is not None:
                     results[key] = cached
                     self._stats.cache_hits += 1
+                    if key in self._store_keys:
+                        self._stats.store_hits += 1
                 else:
                     pending.add(key)
                     missing.append(spec)
@@ -252,7 +285,11 @@ class EvaluationEngine:
                     key = spec_cache_key(spec, params_key=params_key)
                     results[key] = metrics
                     self.cache.put(key, metrics)
+                    if self.store is not None:
+                        self._store_buffer.append((key, metrics))
                 self._stats.evaluations += len(missing)
+                if len(self._store_buffer) >= self.store_flush_size:
+                    self.flush_store()
             return [results[key] for key in keys]
         finally:
             self._stats.batches += 1

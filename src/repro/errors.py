@@ -72,3 +72,8 @@ class FlowError(ReproError):
 
 class EngineError(ReproError):
     """The evaluation engine was misconfigured (unknown backend, ...)."""
+
+
+class StoreError(ReproError):
+    """The persistent result store failed (schema mismatch, bad campaign,
+    corrupt checkpoint, ...)."""

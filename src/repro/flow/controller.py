@@ -47,6 +47,7 @@ from repro.flow.layout_gen import LayoutGenerationReport, LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.model.estimator import ACIMEstimator, ModelParameters
 from repro.netlist.circuit import Circuit
+from repro.store.result_store import ResultStore
 from repro.technology.tech import Technology, generic28
 
 
@@ -67,6 +68,12 @@ class FlowInputs:
             When left at ``serial`` while ``nsga2.backend`` requests a
             parallel backend, the optimizer's choice drives the whole flow.
         workers: engine pool size (None: ``nsga2.workers``, else CPU count).
+        store: optional persistent result store.  The flow's engine warm
+            starts from it (past evaluations become cache hits), computed
+            evaluations are written behind into it, and the finished run is
+            recorded as completed campaign metadata plus its Pareto set.
+        campaign_name: name the run is recorded under in the store
+            (default ``flow-<array_size>``; re-runs replace the record).
     """
 
     array_size: int
@@ -78,6 +85,8 @@ class FlowInputs:
     max_layouts: int = 3
     backend: str = "serial"
     workers: Optional[int] = None
+    store: Optional[ResultStore] = None
+    campaign_name: Optional[str] = None
 
 
 @dataclass
@@ -175,7 +184,10 @@ class EasyACIMFlow:
         problems = self.library.check_consistency()
         if problems:
             raise FlowError("cell library inconsistent: " + "; ".join(problems))
-        estimator = ACIMEstimator(inputs.model) if inputs.model else ACIMEstimator()
+        self.estimator = (
+            ACIMEstimator(inputs.model) if inputs.model else ACIMEstimator()
+        )
+        estimator = self.estimator
         # One backend choice drives the whole flow.  FlowInputs is the
         # source of truth; when it is left at the serial default but the
         # optimizer config asks for a parallel backend, honor the config
@@ -184,7 +196,7 @@ class EasyACIMFlow:
         if backend == "serial" and inputs.nsga2.backend != "serial":
             backend = inputs.nsga2.backend
         workers = inputs.workers if inputs.workers is not None else inputs.nsga2.workers
-        self.engine = EvaluationEngine(backend, workers=workers)
+        self.engine = EvaluationEngine(backend, workers=workers, store=inputs.store)
         self.explorer = DesignSpaceExplorer(
             estimator=estimator, config=inputs.nsga2, engine=self.engine
         )
@@ -276,10 +288,25 @@ class EasyACIMFlow:
                         result.netlists[spec_tuple] = netlist
                     if report is not None:
                         result.layouts[spec_tuple] = report
+            if self.inputs.store is not None:
+                self._record_campaign(exploration)
+                # Flush the write-behind buffer before the statistics are
+                # snapshotted so store_writes reflects this run.
+                self.engine.flush_store()
             result.engine_stats = self.engine.stats.since(stats_baseline).as_dict()
             result.runtime_seconds = time.perf_counter() - start
             return result
         finally:
-            # Release pool workers between runs; the executor respawns
-            # lazily if the flow is run again.
+            # Release pool workers between runs (and flush the write-behind
+            # store buffer); the executor respawns lazily on the next run.
             self.engine.close()
+
+    def _record_campaign(self, exploration: ExplorationResult) -> None:
+        """Record the finished exploration in the persistent store."""
+        from repro.store.campaign import record_exploration
+
+        name = self.inputs.campaign_name or f"flow-{self.inputs.array_size}"
+        record_exploration(
+            self.inputs.store, name, exploration,
+            self.estimator, self.inputs.nsga2,
+        )

@@ -104,6 +104,8 @@ def engine_stats_table(stats: Dict[str, float]) -> List[Dict]:
         "tasks": stats.get("tasks", 0),
         "evaluations": stats.get("evaluations", 0),
         "cache_hits": stats.get("cache_hits", 0),
+        "store_hits": stats.get("store_hits", 0),
+        "store_writes": stats.get("store_writes", 0),
         "busy_s": stats.get("busy_seconds", 0.0),
         "evals_per_s": stats.get("evaluations_per_second", 0.0),
     }]

@@ -7,11 +7,19 @@ with any external tool.
 """
 
 from repro.reporting.ascii_plots import AsciiScatter, render_pareto_front
+from repro.reporting.campaigns import (
+    campaign_table,
+    store_summary_table,
+    stored_design_table,
+)
 from repro.reporting.export import export_csv, export_json
 
 __all__ = [
     "AsciiScatter",
+    "campaign_table",
     "render_pareto_front",
     "export_csv",
     "export_json",
+    "store_summary_table",
+    "stored_design_table",
 ]

@@ -1,0 +1,36 @@
+"""Report tables for persistent-store campaigns and queries.
+
+Row builders consumed by ``campaign list / run / resume / query`` on the
+CLI (rendered with :func:`repro.flow.report.format_table`) and by any
+service embedding the campaign manager.  Each helper returns plain
+``List[Dict]`` rows so they compose with the CSV/JSON exporters too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.store.result_store import CampaignRecord, StoredEvaluation
+
+
+def campaign_table(records: Iterable[CampaignRecord]) -> List[Dict]:
+    """One row per campaign: progress, budget and provenance."""
+    return [record.as_dict() for record in records]
+
+
+def stored_design_table(entries: Iterable[StoredEvaluation]) -> List[Dict]:
+    """One row per stored design point, in the given (ranked) order."""
+    return [entry.as_dict() for entry in entries]
+
+
+def store_summary_table(stats: Dict[str, object]) -> List[Dict]:
+    """One row summarizing a store's occupancy (``ResultStore.stats()``)."""
+    if not stats:
+        return []
+    return [{
+        "store": stats.get("path", ""),
+        "schema": stats.get("schema_version", ""),
+        "evaluations": stats.get("evaluations", 0),
+        "campaigns": stats.get("campaigns", 0),
+        "checkpoints": stats.get("checkpoints", 0),
+    }]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -71,13 +73,31 @@ def export_json(
     The JSON document has the shape ``{"metadata": {...}, "records": [...]}``
     so benchmark provenance (array size, seeds, model parameters) can travel
     with the data.
+
+    The write is atomic (temporary file in the target directory, then
+    ``os.replace``): a process killed mid-export — a campaign cut down
+    while writing its results — leaves either the previous document or the
+    complete new one, never a truncated file.
     """
     rows = _to_rows(records)
     if not rows:
         raise ReproError("nothing to export")
     document = {"metadata": metadata or {}, "records": rows}
     path = Path(path)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".", prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -1,0 +1,48 @@
+"""Persistent result store and resumable exploration campaigns.
+
+This package makes evaluated design points durable, shared artifacts:
+
+* :class:`~repro.store.result_store.ResultStore` — an SQLite-backed,
+  content-addressed store of evaluated ``(spec, model-params, tech)``
+  triples with atomic writes and schema versioning; the evaluation
+  engine hydrates its LRU cache from it on startup and flushes computed
+  misses back (write-behind), so every past campaign's work becomes a
+  warm cache hit for future ones.
+* :class:`~repro.store.campaign.CampaignManager` — named, checkpointed
+  NSGA-II explorations (generation snapshots + RNG state) that can be
+  killed and resumed bit-identically, surfaced on the CLI as
+  ``campaign run / resume / list / query``.
+
+See ``docs/campaigns.md`` for the store layout, warm-start semantics and
+resume guarantees.
+"""
+
+from repro.store.campaign import (
+    CampaignManager,
+    CampaignResult,
+    record_exploration,
+)
+from repro.store.result_store import (
+    RANK_METRICS,
+    SCHEMA_VERSION,
+    CampaignRecord,
+    ResultStore,
+    StoredEvaluation,
+    canonical_key,
+    key_digest,
+    params_digest_of,
+)
+
+__all__ = [
+    "CampaignManager",
+    "CampaignRecord",
+    "CampaignResult",
+    "RANK_METRICS",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "StoredEvaluation",
+    "canonical_key",
+    "key_digest",
+    "params_digest_of",
+    "record_exploration",
+]

@@ -1,0 +1,786 @@
+"""SQLite-backed persistent store of evaluated ACIM design points.
+
+:class:`ResultStore` turns the engine's in-memory memoization into a
+durable, shared artifact: every evaluated ``(spec, model-params, tech)``
+triple is content-addressed by a SHA-256 digest of its canonical engine
+cache key and written to a single SQLite file.  Any later process —
+another exploration campaign, a flow run, a query from the CLI — can
+hydrate its evaluation cache from the store and serve past campaigns'
+work as cache hits instead of re-computing it (the design-library
+pattern: amortize once, serve many).
+
+The same file also holds campaign state: named campaigns with their
+configuration, per-generation NSGA-II checkpoints (population + RNG
+state) and the final Pareto sets, so a killed ``campaign run`` resumes
+bit-identically from its last committed generation.
+
+Durability model:
+
+* every write happens inside one ``BEGIN IMMEDIATE`` transaction, so a
+  killed process never leaves a partially-applied batch or checkpoint;
+* concurrent writers (two processes sharing one store file) serialize on
+  SQLite's file lock with a generous busy timeout;
+* the schema carries an explicit version and the store refuses to open a
+  file written by an incompatible revision instead of misreading it.
+
+Evaluation rows are immutable — a content address identifies a pure
+function application, so the first write wins and re-writes are no-ops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.errors import StoreError
+from repro.model.estimator import ACIMMetrics
+
+#: Version of the on-disk schema; bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Metric columns of the ``evaluations`` table, in ACIMMetrics field order.
+_METRIC_FIELDS = (
+    "snr_db",
+    "snr_total_db",
+    "tops",
+    "macs_per_second",
+    "energy_per_mac",
+    "tops_per_watt",
+    "area_f2_per_bit",
+    "total_area_um2",
+)
+
+#: ``query(rank_by=...)`` metrics and whether larger values rank first.
+RANK_METRICS: Dict[str, bool] = {
+    "snr_db": True,
+    "snr_total_db": True,
+    "tops": True,
+    "macs_per_second": True,
+    "tops_per_watt": True,
+    "energy_per_mac": False,
+    "area_f2_per_bit": False,
+    "total_area_um2": False,
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS param_bundles (
+    params_digest TEXT PRIMARY KEY,
+    params_json   TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS evaluations (
+    key_digest    TEXT PRIMARY KEY,
+    height        INTEGER NOT NULL,
+    width         INTEGER NOT NULL,
+    local         INTEGER NOT NULL,
+    adc_bits      INTEGER NOT NULL,
+    params_digest TEXT NOT NULL REFERENCES param_bundles(params_digest),
+    technology    TEXT,
+    snr_db REAL NOT NULL, snr_total_db REAL NOT NULL,
+    tops REAL NOT NULL, macs_per_second REAL NOT NULL,
+    energy_per_mac REAL NOT NULL, tops_per_watt REAL NOT NULL,
+    area_f2_per_bit REAL NOT NULL, total_area_um2 REAL NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_evaluations_params
+    ON evaluations(params_digest);
+CREATE TABLE IF NOT EXISTS campaigns (
+    name              TEXT PRIMARY KEY,
+    array_size        INTEGER NOT NULL,
+    status            TEXT NOT NULL,
+    config_json       TEXT NOT NULL,
+    params_digest     TEXT NOT NULL,
+    generations_done  INTEGER NOT NULL DEFAULT 0,
+    total_generations INTEGER NOT NULL,
+    evaluations       INTEGER NOT NULL DEFAULT 0,
+    runtime_seconds   REAL NOT NULL DEFAULT 0.0,
+    created_at        REAL NOT NULL,
+    updated_at        REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    campaign   TEXT NOT NULL REFERENCES campaigns(name),
+    generation INTEGER NOT NULL,
+    state_json TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (campaign, generation)
+);
+CREATE TABLE IF NOT EXISTS campaign_results (
+    campaign   TEXT NOT NULL REFERENCES campaigns(name),
+    position   INTEGER NOT NULL,
+    key_digest TEXT NOT NULL REFERENCES evaluations(key_digest),
+    PRIMARY KEY (campaign, position)
+);
+"""
+
+
+# -- canonical keys and digests ----------------------------------------------
+
+
+def _to_jsonable(value):
+    """Tuples become lists recursively; scalars pass through."""
+    if isinstance(value, (tuple, list)):
+        return [_to_jsonable(item) for item in value]
+    return value
+
+
+def _from_jsonable(value):
+    """Inverse of :func:`_to_jsonable`: lists become tuples recursively."""
+    if isinstance(value, list):
+        return tuple(_from_jsonable(item) for item in value)
+    return value
+
+
+def canonical_key(key: Tuple) -> str:
+    """Canonical JSON text of an engine cache key (or any nested tuple).
+
+    Python's shortest-repr float serialization round-trips exactly, so two
+    equal keys always canonicalize to the same text and a canonical text
+    deserializes back to the original key via :func:`_from_jsonable`.
+    """
+    return json.dumps(_to_jsonable(key), separators=(",", ":"))
+
+
+def key_digest(key: Tuple) -> str:
+    """Content address of one evaluation: SHA-256 of the canonical key."""
+    return hashlib.sha256(canonical_key(key).encode("utf-8")).hexdigest()
+
+
+def params_digest_of(params_key: Tuple) -> str:
+    """Content address of a flattened model-parameters bundle."""
+    return hashlib.sha256(
+        canonical_key(params_key).encode("utf-8")
+    ).hexdigest()
+
+
+# -- record types -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoredEvaluation:
+    """One evaluated design point read back from the store.
+
+    Attributes:
+        metrics: the full metrics record (``metrics.spec`` is the design).
+        key_digest: content address of the evaluation.
+        params_digest: content address of the model-parameter bundle.
+        technology: technology tag of the cache key (usually ``None``).
+        created_at: UNIX timestamp of the first write.
+    """
+
+    metrics: ACIMMetrics
+    key_digest: str
+    params_digest: str
+    technology: Optional[str]
+    created_at: float
+
+    @property
+    def spec(self) -> ACIMDesignSpec:
+        """The evaluated design point."""
+        return self.metrics.spec
+
+    def as_dict(self) -> dict:
+        """Flat dictionary (report tables, CSV/JSON export)."""
+        return self.metrics.as_dict()
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Metadata row of one named campaign.
+
+    Attributes:
+        name: unique campaign name (the resume handle).
+        array_size: explored array size H * W.
+        status: ``running`` / ``interrupted`` / ``completed``.
+        config: NSGA-II + problem configuration as a plain dictionary.
+        params_digest: digest of the model parameters the campaign uses.
+        generations_done: committed generations so far.
+        total_generations: configured generation budget.
+        evaluations: objective evaluations consumed so far.
+        runtime_seconds: accumulated wall-clock across run/resume calls.
+        created_at / updated_at: UNIX timestamps.
+    """
+
+    name: str
+    array_size: int
+    status: str
+    config: Dict
+    params_digest: str
+    generations_done: int
+    total_generations: int
+    evaluations: int
+    runtime_seconds: float
+    created_at: float
+    updated_at: float
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for the ``campaign list`` report table."""
+        return {
+            "name": self.name,
+            "array_size": self.array_size,
+            "status": self.status,
+            "generations": f"{self.generations_done}/{self.total_generations}",
+            "evaluations": self.evaluations,
+            "runtime_s": round(self.runtime_seconds, 2),
+        }
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class ResultStore:
+    """Persistent, content-addressed store of evaluated design points.
+
+    Args:
+        path: SQLite file (parent directories are created); pass
+            ``":memory:"`` for an ephemeral in-process store.
+        timeout: seconds a writer waits on another process's transaction
+            before giving up (SQLite busy timeout).
+    """
+
+    def __init__(
+        self, path: Union[str, Path], timeout: float = 30.0
+    ) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, timeout=timeout, check_same_thread=False,
+                isolation_level=None,
+            )
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot open result store {self.path}: {error}")
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute(f"PRAGMA busy_timeout = {int(timeout * 1000)}")
+        self._initialize_schema()
+
+    def _initialize_schema(self) -> None:
+        # executescript() autocommits, so the (idempotent) DDL runs outside
+        # the explicit transaction; only the version check/stamp is atomic.
+        try:
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"cannot initialize result store {self.path}: {error}"
+            )
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+            elif int(row["value"]) != SCHEMA_VERSION:
+                raise StoreError(
+                    f"store {self.path} has schema version {row['value']}, "
+                    f"this revision supports version {SCHEMA_VERSION}"
+                )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the SQLite connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _write(self):
+        """One atomic write transaction (``BEGIN IMMEDIATE`` ... commit).
+
+        ``BEGIN IMMEDIATE`` takes the write lock up front so two processes
+        flushing into the same store serialize cleanly instead of failing
+        mid-transaction on a lock upgrade.
+        """
+        with self._lock:
+            if self._conn is None:
+                raise StoreError(f"result store {self.path} is closed")
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                yield self._conn
+                self._conn.execute("COMMIT")
+            except sqlite3.Error as error:
+                self._rollback()
+                raise StoreError(f"store write failed: {error}")
+            except BaseException:
+                self._rollback()
+                raise
+
+    def _rollback(self) -> None:
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass  # BEGIN itself failed; there is no transaction to roll back
+
+    def _read(self):
+        with self._lock:
+            if self._conn is None:
+                raise StoreError(f"result store {self.path} is closed")
+            return self._conn
+
+    # -- evaluations -----------------------------------------------------------
+
+    def put(self, key: Tuple, metrics: ACIMMetrics) -> int:
+        """Persist one evaluation; returns 1 if it was new, else 0."""
+        return self.put_many([(key, metrics)])
+
+    def put_many(
+        self, entries: Sequence[Tuple[Tuple, ACIMMetrics]]
+    ) -> int:
+        """Persist a batch of ``(engine cache key, metrics)`` pairs.
+
+        The whole batch commits atomically; already-present content
+        addresses are skipped (evaluations are immutable).  Returns the
+        number of evaluations actually added.
+        """
+        if not entries:
+            return 0
+        now = time.time()
+        added = 0
+        with self._write() as conn:
+            for key, metrics in entries:
+                spec_tuple, params_key, technology = key
+                params_digest = params_digest_of(params_key)
+                conn.execute(
+                    "INSERT OR IGNORE INTO param_bundles "
+                    "(params_digest, params_json) VALUES (?, ?)",
+                    (params_digest, canonical_key(params_key)),
+                )
+                before = conn.total_changes
+                conn.execute(
+                    "INSERT OR IGNORE INTO evaluations ("
+                    "  key_digest, height, width, local, adc_bits,"
+                    "  params_digest, technology,"
+                    "  snr_db, snr_total_db, tops, macs_per_second,"
+                    "  energy_per_mac, tops_per_watt, area_f2_per_bit,"
+                    "  total_area_um2, created_at"
+                    ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        key_digest(key),
+                        *spec_tuple,
+                        params_digest,
+                        technology,
+                        *(getattr(metrics, field) for field in _METRIC_FIELDS),
+                        now,
+                    ),
+                )
+                added += conn.total_changes - before
+        return added
+
+    def get(self, key: Tuple) -> Optional[ACIMMetrics]:
+        """Look one evaluation up by its engine cache key."""
+        row = self._read().execute(
+            "SELECT * FROM evaluations WHERE key_digest = ?",
+            (key_digest(key),),
+        ).fetchone()
+        return None if row is None else _metrics_from_row(row)
+
+    def evaluation_count(self) -> int:
+        """Number of stored evaluations."""
+        return self._read().execute(
+            "SELECT COUNT(*) AS n FROM evaluations"
+        ).fetchone()["n"]
+
+    def __len__(self) -> int:
+        return self.evaluation_count()
+
+    def hydrate(self, cache, limit: Optional[int] = None) -> List[Tuple]:
+        """Load stored evaluations into an evaluation cache (warm start).
+
+        The most recently stored evaluations are loaded first, bounded by
+        ``limit`` (default: the cache's capacity) so hydration never
+        thrashes a small LRU.  Returns the hydrated cache keys; the engine
+        keeps them to attribute later cache hits to the persistent store.
+        """
+        if limit is None:
+            limit = getattr(cache, "max_size", None)
+        query = (
+            "SELECT e.*, p.params_json FROM evaluations e "
+            "JOIN param_bundles p ON p.params_digest = e.params_digest "
+            "ORDER BY e.created_at DESC, e.key_digest"
+        )
+        arguments: Tuple = ()
+        if limit is not None:
+            query += " LIMIT ?"
+            arguments = (int(limit),)
+        keys: List[Tuple] = []
+        rows = self._read().execute(query, arguments).fetchall()
+        # The LIMIT selects the newest rows, but they are inserted oldest
+        # first so the newest end up most-recently-used in the LRU.
+        for row in reversed(rows):
+            params_key = _from_jsonable(json.loads(row["params_json"]))
+            key = (
+                (row["height"], row["width"], row["local"], row["adc_bits"]),
+                params_key,
+                row["technology"],
+            )
+            cache.put(key, _metrics_from_row(row))
+            keys.append(key)
+        return keys
+
+    # -- query ----------------------------------------------------------------
+
+    def query(
+        self,
+        criteria=None,
+        pareto_only: bool = True,
+        rank_by: str = "tops_per_watt",
+        limit: Optional[int] = None,
+        params_digest: Optional[str] = None,
+    ) -> List[StoredEvaluation]:
+        """Ranked design points satisfying the given constraints.
+
+        Args:
+            criteria: a :class:`~repro.dse.distill.DistillationCriteria`
+                (or any object with ``accepts(design) -> bool``); ``None``
+                keeps everything.
+            pareto_only: keep only points non-dominated on the Equation-12
+                objective vector across the whole store (i.e. across every
+                campaign that fed it).
+            rank_by: metric to order by (see :data:`RANK_METRICS`).
+            limit: truncate the ranked list.
+            params_digest: restrict to one model-parameter bundle.
+        """
+        if rank_by not in RANK_METRICS:
+            raise StoreError(
+                f"unknown rank metric {rank_by!r}; "
+                f"expected one of {sorted(RANK_METRICS)}"
+            )
+        sql = "SELECT * FROM evaluations"
+        arguments: Tuple = ()
+        if params_digest is not None:
+            sql += " WHERE params_digest = ?"
+            arguments = (params_digest,)
+        entries = [
+            _evaluation_from_row(row)
+            for row in self._read().execute(sql, arguments)
+        ]
+        if criteria is not None:
+            entries = [
+                entry for entry in entries if criteria.accepts(entry)
+            ]
+        if pareto_only and entries:
+            from repro.dse.pareto import pareto_front
+
+            front = pareto_front(
+                [entry.metrics.objectives() for entry in entries]
+            )
+            entries = [entries[i] for i in front]
+        descending = RANK_METRICS[rank_by]
+        entries.sort(
+            key=lambda entry: (
+                getattr(entry.metrics, rank_by),
+                entry.spec.as_tuple(),
+            ),
+            reverse=descending,
+        )
+        if limit is not None:
+            entries = entries[: max(0, int(limit))]
+        return entries
+
+    # -- campaigns -------------------------------------------------------------
+
+    def create_campaign(
+        self,
+        name: str,
+        array_size: int,
+        config: Dict,
+        params_digest: str,
+        total_generations: int,
+    ) -> None:
+        """Register a new campaign; fails if the name is taken."""
+        now = time.time()
+        try:
+            with self._write() as conn:
+                conn.execute(
+                    "INSERT INTO campaigns ("
+                    "  name, array_size, status, config_json, params_digest,"
+                    "  generations_done, total_generations, evaluations,"
+                    "  runtime_seconds, created_at, updated_at"
+                    ") VALUES (?, ?, 'running', ?, ?, 0, ?, 0, 0.0, ?, ?)",
+                    (name, array_size, json.dumps(config, sort_keys=True),
+                     params_digest, total_generations, now, now),
+                )
+        except StoreError as error:
+            if "UNIQUE" in str(error):
+                raise StoreError(
+                    f"campaign {name!r} already exists in {self.path}; "
+                    "use 'campaign resume' to continue it"
+                )
+            raise
+
+    def get_campaign(self, name: str) -> Optional[CampaignRecord]:
+        """Look a campaign up by name."""
+        row = self._read().execute(
+            "SELECT * FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        return None if row is None else _campaign_from_row(row)
+
+    def require_campaign(self, name: str) -> CampaignRecord:
+        """Like :meth:`get_campaign` but raising when the name is unknown."""
+        record = self.get_campaign(name)
+        if record is None:
+            known = ", ".join(r.name for r in self.list_campaigns()) or "none"
+            raise StoreError(
+                f"no campaign {name!r} in {self.path} (known: {known})"
+            )
+        return record
+
+    def list_campaigns(self) -> List[CampaignRecord]:
+        """Every campaign, oldest first."""
+        return [
+            _campaign_from_row(row)
+            for row in self._read().execute(
+                "SELECT * FROM campaigns ORDER BY created_at, name"
+            )
+        ]
+
+    def update_campaign(
+        self,
+        name: str,
+        status: Optional[str] = None,
+        generations_done: Optional[int] = None,
+        evaluations: Optional[int] = None,
+        add_runtime_seconds: float = 0.0,
+    ) -> None:
+        """Update a campaign's progress columns (only the given ones)."""
+        assignments = ["updated_at = ?"]
+        arguments: List = [time.time()]
+        if status is not None:
+            assignments.append("status = ?")
+            arguments.append(status)
+        if generations_done is not None:
+            assignments.append("generations_done = ?")
+            arguments.append(generations_done)
+        if evaluations is not None:
+            assignments.append("evaluations = ?")
+            arguments.append(evaluations)
+        if add_runtime_seconds:
+            assignments.append("runtime_seconds = runtime_seconds + ?")
+            arguments.append(add_runtime_seconds)
+        arguments.append(name)
+        with self._write() as conn:
+            cursor = conn.execute(
+                f"UPDATE campaigns SET {', '.join(assignments)} "
+                "WHERE name = ?",
+                arguments,
+            )
+            if cursor.rowcount == 0:
+                raise StoreError(f"no campaign {name!r} in {self.path}")
+
+    def upsert_campaign(
+        self,
+        name: str,
+        array_size: int,
+        config: Dict,
+        params_digest: str,
+        status: str,
+        generations_done: int,
+        total_generations: int,
+        evaluations: int,
+        runtime_seconds: float,
+    ) -> None:
+        """Insert-or-replace a whole campaign row (flow-result recording)."""
+        now = time.time()
+        with self._write() as conn:
+            conn.execute(
+                "INSERT INTO campaigns ("
+                "  name, array_size, status, config_json, params_digest,"
+                "  generations_done, total_generations, evaluations,"
+                "  runtime_seconds, created_at, updated_at"
+                ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET"
+                "  array_size = excluded.array_size,"
+                "  status = excluded.status,"
+                "  config_json = excluded.config_json,"
+                "  params_digest = excluded.params_digest,"
+                "  generations_done = excluded.generations_done,"
+                "  total_generations = excluded.total_generations,"
+                "  evaluations = excluded.evaluations,"
+                "  runtime_seconds = excluded.runtime_seconds,"
+                "  updated_at = excluded.updated_at",
+                (name, array_size, status,
+                 json.dumps(config, sort_keys=True), params_digest,
+                 generations_done, total_generations, evaluations,
+                 runtime_seconds, now, now),
+            )
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def save_checkpoint(
+        self, name: str, generation: int, state: Dict
+    ) -> None:
+        """Commit one generation snapshot atomically.
+
+        Any stale snapshots at or beyond ``generation`` (left behind by an
+        earlier timeline that was resumed from an older checkpoint) are
+        dropped in the same transaction, so the latest checkpoint is always
+        the end of a single consistent history.  The campaign's progress
+        columns advance in the same transaction, so ``campaign list`` stays
+        honest even for a process killed right after the commit.
+        """
+        now = time.time()
+        with self._write() as conn:
+            conn.execute(
+                "DELETE FROM checkpoints WHERE campaign = ? "
+                "AND generation >= ?",
+                (name, generation),
+            )
+            conn.execute(
+                "INSERT INTO checkpoints "
+                "(campaign, generation, state_json, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                (name, generation, json.dumps(state), now),
+            )
+            conn.execute(
+                "UPDATE campaigns SET generations_done = ?, evaluations = ?, "
+                "updated_at = ? WHERE name = ?",
+                (generation, int(state.get("evaluations", 0)), now, name),
+            )
+
+    def latest_checkpoint(
+        self, name: str
+    ) -> Optional[Tuple[int, Dict]]:
+        """The newest committed ``(generation, state)`` of a campaign."""
+        row = self._read().execute(
+            "SELECT generation, state_json FROM checkpoints "
+            "WHERE campaign = ? ORDER BY generation DESC LIMIT 1",
+            (name,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            state = json.loads(row["state_json"])
+        except ValueError as error:
+            raise StoreError(
+                f"corrupt checkpoint for campaign {name!r} "
+                f"(generation {row['generation']}): {error}"
+            )
+        return int(row["generation"]), state
+
+    def checkpoint_count(self, name: Optional[str] = None) -> int:
+        """Number of committed checkpoints (of one campaign, or overall)."""
+        if name is None:
+            row = self._read().execute(
+                "SELECT COUNT(*) AS n FROM checkpoints"
+            ).fetchone()
+        else:
+            row = self._read().execute(
+                "SELECT COUNT(*) AS n FROM checkpoints WHERE campaign = ?",
+                (name,),
+            ).fetchone()
+        return row["n"]
+
+    # -- campaign results ------------------------------------------------------
+
+    def save_pareto(
+        self, name: str, entries: Sequence[Tuple[Tuple, ACIMMetrics]]
+    ) -> None:
+        """Record a campaign's final Pareto set (and persist its points)."""
+        self.put_many(entries)
+        with self._write() as conn:
+            conn.execute(
+                "DELETE FROM campaign_results WHERE campaign = ?", (name,)
+            )
+            conn.executemany(
+                "INSERT INTO campaign_results (campaign, position, key_digest) "
+                "VALUES (?, ?, ?)",
+                [
+                    (name, position, key_digest(key))
+                    for position, (key, _metrics) in enumerate(entries)
+                ],
+            )
+
+    def load_pareto(self, name: str) -> List[StoredEvaluation]:
+        """A campaign's recorded Pareto set, in its recorded order."""
+        return [
+            _evaluation_from_row(row)
+            for row in self._read().execute(
+                "SELECT e.* FROM campaign_results r "
+                "JOIN evaluations e ON e.key_digest = r.key_digest "
+                "WHERE r.campaign = ? ORDER BY r.position",
+                (name,),
+            )
+        ]
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Occupancy counters for reports and the CLI."""
+        conn = self._read()
+        campaigns = conn.execute(
+            "SELECT COUNT(*) AS n FROM campaigns"
+        ).fetchone()["n"]
+        return {
+            "path": self.path,
+            "schema_version": SCHEMA_VERSION,
+            "evaluations": self.evaluation_count(),
+            "campaigns": campaigns,
+            "checkpoints": self.checkpoint_count(),
+        }
+
+
+# -- row decoding -------------------------------------------------------------
+
+
+def _metrics_from_row(row: sqlite3.Row) -> ACIMMetrics:
+    spec = ACIMDesignSpec(
+        row["height"], row["width"], row["local"], row["adc_bits"]
+    )
+    return ACIMMetrics(
+        spec=spec,
+        **{field: row[field] for field in _METRIC_FIELDS},
+    )
+
+
+def _evaluation_from_row(row: sqlite3.Row) -> StoredEvaluation:
+    return StoredEvaluation(
+        metrics=_metrics_from_row(row),
+        key_digest=row["key_digest"],
+        params_digest=row["params_digest"],
+        technology=row["technology"],
+        created_at=row["created_at"],
+    )
+
+
+def _campaign_from_row(row: sqlite3.Row) -> CampaignRecord:
+    try:
+        config = json.loads(row["config_json"])
+    except ValueError as error:
+        raise StoreError(
+            f"corrupt configuration for campaign {row['name']!r}: {error}"
+        )
+    return CampaignRecord(
+        name=row["name"],
+        array_size=row["array_size"],
+        status=row["status"],
+        config=config,
+        params_digest=row["params_digest"],
+        generations_done=row["generations_done"],
+        total_generations=row["total_generations"],
+        evaluations=row["evaluations"],
+        runtime_seconds=row["runtime_seconds"],
+        created_at=row["created_at"],
+        updated_at=row["updated_at"],
+    )

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import __version__
 from repro.errors import ReproError
 from repro.cli import build_parser, main
 from repro.dse.exhaustive import exhaustive_pareto_front
@@ -101,6 +102,15 @@ class TestCli:
         for command in ("explore", "layout", "estimate", "library", "validate-snr"):
             args = parser.parse_args(_minimal_args(command))
             assert args.command == command
+        args = parser.parse_args(["campaign", "list"])
+        assert args.command == "campaign"
+        assert args.campaign_command == "list"
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
     def test_estimate_command(self, capsys):
         exit_code = main(["estimate", "--height", "128", "--width", "128",

@@ -1,0 +1,261 @@
+"""Tests of the persistent result store (round-trip, concurrency, query)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch.spec import ACIMDesignSpec
+from repro.dse.distill import DistillationCriteria
+from repro.engine import (
+    EvaluationCache,
+    EvaluationEngine,
+    parameters_cache_key,
+    spec_cache_key,
+)
+from repro.errors import StoreError
+from repro.model.estimator import ACIMEstimator, ModelParameters
+from repro.reporting.export import export_json, load_json
+from repro.store import (
+    ResultStore,
+    SCHEMA_VERSION,
+    canonical_key,
+    key_digest,
+)
+
+
+def _entries(estimator, specs):
+    """(engine cache key, metrics) pairs for a list of specs."""
+    params_key = parameters_cache_key(estimator.parameters)
+    metrics = estimator.evaluate_batch(specs)
+    return [
+        (spec_cache_key(spec, params_key=params_key), m)
+        for spec, m in zip(specs, metrics)
+    ]
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "store.sqlite") as store:
+        yield store
+
+
+SPECS = [
+    ACIMDesignSpec(128, 8, 4, 3),
+    ACIMDesignSpec(64, 16, 4, 3),
+    ACIMDesignSpec(256, 4, 8, 4),
+]
+
+
+class TestResultStoreRoundTrip:
+    def test_put_get_round_trip(self, store, estimator):
+        entries = _entries(estimator, SPECS)
+        assert store.put_many(entries) == len(entries)
+        for key, metrics in entries:
+            assert store.get(key) == metrics  # bit-exact (REAL is float64)
+        assert len(store) == len(entries)
+
+    def test_rewrites_are_idempotent(self, store, estimator):
+        entries = _entries(estimator, SPECS)
+        store.put_many(entries)
+        assert store.put_many(entries) == 0
+        assert len(store) == len(entries)
+
+    def test_missing_key_returns_none(self, store, estimator):
+        (key, _metrics), = _entries(estimator, SPECS[:1])
+        assert store.get(key) is None
+
+    def test_distinct_parameters_are_distinct_entries(self, store):
+        spec = SPECS[0]
+        for params in (ModelParameters(), ModelParameters.calibrated()):
+            store.put_many(_entries(ACIMEstimator(params), [spec]))
+        assert len(store) == 2
+
+    def test_canonical_key_digest_is_stable(self, estimator):
+        params_key = parameters_cache_key(estimator.parameters)
+        key = spec_cache_key(SPECS[0], params_key=params_key)
+        assert canonical_key(key) == canonical_key(key)
+        assert key_digest(key) == key_digest(key)
+        other = spec_cache_key(SPECS[1], params_key=params_key)
+        assert key_digest(key) != key_digest(other)
+
+    def test_store_survives_reopen(self, tmp_path, estimator):
+        path = tmp_path / "store.sqlite"
+        entries = _entries(estimator, SPECS)
+        with ResultStore(path) as store:
+            store.put_many(entries)
+        with ResultStore(path) as store:
+            assert len(store) == len(entries)
+            assert store.get(entries[0][0]) == entries[0][1]
+
+    def test_closed_store_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "store.sqlite")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreError):
+            len(store)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            # The connection is in autocommit mode; the UPDATE lands at once.
+            store._conn.execute(
+                "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        with pytest.raises(StoreError, match="schema version"):
+            ResultStore(path)
+
+
+class TestHydration:
+    def test_hydrate_fills_cache(self, store, estimator):
+        entries = _entries(estimator, SPECS)
+        store.put_many(entries)
+        cache = EvaluationCache(max_size=16)
+        keys = store.hydrate(cache)
+        assert len(keys) == len(entries)
+        for key, metrics in entries:
+            assert cache.get(key) == metrics
+
+    def test_hydrate_respects_cache_capacity(self, store, estimator):
+        store.put_many(_entries(estimator, SPECS))
+        cache = EvaluationCache(max_size=2)
+        assert len(store.hydrate(cache)) == 2
+        assert len(cache) == 2
+
+    def test_hydrate_keeps_newest_entries_most_recently_used(
+        self, store, estimator
+    ):
+        entries = _entries(estimator, SPECS)
+        for entry in entries:  # staggered writes: distinct created_at
+            store.put_many([entry])
+        cache = EvaluationCache(max_size=2)
+        store.hydrate(cache)
+        # Under pressure the oldest hydrated entry is evicted first; the
+        # newest stored evaluation survives as most-recently-used.
+        cache.put("fresh", object())
+        assert cache.get(entries[-1][0]) is not None
+
+    def test_engine_warm_starts_and_writes_behind(self, tmp_path, estimator):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            with EvaluationEngine(
+                cache=EvaluationCache(), store=store
+            ) as engine:
+                engine.evaluate_specs(estimator, SPECS)
+                assert engine.stats.evaluations == len(SPECS)
+                assert engine.stats.store_hits == 0
+            # close() flushed the write-behind buffer
+            assert len(store) == len(SPECS)
+        # A fresh engine (fresh cache, reopened store = a new process's
+        # view) serves the same specs from the persistent store.
+        with ResultStore(path) as store:
+            with EvaluationEngine(
+                cache=EvaluationCache(), store=store
+            ) as engine:
+                engine.evaluate_specs(estimator, SPECS)
+                assert engine.stats.evaluations == 0
+                assert engine.stats.cache_hits == len(SPECS)
+                assert engine.stats.store_hits == len(SPECS)
+
+    def test_write_behind_flushes_in_batches(self, store, estimator):
+        with EvaluationEngine(
+            cache=EvaluationCache(), store=store, store_flush_size=2
+        ) as engine:
+            engine.evaluate_specs(estimator, SPECS)
+            # 3 misses with a batch size of 2: one mid-run flush committed.
+            assert len(store) >= 2
+            assert engine.stats.store_writes >= 2
+
+
+class TestConcurrentWriters:
+    def test_two_processes_write_concurrently(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        script = (
+            "import sys\n"
+            "from repro.arch.spec import ACIMDesignSpec\n"
+            "from repro.engine import parameters_cache_key, spec_cache_key\n"
+            "from repro.model.estimator import ACIMEstimator\n"
+            "from repro.store import ResultStore\n"
+            "adc_bits = int(sys.argv[2])\n"
+            "estimator = ACIMEstimator()\n"
+            "params_key = parameters_cache_key(estimator.parameters)\n"
+            "specs = [ACIMDesignSpec(h, 4096 // h, 2, adc_bits)\n"
+            "         for h in (64, 128, 256, 512, 1024, 2048)]\n"
+            "entries = [(spec_cache_key(s, params_key=params_key), m)\n"
+            "           for s, m in zip(specs, estimator.evaluate_batch(specs))]\n"
+            "with ResultStore(sys.argv[1]) as store:\n"
+            "    for entry in entries:\n"
+            "        store.put_many([entry])\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), str(bits)],
+                env=env, stderr=subprocess.PIPE,
+            )
+            for bits in (3, 4)
+        ]
+        for worker in workers:
+            _stdout, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, stderr.decode()
+        with ResultStore(path) as store:
+            assert len(store) == 12  # 6 heights x 2 disjoint ADC precisions
+
+
+class TestQuery:
+    def test_query_filters_and_ranks(self, store, estimator):
+        store.put_many(_entries(estimator, SPECS))
+        everything = store.query(pareto_only=False)
+        assert len(everything) == len(SPECS)
+        ranked = [e.metrics.tops_per_watt for e in everything]
+        assert ranked == sorted(ranked, reverse=True)
+        floor = ranked[1]
+        criteria = DistillationCriteria(min_tops_per_watt=floor)
+        selected = store.query(criteria=criteria, pareto_only=False)
+        assert len(selected) == 2
+
+    def test_query_pareto_only_drops_dominated(self, store, estimator):
+        # Same (L, B) at different heights: a strictly dominated point
+        # exists in the full set but not in the Pareto-only view.
+        specs = [ACIMDesignSpec(h, 2048 // h, 4, 3) for h in (32, 64, 128, 256)]
+        store.put_many(_entries(estimator, specs))
+        full = store.query(pareto_only=False)
+        pareto = store.query(pareto_only=True)
+        assert 0 < len(pareto) <= len(full)
+
+    def test_query_limit_and_rank_direction(self, store, estimator):
+        store.put_many(_entries(estimator, SPECS))
+        top = store.query(pareto_only=False, rank_by="area_f2_per_bit", limit=1)
+        assert len(top) == 1
+        areas = [e.metrics.area_f2_per_bit
+                 for e in store.query(pareto_only=False,
+                                      rank_by="area_f2_per_bit")]
+        assert areas == sorted(areas)  # smaller area ranks first
+
+    def test_unknown_rank_metric_rejected(self, store):
+        with pytest.raises(StoreError, match="rank metric"):
+            store.query(rank_by="speed")
+
+
+class TestAtomicJsonExport:
+    def test_export_ends_with_newline_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "out.json"
+        export_json([{"a": 1}], path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text)["records"] == [{"a": 1}]
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_export_replaces_existing_document_atomically(self, tmp_path):
+        path = tmp_path / "out.json"
+        export_json([{"a": 1}], path)
+        export_json([{"a": 2}], path, metadata={"run": 2})
+        document = load_json(path)
+        assert document["records"] == [{"a": 2}]
+        assert document["metadata"] == {"run": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
