@@ -1,18 +1,20 @@
 # CI entry points for the EasyACIM reproduction.
 #
-#   make test            tier-1 test suite (the PR gate)
-#   make smoke           quickstart flow through the parallel engine (2 workers)
-#   make campaign-smoke  tiny campaign -> kill -> resume -> query (store path)
-#   make bench-quick     CI-sized engine scaling benchmark (no baseline write)
-#   make bench           full engine scaling benchmark, records BENCH_engine.json
-#   make ci              what every PR must pass: tier-1 + both smokes
+#   make test              tier-1 test suite (the PR gate)
+#   make smoke             quickstart flow through the parallel engine (2 workers)
+#   make campaign-smoke    tiny campaign -> kill -> resume -> query (store path)
+#   make model-bench-smoke CI-sized vectorized-model benchmark (5x gate, no write)
+#   make model-bench       full vectorized-model benchmark, records BENCH_model.json
+#   make bench-quick       CI-sized engine scaling benchmark (no baseline write)
+#   make bench             full engine scaling benchmark, records BENCH_engine.json
+#   make ci                what every PR must pass: tier-1 + the three smokes
 #
 # PYTHONPATH is set here so no editable install is needed on CI runners.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke campaign-smoke bench bench-quick ci
+.PHONY: test smoke campaign-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,10 +25,16 @@ smoke:
 campaign-smoke:
 	$(PYTHON) examples/campaign_smoke.py
 
+model-bench-smoke:
+	$(PYTHON) benchmarks/bench_model_vectorized.py --quick
+
+model-bench:
+	$(PYTHON) benchmarks/bench_model_vectorized.py
+
 bench-quick:
 	$(PYTHON) benchmarks/bench_engine_scaling.py --quick --workers 2
 
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke campaign-smoke
+ci: test smoke campaign-smoke model-bench-smoke

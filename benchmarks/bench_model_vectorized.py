@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Throughput benchmark of the vectorized array-model core (ISSUE 3).
+
+Compares :meth:`ACIMEstimator.evaluate_batch` — the NumPy array-kernel
+path — against the retained scalar loop
+(:meth:`ACIMEstimator.evaluate_batch_reference`) on a >= 10k-point design
+grid built directly as a :class:`~repro.arch.batch.SpecBatch`.  Three
+numbers are recorded:
+
+1. **scalar loop** — the pre-vectorization per-spec Python loop,
+2. **vectorized batch** — array kernels plus per-spec ``ACIMMetrics``
+   materialisation (what the evaluation engine drives),
+3. **raw arrays** — :meth:`ACIMEstimator.evaluate_arrays`, the
+   structure-of-arrays hot path with no per-spec objects at all.
+
+The gate asserts the vectorized batch path is >= 5x faster than the scalar
+loop, and that the two agree within 1e-12 relative on every metric (with
+bit-identical Equation-12 objectives on the power-of-two grid).
+
+Run with::
+
+    python benchmarks/bench_model_vectorized.py          # record baseline
+    python benchmarks/bench_model_vectorized.py --quick  # CI smoke (no write)
+
+Results are written to ``benchmarks/BENCH_model.json`` (override with
+``--json``); the committed file is the recorded baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import time
+from pathlib import Path
+
+from repro.arch.batch import SpecBatch
+from repro.model.estimator import ACIMEstimator, METRIC_FIELDS, ModelParameters
+
+
+def build_grid(minimum_points: int) -> SpecBatch:
+    """A >= ``minimum_points`` design grid, meshgrid-built as a SpecBatch.
+
+    Power-of-two array sizes from 1 kb upward are stacked until the grid is
+    large enough; every point is a distinct feasible design, so neither
+    path can shortcut through duplicate caching.
+    """
+    batches = []
+    total = 0
+    exponent = 10
+    while total < minimum_points:
+        batch = SpecBatch.enumerate(
+            2 ** exponent,
+            local_array_sizes=(2, 4, 8, 16, 32, 64),
+            max_adc_bits=8,
+        )
+        batches.append(batch)
+        total += len(batch)
+        exponent += 1
+    return SpecBatch.concat(batches)
+
+
+def time_best(fn, repeats: int) -> float:
+    """Best-of-N wall-clock seconds of one call."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_parity(reference, vectorized) -> float:
+    """Worst relative disagreement across all metrics; asserts <= 1e-12."""
+    if len(reference) != len(vectorized):
+        raise AssertionError("paths returned different result counts")
+    worst = 0.0
+    for ref, vec in zip(reference, vectorized):
+        if ref.spec != vec.spec:
+            raise AssertionError("paths disagree on spec order")
+        for field in METRIC_FIELDS:
+            a, b = getattr(ref, field), getattr(vec, field)
+            rel = abs(a - b) / max(abs(a), 1e-300)
+            worst = max(worst, rel)
+        if ref.objectives() != vec.objectives():
+            raise AssertionError(
+                f"objectives not bit-identical for {ref.spec.describe()}"
+            )
+    if worst > 1e-12:
+        raise AssertionError(f"parity violated: worst relative error {worst:.3e}")
+    return worst
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=10_000,
+                        help="minimum grid size (the gate requires >= 10k)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 2k-point grid, no baseline write")
+    parser.add_argument("--json", type=Path,
+                        default=Path(__file__).parent / "BENCH_model.json")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="record numbers without enforcing the 5x gate")
+    args = parser.parse_args(argv)
+    minimum = 2_000 if args.quick else args.points
+
+    grid = build_grid(minimum)
+    specs = grid.to_specs()  # shared spec objects: both paths do equal work
+    estimator = ACIMEstimator(ModelParameters.calibrated())
+    print(f"grid: {len(grid)} unique feasible design points")
+
+    reference = estimator.evaluate_batch_reference(specs)
+    vectorized = estimator.evaluate_batch(specs)
+    worst = check_parity(reference, vectorized)
+    print(f"parity: worst relative error {worst:.3e} "
+          f"(<= 1e-12, objectives bit-identical)")
+
+    scalar_s = time_best(lambda: estimator.evaluate_batch_reference(specs),
+                         args.repeats)
+    batch_s = time_best(lambda: estimator.evaluate_batch(specs), args.repeats)
+    arrays_s = time_best(lambda: estimator.evaluate_arrays(grid), args.repeats)
+    n = len(grid)
+    speedup = scalar_s / batch_s
+    record = {
+        "benchmark": "model_vectorized",
+        "grid_points": n,
+        "cpu": platform.processor() or platform.machine(),
+        "python": platform.python_version(),
+        "parity_worst_rel_error": worst,
+        "scalar_loop": {
+            "seconds": round(scalar_s, 6),
+            "evals_per_sec": round(n / scalar_s, 1),
+        },
+        "vectorized_batch": {
+            "seconds": round(batch_s, 6),
+            "evals_per_sec": round(n / batch_s, 1),
+        },
+        "raw_arrays": {
+            "seconds": round(arrays_s, 6),
+            "evals_per_sec": round(n / arrays_s, 1),
+        },
+        "batch_speedup": round(speedup, 2),
+        "arrays_speedup": round(scalar_s / arrays_s, 2),
+    }
+    for label in ("scalar_loop", "vectorized_batch", "raw_arrays"):
+        row = record[label]
+        print(f"    {label:>17}: {row['seconds'] * 1e3:9.2f} ms  "
+              f"{row['evals_per_sec']:>12,.0f} evals/s")
+    print(f"    speedup: {speedup:.2f}x (batch), "
+          f"{record['arrays_speedup']:.2f}x (raw arrays)")
+
+    gate_applies = not args.no_assert
+    record["speedup_gate"] = {
+        "threshold": 5.0,
+        "enforced": gate_applies,
+        "passed": speedup >= 5.0 if gate_applies else None,
+    }
+    if gate_applies and speedup < 5.0:
+        print(f"FAIL: vectorized batch speedup {speedup:.2f}x < 5x gate")
+        return 1
+    print(f"OK: vectorized evaluate_batch {speedup:.2f}x over the scalar "
+          f"loop on {n} points (gate: 5x)")
+
+    if not args.quick:
+        args.json.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"baseline written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

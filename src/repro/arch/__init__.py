@@ -6,6 +6,8 @@ executable form:
 * :class:`~repro.arch.spec.ACIMDesignSpec` — the four-parameter design point
   (array height H, array width W, local array size L, ADC precision B_ADC)
   together with the Equation-12 feasibility constraints.
+* :class:`~repro.arch.batch.SpecBatch` — the structure-of-arrays batch of
+  many design points, the currency of the vectorized evaluation core.
 * :class:`~repro.arch.architecture.SynthesizableACIM` — the structural view:
   columns made of SAR capacitor groups with the 1:1:2:4:...:2^(B-1) ratio,
   local arrays of L shared 8T cells, SAR logic, comparator and switches.
@@ -15,6 +17,7 @@ executable form:
   taxonomy of Figure 2 and the rationale for selecting QR.
 """
 
+from repro.arch.batch import SpecBatch
 from repro.arch.compute_models import ComputeModel, ComputeModelProperties, COMPUTE_MODEL_CATALOG
 from repro.arch.spec import ACIMDesignSpec, enumerate_design_space, valid_heights
 from repro.arch.architecture import (
@@ -30,6 +33,7 @@ __all__ = [
     "ComputeModelProperties",
     "COMPUTE_MODEL_CATALOG",
     "ACIMDesignSpec",
+    "SpecBatch",
     "enumerate_design_space",
     "valid_heights",
     "ColumnPlan",

@@ -179,7 +179,10 @@ def enumerate_design_space(
     This is the exhaustive baseline the NSGA-II explorer is validated
     against (the discrete space is small enough to enumerate for the array
     sizes the paper studies: a 16 kb array has a few hundred feasible
-    points).
+    points).  The grid itself is built vectorized by
+    :meth:`repro.arch.batch.SpecBatch.enumerate`; this wrapper materialises
+    it as scalar spec objects in the historical iteration order (heights
+    outermost, ADC bits innermost).
 
     Args:
         array_size: required H * W.
@@ -190,20 +193,17 @@ def enumerate_design_space(
         max_height: largest height to consider (defaults to the array size).
         power_of_two_heights: restrict H to powers of two.
     """
-    if max_adc_bits < 1:
-        raise SpecificationError("max_adc_bits must be at least 1")
-    upper_height = max_height or array_size
-    for height in valid_heights(array_size, power_of_two_heights):
-        if height < min_height or height > upper_height:
-            continue
-        width = array_size // height
-        for local in local_array_sizes:
-            if local > height or height % local != 0:
-                continue
-            for adc_bits in range(1, max_adc_bits + 1):
-                spec = ACIMDesignSpec(height, width, local, adc_bits)
-                if spec.is_feasible(array_size):
-                    yield spec
+    from repro.arch.batch import SpecBatch
+
+    batch = SpecBatch.enumerate(
+        array_size,
+        local_array_sizes=local_array_sizes,
+        max_adc_bits=max_adc_bits,
+        min_height=min_height,
+        max_height=max_height,
+        power_of_two_heights=power_of_two_heights,
+    )
+    yield from batch.to_specs()
 
 
 def design_space_size(array_size: int, **kwargs) -> int:

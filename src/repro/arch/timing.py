@@ -60,6 +60,26 @@ class TimingParameters:
         if self.setup_margin < 1.0:
             raise ModelError("setup margin must be >= 1")
 
+    # -- vectorized Equation-7 terms ---------------------------------------
+    #
+    # Array kernels over a column of B_ADC values.  The expressions mirror
+    # the scalar :class:`TimingModel` properties operation for operation so
+    # a length-1 array reproduces the scalar result bit for bit.
+
+    def setup_time_array(self, adc_bits):
+        """t_set for an array of ADC precisions (vectorized)."""
+        return (0.69 * self.time_constant * adc_bits) * self.setup_margin
+
+    def conversion_time_array(self, adc_bits):
+        """t_conv = t_conv/bit * B_ADC for an array of ADC precisions."""
+        return self.conversion_time_per_bit * adc_bits
+
+    def cycle_time_array(self, adc_bits):
+        """Full cycle time t_com + t_set + t_conv, vectorized."""
+        return (
+            self.compute_delay + self.setup_time_array(adc_bits)
+        ) + self.conversion_time_array(adc_bits)
+
 
 @dataclass(frozen=True)
 class TimingEvent:

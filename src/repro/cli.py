@@ -116,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--width", type=int, required=True)
     estimate.add_argument("--local", type=int, required=True)
     estimate.add_argument("--adc-bits", type=int, required=True)
+    estimate.add_argument(
+        "--adc-sweep", action="store_true",
+        help="additionally sweep every feasible B_ADC for this geometry "
+             "(evaluated as one vectorized batch)")
     estimate.set_defaults(handler=_cmd_estimate)
 
     library = subparsers.add_parser(
@@ -289,7 +293,21 @@ def _cmd_layout(args: argparse.Namespace) -> int:
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    metrics = ACIMEstimator().evaluate(spec)
+    estimator = ACIMEstimator()
+    if args.adc_sweep:
+        from repro.arch.batch import SpecBatch
+
+        # Highest precision the CDAC grouping supports: H/L >= 2^B_ADC.
+        max_feasible_bits = spec.local_arrays_per_column.bit_length() - 1
+        sweep = SpecBatch.from_product(
+            [spec.height], [spec.local_array_size],
+            range(1, max_feasible_bits + 1),
+            array_size=spec.array_size,
+        )
+        rows = [metrics.as_dict() for metrics in estimator.evaluate_batch(sweep)]
+        print(format_table(rows))
+        return 0
+    metrics = estimator.evaluate(spec)
     print(format_table([metrics.as_dict()]))
     return 0
 

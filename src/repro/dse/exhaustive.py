@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
+from repro.arch.batch import SpecBatch
 from repro.dse.pareto import pareto_front
 from repro.dse.problem import EvaluatedDesign
 from repro.engine import EvaluationEngine, default_engine
@@ -27,24 +27,33 @@ def evaluate_all(
     local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
     max_adc_bits: int = 8,
     engine: Optional[EvaluationEngine] = None,
+    batch: Optional[SpecBatch] = None,
 ) -> List[EvaluatedDesign]:
     """Evaluate every feasible design point of an array size.
 
-    The whole grid is submitted to the evaluation engine as one batch, so a
-    ``thread``/``process`` engine parallelises it and repeat calls (e.g. the
-    sensitivity analyzer's baseline) are served from the shared cache.
+    The grid is built directly as a :class:`~repro.arch.batch.SpecBatch`
+    (meshgrid-style, no intermediate spec lists) and submitted to the
+    evaluation engine as one array batch, so a ``thread``/``process``
+    engine parallelises it and repeat calls (e.g. the sensitivity
+    analyzer's perturbed sweeps) are served from the shared cache.
+
+    Args:
+        batch: a pre-built grid to evaluate instead of enumerating one —
+            the sensitivity analyzer passes the same grid across all its
+            perturbations so the design space is enumerated once.
     """
     estimator = estimator or ACIMEstimator()
     engine = engine or default_engine()
-    specs = list(enumerate_design_space(
-        array_size,
-        local_array_sizes=local_array_sizes,
-        max_adc_bits=max_adc_bits,
-    ))
-    metrics_list = engine.evaluate_specs(estimator, specs)
+    if batch is None:
+        batch = SpecBatch.enumerate(
+            array_size,
+            local_array_sizes=local_array_sizes,
+            max_adc_bits=max_adc_bits,
+        )
+    metrics_list = engine.evaluate_specs(estimator, batch)
     return [
-        EvaluatedDesign(spec, metrics, metrics.objectives())
-        for spec, metrics in zip(specs, metrics_list)
+        EvaluatedDesign(metrics.spec, metrics, metrics.objectives())
+        for metrics in metrics_list
     ]
 
 

@@ -20,7 +20,10 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import OptimizationError
+from repro.arch.batch import SpecBatch
 from repro.arch.spec import ACIMDesignSpec, valid_heights
 from repro.engine import EvaluationEngine, default_engine
 from repro.model.estimator import ACIMEstimator, ACIMMetrics
@@ -90,6 +93,24 @@ class ACIMDesignProblem:
         width = self.array_size // height
         return ACIMDesignSpec(height, width, local, adc_bits)
 
+    def decode_columns(
+        self, genome_rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decode`: ``(k, 3)`` genome rows to spec columns.
+
+        Returns ``(H, W, L, B_ADC)`` arrays.  Must mirror :meth:`decode`
+        rule for rule (index wrap-around, B_ADC clamping) — the test suite
+        asserts row-by-row parity between the two on random genomes.
+        """
+        genome_rows = np.asarray(genome_rows, dtype=np.int64)
+        heights = np.asarray(self.heights, dtype=np.int64)
+        locals_ = np.asarray(self.local_array_sizes, dtype=np.int64)
+        h = heights[genome_rows[:, 0] % len(heights)]
+        l = locals_[genome_rows[:, 1] % len(locals_)]
+        b = np.clip(genome_rows[:, 2], 1, self.max_adc_bits)
+        w = self.array_size // h
+        return h, w, l, b
+
     def encode(self, spec: ACIMDesignSpec) -> Genome:
         """Translate a design spec back into a genome."""
         try:
@@ -127,37 +148,64 @@ class ACIMDesignProblem:
     ) -> List[Tuple[Tuple[float, ...], float]]:
         """Batched :meth:`evaluate`: results in genome order.
 
-        Violations are computed inline (they are pure arithmetic); the
-        feasible specs are submitted to the evaluation engine as one batch,
-        which serves repeats from the shared cache and fans the misses out
-        across the configured backend.
+        The whole population is decoded and constraint-checked as NumPy
+        columns — genome indices become array lookups into the height/L
+        tables, the Equation-12 violations are a handful of vectorized
+        comparisons — and the feasible rows are submitted to the evaluation
+        engine as one :class:`~repro.arch.batch.SpecBatch`, which serves
+        repeats from the shared cache and fans the misses out across the
+        configured backend.
         """
         results: List[Optional[Tuple[Tuple[float, ...], float]]] = [None] * len(genomes)
-        batch_indices: List[int] = []
-        batch_specs: List[ACIMDesignSpec] = []
+        fresh_indices: List[int] = []
         for index, genome in enumerate(genomes):
             cached = self._cache.get(genome)
             if cached is not None:
                 results[index] = cached
-                continue
-            spec = self.decode(genome)
-            violation = self._violation(spec)
-            if violation > 0.0:
-                # Infeasible points never enter the Pareto ranking among
-                # feasible ones; give them a neutral objective vector.
-                result = ((0.0, 0.0, 0.0, 0.0), violation)
-                self._cache[genome] = result
-                results[index] = result
             else:
-                batch_indices.append(index)
-                batch_specs.append(spec)
-        if batch_specs:
-            metrics_list = self.engine.evaluate_specs(self.estimator, batch_specs)
-            for index, metrics in zip(batch_indices, metrics_list):
-                result = (metrics.objectives(), 0.0)
-                self._cache[genomes[index]] = result
-                results[index] = result
+                fresh_indices.append(index)
+        if fresh_indices:
+            h, w, l, b = self.decode_columns(
+                [genomes[i] for i in fresh_indices]
+            )
+            violation = self._violation_array(h, l, b)
+            feasible = violation == 0.0
+            batch = SpecBatch(
+                height=h[feasible], width=w[feasible],
+                local_array_size=l[feasible], adc_bits=b[feasible],
+            )
+            feasible_positions = [
+                index for index, ok in zip(fresh_indices, feasible.tolist()) if ok
+            ]
+            # Infeasible points never enter the Pareto ranking among
+            # feasible ones; give them a neutral objective vector.
+            for index, ok, value in zip(
+                fresh_indices, feasible.tolist(), violation.tolist()
+            ):
+                if not ok:
+                    result = ((0.0, 0.0, 0.0, 0.0), value)
+                    self._cache[genomes[index]] = result
+                    results[index] = result
+            if len(batch):
+                metrics_list = self.engine.evaluate_specs(self.estimator, batch)
+                for index, metrics in zip(feasible_positions, metrics_list):
+                    result = (metrics.objectives(), 0.0)
+                    self._cache[genomes[index]] = result
+                    results[index] = result
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _violation_array(h: np.ndarray, l: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_violation` over decoded genome columns."""
+        violation = np.where(l > h, (l - h).astype(float), 0.0)
+        divides = (h % l) == 0
+        deficit = (1 << np.clip(b, 0, 62)) - h // l
+        violation += np.where(
+            divides,
+            np.where(deficit > 0, deficit.astype(float), 0.0),
+            1.0,
+        )
+        return violation
 
     def crossover(self, a: Genome, b: Genome, rng: random.Random) -> Genome:
         """Uniform crossover on the three genes."""
@@ -211,16 +259,22 @@ class ACIMDesignProblem:
         metrics = self._evaluate_spec(spec)
         return EvaluatedDesign(spec=spec, metrics=metrics, objectives=metrics.objectives())
 
+    def feasible_batch(self) -> SpecBatch:
+        """Every feasible design point of this problem instance, as arrays.
+
+        Built meshgrid-style over (heights, local sizes, ADC precisions) in
+        genome-index order and filtered by the vectorized Equation-12 mask.
+        """
+        return SpecBatch.from_product(
+            self.heights,
+            self.local_array_sizes,
+            range(1, self.max_adc_bits + 1),
+            array_size=self.array_size,
+        )
+
     def feasible_specs(self) -> List[ACIMDesignSpec]:
         """Every feasible design point of this problem instance."""
-        specs = []
-        for height_index in range(len(self.heights)):
-            for local_index in range(len(self.local_array_sizes)):
-                for adc_bits in range(1, self.max_adc_bits + 1):
-                    spec = self.decode((height_index, local_index, adc_bits))
-                    if spec.is_feasible(self.array_size):
-                        specs.append(spec)
-        return specs
+        return self.feasible_batch().to_specs()
 
 
 def _step(index: int, size: int, rng: random.Random) -> int:

@@ -161,11 +161,24 @@ class SensitivityAnalyzer:
         local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
         max_adc_bits: int = 8,
     ) -> List[FrontierSensitivity]:
-        """Pareto-frontier stability under perturbation of each constant."""
+        """Pareto-frontier stability under perturbation of each constant.
+
+        The design-space grid is enumerated once as a
+        :class:`~repro.arch.batch.SpecBatch` and re-evaluated through the
+        vectorized array path for the baseline and for every perturbed
+        parameter bundle.
+        """
+        from repro.arch.batch import SpecBatch
+
+        grid = SpecBatch.enumerate(
+            array_size,
+            local_array_sizes=local_array_sizes,
+            max_adc_bits=max_adc_bits,
+        )
         baseline_designs = evaluate_all(
             array_size, estimator=ACIMEstimator(self.base),
             local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits,
-            engine=self.engine)
+            engine=self.engine, batch=grid)
         baseline_front = self._front_tuples(baseline_designs)
         baseline_eff = max(d.metrics.tops_per_watt for d in baseline_designs)
         baseline_area = min(d.metrics.area_f2_per_bit for d in baseline_designs)
@@ -176,7 +189,7 @@ class SensitivityAnalyzer:
             designs = evaluate_all(
                 array_size, estimator=ACIMEstimator(perturbed_params),
                 local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits,
-                engine=self.engine)
+                engine=self.engine, batch=grid)
             front = self._front_tuples(designs)
             union = baseline_front | front
             intersection = baseline_front & front

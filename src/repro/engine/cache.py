@@ -38,6 +38,19 @@ def parameters_cache_key(parameters) -> Tuple:
     return dataclasses.astuple(parameters)
 
 
+def spec_tuple_cache_key(
+    spec_tuple: Tuple, params_key: Tuple, technology: Optional[str] = None
+) -> Tuple:
+    """Cache key from an already-extracted ``(H, W, L, B_ADC)`` tuple.
+
+    The single authority for the key layout: :func:`spec_cache_key`, the
+    engine's batch path (which gets its tuples straight from
+    ``SpecBatch.as_tuples()``) and the store layer all produce keys through
+    here, so they can never drift apart.
+    """
+    return (spec_tuple, params_key, technology)
+
+
 def spec_cache_key(
     spec,
     parameters=None,
@@ -52,7 +65,7 @@ def spec_cache_key(
     """
     if params_key is None:
         params_key = parameters_cache_key(parameters)
-    return (spec.as_tuple(), params_key, technology)
+    return spec_tuple_cache_key(spec.as_tuple(), params_key, technology)
 
 
 class EvaluationCache:

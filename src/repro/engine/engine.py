@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
 
+from repro.arch.batch import SpecBatch
 from repro.engine.cache import (
     EvaluationCache,
     parameters_cache_key,
     shared_cache,
-    spec_cache_key,
+    spec_tuple_cache_key,
 )
 from repro.engine.executors import (
     BACKENDS,
@@ -115,25 +116,28 @@ class EngineStats:
 
 # -- process-pool work functions (module level for picklability) -------------
 
-#: Per-worker estimator memo, keyed by the model-parameters cache key so a
-#: long-lived pool serving several parameter bundles (sensitivity sweeps)
-#: builds each estimator once per worker instead of once per chunk.
+#: Per-worker estimator memo, keyed by the model-parameters cache key (plus
+#: the kernel flavour) so a long-lived pool serving several parameter
+#: bundles (sensitivity sweeps) builds each estimator once per worker
+#: instead of once per chunk.
 _WORKER_ESTIMATORS: Dict[tuple, object] = {}
 
 
-def _evaluate_spec_chunk(parameters, spec_tuples: Sequence[tuple]) -> list:
-    """Evaluate a chunk of spec tuples, reusing a per-process estimator."""
-    from repro.arch.spec import ACIMDesignSpec
+def _evaluate_batch_chunk(parameters, kernel: str, columns: tuple) -> list:
+    """Evaluate a shipped SpecBatch chunk, reusing a per-process estimator.
+
+    ``columns`` is the picklable array payload of
+    :meth:`~repro.arch.batch.SpecBatch.columns` — four NumPy integer
+    columns, far cheaper to pickle than N spec objects.
+    """
     from repro.model.estimator import ACIMEstimator
 
-    key = parameters_cache_key(parameters)
+    key = (parameters_cache_key(parameters), kernel)
     estimator = _WORKER_ESTIMATORS.get(key)
     if estimator is None:
-        estimator = ACIMEstimator(parameters)
+        estimator = ACIMEstimator(parameters, kernel=kernel)
         _WORKER_ESTIMATORS[key] = estimator
-    return estimator.evaluate_batch(
-        [ACIMDesignSpec(*spec_tuple) for spec_tuple in spec_tuples]
-    )
+    return estimator.evaluate_batch(SpecBatch(*columns))
 
 
 class EvaluationEngine:
@@ -246,28 +250,39 @@ class EvaluationEngine:
 
     # -- cached spec evaluation ----------------------------------------------
 
-    def evaluate_specs(self, estimator, specs: Sequence) -> List:
+    def evaluate_specs(self, estimator, specs: Union[SpecBatch, Sequence]) -> List:
         """Evaluate design specs through ``estimator``, cached and batched.
 
-        Returns one :class:`~repro.model.estimator.ACIMMetrics` per spec, in
-        input order.  Hits are served from the cache; misses are deduplicated
-        and dispatched to the backend as chunks, then inserted into the cache
-        by the calling process (workers never mutate the cache).
+        Accepts either a sequence of scalar specs or a
+        :class:`~repro.arch.batch.SpecBatch` (grid consumers build batches
+        directly, skipping the per-spec object hop).  Returns one
+        :class:`~repro.model.estimator.ACIMMetrics` per spec, in input
+        order.  Hits are served from the cache; misses are deduplicated,
+        gathered into a miss SpecBatch and dispatched to the backend as
+        array chunks, then inserted into the cache by the calling process
+        (workers never mutate the cache).
         """
-        specs = list(specs)
+        if isinstance(specs, SpecBatch):
+            batch = specs
+            tuples = batch.as_tuples()
+        else:
+            batch = None
+            spec_list = list(specs)
+            tuples = [spec.as_tuple() for spec in spec_list]
         start = time.perf_counter()
         try:
-            if not specs:
+            if not tuples:
                 return []
             params = estimator.parameters
             params_key = parameters_cache_key(params)
             keys = [
-                spec_cache_key(spec, params_key=params_key) for spec in specs
+                spec_tuple_cache_key(spec_tuple, params_key)
+                for spec_tuple in tuples
             ]
             results: Dict[tuple, object] = {}
-            missing: List = []
+            missing_indices: List[int] = []
             pending = set()
-            for spec, key in zip(specs, keys):
+            for index, key in enumerate(keys):
                 if key in results or key in pending:
                     continue
                 cached = self.cache.get(key)
@@ -278,32 +293,38 @@ class EvaluationEngine:
                         self._stats.store_hits += 1
                 else:
                     pending.add(key)
-                    missing.append(spec)
-            if missing:
+                    missing_indices.append(index)
+            if missing_indices:
+                if batch is not None:
+                    missing = batch.take(missing_indices)
+                else:
+                    missing = SpecBatch.from_specs(
+                        [spec_list[i] for i in missing_indices]
+                    )
                 computed = self._compute(estimator, params, missing)
-                for spec, metrics in zip(missing, computed):
-                    key = spec_cache_key(spec, params_key=params_key)
+                for index, metrics in zip(missing_indices, computed):
+                    key = keys[index]
                     results[key] = metrics
                     self.cache.put(key, metrics)
                     if self.store is not None:
                         self._store_buffer.append((key, metrics))
-                self._stats.evaluations += len(missing)
+                self._stats.evaluations += len(missing_indices)
                 if len(self._store_buffer) >= self.store_flush_size:
                     self.flush_store()
             return [results[key] for key in keys]
         finally:
             self._stats.batches += 1
-            self._stats.tasks += len(specs)
+            self._stats.tasks += len(tuples)
             self._stats.busy_seconds += time.perf_counter() - start
 
-    def _compute(self, estimator, params, specs: List) -> List:
-        """Evaluate cache misses on the configured backend, in order."""
-        if self.backend == "serial" or len(specs) == 1:
-            return estimator.evaluate_batch(specs)
+    def _compute(self, estimator, params, batch: SpecBatch) -> List:
+        """Evaluate a cache-miss SpecBatch on the configured backend, in order."""
+        if self.backend == "serial" or len(batch) == 1:
+            return estimator.evaluate_batch(batch)
         executor = self._ensure_executor()
-        chunksize = self._chunk(len(specs))
+        chunksize = self._chunk(len(batch))
         chunks = [
-            specs[i:i + chunksize] for i in range(0, len(specs), chunksize)
+            batch[i:i + chunksize] for i in range(0, len(batch), chunksize)
         ]
         if self.backend == "thread":
             futures = [
@@ -311,12 +332,12 @@ class EvaluationEngine:
                 for chunk in chunks
             ]
         else:
-            spec_chunks = [
-                [spec.as_tuple() for spec in chunk] for chunk in chunks
-            ]
+            kernel = getattr(estimator, "kernel", "vectorized")
             futures = [
-                executor.submit(_evaluate_spec_chunk, params, chunk)
-                for chunk in spec_chunks
+                executor.submit(
+                    _evaluate_batch_chunk, params, kernel, chunk.columns()
+                )
+                for chunk in chunks
             ]
         results: List = []
         for future in futures:

@@ -15,14 +15,24 @@ record and the objective vector ``[-f_SNR, -f_T, f_E, f_A]`` consumed by the
 design-space explorer.  :mod:`~repro.model.calibration` derives the model
 constants from the paper's published Figure-8 datapoints and from the
 behavioral simulator.
+
+Every sub-model exposes both scalar formulas and vectorized NumPy kernels;
+batches of design points travel as :class:`~repro.arch.batch.SpecBatch`
+columns and come back as :class:`~repro.model.estimator.MetricsArrays`
+metric columns (see ``docs/model.md``).
 """
 
 from repro.model.notation import WorkloadStatistics
 from repro.model.snr import SnrParameters, SnrModel
-from repro.model.throughput import ThroughputModel
-from repro.model.energy import EnergyParameters, EnergyModel
-from repro.model.area import AreaParameters, AreaModel
-from repro.model.estimator import ACIMEstimator, ACIMMetrics, ModelParameters
+from repro.model.throughput import ThroughputArrays, ThroughputModel
+from repro.model.energy import EnergyArrays, EnergyParameters, EnergyModel
+from repro.model.area import AreaArrays, AreaParameters, AreaModel
+from repro.model.estimator import (
+    ACIMEstimator,
+    ACIMMetrics,
+    MetricsArrays,
+    ModelParameters,
+)
 from repro.model.backannotate import BackAnnotationResult, BackAnnotator
 from repro.model.calibration import (
     derive_area_parameters_from_figure8,
@@ -34,13 +44,17 @@ __all__ = [
     "WorkloadStatistics",
     "SnrParameters",
     "SnrModel",
+    "ThroughputArrays",
     "ThroughputModel",
+    "EnergyArrays",
     "EnergyParameters",
     "EnergyModel",
+    "AreaArrays",
     "AreaParameters",
     "AreaModel",
     "ACIMEstimator",
     "ACIMMetrics",
+    "MetricsArrays",
     "ModelParameters",
     "BackAnnotationResult",
     "BackAnnotator",

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.arch.spec import ACIMDesignSpec
 from repro.units import f2_to_um2
@@ -74,6 +76,29 @@ class AreaBreakdown:
     total_um2: float
 
 
+@dataclass(frozen=True)
+class AreaArrays:
+    """Vectorized Equation-10 decomposition: one array entry per design point.
+
+    Attributes:
+        sram: A_SRAM contribution (spec-independent scalar), in F^2.
+        local_compute: A_LC / L contribution, per design point.
+        comparator: A_COMP / H contribution, per design point.
+        sar_logic: B_ADC * A_DFF / H contribution, per design point.
+        per_bit: total per-bit area A, per design point.
+        total_f2: whole-macro area A * H * W in F^2, per design point.
+        total_um2: whole-macro area in um^2, per design point.
+    """
+
+    sram: float
+    local_compute: np.ndarray
+    comparator: np.ndarray
+    sar_logic: np.ndarray
+    per_bit: np.ndarray
+    total_f2: np.ndarray
+    total_um2: np.ndarray
+
+
 class AreaModel:
     """Evaluates Equation 10 for design points."""
 
@@ -97,6 +122,32 @@ class AreaModel:
             per_bit=per_bit,
             total_f2=total_f2,
             total_um2=f2_to_um2(total_f2, p.feature_size),
+        )
+
+    def breakdown_arrays(self, batch) -> AreaArrays:
+        """Vectorized Equation-10 decomposition of a :class:`SpecBatch`.
+
+        Expressions mirror :meth:`breakdown` operation for operation, so a
+        length-1 batch reproduces the scalar result bit for bit.
+        """
+        p = self.parameters
+        sram = p.a_sram
+        local_compute = p.a_local_compute / batch.local_array_size
+        comparator = p.a_comparator / batch.height
+        sar_logic = batch.adc_bits * p.a_dff / batch.height
+        per_bit = sram + local_compute + comparator + sar_logic
+        total_f2 = per_bit * batch.array_size
+        # f2_to_um2 is elementwise-safe and shares the scalar path's exact
+        # operation order, so the conversion cannot drift between paths.
+        total_um2 = f2_to_um2(total_f2, p.feature_size)
+        return AreaArrays(
+            sram=sram,
+            local_compute=local_compute,
+            comparator=comparator,
+            sar_logic=sar_logic,
+            per_bit=per_bit,
+            total_f2=total_f2,
+            total_um2=total_um2,
         )
 
     def area_per_bit_f2(self, spec: ACIMDesignSpec) -> float:

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.arch.spec import ACIMDesignSpec
 from repro.units import OPS_PER_MAC
@@ -76,6 +78,27 @@ class EnergyBreakdown:
     tops_per_watt: float
 
 
+@dataclass(frozen=True)
+class EnergyArrays:
+    """Vectorized Equation-8 decomposition: one array entry per design point.
+
+    Attributes:
+        compute: E_compute in joules (spec-independent scalar).
+        control: E_control in joules (spec-independent scalar).
+        adc_total: E_ADC of one full conversion, per design point.
+        adc_per_mac: amortised ADC energy E_ADC / (H/L), per design point.
+        total_per_mac: total energy per MAC, per design point.
+        tops_per_watt: energy efficiency in TOPS/W, per design point.
+    """
+
+    compute: float
+    control: float
+    adc_total: np.ndarray
+    adc_per_mac: np.ndarray
+    total_per_mac: np.ndarray
+    tops_per_watt: np.ndarray
+
+
 class EnergyModel:
     """Evaluates Equations 8 and 9 for design points."""
 
@@ -103,6 +126,40 @@ class EnergyModel:
             raise ModelError("total energy per MAC must be positive")
         tops_per_watt = OPS_PER_MAC / (total * 1.0e12)
         return EnergyBreakdown(
+            compute=p.e_compute,
+            control=p.e_control,
+            adc_total=adc_total,
+            adc_per_mac=adc_per_mac,
+            total_per_mac=total,
+            tops_per_watt=tops_per_watt,
+        )
+
+    def adc_energy_array(self, adc_bits) -> np.ndarray:
+        """Vectorized Equation 9 over a column of ADC precisions."""
+        adc = np.asarray(adc_bits)
+        if adc.size and np.any(adc < 1):
+            raise ModelError("ADC precision must be at least 1 bit")
+        p = self.parameters
+        return (
+            p.k1 * (adc + math.log2(p.vdd))
+            + p.k2 * (4.0 ** adc) * p.vdd ** 2
+        )
+
+    def breakdown_arrays(self, batch) -> EnergyArrays:
+        """Vectorized Equation-8 decomposition of a :class:`SpecBatch`.
+
+        Expressions mirror :meth:`breakdown` operation for operation, so a
+        length-1 batch reproduces the scalar result bit for bit.
+        """
+        p = self.parameters
+        adc_total = self.adc_energy_array(batch.adc_bits)
+        share = batch.local_arrays_per_column
+        adc_per_mac = adc_total / share
+        total = p.e_compute + p.e_control + adc_per_mac
+        if total.size and np.any(total <= 0):
+            raise ModelError("total energy per MAC must be positive")
+        tops_per_watt = OPS_PER_MAC / (total * 1.0e12)
+        return EnergyArrays(
             compute=p.e_compute,
             control=p.e_control,
             adc_total=adc_total,

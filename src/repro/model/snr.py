@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.model.notation import WorkloadStatistics
 from repro.units import BOLTZMANN_K, ROOM_TEMPERATURE_K, db_to_linear, linear_to_db
@@ -206,6 +208,116 @@ class SnrModel:
             + p.k4
         )
 
+    # -- vectorized kernels ----------------------------------------------------
+    #
+    # Array counterparts of the scalar equations above, taking NumPy columns
+    # of B_ADC and N = H/L values and returning one value per design point.
+    # Each expression mirrors its scalar twin operation for operation; the
+    # spec-independent factors are folded into Python-float constants first,
+    # exactly as the scalar path computes them.  On pure-arithmetic chains
+    # the results are bit-identical to the scalar model; chains through the
+    # transcendental ufuncs (log10, 10**x) may differ from ``math`` by a few
+    # ULP, which the parity suite bounds at 1e-12 relative.
+
+    def _check_arrays(self, adc_bits, dot_product_length):
+        adc = np.asarray(adc_bits)
+        n = np.asarray(dot_product_length)
+        if adc.size and np.any(adc < 1):
+            raise ModelError("ADC precision must be at least 1 bit")
+        if n.size and np.any(n < 1):
+            raise ModelError("dot product length must be at least 1")
+        return adc, n
+
+    def input_quantization_variance_array(self, dot_product_length) -> np.ndarray:
+        """Vectorized Equation 4 over a column of N values."""
+        w = self.workload
+        _, n = self._check_arrays(1, dot_product_length)
+        per_term = (
+            w.delta_x ** 2 * w.sigma_w ** 2 + w.delta_w ** 2 * w.mean_x_squared
+        )
+        return (n / 12.0) * per_term
+
+    def analog_noise_variance_array(self, dot_product_length) -> np.ndarray:
+        """Vectorized Equation 5 over a column of N values."""
+        p = self.parameters
+        w = self.workload
+        _, n = self._check_arrays(1, dot_product_length)
+        prefactor_per_n = (2.0 / 3.0) * (1.0 - 4.0 ** (-w.bits_w))
+        per_term = (
+            w.mean_x_squared * p.cap_relative_variance
+            + 2.0 * p.thermal_noise_variance / (p.vdd ** 2)
+            + p.charge_injection_variance
+        )
+        return (prefactor_per_n * n) * per_term
+
+    def snr_analog_array(self, dot_product_length) -> np.ndarray:
+        """Vectorized SNR_a (linear)."""
+        _, n = self._check_arrays(1, dot_product_length)
+        w = self.workload
+        output = (n * w.sigma_w ** 2) * w.mean_x_squared
+        noise = self.analog_noise_variance_array(n)
+        return np.where(noise == 0.0, math.inf, output / np.where(
+            noise == 0.0, 1.0, noise))
+
+    def sqnr_input_array(self, dot_product_length) -> np.ndarray:
+        """Vectorized SQNR_i (linear)."""
+        _, n = self._check_arrays(1, dot_product_length)
+        w = self.workload
+        output = (n * w.sigma_w ** 2) * w.mean_x_squared
+        noise = self.input_quantization_variance_array(n)
+        return np.where(noise == 0.0, math.inf, output / np.where(
+            noise == 0.0, 1.0, noise))
+
+    def snr_pre_array(self, dot_product_length) -> np.ndarray:
+        """Vectorized pre-ADC SNR (Equation 3, linear)."""
+        return _parallel_array(
+            self.snr_analog_array(dot_product_length),
+            self.sqnr_input_array(dot_product_length),
+        )
+
+    def sqnr_output_db_array(self, adc_bits, dot_product_length) -> np.ndarray:
+        """Vectorized SQNR_y in dB (Equation 6)."""
+        adc, n = self._check_arrays(adc_bits, dot_product_length)
+        w = self.workload
+        return (
+            6.0 * adc
+            + 4.8
+            - (w.zeta_x_db + w.zeta_w_db)
+            - 10.0 * np.log10(n)
+        )
+
+    def sqnr_output_array(self, adc_bits, dot_product_length) -> np.ndarray:
+        """Vectorized SQNR_y as a linear ratio."""
+        return 10.0 ** (self.sqnr_output_db_array(adc_bits, dot_product_length) / 10.0)
+
+    def total_snr_db_array(self, adc_bits, dot_product_length) -> np.ndarray:
+        """Vectorized SNR_T in dB (Equation 2)."""
+        total = _parallel_array(
+            self.snr_pre_array(dot_product_length),
+            self.sqnr_output_array(adc_bits, dot_product_length),
+        )
+        return _linear_to_db_array(total)
+
+    def design_snr_db_array(self, adc_bits, dot_product_length) -> np.ndarray:
+        """Vectorized design-dependent SNR in dB (analog + ADC terms only)."""
+        design = _parallel_array(
+            self.snr_analog_array(dot_product_length),
+            self.sqnr_output_array(adc_bits, dot_product_length),
+        )
+        return _linear_to_db_array(design)
+
+    def simplified_snr_db_array(self, adc_bits, local_arrays_per_column) -> np.ndarray:
+        """Vectorized f_SNR of Equation 11."""
+        adc, n = self._check_arrays(adc_bits, local_arrays_per_column)
+        p = self.parameters
+        constant = 10.0 * math.log10(p.k3 / p.unit_capacitance)
+        return (
+            6.0 * adc
+            - 10.0 * np.log10(n)
+            - constant
+            + p.k4
+        )
+
     # -- noise budget report ---------------------------------------------------
 
     def noise_budget(self, adc_bits: int, dot_product_length: int) -> dict:
@@ -239,3 +351,30 @@ def _parallel(a: float, b: float) -> float:
     if a <= 0 or b <= 0:
         raise ModelError("SNR terms must be positive")
     return 1.0 / (1.0 / a + 1.0 / b)
+
+
+def _parallel_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_parallel`: elementwise [1/a + 1/b]^-1.
+
+    Infinite terms pass the other operand through unchanged (matching the
+    scalar early returns, which avoid the 1/(1/x) double rounding).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    a_inf = np.isinf(a)
+    b_inf = np.isinf(b)
+    finite = ~(a_inf | b_inf)
+    if np.any(finite & ((a <= 0) | (b <= 0))):
+        raise ModelError("SNR terms must be positive")
+    safe_a = np.where(finite, a, 1.0)
+    safe_b = np.where(finite, b, 1.0)
+    combined = 1.0 / (1.0 / safe_a + 1.0 / safe_b)
+    return np.where(a_inf, b, np.where(b_inf, a, combined))
+
+
+def _linear_to_db_array(value: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.units.linear_to_db` with the same guard."""
+    value = np.asarray(value, dtype=float)
+    if value.size and np.any(value <= 0.0):
+        raise ValueError("cannot convert non-positive ratio to dB")
+    return 10.0 * np.log10(value)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.arch.spec import ACIMDesignSpec
 from repro.arch.timing import TimingModel, TimingParameters
 from repro.units import OPS_PER_MAC, ops_to_tops
@@ -42,6 +44,29 @@ class ThroughputBreakdown:
     tops: float
 
 
+@dataclass(frozen=True)
+class ThroughputArrays:
+    """Vectorized Equation-7 terms: one array entry per design point.
+
+    Attributes:
+        compute_time: t_com in seconds (spec-independent scalar).
+        setup_time: t_set per design point.
+        conversion_time: t_conv per design point.
+        cycle_time: total cycle time per design point.
+        macs_per_cycle: (H / L) * W per design point (integer array).
+        macs_per_second: throughput T per design point.
+        tops: throughput in TOPS per design point.
+    """
+
+    compute_time: float
+    setup_time: np.ndarray
+    conversion_time: np.ndarray
+    cycle_time: np.ndarray
+    macs_per_cycle: np.ndarray
+    macs_per_second: np.ndarray
+    tops: np.ndarray
+
+
 class ThroughputModel:
     """Evaluates Equation 7 for design points."""
 
@@ -62,6 +87,33 @@ class ThroughputModel:
             macs_per_cycle=macs_per_cycle,
             macs_per_second=macs_per_second,
             tops=ops_to_tops(macs_per_second * OPS_PER_MAC),
+        )
+
+    def breakdown_arrays(self, batch) -> ThroughputArrays:
+        """Vectorized Equation-7 term breakdown of a :class:`SpecBatch`.
+
+        The timing terms come from the vectorized
+        :class:`~repro.arch.timing.TimingParameters` kernels, mirroring the
+        scalar :class:`~repro.arch.timing.TimingModel` operation for
+        operation, so a length-1 batch reproduces the scalar result bit for
+        bit.
+        """
+        timing = self.timing
+        adc = batch.adc_bits
+        setup = timing.setup_time_array(adc)
+        conversion = timing.conversion_time_array(adc)
+        cycle = timing.cycle_time_array(adc)
+        macs_per_cycle = batch.local_arrays_per_column * batch.width
+        macs_per_second = macs_per_cycle / cycle
+        tops = ops_to_tops(macs_per_second * OPS_PER_MAC)
+        return ThroughputArrays(
+            compute_time=timing.compute_delay,
+            setup_time=setup,
+            conversion_time=conversion,
+            cycle_time=cycle,
+            macs_per_cycle=macs_per_cycle,
+            macs_per_second=macs_per_second,
+            tops=tops,
         )
 
     def macs_per_second(self, spec: ACIMDesignSpec) -> float:

@@ -176,6 +176,87 @@ class QrColumnSimulator:
         normalised = (reconstructed_voltage - self.vcm) / (self.vdd / 2.0)
         return code, normalised * n
 
+    # -- vectorized trial batches -------------------------------------------
+
+    def mac_phase_many(self, products: np.ndarray) -> np.ndarray:
+        """MAC state over a ``(trials, H/L)`` product matrix."""
+        products = np.asarray(products, dtype=float)
+        expected = self.spec.local_arrays_per_column
+        if products.ndim != 2 or products.shape[1] != expected:
+            raise SimulationError(
+                f"expected a (trials, {expected}) product matrix, "
+                f"got shape {products.shape}"
+            )
+        if np.any(np.abs(products) > 1.0 + 1e-9):
+            raise SimulationError("products must be normalised to [-1, 1]")
+        swing = self.vdd / 2.0
+        return self.vcm + products * swing
+
+    def charge_redistribution_many(
+        self, top_plate_voltages: np.ndarray
+    ) -> np.ndarray:
+        """Charge redistribution of a ``(trials, H/L)`` voltage matrix.
+
+        The per-trial noise terms are drawn as whole arrays — one thermal
+        sample and (when enabled) one charge-injection sample per trial —
+        instead of scalar draws inside a Python loop.
+        """
+        voltages = np.asarray(top_plate_voltages, dtype=float)
+        caps = self._capacitors
+        if voltages.ndim != 2 or voltages.shape[1] != caps.shape[0]:
+            raise SimulationError("voltage matrix does not match capacitor count")
+        total_cap = float(np.sum(caps))
+        v_x = voltages @ caps / total_cap
+        trials = voltages.shape[0]
+        if self.noise.include_thermal_noise:
+            sigma = np.sqrt(BOLTZMANN_K * self.noise.temperature_k / total_cap)
+            v_x = v_x + self.rng.normal(0.0, sigma, size=trials)
+        if self.noise.charge_injection_sigma > 0:
+            v_x = v_x + self.rng.normal(
+                0.0, self.noise.charge_injection_sigma, size=trials
+            )
+        return v_x
+
+    def compute_cycles(self, products: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Run many full MAC + conversion cycles at once.
+
+        Args:
+            products: ``(trials, H/L)`` matrix of normalised products.
+
+        Returns:
+            ``(codes, estimated_sums)`` arrays of length ``trials``, the
+            digital codes and their reconstructions in product units.
+        """
+        top_plates = self.mac_phase_many(products)
+        v_x = self.charge_redistribution_many(top_plates)
+        codes = self.adc.convert_many(v_x, rng=self.rng)
+        n = self.spec.local_arrays_per_column
+        reconstructed = self.adc.codes_to_voltages(codes)
+        normalised = (reconstructed - self.vcm) / (self.vdd / 2.0)
+        return codes, normalised * n
+
+    def dot_products(
+        self, activations: np.ndarray, weights: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute many dot products through the column in one array pass.
+
+        Args:
+            activations: ``(trials, H/L)`` matrix with values in [0, 1].
+            weights: ``(trials, H/L)`` matrix with values in [-1, 1].
+
+        Returns:
+            ``(ideal, measured)`` arrays of length ``trials`` — the
+            noiseless references and the digital reconstructions.
+        """
+        activations = np.asarray(activations, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if activations.shape != weights.shape:
+            raise SimulationError("activation/weight shapes differ")
+        products = activations * weights
+        ideal = products.sum(axis=1)
+        _codes, measured = self.compute_cycles(products)
+        return ideal, measured
+
     def dot_product(self, activations: np.ndarray, weights: np.ndarray) -> float:
         """Compute a dot product of two +/-1/0 vectors through the column.
 

@@ -66,6 +66,11 @@ class MonteCarloSnr:
     def run(self, trials: int = 2000, columns: int = 8) -> SnrMeasurement:
         """Measure the SNR over ``trials`` random dot products.
 
+        Each column instance's whole trial block runs as one array pass:
+        the workload is sampled as a ``(trials, N)`` matrix, the mismatch
+        and noise perturbations are drawn as arrays, and the SAR conversion
+        digitises every trial at once — no per-trial Python loop.
+
         Args:
             trials: number of dot products to simulate in total.
             columns: number of independent column instances (each with its
@@ -78,8 +83,8 @@ class MonteCarloSnr:
             raise SimulationError("need at least one column instance")
         rng = np.random.default_rng(self.seed)
         length = self.spec.local_arrays_per_column
-        ideal_results = []
-        measured_results = []
+        ideal_blocks = []
+        measured_blocks = []
         trials_per_column = max(1, trials // columns)
         for column_index in range(columns):
             simulator = QrColumnSimulator(
@@ -89,11 +94,14 @@ class MonteCarloSnr:
                 vdd=self.vdd,
                 rng=np.random.default_rng(self.seed + 17 * column_index + 1),
             )
-            for x_vec, w_vec in self.workload.batches(length, trials_per_column, rng):
-                ideal_results.append(simulator.ideal_dot_product(x_vec, w_vec))
-                measured_results.append(simulator.dot_product(x_vec, w_vec))
-        ideal = np.asarray(ideal_results)
-        measured = np.asarray(measured_results)
+            x_mat, w_mat = self.workload.sample_matrix(
+                length, trials_per_column, rng
+            )
+            ideal_block, measured_block = simulator.dot_products(x_mat, w_mat)
+            ideal_blocks.append(ideal_block)
+            measured_blocks.append(measured_block)
+        ideal = np.concatenate(ideal_blocks)
+        measured = np.concatenate(measured_blocks)
         errors = measured - ideal
         signal_variance = float(np.var(ideal))
         error_variance = float(np.var(errors) + np.mean(errors) ** 2)
@@ -105,7 +113,7 @@ class MonteCarloSnr:
             snr_db = linear_to_db(signal_variance / error_variance)
         return SnrMeasurement(
             spec=self.spec,
-            trials=len(ideal_results),
+            trials=len(ideal),
             snr_db=snr_db,
             signal_variance=signal_variance,
             error_variance=error_variance,
@@ -130,11 +138,11 @@ def measure_many(
     """Monte-Carlo SNR of many design points through an evaluation engine.
 
     Each spec is an independent simulation with a seed derived from its
-    position, so results are deterministic regardless of backend.  This is
-    the repository's canonical *high-fidelity* batch evaluation: unlike the
-    analytic estimator (microseconds per spec) a Monte-Carlo run costs tens
-    of milliseconds, which is the regime where the engine's ``process``
-    backend pays off (see ``docs/engine.md``).
+    position, so results are deterministic regardless of backend.  Within a
+    task the trial block is fully vectorized (perturbation matrices, batch
+    SAR conversion — see :meth:`MonteCarloSnr.run`); across specs this is
+    the repository's canonical *high-fidelity* batch evaluation, the regime
+    where the engine's ``process`` backend pays off (see ``docs/engine.md``).
     """
     from repro.engine import default_engine
 

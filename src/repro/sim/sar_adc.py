@@ -109,6 +109,13 @@ class SarAdc:
             raise SimulationError(f"code {code} out of range for {self.bits} bits")
         return self.v_low + code * self.lsb
 
+    def codes_to_voltages(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`code_to_voltage` over an array of codes."""
+        codes = np.asarray(codes)
+        if codes.size and (np.any(codes < 0) or np.any(codes >= 2 ** self.bits)):
+            raise SimulationError(f"code out of range for {self.bits} bits")
+        return self.v_low + codes * self.lsb
+
 
 def code_to_value(code, bits: int, low: float = -1.0, high: float = 1.0):
     """Map an ADC code (scalar or array) back to the normalised value range."""

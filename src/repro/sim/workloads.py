@@ -54,6 +54,31 @@ class WorkloadGenerator:
         for _ in range(count):
             yield self.sample(length, generator)
 
+    def sample_matrix(
+        self,
+        length: int,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` samples at once as ``(count, length)`` matrices.
+
+        One sampler call produces the whole trial block — the vectorized
+        Monte-Carlo harness consumes perturbation matrices instead of
+        per-trial vectors.  (The random stream is consumed in one
+        activations block then one weights block, so for a fixed seed the
+        values differ from ``count`` sequential :meth:`sample` calls.)
+        """
+        if length < 1:
+            raise SimulationError("vector length must be at least 1")
+        if count < 1:
+            raise SimulationError("sample count must be at least 1")
+        generator = rng or np.random.default_rng()
+        activations, weights = self.sampler(count * length, generator)
+        return (
+            np.asarray(activations, float).reshape(count, length),
+            np.asarray(weights, float).reshape(count, length),
+        )
+
 
 def binary_workload(activation_density: float = 0.5) -> WorkloadGenerator:
     """1b x 1b workload: Bernoulli activations, +/-1 weights (paper section 4).

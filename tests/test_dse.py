@@ -172,6 +172,19 @@ class TestACIMDesignProblem:
         spec = ACIMDesignSpec(128, 128, 8, 3)
         assert problem.decode(problem.encode(spec)) == spec
 
+    def test_decode_columns_matches_scalar_decode(self):
+        # The vectorized decode used by evaluate_many must mirror decode()
+        # rule for rule (index wrap-around, B_ADC clamping) — including on
+        # out-of-range genes, which wrap/clamp rather than error.
+        problem = ACIMDesignProblem(16384)
+        rng = random.Random(3)
+        genomes = [problem.random_genome(rng) for _ in range(60)]
+        genomes += [(997, 313, 40), (-1, -2, 0), (0, 0, 1)]
+        h, w, l, b = problem.decode_columns(genomes)
+        for index, genome in enumerate(genomes):
+            spec = problem.decode(genome)
+            assert (h[index], w[index], l[index], b[index]) == spec.as_tuple()
+
     def test_feasible_genomes_have_zero_violation(self):
         problem = ACIMDesignProblem(4096)
         genome = problem.encode(ACIMDesignSpec(64, 64, 8, 3))
