@@ -2,6 +2,9 @@
 #
 #   make test              tier-1 test suite (the PR gate)
 #   make smoke             quickstart flow through the parallel engine (2 workers)
+#   make api-smoke         every repro.api request kind from JSON through one
+#                          Session, with DeprecationWarning promoted to error
+#                          (proves the new path avoids the legacy front doors)
 #   make campaign-smoke    tiny campaign -> kill -> resume -> query (store path)
 #   make model-bench-smoke CI-sized vectorized-model benchmark (5x gate, no write)
 #   make model-bench       full vectorized-model benchmark, records BENCH_model.json
@@ -14,13 +17,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke campaign-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 smoke:
 	$(PYTHON) examples/quickstart.py --workers 2
+
+api-smoke:
+	$(PYTHON) -W error::DeprecationWarning examples/api_smoke.py
 
 campaign-smoke:
 	$(PYTHON) examples/campaign_smoke.py
@@ -37,4 +43,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke campaign-smoke model-bench-smoke
+ci: test smoke api-smoke campaign-smoke model-bench-smoke

@@ -16,7 +16,9 @@ from __future__ import annotations
 import pytest
 
 from repro.dse.exhaustive import evaluate_all, exhaustive_pareto_front
-from repro.dse.explorer import DesignSpaceExplorer
+# Benchmarks drive the internal core directly (same implementation the
+# session layer uses) so they stay silent under -W error::DeprecationWarning.
+from repro.dse.explorer import _ExplorerCore as DesignSpaceExplorer
 from repro.dse.nsga2 import NSGA2Config
 from repro.dse.pareto import hypervolume_2d
 from repro.flow.report import format_table

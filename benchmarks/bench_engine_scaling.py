@@ -37,7 +37,9 @@ from pathlib import Path
 
 from repro.arch.spec import enumerate_design_space
 from repro.dse.exhaustive import evaluate_all
-from repro.dse.explorer import DesignSpaceExplorer
+# Benchmarks drive the internal core directly (same implementation the
+# session layer uses) so they stay silent under -W error::DeprecationWarning.
+from repro.dse.explorer import _ExplorerCore as DesignSpaceExplorer
 from repro.dse.nsga2 import NSGA2Config
 from repro.dse.pareto import pareto_front
 from repro.engine import EvaluationCache, EvaluationEngine

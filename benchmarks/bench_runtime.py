@@ -20,7 +20,9 @@ from __future__ import annotations
 import pytest
 
 from repro.arch.spec import ACIMDesignSpec
-from repro.dse.explorer import DesignSpaceExplorer
+# Benchmarks drive the internal core directly (same implementation the
+# session layer uses) so they stay silent under -W error::DeprecationWarning.
+from repro.dse.explorer import _ExplorerCore as DesignSpaceExplorer
 from repro.dse.nsga2 import NSGA2Config
 from repro.flow.layout_gen import LayoutGenerator
 from repro.flow.report import format_table

@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignSpaceExplorer, NSGA2Config
+from repro.api import ExploreRequest, Session
 from repro.apps import ApplicationEvaluator, example_cnn, example_snn, example_transformer
 from repro.flow.report import format_table
 
@@ -27,11 +27,12 @@ ARRAY_SIZE = 16 * 1024
 
 
 def main() -> None:
-    explorer = DesignSpaceExplorer(config=NSGA2Config(
-        population_size=60, generations=30, seed=11))
-    result = explorer.explore(ARRAY_SIZE)
+    with Session() as session:
+        result = session.explore(ExploreRequest(
+            array_size=ARRAY_SIZE, population=60, generations=30, seed=11))
+    pareto_set = result.artifacts["pareto_set"]
     print(f"Explored {ARRAY_SIZE // 1024} kb design space: "
-          f"{len(result.pareto_set)} Pareto solutions\n")
+          f"{len(pareto_set)} Pareto solutions\n")
 
     evaluator = ApplicationEvaluator()
     networks = [example_transformer(), example_cnn(), example_snn()]
@@ -40,7 +41,7 @@ def main() -> None:
     for network in networks:
         evaluations = [
             evaluator.evaluate(design.spec, network)
-            for design in result.pareto_set
+            for design in pareto_set
         ]
         feasible = [e for e in evaluations if e.meets_all_requirements]
         if feasible:

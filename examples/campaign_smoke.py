@@ -1,11 +1,12 @@
 """Campaign smoke test: tiny campaign -> kill -> resume -> query.
 
-Exercises the persistent-store durability path end to end (the CI
-``make campaign-smoke`` target):
+Exercises the persistent-store durability path end to end through the
+typed session API (the CI ``make campaign-smoke`` target):
 
 1. start a small named campaign and stop it after two generations — the
    programmatic equivalent of ``kill -9`` between checkpoint commits;
-2. resume it from the SQLite store and run it to completion;
+2. resume it from the SQLite store (through a fresh session, as a new
+   process would) and run it to completion;
 3. assert the resumed Pareto front is bit-identical to an uninterrupted
    exploration with the same configuration;
 4. run a second, overlapping campaign and assert it is served warm from
@@ -21,46 +22,56 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.dse.distill import DistillationCriteria
-from repro.dse.explorer import DesignSpaceExplorer
-from repro.dse.nsga2 import NSGA2Config
+from repro.api import (
+    CampaignRequest,
+    ExploreRequest,
+    QueryRequest,
+    Session,
+    SessionConfig,
+)
 from repro.flow.report import format_table
-from repro.reporting.campaigns import stored_design_table, store_summary_table
-from repro.store import CampaignManager, ResultStore
 
 ARRAY_SIZE = 1024
-CONFIG = NSGA2Config(population_size=16, generations=6, seed=3)
+POPULATION = 16
+GENERATIONS = 6
+SEED = 3
 
 
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="easyacim-smoke-") as tmp:
-        store_path = Path(tmp) / "store.sqlite"
+        store_path = str(Path(tmp) / "store.sqlite")
+        config = SessionConfig(store=store_path)
 
         # 1. Start, then "kill" after two generations.
-        with ResultStore(store_path) as store:
-            manager = CampaignManager(store)
-            interrupted = manager.run(
-                "smoke", ARRAY_SIZE, config=CONFIG, stop_after_generations=2
-            )
+        with Session.from_config(config) as session:
+            interrupted = session.campaign(CampaignRequest(
+                name="smoke", array_size=ARRAY_SIZE, population=POPULATION,
+                generations=GENERATIONS, seed=SEED, stop_after=2,
+            ))
             assert interrupted.status == "interrupted", interrupted.status
+            checkpoints = session.store.checkpoint_count("smoke")
             print(f"interrupted at generation "
-                  f"{interrupted.generations_done}/{CONFIG.generations} "
-                  f"({store.checkpoint_count('smoke')} checkpoints committed)")
+                  f"{interrupted.payload['generations_done']}/{GENERATIONS} "
+                  f"({checkpoints} checkpoints committed)")
 
-        # 2. Resume from the store file alone (fresh handles, as a new
+        # 2. Resume from the store file alone (a fresh session, as a new
         #    process would) and run to completion.
-        with ResultStore(store_path) as store:
-            resumed = CampaignManager(store).resume("smoke")
-            assert resumed.status == "completed", resumed.status
-            print(f"resumed to completion: {len(resumed.pareto_set)} "
-                  f"Pareto solutions, {resumed.evaluations} evaluations")
+        with Session.from_config(config) as session:
+            resumed = session.campaign(
+                CampaignRequest(name="smoke", action="resume"))
+            assert resumed.status == "ok", resumed.status
+            print(f"resumed to completion: {len(resumed.payload['pareto'])} "
+                  f"Pareto solutions, {resumed.payload['evaluations']} "
+                  f"evaluations")
 
-            # 3. Bit-identity against an uninterrupted exploration.
-            reference = DesignSpaceExplorer(config=CONFIG).explore(ARRAY_SIZE)
-            signature = lambda designs: [
-                (d.spec.as_tuple(), d.objectives) for d in designs
-            ]
-            if signature(resumed.pareto_set) != signature(reference.pareto_set):
+            # 3. Bit-identity against an uninterrupted exploration (same
+            #    seed, store-less session so nothing is served stale).
+            with Session.from_config(SessionConfig()) as reference_session:
+                reference = reference_session.explore(ExploreRequest(
+                    array_size=ARRAY_SIZE, population=POPULATION,
+                    generations=GENERATIONS, seed=SEED,
+                ))
+            if resumed.payload["pareto"] != reference.payload["pareto"]:
                 print("FAIL: resumed Pareto front differs from the "
                       "uninterrupted run")
                 return 1
@@ -68,11 +79,11 @@ def main() -> int:
                   "uninterrupted run")
 
         # 4. Overlapping second campaign warm-starts from the store.
-        with ResultStore(store_path) as store:
-            second = CampaignManager(store).run(
-                "smoke-overlap", ARRAY_SIZE,
-                config=NSGA2Config(population_size=16, generations=3, seed=9),
-            )
+        with Session.from_config(config) as session:
+            second = session.campaign(CampaignRequest(
+                name="smoke-overlap", array_size=ARRAY_SIZE,
+                population=POPULATION, generations=3, seed=9,
+            ))
             store_hits = second.engine_stats.get("store_hits", 0)
             if store_hits <= 0:
                 print("FAIL: overlapping campaign saw no persistent-store hits")
@@ -81,14 +92,13 @@ def main() -> int:
                   f"from the persistent store")
 
             # 5. Cross-campaign query.
-            entries = store.query(
-                criteria=DistillationCriteria(min_snr_db=0.0),
-                rank_by="tops_per_watt", limit=5,
-            )
+            query = session.query(QueryRequest(
+                min_snr_db=0.0, rank_by="tops_per_watt", limit=5,
+            ))
             print()
-            print(format_table(store_summary_table(store.stats())))
-            print()
-            print(format_table(stored_design_table(entries)))
+            print(f"store holds {query.payload['count']} ranked points "
+                  f"across {len(session.store.list_campaigns())} campaigns:")
+            print(format_table(query.payload["designs"]))
         print("\ncampaign smoke: OK")
         return 0
 

@@ -16,9 +16,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignSpaceExplorer, NSGA2Config
+from repro.api import ExploreRequest, Session
 from repro.dse.distill import DistillationCriteria, distill
-from repro.dse.exhaustive import exhaustive_pareto_front
 from repro.flow.report import design_table, format_table, pareto_summary
 from repro.sota import SOTA_DESIGNS, compare_with_design_space
 
@@ -30,41 +29,46 @@ def main() -> None:
     print("EasyACIM design-space exploration — 16 kb array")
     print("=" * 70)
 
-    explorer = DesignSpaceExplorer(config=NSGA2Config(
-        population_size=80, generations=40, seed=2024))
-    result = explorer.explore(ARRAY_SIZE)
-    print(f"\nNSGA-II: {result.evaluations} evaluations, "
-          f"{len(result.pareto_set)} Pareto solutions, "
-          f"{result.runtime_seconds:.2f} s")
+    with Session() as session:
+        result = session.explore(ExploreRequest(
+            array_size=ARRAY_SIZE, population=80, generations=40, seed=2024))
+        pareto_set = result.artifacts["pareto_set"]
+        print(f"\nNSGA-II: {result.payload['evaluations']} evaluations, "
+              f"{len(pareto_set)} Pareto solutions, "
+              f"{result.runtime_seconds:.2f} s")
 
-    summary = pareto_summary(result.pareto_set)
-    print("\nPareto-set metric ranges:")
-    print(format_table([summary]))
+        summary = pareto_summary(pareto_set)
+        print("\nPareto-set metric ranges:")
+        print(format_table([summary]))
 
-    print("\nTop solutions by SNR:")
-    print(format_table(result.as_table()[:10]))
+        print("\nTop solutions by SNR:")
+        by_snr = sorted(result.payload["pareto"],
+                        key=lambda row: row["snr_db"], reverse=True)
+        print(format_table(by_snr[:10]))
 
-    # ------------------------------------------------------------------
-    # User distillation for the Figure-1 application scenarios.
-    # ------------------------------------------------------------------
-    scenarios = [
-        DistillationCriteria.transformer(),
-        DistillationCriteria.cnn(),
-        DistillationCriteria.snn(),
-    ]
-    print("\nUser distillation per application scenario:")
-    for scenario in scenarios:
-        kept = distill(result.pareto_set, scenario)
-        print(f"\n  scenario {scenario.name!r}: {len(kept)} solutions survive")
-        if kept:
-            print(format_table(design_table(kept[:5])))
+        # --------------------------------------------------------------
+        # User distillation for the Figure-1 application scenarios.
+        # --------------------------------------------------------------
+        scenarios = [
+            DistillationCriteria.transformer(),
+            DistillationCriteria.cnn(),
+            DistillationCriteria.snn(),
+        ]
+        print("\nUser distillation per application scenario:")
+        for scenario in scenarios:
+            kept = distill(pareto_set, scenario)
+            print(f"\n  scenario {scenario.name!r}: {len(kept)} solutions survive")
+            if kept:
+                print(format_table(design_table(kept[:5])))
 
-    # ------------------------------------------------------------------
-    # Figure-10 style comparison against SOTA silicon.
-    # ------------------------------------------------------------------
-    print("\nComparison with SOTA ACIM designs (Figure 10):")
-    full_space = exhaustive_pareto_front(ARRAY_SIZE)
-    report = compare_with_design_space(full_space)
+        # --------------------------------------------------------------
+        # Figure-10 style comparison against SOTA silicon.
+        # --------------------------------------------------------------
+        print("\nComparison with SOTA ACIM designs (Figure 10):")
+        exhaustive = session.explore(ExploreRequest(
+            array_size=ARRAY_SIZE, method="exhaustive"))
+        full_space = exhaustive.artifacts["pareto_set"]
+        report = compare_with_design_space(full_space)
     rows = []
     for reference in SOTA_DESIGNS:
         entry = report[reference.label]

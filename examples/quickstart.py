@@ -10,7 +10,9 @@ few seconds:
 4. template-based hierarchical placement and routing,
 5. GDSII / DEF export.
 
-Run with::
+Everything runs through the typed session API (``docs/api.md``): one
+:class:`repro.api.Session` built from a :class:`repro.api.SessionConfig`,
+one :class:`repro.api.FlowRequest` describing the run.  Run with::
 
     python examples/quickstart.py
     python examples/quickstart.py --backend process --workers 2
@@ -23,10 +25,10 @@ job runs ``--workers 2`` so the parallel path is exercised on every PR).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import tempfile
 
-from repro import EasyACIMFlow, FlowInputs, NSGA2Config
-from repro.dse.distill import DistillationCriteria
+from repro.api import FlowRequest, Session, SessionConfig
 from repro.flow.report import (
     design_table,
     engine_stats_table,
@@ -46,19 +48,23 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     backend = args.backend or ("process" if args.workers else "serial")
 
-    inputs = FlowInputs(
+    request = FlowRequest(
         array_size=1024,
-        nsga2=NSGA2Config(population_size=40, generations=20, seed=1,
-                          backend=backend, workers=args.workers),
-        criteria=DistillationCriteria(min_snr_db=10.0, name="quickstart"),
+        population=40,
+        generations=20,
+        seed=1,
+        min_snr_db=10.0,
         max_layouts=2,
-        backend=backend,
-        workers=args.workers,
+        route_columns=True,
     )
-    flow = EasyACIMFlow(inputs)
 
-    with tempfile.TemporaryDirectory() as output_dir:
-        result = flow.run(route_columns=True, output_dir=output_dir)
+    with tempfile.TemporaryDirectory() as output_dir, Session.from_config(
+        SessionConfig(backend=backend, workers=args.workers)
+    ) as session:
+        outcome = session.flow(
+            dataclasses.replace(request, output_dir=output_dir)
+        )
+        result = outcome.artifacts["result"]
 
         print("=" * 70)
         print("EasyACIM quickstart — 1 kb array")
@@ -79,7 +85,7 @@ def main(argv=None) -> None:
                   f"GDS at {report.gds_path}")
 
         print("\nEvaluation-engine statistics:")
-        print(format_table(engine_stats_table(result.engine_stats)))
+        print(format_table(engine_stats_table(outcome.engine_stats)))
 
 
 if __name__ == "__main__":

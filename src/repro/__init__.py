@@ -9,16 +9,27 @@ placement-and-routing flow that generates macro layouts — together with the
 behavioral simulation, baselines and benchmarks needed to regenerate the
 paper's evaluation.
 
-Quick start::
+Quick start — every workflow goes through one typed session
+(``docs/api.md``)::
 
-    from repro import EasyACIMFlow, FlowInputs
+    from repro import ExploreRequest, FlowRequest, Session, SessionConfig
 
-    flow = EasyACIMFlow(FlowInputs(array_size=16 * 1024))
-    result = flow.run(generate_layouts=False)
-    print(result.summary())
+    with Session.from_config(SessionConfig(backend="process")) as session:
+        explored = session.explore(ExploreRequest(array_size=16 * 1024))
+        print(explored.payload["pareto_size"], "Pareto solutions")
+
+        flowed = session.flow(FlowRequest(array_size=1024, min_snr_db=10.0))
+        print(flowed.artifacts["result"].summary())
+
+Requests and results are JSON-serializable (``to_dict``/``from_dict``), so
+the same description runs from Python, the CLI (``python -m repro``) or a
+job queue.  The pre-1.1 front doors (``EasyACIMFlow``,
+``DesignSpaceExplorer``, ``CampaignManager``) still work but are
+deprecated shims over this session layer.
 
 The subpackages are usable on their own:
 
+* :mod:`repro.api` — the typed session layer every consumer goes through,
 * :mod:`repro.arch` — the synthesizable architecture and its constraints,
 * :mod:`repro.model` — the performance estimation model (Equations 2-11),
 * :mod:`repro.dse` — Pareto tools and the NSGA-II explorer (Equation 12),
@@ -35,12 +46,28 @@ The subpackages are usable on their own:
 * :mod:`repro.sota` — published reference designs for the comparison.
 """
 
+from repro.api import (
+    ApiRequest,
+    ApiResult,
+    CampaignRequest,
+    EstimateRequest,
+    ExploreRequest,
+    FlowRequest,
+    LayoutRequest,
+    LibraryRequest,
+    QueryRequest,
+    Session,
+    SessionConfig,
+    ValidateSnrRequest,
+    request_from_dict,
+)
 from repro.arch.spec import ACIMDesignSpec
 from repro.arch.architecture import SynthesizableACIM
 from repro.dse.distill import DistillationCriteria
 from repro.engine import EngineStats, EvaluationCache, EvaluationEngine
 from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
 from repro.dse.nsga2 import NSGA2Config
+from repro.errors import ReproError
 from repro.flow.controller import EasyACIMFlow, FlowInputs, FlowResult
 from repro.flow.layout_gen import LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
@@ -50,19 +77,32 @@ from repro.sim.montecarlo import MonteCarloSnr
 from repro.store import CampaignManager, CampaignResult, ResultStore
 from repro.technology.tech import Technology, generic28
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # The typed public API (the supported entry point).
+    "ApiRequest",
+    "ApiResult",
+    "CampaignRequest",
+    "EstimateRequest",
+    "ExploreRequest",
+    "FlowRequest",
+    "LayoutRequest",
+    "LibraryRequest",
+    "QueryRequest",
+    "Session",
+    "SessionConfig",
+    "ValidateSnrRequest",
+    "request_from_dict",
+    # Domain objects and building blocks.
     "ACIMDesignSpec",
     "SynthesizableACIM",
     "DistillationCriteria",
     "EngineStats",
     "EvaluationCache",
     "EvaluationEngine",
-    "DesignSpaceExplorer",
     "ExplorationResult",
     "NSGA2Config",
-    "EasyACIMFlow",
     "FlowInputs",
     "FlowResult",
     "LayoutGenerator",
@@ -73,10 +113,14 @@ __all__ = [
     "ACIMMetrics",
     "ModelParameters",
     "MonteCarloSnr",
-    "CampaignManager",
     "CampaignResult",
+    "ReproError",
     "ResultStore",
     "Technology",
     "generic28",
+    # Deprecated front doors (shims over the session layer, one release).
+    "DesignSpaceExplorer",
+    "EasyACIMFlow",
+    "CampaignManager",
     "__version__",
 ]

@@ -1,0 +1,24 @@
+"""Deprecation plumbing for the pre-``repro.api`` front doors.
+
+The legacy entry points (``DesignSpaceExplorer``, ``EasyACIMFlow``,
+``CampaignManager``) keep working for one release as thin shims over the
+internal implementation classes, but warn on construction so scripts
+migrate to :class:`repro.api.Session` before the shims are removed.  The
+warning is emitted from the shim subclasses only — the session layer
+builds the implementation classes directly and therefore runs clean under
+``python -W error::DeprecationWarning`` (the ``make api-smoke`` gate).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated_entry_point(old: str, new: str) -> None:
+    """Emit the one-release deprecation warning for a legacy front door."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"route the work through repro.api.Session — {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

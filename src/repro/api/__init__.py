@@ -1,0 +1,53 @@
+"""The public, typed, JSON-serializable API of the EasyACIM reproduction.
+
+One entry point for everything the library does:
+
+* :class:`Session` — owns the shared evaluation engine, the optional
+  persistent result store and the model/technology configuration, and
+  executes requests; build it once via :meth:`Session.from_config`.
+* Request objects (:class:`EstimateRequest`, :class:`ExploreRequest`,
+  :class:`CampaignRequest`, :class:`FlowRequest`, :class:`QueryRequest`,
+  :class:`LayoutRequest`, :class:`ValidateSnrRequest`,
+  :class:`LibraryRequest`) — frozen, validated, and round-trippable
+  through ``to_dict``/``from_dict`` so they can cross a wire.
+* :class:`ApiResult` — the typed result envelope (``status``, JSON
+  ``payload``, ``warnings``, ``engine_stats``) every call returns.
+
+The CLI is a thin adapter over this layer, and the legacy front doors
+(``DesignSpaceExplorer``, ``EasyACIMFlow``, ``CampaignManager``) are
+deprecated shims over the same internals — see ``docs/api.md``.
+"""
+
+from repro.api.requests import (
+    REQUEST_TYPES,
+    ApiRequest,
+    CampaignRequest,
+    EstimateRequest,
+    ExploreRequest,
+    FlowRequest,
+    LayoutRequest,
+    LibraryRequest,
+    QueryRequest,
+    ValidateSnrRequest,
+    request_from_dict,
+)
+from repro.api.results import ApiResult
+from repro.api.session import TECHNOLOGIES, Session, SessionConfig
+
+__all__ = [
+    "ApiRequest",
+    "ApiResult",
+    "CampaignRequest",
+    "EstimateRequest",
+    "ExploreRequest",
+    "FlowRequest",
+    "LayoutRequest",
+    "LibraryRequest",
+    "QueryRequest",
+    "REQUEST_TYPES",
+    "Session",
+    "SessionConfig",
+    "TECHNOLOGIES",
+    "ValidateSnrRequest",
+    "request_from_dict",
+]

@@ -3,6 +3,7 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro explore --array-size 16384 --min-snr-db 15 --csv pareto.csv
+    python -m repro flow --array-size 1024 --out out/ --route
     python -m repro layout --height 128 --width 128 --local 8 --adc-bits 3 --out out/
     python -m repro library --report
     python -m repro validate-snr --adc-bits 3 4 5 --trials 800
@@ -10,8 +11,15 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign resume nightly --store results.sqlite
     python -m repro campaign query --store results.sqlite --min-snr-db 20
 
-The CLI is a thin veneer over the library: every subcommand maps onto one
-public API entry point so scripted use and interactive use stay in sync.
+Every subcommand is a thin adapter over :mod:`repro.api`: it builds one
+typed, JSON-serializable request, submits it to a
+:class:`~repro.api.Session` configured from the shared ``--backend`` /
+``--workers`` / ``--store`` flags, and renders the
+:class:`~repro.api.ApiResult` envelope — as human-readable tables by
+default, or as the raw envelope with the uniform ``--json`` flag
+(``--json`` alone prints the JSON document to stdout instead of the
+tables; ``--json PATH`` writes it to a file alongside them).  Scripted
+use and interactive use therefore go through the identical code path.
 """
 
 from __future__ import annotations
@@ -19,36 +27,69 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__
-from repro.arch.spec import ACIMDesignSpec
+from repro.api import (
+    ApiResult,
+    CampaignRequest,
+    EstimateRequest,
+    ExploreRequest,
+    FlowRequest,
+    LayoutRequest,
+    LibraryRequest,
+    QueryRequest,
+    Session,
+    SessionConfig,
+    ValidateSnrRequest,
+)
 from repro.engine import BACKENDS
-from repro.cells.library import default_cell_library
-from repro.dse.distill import DistillationCriteria, distill
-from repro.dse.explorer import DesignSpaceExplorer
-from repro.dse.nsga2 import NSGA2Config
-from repro.flow.layout_gen import LayoutGenerator
-from repro.flow.netlist_gen import TemplateNetlistGenerator
+from repro.errors import ReproError
 from repro.flow.report import (
     design_table,
     engine_stats_table,
     format_table,
     pareto_summary,
 )
-from repro.flow.testbench import TestbenchGenerator
-from repro.model.estimator import ACIMEstimator
-from repro.netlist.spice import write_spice
 from repro.reporting.ascii_plots import render_pareto_front
 from repro.reporting.campaigns import (
     campaign_table,
     store_summary_table,
     stored_design_table,
 )
-from repro.reporting.export import export_csv, export_json
-from repro.sim.montecarlo import MonteCarloSnr
-from repro.store import RANK_METRICS, CampaignManager, ResultStore
-from repro.technology.tech import generic28
+from repro.reporting.export import export_csv
+from repro.store import RANK_METRICS
+
+#: Default store file of the campaign subcommands (kept from the pre-API
+#: CLI so existing invocations find their data).
+DEFAULT_CAMPAIGN_STORE = Path("easyacim_store.sqlite")
+
+
+def _session_parent() -> argparse.ArgumentParser:
+    """The one parent parser carrying the shared session/output flags.
+
+    Every subcommand inherits these, so backend/worker/store/JSON
+    conventions are defined exactly once instead of per-command copies.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("session options (shared)")
+    group.add_argument("--backend", choices=list(BACKENDS), default=None,
+                       help="evaluation-engine backend (default: serial, "
+                            "or process when --workers is given)")
+    group.add_argument("--workers", type=int, default=None,
+                       help="engine pool size (implies --backend process; "
+                            "default pool size: all CPU cores)")
+    group.add_argument("--store", type=Path, default=None,
+                       help="persistent SQLite result store the session "
+                            "reads (warm start) and writes (default: none; "
+                            "campaign commands default to "
+                            f"{DEFAULT_CAMPAIGN_STORE})")
+    group.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="PATH", dest="json_out",
+                       help="emit the result envelope as JSON: bare --json "
+                            "prints it to stdout instead of the tables, "
+                            "--json PATH writes it to a file alongside them")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,21 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
+    parent = _session_parent()
 
     explore = subparsers.add_parser(
-        "explore", help="run the MOGA-based design space exploration")
+        "explore", parents=[parent],
+        help="design space exploration (NSGA-II, exhaustive or sensitivity)")
     explore.add_argument("--array-size", type=int, default=16 * 1024,
                          help="total number of bit cells H*W (default 16384)")
+    explore.add_argument("--method", choices=list(ExploreRequest.METHODS),
+                         default="nsga2",
+                         help="nsga2 (MOGA), exhaustive (true frontier) or "
+                              "sensitivity (frontier stability)")
     explore.add_argument("--population", type=int, default=80)
     explore.add_argument("--generations", type=int, default=40)
     explore.add_argument("--seed", type=int, default=1)
-    explore.add_argument("--backend", choices=list(BACKENDS), default=None,
-                         help="evaluation-engine backend for population "
-                              "batches (default: serial, or process when "
-                              "--workers is given)")
-    explore.add_argument("--workers", type=int, default=None,
-                         help="engine pool size (implies --backend process; "
-                              "default pool size: all CPU cores)")
     explore.add_argument("--engine-stats", action="store_true",
                          help="print evaluation-engine statistics")
     explore.add_argument("--min-snr-db", type=float, default=None,
@@ -86,14 +126,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="user distillation: maximum area in F^2/bit")
     explore.add_argument("--csv", type=Path, default=None,
                          help="export the (distilled) Pareto set to CSV")
-    explore.add_argument("--json", type=Path, default=None,
-                         help="export the (distilled) Pareto set to JSON")
     explore.add_argument("--plot", action="store_true",
                          help="print an ASCII efficiency/area scatter")
     explore.set_defaults(handler=_cmd_explore)
 
+    flow = subparsers.add_parser(
+        "flow", parents=[parent],
+        help="end-to-end flow: explore, distill, netlists, layouts")
+    flow.add_argument("--array-size", type=int, default=1024)
+    flow.add_argument("--population", type=int, default=40)
+    flow.add_argument("--generations", type=int, default=20)
+    flow.add_argument("--seed", type=int, default=1)
+    flow.add_argument("--min-snr-db", type=float, default=None)
+    flow.add_argument("--min-tops", type=float, default=None)
+    flow.add_argument("--min-tops-per-watt", type=float, default=None)
+    flow.add_argument("--max-area", type=float, default=None)
+    flow.add_argument("--max-layouts", type=int, default=3)
+    flow.add_argument("--no-netlists", action="store_true",
+                      help="skip macro netlist generation")
+    flow.add_argument("--no-layouts", action="store_true",
+                      help="skip macro layout generation")
+    flow.add_argument("--route", action="store_true",
+                      help="run the maze router inside local arrays/columns")
+    flow.add_argument("--out", type=Path, default=None,
+                      help="export GDS/DEF of the generated layouts here")
+    flow.add_argument("--campaign-name", default=None,
+                      help="record the run under this name in --store")
+    flow.set_defaults(handler=_cmd_flow)
+
     layout = subparsers.add_parser(
-        "layout", help="generate netlist, layout, GDS/DEF/LEF for one design point")
+        "layout", parents=[parent],
+        help="generate netlist, layout, GDS/DEF/LEF for one design point")
     layout.add_argument("--height", type=int, required=True)
     layout.add_argument("--width", type=int, required=True)
     layout.add_argument("--local", type=int, required=True,
@@ -111,7 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     layout.set_defaults(handler=_cmd_layout)
 
     estimate = subparsers.add_parser(
-        "estimate", help="evaluate the estimation model for one design point")
+        "estimate", parents=[parent],
+        help="evaluate the estimation model for one design point")
     estimate.add_argument("--height", type=int, required=True)
     estimate.add_argument("--width", type=int, required=True)
     estimate.add_argument("--local", type=int, required=True)
@@ -123,7 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.set_defaults(handler=_cmd_estimate)
 
     library = subparsers.add_parser(
-        "library", help="inspect the customized cell library")
+        "library", parents=[parent],
+        help="inspect the customized cell library")
     library.add_argument("--report", action="store_true",
                          help="print the per-cell summary")
     library.set_defaults(handler=_cmd_library)
@@ -134,21 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = campaign.add_subparsers(dest="campaign_command",
                                            required=True)
 
-    def _store_argument(subparser):
-        subparser.add_argument(
-            "--store", type=Path, default=Path("easyacim_store.sqlite"),
-            help="SQLite result-store file (default easyacim_store.sqlite)")
-
     campaign_run = campaign_sub.add_parser(
-        "run", help="start a new named, checkpointed exploration campaign")
+        "run", parents=[parent],
+        help="start a new named, checkpointed exploration campaign")
     campaign_run.add_argument("name", help="unique campaign name")
-    _store_argument(campaign_run)
     campaign_run.add_argument("--array-size", type=int, default=16 * 1024)
     campaign_run.add_argument("--population", type=int, default=80)
     campaign_run.add_argument("--generations", type=int, default=40)
     campaign_run.add_argument("--seed", type=int, default=1)
-    campaign_run.add_argument("--backend", choices=list(BACKENDS), default=None)
-    campaign_run.add_argument("--workers", type=int, default=None)
     campaign_run.add_argument("--checkpoint-every", type=int, default=1,
                               help="commit a snapshot every N generations")
     campaign_run.add_argument("--stop-after", type=int, default=None,
@@ -158,21 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.set_defaults(handler=_cmd_campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
-        "resume", help="continue a killed campaign from its last checkpoint")
+        "resume", parents=[parent],
+        help="continue a killed campaign from its last checkpoint")
     campaign_resume.add_argument("name")
-    _store_argument(campaign_resume)
     campaign_resume.add_argument("--stop-after", type=int, default=None)
     campaign_resume.add_argument("--engine-stats", action="store_true")
     campaign_resume.set_defaults(handler=_cmd_campaign_resume)
 
     campaign_list = campaign_sub.add_parser(
-        "list", help="list every campaign in the store")
-    _store_argument(campaign_list)
+        "list", parents=[parent],
+        help="list every campaign in the store")
     campaign_list.set_defaults(handler=_cmd_campaign_list)
 
     campaign_query = campaign_sub.add_parser(
-        "query", help="ranked design points across all campaigns")
-    _store_argument(campaign_query)
+        "query", parents=[parent],
+        help="ranked design points across all campaigns")
     campaign_query.add_argument("--min-snr-db", type=float, default=None)
     campaign_query.add_argument("--min-tops", type=float, default=None)
     campaign_query.add_argument("--min-tops-per-watt", type=float, default=None)
@@ -184,11 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_query.add_argument("--all", action="store_true",
                                 help="include Pareto-dominated points")
     campaign_query.add_argument("--csv", type=Path, default=None)
-    campaign_query.add_argument("--json", type=Path, default=None)
     campaign_query.set_defaults(handler=_cmd_campaign_query)
 
     validate = subparsers.add_parser(
-        "validate-snr", help="Monte-Carlo validation of the SNR model")
+        "validate-snr", parents=[parent],
+        help="Monte-Carlo validation of the SNR model")
     validate.add_argument("--adc-bits", type=int, nargs="+", default=[3, 4, 5])
     validate.add_argument("--height", type=int, default=128)
     validate.add_argument("--local", type=int, default=4)
@@ -199,36 +257,86 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ---------------------------------------------------------------------------
-# Subcommand handlers
+# Session plumbing shared by every handler
+# ---------------------------------------------------------------------------
+
+
+def _session_from_args(
+    args: argparse.Namespace, default_store: Optional[Path] = None
+) -> Session:
+    """One session per invocation, configured from the shared flags."""
+    backend = args.backend or ("process" if args.workers else "serial")
+    store = args.store if args.store is not None else default_store
+    return Session.from_config(SessionConfig(
+        backend=backend,
+        workers=args.workers,
+        store=str(store) if store is not None else None,
+    ))
+
+
+def _emit_json(result: ApiResult, args: argparse.Namespace) -> bool:
+    """Handle the uniform ``--json`` flag.
+
+    Returns True when JSON replaced the human-readable rendering (bare
+    ``--json``, i.e. stdout mode); a PATH argument writes the document to
+    the file and keeps the tables.
+    """
+    if args.json_out is None:
+        return False
+    document = result.to_json()
+    if args.json_out == "-":
+        print(document)
+        return True
+    path = Path(args.json_out)
+    path.write_text(document + "\n")
+    print(f"JSON written to {path}")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers (thin request -> Session -> render adapters)
 # ---------------------------------------------------------------------------
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    backend = args.backend or ("process" if args.workers else "serial")
-    explorer = DesignSpaceExplorer(config=NSGA2Config(
-        population_size=args.population,
+    request = ExploreRequest(
+        array_size=args.array_size,
+        method=args.method,
+        population=args.population,
         generations=args.generations,
         seed=args.seed,
-        backend=backend,
-        workers=args.workers,
-    ))
-    result = explorer.explore(args.array_size)
-    designs = result.pareto_set
-    criteria = DistillationCriteria(
         min_snr_db=args.min_snr_db,
         min_tops=args.min_tops,
         min_tops_per_watt=args.min_tops_per_watt,
         max_area_f2_per_bit=args.max_area,
-        name="cli",
     )
-    if any(value is not None for value in (
-            args.min_snr_db, args.min_tops, args.min_tops_per_watt, args.max_area)):
-        designs = distill(designs, criteria)
+    with _session_from_args(args) as session:
+        result = session.explore(request)
+    json_only = _emit_json(result, args)
+    if args.method == "sensitivity":
+        if json_only:
+            return 0
+        print(f"Sensitivity of the {args.array_size}-bit frontier "
+              f"(+/-{result.payload['relative_change']:.0%} perturbations):")
+        print(format_table(result.payload["sensitivity"]))
+        if args.engine_stats and result.engine_stats:
+            print(format_table(engine_stats_table(result.engine_stats)))
+        return 0
 
-    print(f"Explored {args.array_size}-bit array: "
-          f"{len(result.pareto_set)} Pareto solutions "
+    designs = result.artifacts["distilled"]
+    # An explicitly requested file export happens in both output modes;
+    # only the stdout rendering is replaced by bare --json.
+    if args.csv and designs:
+        export_csv(designs, args.csv)
+        if not json_only:
+            print(f"CSV written to {args.csv}")
+    if json_only:
+        return 0
+    print(f"Explored {args.array_size}-bit array ({args.method}): "
+          f"{result.payload['pareto_size']} Pareto solutions "
           f"({len(designs)} after distillation), "
-          f"{result.evaluations} evaluations, {result.runtime_seconds:.2f} s")
+          f"{result.payload['evaluations']} evaluations, "
+          f"{result.runtime_seconds:.2f} s")
     if args.engine_stats and result.engine_stats:
         print(format_table(engine_stats_table(result.engine_stats)))
     if designs:
@@ -240,207 +348,231 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(render_pareto_front(
             designs, title=f"{args.array_size}-bit design space",
             category=lambda d: f"B={d.spec.adc_bits}"))
-    if args.csv and designs:
-        export_csv(designs, args.csv)
-        print(f"CSV written to {args.csv}")
-    if args.json and designs:
-        export_json(designs, args.json, metadata={
-            "array_size": args.array_size,
-            "population": args.population,
-            "generations": args.generations,
-            "seed": args.seed,
-        })
-        print(f"JSON written to {args.json}")
     return 0
 
 
-def _spec_from_args(args: argparse.Namespace) -> ACIMDesignSpec:
-    return ACIMDesignSpec(args.height, args.width, args.local, args.adc_bits).validate()
+def _cmd_flow(args: argparse.Namespace) -> int:
+    request = FlowRequest(
+        array_size=args.array_size,
+        population=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        min_snr_db=args.min_snr_db,
+        min_tops=args.min_tops,
+        min_tops_per_watt=args.min_tops_per_watt,
+        max_area_f2_per_bit=args.max_area,
+        max_layouts=args.max_layouts,
+        generate_netlists=not args.no_netlists,
+        generate_layouts=not args.no_layouts,
+        route_columns=args.route,
+        output_dir=str(args.out) if args.out is not None else None,
+        campaign_name=args.campaign_name,
+    )
+    with _session_from_args(args) as session:
+        result = session.flow(request)
+    if _emit_json(result, args):
+        return 0
+    print(result.artifacts["result"].summary())
+    distilled = result.artifacts["result"].distilled
+    if distilled:
+        print()
+        print(format_table(design_table(distilled)))
+    return 0
 
 
 def _cmd_layout(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args)
-    technology = generic28()
-    library = default_cell_library(technology)
-    args.out.mkdir(parents=True, exist_ok=True)
-
-    netlist = TemplateNetlistGenerator(library).generate(spec)
-    if args.spice:
-        spice_path = args.out / f"{netlist.name}.sp"
-        spice_path.write_text(write_spice(netlist))
-        print(f"SPICE netlist written to {spice_path}")
-    if args.testbench:
-        tb_path = args.out / f"{netlist.name}_tb.sp"
-        TestbenchGenerator().write(spec, netlist, tb_path)
-        print(f"Testbench written to {tb_path}")
-
-    report = LayoutGenerator(library).generate(
-        spec, route_column=not args.no_route, export=True, output_dir=str(args.out))
-    print(format_table([report.as_dict()]))
-    print(f"GDS written to {report.gds_path}")
-    print(f"DEF written to {report.def_path}")
-
-    if args.lef:
-        from repro.layout.lef_export import write_macro_lef, write_tech_lef
-
-        tech_lef = args.out / "generic28_tech.lef"
-        macro_lef = args.out / f"{report.layout.name}.lef"
-        write_tech_lef(technology, tech_lef)
-        write_macro_lef(report.layout, technology, macro_lef)
-        print(f"LEF written to {macro_lef} (+ {tech_lef})")
+    request = LayoutRequest(
+        height=args.height,
+        width=args.width,
+        local_array_size=args.local,
+        adc_bits=args.adc_bits,
+        route_columns=not args.no_route,
+        output_dir=str(args.out),
+        spice=args.spice,
+        testbench=args.testbench,
+        lef=args.lef,
+    )
+    with _session_from_args(args) as session:
+        result = session.layout(request)
+    if _emit_json(result, args):
+        return 0
+    files = result.payload["files"]
+    if "spice" in files:
+        print(f"SPICE netlist written to {files['spice']}")
+    if "testbench" in files:
+        print(f"Testbench written to {files['testbench']}")
+    print(format_table([result.payload["report"]]))
+    print(f"GDS written to {files['gds']}")
+    print(f"DEF written to {files['def']}")
+    if "macro_lef" in files:
+        print(f"LEF written to {files['macro_lef']} (+ {files['tech_lef']})")
     return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args)
-    estimator = ACIMEstimator()
-    if args.adc_sweep:
-        from repro.arch.batch import SpecBatch
-
-        # Highest precision the CDAC grouping supports: H/L >= 2^B_ADC.
-        max_feasible_bits = spec.local_arrays_per_column.bit_length() - 1
-        sweep = SpecBatch.from_product(
-            [spec.height], [spec.local_array_size],
-            range(1, max_feasible_bits + 1),
-            array_size=spec.array_size,
-        )
-        rows = [metrics.as_dict() for metrics in estimator.evaluate_batch(sweep)]
-        print(format_table(rows))
+    request = EstimateRequest(
+        height=args.height,
+        width=args.width,
+        local_array_size=args.local,
+        adc_bits=args.adc_bits,
+        adc_sweep=args.adc_sweep,
+    )
+    with _session_from_args(args) as session:
+        result = session.estimate(request)
+    if _emit_json(result, args):
         return 0
-    metrics = estimator.evaluate(spec)
-    print(format_table([metrics.as_dict()]))
+    print(format_table(result.payload["metrics"]))
     return 0
 
 
 def _cmd_library(args: argparse.Namespace) -> int:
-    technology = generic28()
-    library = default_cell_library(technology)
-    problems = library.check_consistency()
-    print(f"Cell library: {len(library.cell_names)} cells on {technology.name}")
+    with _session_from_args(args) as session:
+        result = session.library_report(LibraryRequest(report=args.report))
+    if _emit_json(result, args):
+        return 0 if result.ok else 1
+    payload = result.payload
+    print(f"Cell library: {payload['cells']} cells on {payload['technology']}")
     if args.report:
-        print(library.report())
-    if problems:
+        print(payload["report"])
+    if payload["problems"]:
         print("Consistency problems:")
-        for problem in problems:
+        for problem in payload["problems"]:
             print(f"  - {problem}")
         return 1
     print("Library netlist/layout views are consistent.")
     return 0
 
 
-def _print_campaign_outcome(result, engine_stats: bool) -> None:
-    print(format_table([result.as_dict()]))
-    if result.status == "interrupted":
-        print(f"Campaign {result.name!r} checkpointed at generation "
-              f"{result.generations_done}/{result.total_generations}; "
-              f"continue with: campaign resume {result.name}")
-    elif result.pareto_set:
+def _print_campaign_outcome(result: ApiResult, engine_stats: bool) -> None:
+    outcome = result.artifacts["result"]
+    print(format_table([outcome.as_dict()]))
+    if outcome.status == "interrupted":
+        print(f"Campaign {outcome.name!r} checkpointed at generation "
+              f"{outcome.generations_done}/{outcome.total_generations}; "
+              f"continue with: campaign resume {outcome.name}")
+    elif outcome.pareto_set:
         print()
-        print(format_table(design_table(result.pareto_set)))
+        print(format_table(design_table(outcome.pareto_set)))
     if engine_stats and result.engine_stats:
         print(format_table(engine_stats_table(result.engine_stats)))
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    backend = args.backend or ("process" if args.workers else "serial")
-    with ResultStore(args.store) as store:
-        manager = CampaignManager(store,
-                                  checkpoint_every=args.checkpoint_every)
-        result = manager.run(
-            args.name,
-            args.array_size,
-            config=NSGA2Config(
-                population_size=args.population,
-                generations=args.generations,
-                seed=args.seed,
-                backend=backend,
-                workers=args.workers,
-            ),
-            stop_after_generations=args.stop_after,
-        )
-        _print_campaign_outcome(result, args.engine_stats)
+    request = CampaignRequest(
+        name=args.name,
+        action="run",
+        array_size=args.array_size,
+        population=args.population,
+        generations=args.generations,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        stop_after=args.stop_after,
+    )
+    with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
+        result = session.campaign(request)
+    if _emit_json(result, args):
+        return 0
+    _print_campaign_outcome(result, args.engine_stats)
     return 0
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
-    with ResultStore(args.store) as store:
-        result = CampaignManager(store).resume(
-            args.name, stop_after_generations=args.stop_after)
-        _print_campaign_outcome(result, args.engine_stats)
+    request = CampaignRequest(
+        name=args.name, action="resume", stop_after=args.stop_after,
+    )
+    with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
+        result = session.campaign(request)
+    if _emit_json(result, args):
+        return 0
+    _print_campaign_outcome(result, args.engine_stats)
     return 0
 
 
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
-    with ResultStore(args.store) as store:
-        records = store.list_campaigns()
-        print(format_table(store_summary_table(store.stats())))
-        print()
-        if records:
-            print(format_table(campaign_table(records)))
-        else:
-            print("(no campaigns)")
+    with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
+        result = session.query(QueryRequest(what="campaigns"))
+    if _emit_json(result, args):
+        return 0
+    print(format_table(store_summary_table(result.payload["store"])))
+    print()
+    records = result.artifacts["campaigns"]
+    if records:
+        print(format_table(campaign_table(records)))
+    else:
+        print("(no campaigns)")
     return 0
 
 
 def _cmd_campaign_query(args: argparse.Namespace) -> int:
-    criteria = DistillationCriteria(
+    request = QueryRequest(
+        what="designs",
         min_snr_db=args.min_snr_db,
         min_tops=args.min_tops,
         min_tops_per_watt=args.min_tops_per_watt,
         max_area_f2_per_bit=args.max_area,
-        name="cli-query",
+        rank_by=args.rank_by,
+        limit=args.limit,
+        pareto_only=not args.all,
     )
-    with ResultStore(args.store) as store:
-        entries = store.query(
-            criteria=criteria,
-            pareto_only=not args.all,
-            rank_by=args.rank_by,
-            limit=args.limit,
-        )
-        rows = stored_design_table(entries)
-        if not rows:
-            print("(no stored design points match)")
-            return 1
-        print(f"{len(rows)} design points "
-              f"(ranked by {args.rank_by}, "
-              f"{'all' if args.all else 'Pareto-only'}):")
-        print(format_table(rows))
-        if args.csv:
-            export_csv(rows, args.csv)
+    with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
+        result = session.query(request)
+    json_only = _emit_json(result, args)
+    rows = stored_design_table(result.artifacts["entries"])
+    if args.csv and rows:
+        export_csv(rows, args.csv)
+        if not json_only:
             print(f"CSV written to {args.csv}")
-        if args.json:
-            export_json(rows, args.json,
-                        metadata={"store": str(args.store),
-                                  "rank_by": args.rank_by})
-            print(f"JSON written to {args.json}")
-    return 0
-
-
-def _cmd_validate_snr(args: argparse.Namespace) -> int:
-    estimator = ACIMEstimator()
-    rows = []
-    for bits in args.adc_bits:
-        spec = ACIMDesignSpec(args.height, 8, args.local, bits)
-        if not spec.is_feasible():
-            print(f"skipping infeasible point B_ADC={bits} (H/L too small)")
-            continue
-        measurement = MonteCarloSnr(spec, seed=7).run(trials=args.trials)
-        n = spec.local_arrays_per_column
-        rows.append({
-            "B_ADC": bits,
-            "N": n,
-            "analytic_dB": round(estimator.snr_model.design_snr_db(bits, n), 2),
-            "measured_dB": round(measurement.snr_db, 2),
-        })
+    if json_only:
+        return 0 if result.payload["count"] else 1
+    if not rows:
+        print("(no stored design points match)")
+        return 1
+    print(f"{len(rows)} design points "
+          f"(ranked by {args.rank_by}, "
+          f"{'all' if args.all else 'Pareto-only'}):")
     print(format_table(rows))
     return 0
 
 
+def _cmd_validate_snr(args: argparse.Namespace) -> int:
+    request = ValidateSnrRequest(
+        adc_bits=tuple(args.adc_bits),
+        height=args.height,
+        local_array_size=args.local,
+        trials=args.trials,
+    )
+    with _session_from_args(args) as session:
+        result = session.validate_snr(request)
+    if _emit_json(result, args):
+        return 0
+    for warning in result.warnings:
+        print(warning)
+    print(format_table(result.payload["points"]))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    In human mode library failures surface as raw tracebacks (repo
+    idiom); when ``--json`` was requested the failure is emitted as an
+    ``ApiResult`` envelope with ``status="error"`` and the exception's
+    machine-readable ``code``, so scripted consumers always receive a
+    parseable document.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        if getattr(args, "json_out", None) is None:
+            raise
+        _emit_json(ApiResult(
+            kind=getattr(args, "command", "unknown"),
+            status="error",
+            payload={"error": error.as_dict()},
+        ), args)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,10 +1,14 @@
 """The MOGA-based design space explorer (paper Figure 4, section 3.2.2).
 
-:class:`DesignSpaceExplorer` is the user-facing entry point: given an array
-size (and optionally a customised estimator or NSGA-II configuration) it
-runs the genetic exploration and returns an :class:`ExplorationResult`
-containing the Pareto-frontier set of ``(H, W, L, B_ADC)`` solutions with
-their estimated metrics, ready for user distillation and layout generation.
+:class:`_ExplorerCore` runs the genetic exploration: given an array size
+(and optionally a customised estimator or NSGA-II configuration) it
+returns an :class:`ExplorationResult` containing the Pareto-frontier set
+of ``(H, W, L, B_ADC)`` solutions with their estimated metrics, ready for
+user distillation and layout generation.
+
+The public front door is :meth:`repro.api.Session.explore`; the historical
+:class:`DesignSpaceExplorer` name remains as a deprecated shim over the
+core for one release.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro._compat import warn_deprecated_entry_point
 from repro.errors import OptimizationError
 from repro.arch.spec import ACIMDesignSpec
 from repro.dse.nsga2 import NSGA2, NSGA2Config
@@ -74,7 +79,7 @@ def pareto_designs_from_population(problem, population) -> List[EvaluatedDesign]
 
     Keeps the feasible individuals, deduplicates them by decoded design
     point, re-filters to the non-dominated subset and sorts by spec tuple —
-    the canonical reduction shared by :class:`DesignSpaceExplorer` and the
+    the canonical reduction shared by :class:`_ExplorerCore` and the
     campaign manager, so an interrupted-and-resumed campaign reports the
     exact set an uninterrupted exploration would.
     """
@@ -101,8 +106,12 @@ def pareto_designs_from_population(problem, population) -> List[EvaluatedDesign]
     return pareto_set
 
 
-class DesignSpaceExplorer:
-    """NSGA-II based explorer over the synthesizable-architecture space."""
+class _ExplorerCore:
+    """NSGA-II based explorer over the synthesizable-architecture space.
+
+    Internal implementation shared by :meth:`repro.api.Session.explore`
+    and the deprecated :class:`DesignSpaceExplorer` shim.
+    """
 
     def __init__(
         self,
@@ -198,3 +207,20 @@ class DesignSpaceExplorer:
         finally:
             if engine is not self.engine:
                 engine.close()
+
+
+class DesignSpaceExplorer(_ExplorerCore):
+    """Deprecated front door over :class:`_ExplorerCore`.
+
+    Kept for one release so existing scripts keep working; new code should
+    submit an :class:`repro.api.ExploreRequest` through
+    :class:`repro.api.Session`, which shares one engine, store and model
+    configuration across every workflow.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_deprecated_entry_point(
+            "DesignSpaceExplorer",
+            "Session.explore(ExploreRequest(array_size=...))",
+        )
+        super().__init__(*args, **kwargs)

@@ -160,10 +160,14 @@ class SensitivityAnalyzer:
         relative_change: float = 0.2,
         local_array_sizes: Sequence[int] = (2, 4, 8, 16, 32),
         max_adc_bits: int = 8,
+        min_height: int = 2,
+        max_height: Optional[int] = None,
     ) -> List[FrontierSensitivity]:
         """Pareto-frontier stability under perturbation of each constant.
 
-        The design-space grid is enumerated once as a
+        The design-space grid (bounded like the other explorers by
+        ``local_array_sizes`` / ``max_adc_bits`` / ``min_height`` /
+        ``max_height``) is enumerated once as a
         :class:`~repro.arch.batch.SpecBatch` and re-evaluated through the
         vectorized array path for the baseline and for every perturbed
         parameter bundle.
@@ -174,7 +178,14 @@ class SensitivityAnalyzer:
             array_size,
             local_array_sizes=local_array_sizes,
             max_adc_bits=max_adc_bits,
+            min_height=min_height,
+            max_height=max_height,
         )
+        if not len(grid):
+            raise OptimizationError(
+                f"no feasible design points for array size {array_size} "
+                "under the given design-space bounds"
+            )
         baseline_designs = evaluate_all(
             array_size, estimator=ACIMEstimator(self.base),
             local_array_sizes=local_array_sizes, max_adc_bits=max_adc_bits,

@@ -4,13 +4,39 @@ Every error raised by :mod:`repro` derives from :class:`ReproError`, so
 callers can catch a single base class at flow boundaries while still being
 able to discriminate between configuration, modelling, layout and routing
 failures when they need to.
+
+Each exception class carries a machine-readable :attr:`~ReproError.code`
+(a stable kebab-case identifier) so non-Python consumers — the JSON CLI
+output, a future HTTP service — can dispatch on the failure kind without
+parsing the human-readable message.  The :mod:`repro.api` request layer
+raises these same exceptions from its validation, so a bad
+``EstimateRequest`` reports the identical ``specification`` code a bad
+:class:`~repro.arch.spec.ACIMDesignSpec` does.
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
 
 class ReproError(Exception):
-    """Base class of all exceptions raised by the library."""
+    """Base class of all exceptions raised by the library.
+
+    Attributes:
+        code: stable machine-readable identifier of the failure kind,
+            overridden by every subclass (``specification``, ``store``,
+            ``request``, ...).
+    """
+
+    code: str = "repro"
+
+    def as_dict(self) -> Dict[str, str]:
+        """Serializable ``{"code", "error", "message"}`` record."""
+        return {
+            "code": self.code,
+            "error": type(self).__name__,
+            "message": str(self),
+        }
 
 
 class SpecificationError(ReproError):
@@ -21,59 +47,101 @@ class SpecificationError(ReproError):
     (paper Equation 12).
     """
 
+    code = "specification"
+
 
 class TechnologyError(ReproError):
     """The technology description is inconsistent or incomplete."""
+
+    code = "technology"
 
 
 class NetlistError(ReproError):
     """A netlist is malformed (dangling nets, duplicate instances, ...)."""
 
+    code = "netlist"
+
 
 class CellLibraryError(ReproError):
     """The customized cell library does not provide a required cell."""
+
+    code = "cell-library"
 
 
 class LayoutError(ReproError):
     """A layout operation failed (overlaps, out-of-bounds shapes, ...)."""
 
+    code = "layout"
+
 
 class PlacementError(LayoutError):
     """The placer could not produce a legal placement."""
+
+    code = "placement"
 
 
 class RoutingError(LayoutError):
     """The router could not connect one or more nets."""
 
+    code = "routing"
+
 
 class DRCError(LayoutError):
     """A design-rule check failed."""
+
+    code = "drc"
 
 
 class ModelError(ReproError):
     """The performance estimation model received invalid parameters."""
 
+    code = "model"
+
 
 class CalibrationError(ModelError):
     """Model calibration against reference data failed to converge."""
+
+    code = "calibration"
 
 
 class OptimizationError(ReproError):
     """The design-space explorer failed (empty feasible set, ...)."""
 
+    code = "optimization"
+
 
 class SimulationError(ReproError):
     """The behavioral simulator received an invalid configuration."""
+
+    code = "simulation"
 
 
 class FlowError(ReproError):
     """The top-level flow controller failed to complete a stage."""
 
+    code = "flow"
+
 
 class EngineError(ReproError):
     """The evaluation engine was misconfigured (unknown backend, ...)."""
+
+    code = "engine"
 
 
 class StoreError(ReproError):
     """The persistent result store failed (schema mismatch, bad campaign,
     corrupt checkpoint, ...)."""
+
+    code = "store"
+
+
+class RequestError(ReproError):
+    """An API request is malformed (unknown kind, unexpected field, ...).
+
+    Domain violations inside a structurally valid request raise the
+    matching domain exception instead (:class:`SpecificationError` for an
+    infeasible spec, :class:`StoreError` for an unknown rank metric, ...);
+    this class covers the envelope itself.
+    """
+
+    code = "request"

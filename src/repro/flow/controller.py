@@ -35,11 +35,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro._compat import warn_deprecated_entry_point
 from repro.errors import FlowError
 from repro.arch.spec import ACIMDesignSpec
 from repro.cells.library import CellLibrary, default_cell_library
 from repro.dse.distill import DistillationCriteria, distill
-from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.explorer import ExplorationResult, _ExplorerCore
 from repro.dse.nsga2 import NSGA2Config
 from repro.dse.problem import EvaluatedDesign
 from repro.engine import EvaluationEngine
@@ -74,6 +75,11 @@ class FlowInputs:
             recorded as completed campaign metadata plus its Pareto set.
         campaign_name: name the run is recorded under in the store
             (default ``flow-<array_size>``; re-runs replace the record).
+        engine: an externally owned :class:`EvaluationEngine` to run the
+            whole flow through (the session layer shares its engine this
+            way).  A borrowed engine is flushed, never closed, by the
+            flow; when omitted the flow builds and owns one from
+            ``backend``/``workers``/``store``.
     """
 
     array_size: int
@@ -87,6 +93,7 @@ class FlowInputs:
     workers: Optional[int] = None
     store: Optional[ResultStore] = None
     campaign_name: Optional[str] = None
+    engine: Optional[EvaluationEngine] = None
 
 
 @dataclass
@@ -164,15 +171,18 @@ def _generate_solution_artifacts(task):
     return spec_tuple, netlist, report
 
 
-class EasyACIMFlow:
+class _FlowCore:
     """End-to-end automated ACIM generation.
 
-    The flow owns one :class:`EvaluationEngine` built from the inputs'
-    ``backend``/``workers``; exploration and the netlist/layout fan-out
-    share its pool and cache.  The pool is released at the end of every
-    :meth:`run` (and respawned lazily on the next), so no explicit cleanup
-    is required; long-lived services can also use the flow as a context
-    manager or call :meth:`close`.
+    Internal implementation shared by :meth:`repro.api.Session.flow` and
+    the deprecated :class:`EasyACIMFlow` shim.  The flow runs on one
+    :class:`EvaluationEngine` — either the externally owned one passed via
+    ``FlowInputs.engine`` (flushed but never closed here) or one it builds
+    from the inputs' ``backend``/``workers`` and owns; exploration and the
+    netlist/layout fan-out share its pool and cache.  An owned pool is
+    released at the end of every :meth:`run` (and respawned lazily on the
+    next), so no explicit cleanup is required; long-lived services can
+    also use the flow as a context manager or call :meth:`close`.
     """
 
     def __init__(self, inputs: FlowInputs) -> None:
@@ -196,18 +206,28 @@ class EasyACIMFlow:
         if backend == "serial" and inputs.nsga2.backend != "serial":
             backend = inputs.nsga2.backend
         workers = inputs.workers if inputs.workers is not None else inputs.nsga2.workers
-        self.engine = EvaluationEngine(backend, workers=workers, store=inputs.store)
-        self.explorer = DesignSpaceExplorer(
+        self._owns_engine = inputs.engine is None
+        self.engine = inputs.engine or EvaluationEngine(
+            backend, workers=workers, store=inputs.store
+        )
+        self.explorer = _ExplorerCore(
             estimator=estimator, config=inputs.nsga2, engine=self.engine
         )
         self.netlist_generator = TemplateNetlistGenerator(self.library)
         self.layout_generator = LayoutGenerator(self.library)
 
     def close(self) -> None:
-        """Release the engine's worker pool (idempotent)."""
-        self.engine.close()
+        """Release an owned engine's worker pool (idempotent).
 
-    def __enter__(self) -> "EasyACIMFlow":
+        A borrowed engine (``FlowInputs.engine``) belongs to its session;
+        only its write-behind store buffer is flushed.
+        """
+        if self._owns_engine:
+            self.engine.close()
+        else:
+            self.engine.flush_store()
+
+    def __enter__(self) -> "_FlowCore":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -297,9 +317,10 @@ class EasyACIMFlow:
             result.runtime_seconds = time.perf_counter() - start
             return result
         finally:
-            # Release pool workers between runs (and flush the write-behind
-            # store buffer); the executor respawns lazily on the next run.
-            self.engine.close()
+            # Release owned pool workers between runs (and flush the
+            # write-behind store buffer); the executor respawns lazily on
+            # the next run.  Borrowed engines are only flushed.
+            self.close()
 
     def _record_campaign(self, exploration: ExplorationResult) -> None:
         """Record the finished exploration in the persistent store."""
@@ -310,3 +331,19 @@ class EasyACIMFlow:
             self.inputs.store, name, exploration,
             self.estimator, self.inputs.nsga2,
         )
+
+
+class EasyACIMFlow(_FlowCore):
+    """Deprecated front door over :class:`_FlowCore`.
+
+    Kept for one release so existing scripts keep working; new code should
+    submit a :class:`repro.api.FlowRequest` through
+    :class:`repro.api.Session`, which shares one engine, store and model
+    configuration across every workflow.
+    """
+
+    def __init__(self, inputs: FlowInputs) -> None:
+        warn_deprecated_entry_point(
+            "EasyACIMFlow", "Session.flow(FlowRequest(array_size=...))"
+        )
+        super().__init__(inputs)

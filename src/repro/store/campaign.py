@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import warn_deprecated_entry_point
 from repro.dse.distill import DistillationCriteria
 from repro.dse.explorer import pareto_designs_from_population
 from repro.dse.nsga2 import NSGA2, NSGA2Config
@@ -102,8 +103,11 @@ class CampaignResult:
         }
 
 
-class CampaignManager:
+class _CampaignManagerCore:
     """Runs, resumes and queries checkpointed exploration campaigns.
+
+    Internal implementation shared by :meth:`repro.api.Session.campaign`
+    and the deprecated :class:`CampaignManager` shim.
 
     Args:
         store: the persistent result store all campaigns share.
@@ -112,6 +116,13 @@ class CampaignManager:
         checkpoint_every: commit a snapshot every N generations (1 keeps
             the resume cost at a single generation; larger values trade
             re-computation on resume for fewer commits).
+        engine: an externally owned engine every drive runs through (the
+            session layer shares its engine this way); it is flushed,
+            never closed, here.  When omitted each ``run``/``resume``
+            builds a store-backed engine from the campaign's recorded
+            backend/workers and closes it afterwards.  The backend choice
+            never changes results — evaluation is pure and NSGA-II fronts
+            are backend-identical for a fixed seed.
     """
 
     def __init__(
@@ -119,12 +130,14 @@ class CampaignManager:
         store: ResultStore,
         estimator: Optional[ACIMEstimator] = None,
         checkpoint_every: int = 1,
+        engine: Optional[EvaluationEngine] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise StoreError("checkpoint_every must be at least 1")
         self.store = store
         self.estimator = estimator or ACIMEstimator()
         self.checkpoint_every = checkpoint_every
+        self.engine = engine
 
     @property
     def params_digest(self) -> str:
@@ -218,9 +231,11 @@ class CampaignManager:
             **{key: campaign_config[key] for key in _NSGA2_FIELDS}
         )
         start = time.perf_counter()
-        engine = EvaluationEngine(
+        owns_engine = self.engine is None
+        engine = self.engine or EvaluationEngine(
             config.backend, workers=config.workers, store=self.store
         )
+        stats_baseline = engine.stats.snapshot()
         try:
             problem = ACIMDesignProblem(
                 array_size,
@@ -290,11 +305,14 @@ class CampaignManager:
                 evaluations=optimizer.evaluations,
                 pareto_set=pareto_set,
                 runtime_seconds=runtime,
-                engine_stats=engine.stats.as_dict(),
+                engine_stats=engine.stats.since(stats_baseline).as_dict(),
                 resumed=resumed,
             )
         finally:
-            engine.close()
+            if owns_engine:
+                engine.close()
+            else:
+                engine.flush_store()
 
     # -- inspection ------------------------------------------------------------
 
@@ -321,6 +339,23 @@ class CampaignManager:
             rank_by=rank_by,
             limit=limit,
         )
+
+
+class CampaignManager(_CampaignManagerCore):
+    """Deprecated front door over :class:`_CampaignManagerCore`.
+
+    Kept for one release so existing scripts keep working; new code should
+    submit a :class:`repro.api.CampaignRequest` through
+    :class:`repro.api.Session`, which shares one engine, store and model
+    configuration across every workflow.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warn_deprecated_entry_point(
+            "CampaignManager",
+            "Session.campaign(CampaignRequest(name=..., array_size=...))",
+        )
+        super().__init__(*args, **kwargs)
 
 
 def _pareto_entries(

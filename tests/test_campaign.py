@@ -290,6 +290,9 @@ class TestCampaignCli:
             tmp_path, "campaign", "query", "--json", str(json_path)
         )) == 0
         capsys.readouterr()
+        # The uniform --json flag emits the repro.api result envelope
+        # (ranked records under payload.designs) for every subcommand.
         document = json.loads(json_path.read_text())
-        assert document["records"]
-        assert document["metadata"]["rank_by"] == "tops_per_watt"
+        assert document["kind"] == "query"
+        assert document["payload"]["designs"]
+        assert document["payload"]["rank_by"] == "tops_per_watt"
