@@ -6,18 +6,24 @@
 #                          Session, with DeprecationWarning promoted to error
 #                          (proves the new path avoids the legacy front doors)
 #   make campaign-smoke    tiny campaign -> kill -> resume -> query (store path)
+#   make physical-smoke    two-design flow with macro reuse on: >= 1 macro
+#                          cache hit and byte-identical GDSII vs reuse-off
+#   make physical-bench-smoke CI-sized physical-pipeline benchmark (5x warm-reuse
+#                          gate, auto-relaxed on 1-core hosts, no write)
+#   make physical-bench    full physical-pipeline benchmark, records
+#                          BENCH_physical.json
 #   make model-bench-smoke CI-sized vectorized-model benchmark (5x gate, no write)
 #   make model-bench       full vectorized-model benchmark, records BENCH_model.json
 #   make bench-quick       CI-sized engine scaling benchmark (no baseline write)
 #   make bench             full engine scaling benchmark, records BENCH_engine.json
-#   make ci                what every PR must pass: tier-1 + the three smokes
+#   make ci                what every PR must pass: tier-1 + the smokes + gates
 #
 # PYTHONPATH is set here so no editable install is needed on CI runners.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke api-smoke campaign-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke physical-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +37,15 @@ api-smoke:
 campaign-smoke:
 	$(PYTHON) examples/campaign_smoke.py
 
+physical-smoke:
+	$(PYTHON) examples/physical_smoke.py
+
+physical-bench-smoke:
+	$(PYTHON) benchmarks/bench_physical_pipeline.py --quick
+
+physical-bench:
+	$(PYTHON) benchmarks/bench_physical_pipeline.py
+
 model-bench-smoke:
 	$(PYTHON) benchmarks/bench_model_vectorized.py --quick
 
@@ -43,4 +58,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke api-smoke campaign-smoke model-bench-smoke
+ci: test smoke api-smoke campaign-smoke physical-smoke model-bench-smoke physical-bench-smoke

@@ -1,0 +1,95 @@
+"""Physical-pipeline smoke test: two-design flow with macro reuse.
+
+Exercises the reuse-aware physical pipeline end to end through the typed
+session API (the CI ``make physical-smoke`` target):
+
+1. run a tiny flow with reuse on (the default) and a persistent store,
+   exporting GDSII for two distilled designs;
+2. assert at least one macro was served from the cache (designs of one
+   distill set share sub-macros);
+3. run the identical flow with ``reuse="off"`` — the flat pre-pipeline
+   baseline — and assert the exported GDSII streams are byte-identical;
+4. run the reuse flow again through a *fresh* session on the same store
+   (as a new process would) and assert it warm-starts from the
+   persisted artifact cache.
+
+Exit code 0 means the reuse path is both effective and exact.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api import FlowRequest, Session, SessionConfig
+
+ARRAY_SIZE = 256
+POPULATION = 16
+GENERATIONS = 6
+SEED = 1
+
+
+def flow_request(reuse: str, output_dir: str) -> FlowRequest:
+    return FlowRequest(
+        array_size=ARRAY_SIZE, population=POPULATION,
+        generations=GENERATIONS, seed=SEED, max_layouts=2,
+        route_columns=True, output_dir=output_dir, reuse=reuse,
+    )
+
+
+def gds_streams(directory: Path) -> dict:
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.glob("*.gds"))}
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="easyacim-physical-") as tmp:
+        tmp_path = Path(tmp)
+        store_path = str(tmp_path / "store.sqlite")
+
+        # 1. Reuse-on flow with a persistent store.
+        with Session.from_config(SessionConfig(store=store_path)) as session:
+            reused = session.flow(flow_request("auto", str(tmp_path / "on")))
+        stats = reused.payload["physical_stats"]
+        print(f"reuse on : {stats['macros_built']} macros built, "
+              f"{stats['macros_reused']} reused")
+        # 2. Designs of one distill set must share at least one macro.
+        assert stats["macros_reused"] >= 1, "expected >= 1 macro cache hit"
+
+        # 3. Flat baseline: byte-identical GDSII.
+        with Session() as session:
+            session.flow(flow_request("off", str(tmp_path / "off")))
+        on_streams = gds_streams(tmp_path / "on")
+        off_streams = gds_streams(tmp_path / "off")
+        assert on_streams, "reuse flow exported no GDSII"
+        assert set(on_streams) == set(off_streams), \
+            "reuse on/off exported different design sets"
+        for name in on_streams:
+            assert on_streams[name] == off_streams[name], \
+                f"{name}: reuse-on GDSII differs from the flat baseline"
+        print(f"byte-identity: {len(on_streams)} GDSII streams identical "
+              "(reuse on vs off)")
+
+        # 4. A fresh session on the same store warm-starts from artifacts.
+        with Session.from_config(SessionConfig(store=store_path)) as session:
+            warm = session.flow(flow_request("auto", str(tmp_path / "warm")))
+        warm_stats = warm.payload["physical_stats"]
+        assert warm_stats["macros_built"] == 0, \
+            "warm session should build nothing"
+        store_hits = sum(
+            stage["store_hits"]
+            for stage in warm_stats["stages"].values()
+        )
+        assert store_hits >= 1, "expected store-served macro artifacts"
+        print(f"warm start: {warm_stats['macros_reused']} macros reused, "
+              f"{store_hits} store hits, 0 built")
+
+        assert gds_streams(tmp_path / "warm") == on_streams
+    print("physical smoke OK: reuse effective, geometry exact, "
+          "artifacts durable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

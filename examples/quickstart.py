@@ -35,6 +35,7 @@ from repro.flow.report import (
     format_table,
     solution_report,
 )
+from repro.reporting.physical import physical_stats_table
 
 
 def main(argv=None) -> None:
@@ -86,6 +87,21 @@ def main(argv=None) -> None:
 
         print("\nEvaluation-engine statistics:")
         print(format_table(engine_stats_table(outcome.engine_stats)))
+
+        physical = outcome.payload.get("physical_stats")
+        if physical:
+            print("\nPhysical pipeline (per stage; docs/physical.md):")
+            print(format_table(physical_stats_table(physical)))
+
+        # Flow-reuse in action: the session's pipeline keeps every solved
+        # macro, so re-running the same flow serves the layouts from the
+        # macro cache instead of re-placing and re-routing them.
+        again = session.flow(request)
+        stats = again.payload["physical_stats"]
+        print(f"\nSame flow again on this session: "
+              f"{stats['macros_built']} macros built, "
+              f"{stats['macros_reused']} reused from the macro cache "
+              f"(use --no-reuse / FlowRequest(reuse='off') to disable).")
 
 
 if __name__ == "__main__":

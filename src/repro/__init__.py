@@ -24,8 +24,9 @@ Quick start — every workflow goes through one typed session
 Requests and results are JSON-serializable (``to_dict``/``from_dict``), so
 the same description runs from Python, the CLI (``python -m repro``) or a
 job queue.  The pre-1.1 front doors (``EasyACIMFlow``,
-``DesignSpaceExplorer``, ``CampaignManager``) still work but are
-deprecated shims over this session layer.
+``DesignSpaceExplorer``, ``CampaignManager``) were removed in 1.2.0 after
+their one-release deprecation window; the session layer is the single
+supported entry point.
 
 The subpackages are usable on their own:
 
@@ -41,6 +42,8 @@ The subpackages are usable on their own:
 * :mod:`repro.cells`, :mod:`repro.technology`, :mod:`repro.netlist`,
   :mod:`repro.layout`, :mod:`repro.placement`, :mod:`repro.routing` — the
   physical-design substrate,
+* :mod:`repro.physical` — the staged, reuse-aware physical pipeline and
+  the content-addressed macro library (``docs/physical.md``),
 * :mod:`repro.flow` — the end-to-end flow and the baseline flows,
 * :mod:`repro.apps` — application mapping (CNN / transformer / SNN),
 * :mod:`repro.sota` — published reference designs for the comparison.
@@ -65,19 +68,20 @@ from repro.arch.spec import ACIMDesignSpec
 from repro.arch.architecture import SynthesizableACIM
 from repro.dse.distill import DistillationCriteria
 from repro.engine import EngineStats, EvaluationCache, EvaluationEngine
-from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.explorer import ExplorationResult
 from repro.dse.nsga2 import NSGA2Config
 from repro.errors import ReproError
-from repro.flow.controller import EasyACIMFlow, FlowInputs, FlowResult
+from repro.flow.controller import FlowInputs, FlowResult
 from repro.flow.layout_gen import LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.cells.library import CellLibrary, default_cell_library
 from repro.model.estimator import ACIMEstimator, ACIMMetrics, ModelParameters
+from repro.physical import MacroLibrary, PhysicalPipeline, PipelineStats
 from repro.sim.montecarlo import MonteCarloSnr
-from repro.store import CampaignManager, CampaignResult, ResultStore
+from repro.store import CampaignResult, ResultStore
 from repro.technology.tech import Technology, generic28
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # The typed public API (the supported entry point).
@@ -114,13 +118,12 @@ __all__ = [
     "ModelParameters",
     "MonteCarloSnr",
     "CampaignResult",
+    "MacroLibrary",
+    "PhysicalPipeline",
+    "PipelineStats",
     "ReproError",
     "ResultStore",
     "Technology",
     "generic28",
-    # Deprecated front doors (shims over the session layer, one release).
-    "DesignSpaceExplorer",
-    "EasyACIMFlow",
-    "CampaignManager",
     "__version__",
 ]

@@ -13,9 +13,10 @@ One entry point for everything the library does:
 * :class:`ApiResult` — the typed result envelope (``status``, JSON
   ``payload``, ``warnings``, ``engine_stats``) every call returns.
 
-The CLI is a thin adapter over this layer, and the legacy front doors
-(``DesignSpaceExplorer``, ``EasyACIMFlow``, ``CampaignManager``) are
-deprecated shims over the same internals — see ``docs/api.md``.
+The CLI is a thin adapter over this layer.  The legacy front doors
+(``DesignSpaceExplorer``, ``EasyACIMFlow``, ``CampaignManager``) were
+removed in 1.2.0 after their one-release deprecation window — see the
+migration table in ``docs/api.md``.
 """
 
 from repro.api.requests import (

@@ -22,8 +22,10 @@ cross a wire.
 Determinism: workflows share the session engine's cache, and design
 evaluation is pure, so running requests in any order never changes their
 results — a fixed-seed :class:`~repro.api.requests.ExploreRequest` returns
-the Pareto front the legacy ``DesignSpaceExplorer`` produced (regression-
-tested bit-identically).
+the Pareto front a direct :class:`~repro.dse.explorer._ExplorerCore` run
+produces (regression-tested bit-identically).  Physical workflows share
+the session's :attr:`~Session.pipeline`, whose macro/artifact cache is
+regression-tested geometry-exact (``docs/physical.md``).
 """
 
 from __future__ import annotations
@@ -60,6 +62,8 @@ from repro.engine import EvaluationCache, EvaluationEngine, validate_backend
 from repro.errors import EngineError, RequestError, StoreError, TechnologyError
 from repro.flow.controller import FlowInputs, _FlowCore
 from repro.model.estimator import ACIMEstimator, ModelParameters
+from repro.physical.macro_library import MACRO_STAGE
+from repro.physical.pipeline import PhysicalPipeline
 from repro.store.campaign import _CampaignManagerCore
 from repro.store.result_store import ResultStore
 from repro.technology.tech import generic28
@@ -195,6 +199,7 @@ class Session:
             raise
         self._technology = None
         self._library = None
+        self._pipeline: Optional[PhysicalPipeline] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -242,6 +247,19 @@ class Session:
             self._library = default_cell_library(self.technology)
         return self._library
 
+    @property
+    def pipeline(self) -> PhysicalPipeline:
+        """The session's shared physical pipeline (built on first use).
+
+        All physical workflows of the session run through it, so solved
+        macros are reused across requests; with a store attached, the
+        macro cache also persists across sessions and processes
+        (``docs/physical.md``).
+        """
+        if self._pipeline is None:
+            self._pipeline = PhysicalPipeline(self.library, store=self.store)
+        return self._pipeline
+
     def _require_store(self, kind: str) -> ResultStore:
         if self.store is None:
             raise StoreError(
@@ -270,6 +288,23 @@ class Session:
             runtime_seconds=time.perf_counter() - start,
             artifacts=artifacts or {},
         )
+
+    @staticmethod
+    def _merge_physical_stats(result: ApiResult, physical_stats: dict) -> None:
+        """Fold per-stage pipeline timings into the envelope's engine stats.
+
+        Scripted consumers read one flat ``engine_stats`` dictionary; the
+        pipeline's stage timings and cache hits join it under
+        ``stage_<name>_seconds`` / ``stage_<name>_cache_hits`` keys, next
+        to the macro reuse counters.
+        """
+        if not physical_stats:
+            return
+        for name, stage in physical_stats.get("stages", {}).items():
+            result.engine_stats[f"stage_{name}_seconds"] = stage["seconds"]
+            result.engine_stats[f"stage_{name}_cache_hits"] = stage["cache_hits"]
+        result.engine_stats["macros_built"] = physical_stats.get("macros_built", 0)
+        result.engine_stats["macros_reused"] = physical_stats.get("macros_reused", 0)
 
     # -- dispatch -------------------------------------------------------------
 
@@ -479,6 +514,8 @@ class Session:
             store=self.store,
             campaign_name=request.campaign_name,
             engine=self.engine,
+            reuse=request.reuse,
+            pipeline=self.pipeline if request.reuse != "off" else None,
         )
         outcome = _FlowCore(inputs).run(
             generate_netlists=request.generate_netlists,
@@ -503,11 +540,15 @@ class Session:
                 }
                 for key, report in outcome.layouts.items()
             },
+            "reuse": request.reuse,
+            "physical_stats": outcome.physical_stats,
         }
-        return self._finish(
+        result = self._finish(
             request.kind, start, baseline, payload,
             artifacts={"result": outcome},
         )
+        self._merge_physical_stats(result, outcome.physical_stats)
+        return result
 
     def query(self, request: QueryRequest) -> ApiResult:
         """Query the persistent store (design points or campaigns)."""
@@ -557,7 +598,12 @@ class Session:
         from repro.flow.netlist_gen import TemplateNetlistGenerator
         from repro.flow.layout_gen import LayoutGenerator
 
-        netlist = TemplateNetlistGenerator(self.library).generate(spec)
+        # Both generators run on the session pipeline, so repeated layout
+        # requests (and flow runs) share one macro/artifact cache.
+        physical_baseline = self.pipeline.stats.snapshot()
+        netlist = TemplateNetlistGenerator(
+            self.library, pipeline=self.pipeline
+        ).generate(spec)
         if request.spice:
             from repro.netlist.spice import write_spice
 
@@ -570,7 +616,7 @@ class Session:
             tb_path = output_dir / f"{netlist.name}_tb.sp"
             TestbenchGenerator().write(spec, netlist, tb_path)
             files["testbench"] = str(tb_path)
-        report = LayoutGenerator(self.library).generate(
+        report = LayoutGenerator(self.library, pipeline=self.pipeline).generate(
             spec,
             route_column=request.route_columns,
             export=output_dir is not None,
@@ -589,14 +635,18 @@ class Session:
             write_macro_lef(report.layout, self.technology, macro_lef)
             files["tech_lef"] = str(tech_lef)
             files["macro_lef"] = str(macro_lef)
+        physical_stats = self.pipeline.stats.since(physical_baseline).as_dict()
         payload = {
             "report": report.as_dict(),
             "files": files,
+            "physical_stats": physical_stats,
         }
-        return self._finish(
+        result = self._finish(
             request.kind, start, baseline, payload,
             artifacts={"report": report, "netlist": netlist},
         )
+        self._merge_physical_stats(result, physical_stats)
+        return result
 
     def validate_snr(self, request: ValidateSnrRequest) -> ApiResult:
         """Monte-Carlo validation of the analytic SNR model."""
@@ -649,11 +699,46 @@ class Session:
         }
         if request.report:
             payload["report"] = library.report()
+        if request.macros:
+            payload["macros"] = self._macro_listing()
         return self._finish(
             request.kind, start, baseline, payload,
             status="ok" if not problems else "failed",
             artifacts={"library": library},
         )
+
+    def _macro_listing(self) -> List[dict]:
+        """Solved macros of this session plus the persisted artifact cache.
+
+        In-memory records (solved or hydrated during this session) are
+        listed with their full summary; store artifacts not yet touched by
+        this session appear as ``source="store"`` rows decoded from their
+        keys, so ``repro library macros --store ...`` shows the whole
+        warm-start inventory without deserializing every layout.
+        """
+        rows = [record.summary() for record in self.pipeline.macro_library.macros()]
+        listed = {row["digest"] for row in rows}
+        if self.store is not None:
+            for artifact in self.store.list_artifacts(stage=MACRO_STAGE):
+                digest = artifact["digest"][:12]
+                if digest in listed:
+                    continue
+                key = artifact["key"]
+                # Macro artifacts are stored under a [kind, params] key.
+                kind = "?"
+                if isinstance(key, list) and key and isinstance(key[0], str):
+                    kind = key[0]
+                rows.append({
+                    "kind": kind,
+                    "cell": "",
+                    "digest": digest,
+                    "pins": "",
+                    "routed_nets": "",
+                    "failed_nets": "",
+                    "area_dbu2": "",
+                    "source": "store",
+                })
+        return rows
 
     #: kind -> bound handler; the single dispatch table behind submit().
     _HANDLERS: Dict[str, Callable[["Session", ApiRequest], ApiResult]] = {

@@ -58,6 +58,7 @@ from repro.reporting.campaigns import (
     stored_design_table,
 )
 from repro.reporting.export import export_csv
+from repro.reporting.physical import macro_table, physical_stats_table
 from repro.store import RANK_METRICS
 
 #: Default store file of the campaign subcommands (kept from the pre-API
@@ -152,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="export GDS/DEF of the generated layouts here")
     flow.add_argument("--campaign-name", default=None,
                       help="record the run under this name in --store")
+    flow.add_argument("--reuse", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="serve repeated physical work from the "
+                           "macro/artifact cache (--no-reuse solves every "
+                           "design flat from scratch; docs/physical.md)")
     flow.set_defaults(handler=_cmd_flow)
 
     layout = subparsers.add_parser(
@@ -188,7 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     library = subparsers.add_parser(
         "library", parents=[parent],
-        help="inspect the customized cell library")
+        help="inspect the customized cell library and the macro cache")
+    library.add_argument("topic", nargs="?", choices=("cells", "macros"),
+                         default="cells",
+                         help="cells (default): the leaf-cell library; "
+                              "macros: the solved-macro reuse cache "
+                              "(combine with --store for the persistent "
+                              "artifact inventory)")
     library.add_argument("--report", action="store_true",
                          help="print the per-cell summary")
     library.set_defaults(handler=_cmd_library)
@@ -367,12 +379,18 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         route_columns=args.route,
         output_dir=str(args.out) if args.out is not None else None,
         campaign_name=args.campaign_name,
+        reuse="auto" if args.reuse else "off",
     )
     with _session_from_args(args) as session:
         result = session.flow(request)
     if _emit_json(result, args):
         return 0
     print(result.artifacts["result"].summary())
+    physical_stats = result.payload.get("physical_stats")
+    if physical_stats:
+        print()
+        print("Physical pipeline (per stage):")
+        print(format_table(physical_stats_table(physical_stats)))
     distilled = result.artifacts["result"].distilled
     if distilled:
         print()
@@ -426,11 +444,24 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_library(args: argparse.Namespace) -> int:
+    want_macros = args.topic == "macros"
     with _session_from_args(args) as session:
-        result = session.library_report(LibraryRequest(report=args.report))
+        result = session.library_report(LibraryRequest(
+            report=args.report, macros=want_macros,
+        ))
     if _emit_json(result, args):
         return 0 if result.ok else 1
     payload = result.payload
+    if want_macros:
+        macros = payload.get("macros", [])
+        if macros:
+            print(f"{len(macros)} solved macros "
+                  f"(in-memory + persistent artifact cache):")
+            print(format_table(macro_table(macros)))
+        else:
+            print("(no solved macros; run a flow or layout first, "
+                  "or attach --store)")
+        return 0 if result.ok else 1
     print(f"Cell library: {payload['cells']} cells on {payload['technology']}")
     if args.report:
         print(payload["report"])

@@ -28,7 +28,7 @@ from repro.dse.pareto import (
 from repro.dse.nsga2 import NSGA2, NSGA2Config, Individual
 from repro.dse.problem import ACIMDesignProblem, EvaluatedDesign
 from repro.dse.exhaustive import exhaustive_pareto_front
-from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+from repro.dse.explorer import ExplorationResult
 from repro.dse.distill import DistillationCriteria, distill
 from repro.dse.sensitivity import (
     FrontierSensitivity,
@@ -49,7 +49,6 @@ __all__ = [
     "ACIMDesignProblem",
     "EvaluatedDesign",
     "exhaustive_pareto_front",
-    "DesignSpaceExplorer",
     "ExplorationResult",
     "DistillationCriteria",
     "distill",

@@ -7,8 +7,8 @@ of ``(H, W, L, B_ADC)`` solutions with their estimated metrics, ready for
 user distillation and layout generation.
 
 The public front door is :meth:`repro.api.Session.explore`; the historical
-:class:`DesignSpaceExplorer` name remains as a deprecated shim over the
-core for one release.
+``DesignSpaceExplorer`` shim was removed in 1.2.0 after its one-release
+deprecation window.
 """
 
 from __future__ import annotations
@@ -17,7 +17,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro._compat import warn_deprecated_entry_point
 from repro.errors import OptimizationError
 from repro.arch.spec import ACIMDesignSpec
 from repro.dse.nsga2 import NSGA2, NSGA2Config
@@ -109,8 +108,8 @@ def pareto_designs_from_population(problem, population) -> List[EvaluatedDesign]
 class _ExplorerCore:
     """NSGA-II based explorer over the synthesizable-architecture space.
 
-    Internal implementation shared by :meth:`repro.api.Session.explore`
-    and the deprecated :class:`DesignSpaceExplorer` shim.
+    Internal implementation behind :meth:`repro.api.Session.explore` (and
+    direct core-level consumers such as the benchmarks).
     """
 
     def __init__(
@@ -209,18 +208,3 @@ class _ExplorerCore:
                 engine.close()
 
 
-class DesignSpaceExplorer(_ExplorerCore):
-    """Deprecated front door over :class:`_ExplorerCore`.
-
-    Kept for one release so existing scripts keep working; new code should
-    submit an :class:`repro.api.ExploreRequest` through
-    :class:`repro.api.Session`, which shares one engine, store and model
-    configuration across every workflow.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warn_deprecated_entry_point(
-            "DesignSpaceExplorer",
-            "Session.explore(ExploreRequest(array_size=...))",
-        )
-        super().__init__(*args, **kwargs)

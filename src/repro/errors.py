@@ -16,7 +16,7 @@ raises these same exceptions from its validation, so a bad
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 
 class ReproError(Exception):
@@ -87,9 +87,34 @@ class RoutingError(LayoutError):
 
 
 class DRCError(LayoutError):
-    """A design-rule check failed."""
+    """A design-rule check failed.
+
+    Carries the complete violation list (every offending shape of every
+    rule, not just the first), so callers and the JSON error envelope can
+    report rule names and offending coordinates.
+
+    Args:
+        message: human-readable summary.
+        violations: the offending records; anything with an ``as_dict()``
+            (e.g. :class:`repro.layout.drc.DRCViolation`) serializes
+            fully, other objects fall back to ``str``.
+    """
 
     code = "drc"
+
+    def __init__(self, message: str, violations: Sequence = ()) -> None:
+        super().__init__(message)
+        self.violations = list(violations)
+
+    def as_dict(self) -> Dict:
+        """Structured record including rule names and shape coordinates."""
+        record = super().as_dict()
+        record["violations"] = [
+            violation.as_dict() if hasattr(violation, "as_dict")
+            else str(violation)
+            for violation in self.violations
+        ]
+        return record
 
 
 class ModelError(ReproError):

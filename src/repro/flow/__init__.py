@@ -6,9 +6,13 @@
 * :class:`~repro.flow.layout_gen.LayoutGenerator` — template-based
   hierarchical placement and routing producing the macro layout, GDSII and
   DEF views.
-* :class:`~repro.flow.controller.EasyACIMFlow` — the top flow controller:
-  design-space exploration, user distillation, netlist generation and
-  layout generation for every distilled solution.
+* :class:`~repro.flow.controller.FlowInputs` /
+  :class:`~repro.flow.controller.FlowResult` — the top flow
+  controller's typed inputs and products (driven through
+  :meth:`repro.api.Session.flow`): design-space exploration, user
+  distillation, netlist and layout generation for every distilled
+  solution, with reuse-aware generation through
+  :mod:`repro.physical` (``FlowInputs.reuse``).
 * :mod:`~repro.flow.baselines` — the traditional manual flow and the
   AutoDCIM-style flow used for the Table-2 comparison.
 * :mod:`~repro.flow.report` — human-readable and CSV-style reporting.
@@ -16,7 +20,7 @@
 
 from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.flow.layout_gen import LayoutGenerationReport, LayoutGenerator
-from repro.flow.controller import EasyACIMFlow, FlowInputs, FlowResult
+from repro.flow.controller import FlowInputs, FlowResult
 from repro.flow.baselines import (
     AutoDCIMBaselineFlow,
     FlowComparisonEntry,
@@ -37,7 +41,6 @@ __all__ = [
     "TemplateNetlistGenerator",
     "LayoutGenerationReport",
     "LayoutGenerator",
-    "EasyACIMFlow",
     "FlowInputs",
     "FlowResult",
     "AutoDCIMBaselineFlow",

@@ -1,7 +1,8 @@
 """The top flow controller (paper Figure 4).
 
-:class:`EasyACIMFlow` wires the whole pipeline together, mirroring the
-paper's Figure-4 narrative left to right:
+:class:`_FlowCore` (driven through :meth:`repro.api.Session.flow`) wires
+the whole pipeline together, mirroring the paper's Figure-4 narrative
+left to right:
 
 1. take the three user inputs — customized cell library, synthesizable
    architecture (implicit in the generators) and technology files — plus
@@ -35,7 +36,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro._compat import warn_deprecated_entry_point
 from repro.errors import FlowError
 from repro.arch.spec import ACIMDesignSpec
 from repro.cells.library import CellLibrary, default_cell_library
@@ -48,8 +48,12 @@ from repro.flow.layout_gen import LayoutGenerationReport, LayoutGenerator
 from repro.flow.netlist_gen import TemplateNetlistGenerator
 from repro.model.estimator import ACIMEstimator, ModelParameters
 from repro.netlist.circuit import Circuit
+from repro.physical.pipeline import PhysicalPipeline
 from repro.store.result_store import ResultStore
 from repro.technology.tech import Technology, generic28
+
+#: Valid values of :attr:`FlowInputs.reuse`.
+REUSE_MODES = ("auto", "off")
 
 
 @dataclass
@@ -80,6 +84,20 @@ class FlowInputs:
             way).  A borrowed engine is flushed, never closed, by the
             flow; when omitted the flow builds and owns one from
             ``backend``/``workers``/``store``.
+        reuse: ``"auto"`` runs netlist/layout generation through the
+            physical pipeline's macro/artifact cache (every unique
+            sub-layout solved once, reused across the distilled designs
+            and — with a store — across processes) whenever the flow's
+            engine is serial; on an explicitly parallel engine the
+            per-solution fan-out is kept, since worker processes cannot
+            share one pipeline and serializing a parallel flow would
+            regress it.  ``"off"`` always solves every design flat from
+            scratch, exactly like the pre-pipeline flow (the regression
+            baseline, fanned out across the engine pool).
+        pipeline: an externally owned :class:`PhysicalPipeline` whose
+            caches the flow should share (the session layer passes its
+            own); when omitted and ``reuse="auto"``, the flow builds one
+            over its library and store.
     """
 
     array_size: int
@@ -94,6 +112,8 @@ class FlowInputs:
     store: Optional[ResultStore] = None
     campaign_name: Optional[str] = None
     engine: Optional[EvaluationEngine] = None
+    reuse: str = "auto"
+    pipeline: Optional[PhysicalPipeline] = None
 
 
 @dataclass
@@ -109,6 +129,9 @@ class FlowResult:
         runtime_seconds: end-to-end wall-clock time (monotonic clock).
         engine_stats: evaluation-engine statistics of this run (backend,
             batches, cache hits, evaluations/sec).
+        physical_stats: per-stage physical-pipeline statistics of this
+            run (timings, cache hits, macros built/reused); empty when
+            the flow ran with ``reuse="off"``.
     """
 
     inputs: FlowInputs
@@ -118,6 +141,7 @@ class FlowResult:
     layouts: Dict[tuple, LayoutGenerationReport] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     engine_stats: Dict[str, float] = field(default_factory=dict)
+    physical_stats: Dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable multi-line summary of the flow outcome."""
@@ -136,6 +160,12 @@ class FlowResult:
                 f"{self.engine_stats.get('workers')} workers, "
                 f"{self.engine_stats.get('cache_hits', 0)} cache hits, "
                 f"{self.engine_stats.get('evaluations', 0)} evaluations"
+            )
+        if self.physical_stats:
+            lines.append(
+                f"  physical pipeline         : "
+                f"{self.physical_stats.get('macros_built', 0)} macros built, "
+                f"{self.physical_stats.get('macros_reused', 0)} reused"
             )
         for key, report in self.layouts.items():
             lines.append(
@@ -174,8 +204,8 @@ def _generate_solution_artifacts(task):
 class _FlowCore:
     """End-to-end automated ACIM generation.
 
-    Internal implementation shared by :meth:`repro.api.Session.flow` and
-    the deprecated :class:`EasyACIMFlow` shim.  The flow runs on one
+    Internal implementation behind :meth:`repro.api.Session.flow` (and
+    direct core-level consumers).  The flow runs on one
     :class:`EvaluationEngine` — either the externally owned one passed via
     ``FlowInputs.engine`` (flushed but never closed here) or one it builds
     from the inputs' ``backend``/``workers`` and owns; exploration and the
@@ -213,8 +243,26 @@ class _FlowCore:
         self.explorer = _ExplorerCore(
             estimator=estimator, config=inputs.nsga2, engine=self.engine
         )
-        self.netlist_generator = TemplateNetlistGenerator(self.library)
-        self.layout_generator = LayoutGenerator(self.library)
+        if inputs.reuse not in REUSE_MODES:
+            raise FlowError(
+                f"unknown reuse mode {inputs.reuse!r}; "
+                f"expected one of {sorted(REUSE_MODES)}"
+            )
+        self.reuse = inputs.reuse != "off"
+        if self.reuse:
+            self.pipeline = inputs.pipeline or PhysicalPipeline(
+                self.library, store=inputs.store, reuse=True
+            )
+        else:
+            # The regression baseline: a private reuse-off pipeline that
+            # reproduces the pre-pipeline flat generators exactly.
+            self.pipeline = PhysicalPipeline(self.library, reuse=False)
+        self.netlist_generator = TemplateNetlistGenerator(
+            self.library, pipeline=self.pipeline if self.reuse else None
+        )
+        self.layout_generator = LayoutGenerator(
+            self.library, pipeline=self.pipeline
+        )
 
     def close(self) -> None:
         """Release an owned engine's worker pool (idempotent).
@@ -287,27 +335,52 @@ class _FlowCore:
             )
             selected = distilled[: self.inputs.max_layouts]
             if selected and (generate_netlists or generate_layouts):
-                tasks = [
-                    (
-                        self.library,
-                        design.spec.as_tuple(),
-                        generate_netlists,
-                        generate_layouts,
-                        route_columns,
-                        output_dir,
-                    )
-                    for design in selected
-                ]
-                # Fan the per-solution generation out across the engine: one
-                # task per solution so the pool load-balances the expensive
-                # layouts.
-                for spec_tuple, netlist, report in self.engine.map(
-                    _generate_solution_artifacts, tasks, chunk_size=1
-                ):
-                    if netlist is not None:
-                        result.netlists[spec_tuple] = netlist
-                    if report is not None:
-                        result.layouts[spec_tuple] = report
+                if self._use_pipeline():
+                    # Reuse-aware path: run every solution through the
+                    # shared physical pipeline in-process, so identical
+                    # sub-macros are solved once and every later design
+                    # (and every later flow run on this pipeline/store)
+                    # instantiates them from the cache.
+                    physical_baseline = self.pipeline.stats.snapshot()
+                    for design in selected:
+                        spec = design.spec
+                        product = self.pipeline.run(
+                            spec,
+                            generate_netlist=generate_netlists,
+                            generate_layout=generate_layouts,
+                            route_columns=route_columns,
+                            export=generate_layouts and output_dir is not None,
+                            output_dir=output_dir,
+                        )
+                        if product.netlist is not None:
+                            result.netlists[spec.as_tuple()] = product.netlist
+                        if product.report is not None:
+                            result.layouts[spec.as_tuple()] = product.report
+                    result.physical_stats = self.pipeline.stats.since(
+                        physical_baseline
+                    ).as_dict()
+                else:
+                    tasks = [
+                        (
+                            self.library,
+                            design.spec.as_tuple(),
+                            generate_netlists,
+                            generate_layouts,
+                            route_columns,
+                            output_dir,
+                        )
+                        for design in selected
+                    ]
+                    # Flat path: fan the per-solution generation out across
+                    # the engine, one task per solution so the pool
+                    # load-balances the expensive layouts.
+                    for spec_tuple, netlist, report in self.engine.map(
+                        _generate_solution_artifacts, tasks, chunk_size=1
+                    ):
+                        if netlist is not None:
+                            result.netlists[spec_tuple] = netlist
+                        if report is not None:
+                            result.layouts[spec_tuple] = report
             if self.inputs.store is not None:
                 self._record_campaign(exploration)
                 # Flush the write-behind buffer before the statistics are
@@ -322,6 +395,21 @@ class _FlowCore:
             # the next run.  Borrowed engines are only flushed.
             self.close()
 
+    def _use_pipeline(self) -> bool:
+        """Whether generation runs through the reuse pipeline.
+
+        ``reuse="auto"`` picks the better strategy: the in-process reuse
+        pipeline (one shared macro/artifact cache) on a serial engine, or
+        the per-solution engine fan-out when the user configured a
+        parallel pool — worker processes cannot share one pipeline, and
+        silently serializing an explicitly parallel flow would trade a
+        guaranteed speedup for a speculative one.  ``reuse="off"`` always
+        takes the flat fan-out.
+        """
+        if not self.reuse:
+            return False
+        return self.engine.backend == "serial" or (self.engine.workers or 1) <= 1
+
     def _record_campaign(self, exploration: ExplorationResult) -> None:
         """Record the finished exploration in the persistent store."""
         from repro.store.campaign import record_exploration
@@ -333,17 +421,3 @@ class _FlowCore:
         )
 
 
-class EasyACIMFlow(_FlowCore):
-    """Deprecated front door over :class:`_FlowCore`.
-
-    Kept for one release so existing scripts keep working; new code should
-    submit a :class:`repro.api.FlowRequest` through
-    :class:`repro.api.Session`, which shares one engine, store and model
-    configuration across every workflow.
-    """
-
-    def __init__(self, inputs: FlowInputs) -> None:
-        warn_deprecated_entry_point(
-            "EasyACIMFlow", "Session.flow(FlowRequest(array_size=...))"
-        )
-        super().__init__(inputs)

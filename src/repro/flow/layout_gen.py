@@ -1,112 +1,59 @@
-"""Template-based hierarchical layout generation (paper section 3.3).
+"""Flow-facing driver over the physical pipeline's layout stages.
 
-The generator mirrors the netlist hierarchy on the physical side and works
-bottom-up, exactly like the paper's Figure-7 strategy: the placement and
-routing inside "Std" cells is kept, and each level only places its direct
-children and routes their interconnections.
-
-1. **Local array** — L SRAM cell instances stacked under the local
-   computing cell (column-stack template); the shared local bitline (LBL)
-   connecting them is routed by the hierarchical router.
-2. **Column** — H/L local arrays stacked under the isolation switch, the
-   comparator and the SAR controller; the read bitline (RBL) and the
-   comparator-to-SAR nets are routed.
-3. **Macro** — W identical column instances side by side (row template)
-   with the per-row input buffers on the left and output buffers at the
-   bottom; power and SAR-control nets are realised on pre-defined tracks.
-
-The output is a :class:`~repro.layout.layout.LayoutCell` hierarchy plus a
-:class:`LayoutGenerationReport` with die dimensions, F^2/bit and routing
-statistics, and optional GDSII / DEF exports.
+The template-based hierarchical generation strategy (paper section 3.3,
+Figure 7) lives in :class:`repro.physical.pipeline.PhysicalPipeline`;
+this module keeps the historical :class:`LayoutGenerator` front door as a
+thin driver so single-design call sites (tests, benchmarks, the layout
+request) keep working unchanged.  A generator built directly — without a
+shared pipeline — runs with reuse disabled, which is exactly the
+pre-pipeline behaviour: every level solved from scratch, geometry
+identical to the historical generator.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.errors import FlowError
 from repro.arch.spec import ACIMDesignSpec
 from repro.cells.dimensions import CellFootprints
-from repro.cells.library import CellLibrary, sar_controller_for
-from repro.layout.def_export import write_def
-from repro.layout.gdsii import write_gds
-from repro.layout.geometry import Rect, Transform
-from repro.layout.layout import LayoutCell
-from repro.placement.hierarchical import HierarchicalPlacer
-from repro.placement.template import ColumnStackTemplate, RowTemplate
-from repro.routing.hier_router import HierarchicalRouter, LogicalNet
-from repro.routing.tracks import power_track_plan, sar_control_track_plan
-from repro.units import dbu_to_um, um2_to_f2
+from repro.cells.library import CellLibrary
+from repro.physical.pipeline import LayoutGenerationReport, PhysicalPipeline
 
-
-@dataclass
-class LayoutGenerationReport:
-    """Result record of one macro layout generation.
-
-    Attributes:
-        spec: the generated design point.
-        layout: the top-level macro layout cell.
-        width_um / height_um: die dimensions.
-        area_um2: die area.
-        area_f2_per_bit: die area normalised to F^2 per bit cell.
-        routed_nets / failed_nets: hierarchical routing statistics.
-        total_wirelength_um: routed wirelength across all levels.
-        runtime_seconds: wall-clock generation time.
-        gds_path / def_path: export locations when exports were requested.
-    """
-
-    spec: ACIMDesignSpec
-    layout: LayoutCell
-    width_um: float
-    height_um: float
-    area_um2: float
-    area_f2_per_bit: float
-    routed_nets: int
-    failed_nets: int
-    total_wirelength_um: float
-    runtime_seconds: float
-    gds_path: Optional[str] = None
-    def_path: Optional[str] = None
-
-    def as_dict(self) -> dict:
-        """Flat dictionary for tabular reports."""
-        return {
-            "H": self.spec.height,
-            "W": self.spec.width,
-            "L": self.spec.local_array_size,
-            "B_ADC": self.spec.adc_bits,
-            "width_um": round(self.width_um, 2),
-            "height_um": round(self.height_um, 2),
-            "area_um2": round(self.area_um2, 1),
-            "area_f2_per_bit": round(self.area_f2_per_bit, 1),
-            "routed_nets": self.routed_nets,
-            "failed_nets": self.failed_nets,
-            "runtime_s": round(self.runtime_seconds, 3),
-        }
+__all__ = ["LayoutGenerationReport", "LayoutGenerator"]
 
 
 class LayoutGenerator:
-    """Generates macro layouts for design specs using the cell library."""
+    """Generates macro layouts for design specs using the cell library.
+
+    Args:
+        library: the customized cell library.
+        footprints: cell footprints (defaults to the calibrated area model).
+        routing_pitch: routing-grid pitch in dbu.
+        pipeline: an externally owned :class:`PhysicalPipeline` to run on
+            (the session layer shares its reuse caches this way); when
+            omitted, a private reuse-off pipeline reproduces the
+            historical flat generator exactly.
+    """
 
     def __init__(
         self,
         library: CellLibrary,
         footprints: Optional[CellFootprints] = None,
         routing_pitch: int = 200,
+        pipeline: Optional[PhysicalPipeline] = None,
     ) -> None:
-        self.library = library
-        self.technology = library.technology
-        self.footprints = footprints or CellFootprints.from_area_parameters()
-        self.routing_pitch = routing_pitch
-        self.placer = HierarchicalPlacer()
-        self.router = HierarchicalRouter(
-            self.technology,
-            routing_layers=("M2", "M3", "M4"),
-            pitch=routing_pitch,
+        self.pipeline = pipeline or PhysicalPipeline(
+            library,
+            footprints=footprints,
+            routing_pitch=routing_pitch,
+            reuse=False,
         )
+        self.library = self.pipeline.library
+        self.technology = self.pipeline.technology
+        self.footprints = self.pipeline.footprints
+        self.routing_pitch = self.pipeline.routing_pitch
+        self.placer = self.pipeline.placer
+        self.router = self.pipeline.router
 
     # -- public API --------------------------------------------------------------------
 
@@ -126,201 +73,12 @@ class LayoutGenerator:
                 the maze router (disable for very fast floorplan-only runs).
             export: write GDSII and DEF files when True.
         """
-        spec.validate()
-        start = time.perf_counter()
-        routed = 0
-        failed = 0
-        wirelength_dbu = 0
-
-        local_array, stats = self._build_local_array(spec, route=route_column)
-        routed += stats["routed"]
-        failed += stats["failed"]
-        wirelength_dbu += stats["wirelength"]
-
-        column, stats = self._build_column(spec, local_array, route=route_column)
-        routed += stats["routed"]
-        failed += stats["failed"]
-        wirelength_dbu += stats["wirelength"]
-
-        macro = self._build_macro(spec, column)
-        bbox = macro.bounding_box()
-        if bbox is None:
-            raise FlowError("generated macro layout is empty")
-        macro.boundary = bbox
-
-        width_um = dbu_to_um(bbox.width)
-        height_um = dbu_to_um(bbox.height)
-        area_um2 = width_um * height_um
-        report = LayoutGenerationReport(
-            spec=spec,
-            layout=macro,
-            width_um=width_um,
-            height_um=height_um,
-            area_um2=area_um2,
-            area_f2_per_bit=um2_to_f2(area_um2, self.technology.feature_size)
-            / spec.array_size,
-            routed_nets=routed,
-            failed_nets=failed,
-            total_wirelength_um=dbu_to_um(wirelength_dbu),
-            runtime_seconds=time.perf_counter() - start,
+        result = self.pipeline.run(
+            spec,
+            generate_netlist=False,
+            generate_layout=True,
+            route_columns=route_column,
+            export=export,
+            output_dir=output_dir,
         )
-        if export:
-            directory = Path(output_dir or ".")
-            directory.mkdir(parents=True, exist_ok=True)
-            gds_path = directory / f"{macro.name}.gds"
-            def_path = directory / f"{macro.name}.def"
-            write_gds(macro, gds_path, self.technology)
-            write_def(macro, def_path)
-            report.gds_path = str(gds_path)
-            report.def_path = str(def_path)
-        return report
-
-    # -- hierarchy levels ------------------------------------------------------------------
-
-    @staticmethod
-    def _promote_pin(
-        cell: LayoutCell,
-        instance_name: str,
-        child_pin: str,
-        parent_pin: Optional[str] = None,
-        size: int = 100,
-    ) -> None:
-        """Expose a child instance's pin as a pin of ``cell``.
-
-        The parent pin is a small landing pad centred on the child pin's
-        access point, on the child pin's layer, so upper hierarchy levels can
-        connect to it without knowing the child's internals.
-        """
-        instance = cell.instance(instance_name)
-        pin = instance.cell.pin(child_pin)
-        point = instance.pin_access(child_pin)
-        half = size // 2
-        cell.add_pin(
-            parent_pin or child_pin,
-            pin.layer,
-            Rect(point.x - half, point.y - half, point.x + half, point.y + half),
-            direction=pin.direction,
-        )
-
-    def _build_local_array(self, spec: ACIMDesignSpec, route: bool):
-        """Level 1: L SRAM cells plus the shared local computing cell."""
-        size = spec.local_array_size
-        sram = self.library.layout("sram8t")
-        local_compute = self.library.layout("local_compute")
-        cell = LayoutCell(f"local_array_L{size}")
-        order = []
-        for row in range(size):
-            name = f"CELL{row}"
-            cell.add_instance(name, sram)
-            order.append(name)
-        cell.add_instance("LC", local_compute)
-        order.append("LC")
-        self.placer.place_with_template(cell, ColumnStackTemplate(order=order))
-        stats = {"routed": 0, "failed": 0, "wirelength": 0}
-        if route:
-            nets = [LogicalNet(
-                name="LBL",
-                terminals=tuple(
-                    [(f"CELL{row}", "LBL") for row in range(size)] + [("LC", "LBL")]
-                ),
-                critical=True,
-            )]
-            report = self.router.route_cell(cell, nets, margin=400)
-            stats["routed"] = len(report.result.routes)
-            stats["failed"] = len(report.result.failed)
-            stats["wirelength"] = report.result.total_wirelength
-        # Expose the shared computing cell's column-facing pins one level up.
-        self._promote_pin(cell, "LC", "RBL")
-        for control in ("P", "N", "PB", "PCH", "RST"):
-            self._promote_pin(cell, "LC", control)
-        cell.set_boundary_from_contents()
-        return cell, stats
-
-    def _build_column(self, spec: ACIMDesignSpec, local_array: LayoutCell, route: bool):
-        """Level 2: the full ACIM column."""
-        num_local = spec.local_arrays_per_column
-        comparator = self.library.layout("comparator")
-        switch = self.library.layout("cmos_switch")
-        sar = sar_controller_for(self.library, spec.adc_bits).layout(self.technology)
-        cell = LayoutCell(
-            f"acim_column_H{spec.height}_L{spec.local_array_size}_B{spec.adc_bits}"
-        )
-        order = []
-        for index in range(num_local):
-            name = f"LA{index}"
-            cell.add_instance(name, local_array)
-            order.append(name)
-        cell.add_instance("SW_ISO", switch)
-        cell.add_instance("COMP", comparator)
-        cell.add_instance("SAR", sar)
-        order += ["SW_ISO", "COMP", "SAR"]
-        self.placer.place_with_template(cell, ColumnStackTemplate(order=order))
-        cell.set_boundary_from_contents()
-        stats = {"routed": 0, "failed": 0, "wirelength": 0}
-        if route:
-            rbl_terminals = [(f"LA{i}", "RBL") for i in range(num_local)]
-            rbl_terminals += [("SW_ISO", "A"), ("COMP", "INP")]
-            nets = [
-                LogicalNet(name="RBL", terminals=tuple(rbl_terminals), critical=True),
-                LogicalNet(
-                    name="COMP_OUT",
-                    terminals=(("COMP", "COM"), ("SAR", "COMP")),
-                ),
-            ]
-            report = self.router.route_cell(cell, nets, margin=600)
-            stats["routed"] = len(report.result.routes)
-            stats["failed"] = len(report.result.failed)
-            stats["wirelength"] = report.result.total_wirelength
-        return cell, stats
-
-    def _build_macro(self, spec: ACIMDesignSpec, column: LayoutCell) -> LayoutCell:
-        """Level 3: W columns, peripheral buffers and pre-defined tracks."""
-        macro = LayoutCell(
-            f"easyacim_{spec.array_size}b_H{spec.height}"
-            f"_L{spec.local_array_size}_B{spec.adc_bits}"
-        )
-        input_buffer = self.library.layout("input_buffer")
-        output_buffer = self.library.layout("output_buffer")
-        column_bbox = column.boundary or column.bounding_box()
-        if column_bbox is None:
-            raise FlowError("column layout is empty")
-        buffer_column_width = input_buffer.width
-        bottom_row_height = output_buffer.height
-
-        # Input buffers: one per row, stacked on the left edge.
-        for row in range(spec.height):
-            macro.add_instance(
-                f"IBUF{row}", input_buffer,
-                Transform(0, bottom_row_height + row * input_buffer.height),
-            )
-        # Columns side by side to the right of the buffer column.
-        order = []
-        for col in range(spec.width):
-            name = f"COL{col}"
-            macro.add_instance(name, column)
-            order.append(name)
-        self.placer.place_with_template(macro, RowTemplate(
-            order=order,
-            start_x=buffer_column_width,
-            y_offset=bottom_row_height,
-        ))
-        # Output buffers under each column.
-        for col in range(spec.width):
-            macro.add_instance(
-                f"OBUF{col}", output_buffer,
-                Transform(buffer_column_width + col * column_bbox.width, 0),
-            )
-        bbox = macro.bounding_box()
-        if bbox is None:
-            raise FlowError("macro layout is empty")
-        # Pre-defined tracks: power stripes and SAR control lines across the
-        # full macro width (the paper's critical-net tracks).
-        power_plan = power_track_plan(bbox, self.technology, layer="M5")
-        power_plan.realize(macro)
-        control_plan = sar_control_track_plan(
-            bbox, self.technology, spec.adc_bits, layer="M3",
-            start_y=bbox.y_lo + bottom_row_height // 2,
-        )
-        control_plan.realize(macro)
-        macro.add_shape("PRBOUND", bbox)
-        return macro
+        return result.report

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import DRCError
 from repro.layout.geometry import Rect
 from repro.layout.layout import LayoutCell, Shape
 from repro.technology.rules import RuleType
@@ -50,6 +51,19 @@ class DRCViolation:
             f"measured {self.measured}, required {self.required}"
         )
 
+    def as_dict(self) -> dict:
+        """Serializable record: rule name plus the offending coordinates."""
+        return {
+            "rule": self.rule,
+            "layer": self.layer,
+            "x_lo": self.location.x_lo,
+            "y_lo": self.location.y_lo,
+            "x_hi": self.location.x_hi,
+            "y_hi": self.location.y_hi,
+            "measured": self.measured,
+            "required": self.required,
+        }
+
 
 class DRCChecker:
     """Evaluates width/spacing/area rules on flattened layouts."""
@@ -68,25 +82,58 @@ class DRCChecker:
 
     # -- public API --------------------------------------------------------
 
-    def check(self, cell: LayoutCell, max_violations: int = 1000) -> List[DRCViolation]:
-        """Run all supported checks on ``cell`` and return the violations."""
-        shapes_by_layer = self._flatten_by_layer(cell)
+    def check(
+        self, cell: LayoutCell, max_violations: Optional[int] = None
+    ) -> List[DRCViolation]:
+        """Run all supported checks on ``cell`` and return the violations.
+
+        Every rule reports *all* of its violations — a rule that fires on
+        one shape never hides later shapes or later rules.  The optional
+        ``max_violations`` only truncates the returned list (for bounded
+        reports), it does not skip checks.
+        """
         violations: List[DRCViolation] = []
-        for layer, shapes in shapes_by_layer.items():
-            violations.extend(self._check_width(layer, shapes))
-            if len(violations) >= max_violations:
-                return violations[:max_violations]
-            violations.extend(self._check_area(layer, shapes))
-            if len(violations) >= max_violations:
-                return violations[:max_violations]
-            violations.extend(self._check_spacing(layer, shapes))
-            if len(violations) >= max_violations:
-                return violations[:max_violations]
+        for group in self._iter_violation_groups(cell):
+            violations.extend(group)
+        if max_violations is not None:
+            return violations[:max_violations]
         return violations
 
+    def _iter_violation_groups(self, cell: LayoutCell):
+        """Yield each (rule, layer) group's complete violation list."""
+        shapes_by_layer = self._flatten_by_layer(cell)
+        for layer, shapes in shapes_by_layer.items():
+            yield self._check_width(layer, shapes)
+            yield self._check_area(layer, shapes)
+            yield self._check_spacing(layer, shapes)
+
     def is_clean(self, cell: LayoutCell) -> bool:
-        """True when no violations are found."""
-        return not self.check(cell, max_violations=1)
+        """True when no violations are found.
+
+        Short-circuits at the first offending rule/layer group instead of
+        scanning the whole layout, so rejection stays cheap on dirty
+        layouts.
+        """
+        return not any(self._iter_violation_groups(cell))
+
+    def assert_clean(self, cell: LayoutCell) -> None:
+        """Raise a :class:`~repro.errors.DRCError` listing every violation.
+
+        The error's ``as_dict()`` carries the rule name and offending
+        shape coordinates of each violation, so JSON consumers get the
+        complete report.
+        """
+        violations = self.check(cell)
+        if violations:
+            summary = summarize_violations(violations)
+            counts = ", ".join(
+                f"{count}x {rule}" for rule, count in sorted(summary.items())
+            )
+            raise DRCError(
+                f"layout {cell.name!r} has {len(violations)} "
+                f"DRC violation(s): {counts}",
+                violations=violations,
+            )
 
     # -- individual checks ---------------------------------------------------
 

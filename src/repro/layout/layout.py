@@ -122,17 +122,21 @@ class LayoutCell:
         layer: str,
         rect: Rect,
         direction: str = "inout",
+        add_shape: bool = True,
     ) -> PinShape:
         """Declare a pin with physical geometry.
 
         The pin geometry is also added as an ordinary shape attached to the
-        pin's net so DRC and routing see the metal.
+        pin's net so DRC and routing see the metal.  Deserializers that
+        restore the shape list verbatim pass ``add_shape=False`` so the pin
+        metal is not duplicated.
         """
         if name in self._pins:
             raise LayoutError(f"cell {self.name!r}: duplicate pin {name!r}")
         pin = PinShape(name, layer, rect, direction)
         self._pins[name] = pin
-        self.add_shape(layer, rect, net=name)
+        if add_shape:
+            self.add_shape(layer, rect, net=name)
         return pin
 
     def has_pin(self, name: str) -> bool:

@@ -1,0 +1,233 @@
+"""The reuse library of solved physical macros.
+
+A *macro* is a sub-layout the pipeline solved once — generated, placed
+and routed — together with its pin map and a summary of its routing and
+area figures: the local SRAM array of a given ``L``, the full ACIM
+column of a given ``(H, L, B_ADC)``, and so on.  The
+:class:`MacroLibrary` is layered on the customized
+:class:`~repro.cells.library.CellLibrary` (which provides the leaf-cell
+views) and keyed by content address, so every unique subcell/tile is
+solved **once** and instantiated by transform everywhere it recurs:
+
+* within one design (``W`` identical column instances),
+* across the designs of a multi-design distill flow (two Pareto points
+  sharing ``L`` share the local-array macro),
+* across processes and campaigns, through the result store's
+  ``artifacts`` table (solved macros are serialized exactly and
+  hydrated back on the next run).
+
+This is the iprec/HierarchicalPcb pattern: a library of hierarchical
+cell definitions replicated by reference instead of re-solved per copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cells.library import CellLibrary
+from repro.errors import LayoutError, StoreError
+from repro.layout.layout import LayoutCell
+from repro.physical.artifacts import artifact_digest
+from repro.physical.serialize import (
+    LAYOUT_FORMAT,
+    layout_from_dict,
+    layout_to_dict,
+)
+
+#: Stage tag macros are stored under in the ``artifacts`` table.
+MACRO_STAGE = "macro"
+
+
+@dataclass(frozen=True)
+class MacroRecord:
+    """One solved macro, ready to instantiate by transform.
+
+    Attributes:
+        kind: macro family (``"local_array"``, ``"column"``, ...).
+        digest: content address of the macro identity.
+        layout: the solved (placed + routed) layout cell.
+        pin_map: pin name -> layer of the macro's interface pins.
+        routed_nets / failed_nets / wirelength_dbu: routing summary of the
+            solve, replayed into flow reports on reuse.
+        area_dbu2: boundary area of the macro.
+        source: where this record came from (``built`` — solved in this
+            process, ``memory`` — in-process reuse, ``store`` — hydrated
+            from the persistent artifact cache).
+    """
+
+    kind: str
+    digest: str
+    layout: LayoutCell
+    pin_map: Dict[str, str]
+    routed_nets: int
+    failed_nets: int
+    wirelength_dbu: int
+    area_dbu2: int
+    source: str = "built"
+
+    def summary(self) -> dict:
+        """Flat row for the ``repro library macros`` listing."""
+        return {
+            "kind": self.kind,
+            "cell": self.layout.name,
+            "digest": self.digest[:12],
+            "pins": len(self.pin_map),
+            "routed_nets": self.routed_nets,
+            "failed_nets": self.failed_nets,
+            "area_dbu2": self.area_dbu2,
+            "source": self.source,
+        }
+
+
+class MacroLibrary:
+    """Content-addressed cache of solved macros over a cell library.
+
+    Args:
+        library: the customized cell library macros are built from; its
+            fingerprint is part of every macro key, so two processes with
+            different leaf-cell footprints never share a macro.
+        store: optional persistent result store; solved macros are
+            written to its ``artifacts`` table and served back across
+            process lifetimes.
+    """
+
+    def __init__(self, library: CellLibrary, store=None) -> None:
+        self.library = library
+        self.store = store
+        self._memory: Dict[str, MacroRecord] = {}
+        self._fingerprint: Optional[str] = None
+        self.built = 0
+        self.memory_hits = 0
+        self.store_hits = 0
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Digest of everything a macro's geometry depends on.
+
+        Covers the library name, the technology and every leaf cell's
+        footprint and pin interface, so a macro key changes whenever the
+        generated geometry could.
+        """
+        if self._fingerprint is None:
+            technology = self.library.technology
+            cells = []
+            for name in sorted(self.library.cell_names):
+                layout = self.library.layout(name)
+                cells.append([
+                    name, layout.width, layout.height,
+                    sorted(pin.name for pin in layout.pins),
+                ])
+            document = json.dumps(
+                [
+                    self.library.name,
+                    technology.name,
+                    technology.feature_size,
+                    LAYOUT_FORMAT,
+                    cells,
+                ],
+                separators=(",", ":"), sort_keys=True,
+            )
+            self._fingerprint = hashlib.sha256(
+                document.encode("utf-8")
+            ).hexdigest()
+        return self._fingerprint
+
+    def macro_digest(self, kind: str, key) -> str:
+        """Content address of one macro identity under this library."""
+        return artifact_digest(MACRO_STAGE, [kind, self.fingerprint(), key])
+
+    # -- the cache -------------------------------------------------------------
+
+    def get_or_build(
+        self,
+        kind: str,
+        key,
+        builder: Callable[[], Tuple[LayoutCell, Dict[str, int]]],
+    ) -> MacroRecord:
+        """Serve a solved macro from cache, or solve and cache it.
+
+        Args:
+            kind: macro family name.
+            key: JSON-serializable identity of the macro within the family
+                (sub-spec values plus stage parameters).
+            builder: zero-argument callable solving the macro from
+                scratch; returns ``(layout, stats)`` with ``stats``
+                carrying ``routed`` / ``failed`` / ``wirelength`` counts.
+        """
+        digest = self.macro_digest(kind, key)
+        record = self._memory.get(digest)
+        if record is not None:
+            self.memory_hits += 1
+            return record
+        record = self._load(kind, digest)
+        if record is not None:
+            self.store_hits += 1
+            self._memory[digest] = record
+            return record
+        layout, stats = builder()
+        record = MacroRecord(
+            kind=kind,
+            digest=digest,
+            layout=layout,
+            pin_map={pin.name: pin.layer for pin in layout.pins},
+            routed_nets=int(stats.get("routed", 0)),
+            failed_nets=int(stats.get("failed", 0)),
+            wirelength_dbu=int(stats.get("wirelength", 0)),
+            area_dbu2=layout.area,
+            source="built",
+        )
+        self.built += 1
+        self._memory[digest] = record
+        self._persist(record, key)
+        return record
+
+    def macros(self) -> List[MacroRecord]:
+        """Every macro currently held in memory, oldest first."""
+        return list(self._memory.values())
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- persistence -----------------------------------------------------------
+
+    def _persist(self, record: MacroRecord, key) -> None:
+        if self.store is None:
+            return
+        self.store.put_artifact(
+            record.digest, MACRO_STAGE, [record.kind, key],
+            payload={
+                "kind": record.kind,
+                "layout": layout_to_dict(record.layout),
+                "pin_map": record.pin_map,
+                "routed_nets": record.routed_nets,
+                "failed_nets": record.failed_nets,
+                "wirelength_dbu": record.wirelength_dbu,
+                "area_dbu2": record.area_dbu2,
+            },
+        )
+
+    def _load(self, kind: str, digest: str) -> Optional[MacroRecord]:
+        if self.store is None:
+            return None
+        payload = self.store.get_artifact(digest)
+        if payload is None:
+            return None
+        try:
+            layout = layout_from_dict(payload["layout"])
+            return MacroRecord(
+                kind=kind,
+                digest=digest,
+                layout=layout,
+                pin_map=dict(payload["pin_map"]),
+                routed_nets=int(payload["routed_nets"]),
+                failed_nets=int(payload["failed_nets"]),
+                wirelength_dbu=int(payload["wirelength_dbu"]),
+                area_dbu2=int(payload["area_dbu2"]),
+                source="store",
+            )
+        except (KeyError, TypeError, ValueError, LayoutError) as error:
+            raise StoreError(f"corrupt macro artifact {digest}: {error}")

@@ -1,0 +1,136 @@
+"""Exact JSON round-trip serialization of layout-cell hierarchies.
+
+The macro/artifact cache persists solved macros (placed *and* routed
+:class:`~repro.layout.layout.LayoutCell` hierarchies) in the SQLite
+result store so later processes can instantiate them instead of
+re-solving.  That only works if deserialization is *exact*: the same
+shapes in the same order on the same layers, the same pins, the same
+child transforms — the GDSII writer iterates those lists directly, so an
+exact round-trip is what makes a store-hydrated macro byte-identical to
+a freshly generated one (the ``make physical-smoke`` gate).
+
+Everything in a layout cell is integers, strings and enum names, so a
+plain JSON document represents it losslessly.  Hierarchies are stored as
+a flat cell table in bottom-up order (children before parents) with
+instances referencing cells by name; shared sub-cells are therefore
+stored once and shared again after loading, exactly like the in-memory
+original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Orientation, Rect, Transform
+from repro.layout.layout import LayoutCell
+
+#: Bumped whenever the document layout changes incompatibly; a mismatch
+#: makes the artifact cache treat the payload as a miss, never misread it.
+LAYOUT_FORMAT = 1
+
+
+def _rect_to_list(rect: Rect) -> List[int]:
+    return [rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi]
+
+
+def _rect_from_list(values) -> Rect:
+    return Rect(int(values[0]), int(values[1]), int(values[2]), int(values[3]))
+
+
+def _bottom_up(cell: LayoutCell) -> List[LayoutCell]:
+    """Distinct cells of the hierarchy, children before parents."""
+    ordered: List[LayoutCell] = []
+    visited: Dict[str, LayoutCell] = {}
+
+    def visit(current: LayoutCell) -> None:
+        seen = visited.get(current.name)
+        if seen is not None:
+            if seen is not current:
+                raise LayoutError(
+                    f"two different layout cells share the name "
+                    f"{current.name!r}; cannot serialize the hierarchy"
+                )
+            return
+        visited[current.name] = current
+        for instance in current.instances:
+            visit(instance.cell)
+        ordered.append(current)
+
+    visit(cell)
+    return ordered
+
+
+def layout_to_dict(cell: LayoutCell) -> dict:
+    """Serialize a layout hierarchy to a JSON-compatible dictionary."""
+    cells = []
+    for current in _bottom_up(cell):
+        cells.append({
+            "name": current.name,
+            "boundary": (
+                None if current.boundary is None
+                else _rect_to_list(current.boundary)
+            ),
+            # Pin geometry is duplicated into the shape list at add_pin
+            # time; serialize the full shape list and re-register pins
+            # without re-adding their shapes on load.
+            "shapes": [
+                [shape.layer, *_rect_to_list(shape.rect), shape.net]
+                for shape in current.shapes
+            ],
+            "pins": [
+                [pin.name, pin.layer, *_rect_to_list(pin.rect), pin.direction]
+                for pin in current.pins
+            ],
+            "instances": [
+                [
+                    instance.name,
+                    instance.cell.name,
+                    instance.transform.dx,
+                    instance.transform.dy,
+                    instance.transform.orientation.value,
+                ]
+                for instance in current.instances
+            ],
+        })
+    return {"format": LAYOUT_FORMAT, "top": cell.name, "cells": cells}
+
+
+def layout_from_dict(data: dict) -> LayoutCell:
+    """Rebuild the layout hierarchy serialized by :func:`layout_to_dict`."""
+    if not isinstance(data, dict) or data.get("format") != LAYOUT_FORMAT:
+        raise LayoutError(
+            f"unsupported layout document format "
+            f"{data.get('format') if isinstance(data, dict) else data!r}"
+        )
+    cells: Dict[str, LayoutCell] = {}
+    for record in data["cells"]:
+        cell = LayoutCell(record["name"])
+        if record["boundary"] is not None:
+            cell.boundary = _rect_from_list(record["boundary"])
+        for name, layer, x_lo, y_lo, x_hi, y_hi, direction in record["pins"]:
+            cell.add_pin(
+                name, layer, Rect(int(x_lo), int(y_lo), int(x_hi), int(y_hi)),
+                direction=direction, add_shape=False,
+            )
+        for layer, x_lo, y_lo, x_hi, y_hi, net in record["shapes"]:
+            cell.add_shape(
+                layer, Rect(int(x_lo), int(y_lo), int(x_hi), int(y_hi)),
+                net=net,
+            )
+        for name, child_name, dx, dy, orientation in record["instances"]:
+            child = cells.get(child_name)
+            if child is None:
+                raise LayoutError(
+                    f"cell {record['name']!r} references unknown child "
+                    f"{child_name!r}; document is not bottom-up"
+                )
+            cell.add_instance(
+                name, child,
+                Transform(int(dx), int(dy), Orientation(orientation)),
+            )
+        cells[cell.name] = cell
+    top: Optional[LayoutCell] = cells.get(data["top"])
+    if top is None:
+        raise LayoutError(f"layout document has no top cell {data['top']!r}")
+    return top

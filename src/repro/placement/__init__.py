@@ -29,7 +29,7 @@ from repro.placement.template import (
     RowTemplate,
     TemplateSlot,
 )
-from repro.placement.hierarchical import HierarchicalPlacer
+from repro.placement.hierarchical import HierarchicalPlacer, MacroPlacement
 
 __all__ = [
     "PlacementNet",
@@ -48,4 +48,5 @@ __all__ = [
     "RowTemplate",
     "TemplateSlot",
     "HierarchicalPlacer",
+    "MacroPlacement",
 ]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from dataclasses import dataclass
+
 from repro.errors import PlacementError
 from repro.layout.geometry import Point, Rect, Transform
 from repro.layout.layout import LayoutCell
@@ -29,6 +31,21 @@ from repro.placement.netmodel import (
     PlacementProblem,
 )
 from repro.placement.template import PlacementTemplate
+
+
+@dataclass(frozen=True)
+class MacroPlacement:
+    """One solved macro to instantiate by transform.
+
+    Attributes:
+        name: instance name in the parent cell.
+        macro: the solved (placed + routed) macro layout cell.
+        transform: placement transform in parent coordinates.
+    """
+
+    name: str
+    macro: LayoutCell
+    transform: Transform
 
 
 class HierarchicalPlacer:
@@ -116,6 +133,64 @@ class HierarchicalPlacer:
                 continue
             cell.move_instance(name, Transform(position.x, position.y))
         return result
+
+    # -- macro-instance placement -----------------------------------------------------
+
+    def place_macro_instances(
+        self,
+        cell: LayoutCell,
+        placements: Sequence[MacroPlacement],
+        check_overlaps: bool = True,
+    ) -> Dict[str, Rect]:
+        """Instantiate solved macros by transform (the reuse consumer path).
+
+        Macros arrive placed and routed (from the
+        :class:`~repro.physical.macro_library.MacroLibrary`); this method
+        only *instantiates* them — no re-placement, no re-routing.  Every
+        macro must be non-empty, and with ``check_overlaps`` (the
+        default) any pair of placed macros whose bounding-box interiors
+        intersect raises :class:`~repro.errors.PlacementError` before the
+        parent cell is modified, so an illegal plan can never reach the
+        router and corrupt its grid.
+
+        Returns the placed bounding boxes by instance name.
+        """
+        boxes: Dict[str, Rect] = {}
+        for placement in placements:
+            bbox = placement.macro.boundary or placement.macro.bounding_box()
+            if bbox is None:
+                raise PlacementError(
+                    f"macro placement {placement.name!r} references an "
+                    f"empty cell {placement.macro.name!r}"
+                )
+            boxes[placement.name] = placement.transform.apply_rect(bbox)
+        if check_overlaps:
+            self.ensure_no_overlaps(boxes)
+        for placement in placements:
+            cell.add_instance(placement.name, placement.macro, placement.transform)
+        return boxes
+
+    @staticmethod
+    def ensure_no_overlaps(boxes: Dict[str, Rect]) -> None:
+        """Raise :class:`PlacementError` when any two boxes overlap.
+
+        Shared edges are legal (abutted macros); only interior
+        intersections are rejected.  The sweep over x-sorted boxes keeps
+        the pair check near-linear for row/column arrangements.
+        """
+        ordered = sorted(boxes.items(), key=lambda item: item[1].x_lo)
+        for i, (name_a, box_a) in enumerate(ordered):
+            for name_b, box_b in ordered[i + 1:]:
+                if box_b.x_lo >= box_a.x_hi:
+                    break
+                if box_a.overlaps(box_b):
+                    overlap = box_a.intersection(box_b)
+                    raise PlacementError(
+                        f"macro instances {name_a!r} and {name_b!r} overlap "
+                        f"at ({overlap.x_lo},{overlap.y_lo})-"
+                        f"({overlap.x_hi},{overlap.y_hi}); "
+                        "solved macros must be abutted or disjoint"
+                    )
 
     # -- combined entry point ---------------------------------------------------------
 

@@ -13,10 +13,13 @@ from repro.reporting.campaigns import (
     stored_design_table,
 )
 from repro.reporting.export import export_csv, export_json
+from repro.reporting.physical import macro_table, physical_stats_table
 
 __all__ = [
     "AsciiScatter",
     "campaign_table",
+    "macro_table",
+    "physical_stats_table",
     "render_pareto_front",
     "export_csv",
     "export_json",

@@ -33,4 +33,5 @@ def store_summary_table(stats: Dict[str, object]) -> List[Dict]:
         "evaluations": stats.get("evaluations", 0),
         "campaigns": stats.get("campaigns", 0),
         "checkpoints": stats.get("checkpoints", 0),
+        "artifacts": stats.get("artifacts", 0),
     }]

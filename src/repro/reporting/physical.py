@@ -1,0 +1,51 @@
+"""Report tables for the physical pipeline's per-stage statistics.
+
+Renders the ``physical_stats`` section the flow and layout workflows
+attach to their payloads (see :class:`repro.physical.PipelineStats`) as
+the flat rows the text CLI prints with
+:func:`repro.flow.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.physical.artifacts import PIPELINE_STAGES
+
+
+def physical_stats_table(stats: Dict) -> List[Dict]:
+    """One row per pipeline stage plus a totals row.
+
+    Args:
+        stats: a ``PipelineStats.as_dict()`` document (``stages`` mapping
+            plus the macro reuse counters).
+    """
+    stages = stats.get("stages", {})
+    ordered = [name for name in PIPELINE_STAGES if name in stages]
+    ordered += [name for name in stages if name not in ordered]
+    rows: List[Dict] = []
+    totals = {"runs": 0, "seconds": 0.0, "cache_hits": 0, "store_hits": 0}
+    for name in ordered:
+        stage = stages[name]
+        rows.append({
+            "stage": name,
+            "runs": stage.get("runs", 0),
+            "seconds": round(stage.get("seconds", 0.0), 4),
+            "cache_hits": stage.get("cache_hits", 0),
+            "store_hits": stage.get("store_hits", 0),
+        })
+        for key in totals:
+            totals[key] += stage.get(key, 0)
+    rows.append({
+        "stage": "total",
+        "runs": totals["runs"],
+        "seconds": round(totals["seconds"], 4),
+        "cache_hits": totals["cache_hits"],
+        "store_hits": totals["store_hits"],
+    })
+    return rows
+
+
+def macro_table(macros: List[Dict]) -> List[Dict]:
+    """The ``repro library macros`` listing rows (already flat)."""
+    return list(macros)

@@ -8,17 +8,19 @@ This package makes evaluated design points durable, shared artifacts:
   engine hydrates its LRU cache from it on startup and flushes computed
   misses back (write-behind), so every past campaign's work becomes a
   warm cache hit for future ones.
-* :class:`~repro.store.campaign.CampaignManager` — named, checkpointed
-  NSGA-II explorations (generation snapshots + RNG state) that can be
-  killed and resumed bit-identically, surfaced on the CLI as
+* :mod:`~repro.store.campaign` — named, checkpointed NSGA-II
+  exploration campaigns (generation snapshots + RNG state) that can be
+  killed and resumed bit-identically, driven through
+  :meth:`repro.api.Session.campaign` and the CLI's
   ``campaign run / resume / list / query``.
+* the ``artifacts`` table — content-addressed physical-pipeline
+  artifacts (solved macros), see ``docs/physical.md``.
 
 See ``docs/campaigns.md`` for the store layout, warm-start semantics and
 resume guarantees.
 """
 
 from repro.store.campaign import (
-    CampaignManager,
     CampaignResult,
     record_exploration,
 )
@@ -34,7 +36,6 @@ from repro.store.result_store import (
 )
 
 __all__ = [
-    "CampaignManager",
     "CampaignRecord",
     "CampaignResult",
     "RANK_METRICS",

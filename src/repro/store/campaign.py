@@ -1,6 +1,7 @@
 """Named, checkpointed, resumable exploration campaigns.
 
-:class:`CampaignManager` runs NSGA-II explorations as *campaigns*: named
+:class:`_CampaignManagerCore` (driven through
+:meth:`repro.api.Session.campaign`) runs NSGA-II explorations as *campaigns*: named
 units of work whose configuration, per-generation state (population + RNG
 state) and results all live in a :class:`~repro.store.result_store
 .ResultStore`.  A campaign can be killed at any point — including in the
@@ -21,7 +22,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro._compat import warn_deprecated_entry_point
 from repro.dse.distill import DistillationCriteria
 from repro.dse.explorer import pareto_designs_from_population
 from repro.dse.nsga2 import NSGA2, NSGA2Config
@@ -106,8 +106,8 @@ class CampaignResult:
 class _CampaignManagerCore:
     """Runs, resumes and queries checkpointed exploration campaigns.
 
-    Internal implementation shared by :meth:`repro.api.Session.campaign`
-    and the deprecated :class:`CampaignManager` shim.
+    Internal implementation behind :meth:`repro.api.Session.campaign`
+    (and direct core-level consumers such as the tests).
 
     Args:
         store: the persistent result store all campaigns share.
@@ -341,23 +341,6 @@ class _CampaignManagerCore:
         )
 
 
-class CampaignManager(_CampaignManagerCore):
-    """Deprecated front door over :class:`_CampaignManagerCore`.
-
-    Kept for one release so existing scripts keep working; new code should
-    submit a :class:`repro.api.CampaignRequest` through
-    :class:`repro.api.Session`, which shares one engine, store and model
-    configuration across every workflow.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warn_deprecated_entry_point(
-            "CampaignManager",
-            "Session.campaign(CampaignRequest(name=..., array_size=...))",
-        )
-        super().__init__(*args, **kwargs)
-
-
 def _pareto_entries(
     designs: Sequence[EvaluatedDesign], estimator: ACIMEstimator
 ) -> List[Tuple[Tuple, object]]:
@@ -378,7 +361,7 @@ def record_exploration(
 ) -> None:
     """Record a finished (non-campaign) exploration as campaign metadata.
 
-    The flow controller calls this so one-shot ``EasyACIMFlow`` runs leave
+    The flow controller calls this so one-shot flow runs leave
     the same queryable trace as managed campaigns: a completed campaign row
     plus the Pareto set's evaluations.  Re-running the same flow replaces
     the row (upsert) rather than failing.

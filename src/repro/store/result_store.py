@@ -121,6 +121,14 @@ CREATE TABLE IF NOT EXISTS campaign_results (
     key_digest TEXT NOT NULL REFERENCES evaluations(key_digest),
     PRIMARY KEY (campaign, position)
 );
+CREATE TABLE IF NOT EXISTS artifacts (
+    artifact_digest TEXT PRIMARY KEY,
+    stage           TEXT NOT NULL,
+    key_json        TEXT NOT NULL,
+    payload_json    TEXT NOT NULL,
+    created_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_stage ON artifacts(stage);
 """
 
 
@@ -439,6 +447,87 @@ class ResultStore:
             keys.append(key)
         return keys
 
+    # -- physical-pipeline artifacts -------------------------------------------
+
+    def put_artifact(self, digest: str, stage: str, key, payload: dict) -> int:
+        """Persist one content-addressed pipeline artifact.
+
+        ``key`` and ``payload`` must be JSON-serializable; like
+        evaluations, artifacts are immutable — a digest identifies a pure
+        function application, so the first write wins and re-writes are
+        no-ops.  Returns 1 when the artifact was new, else 0.
+        """
+        now = time.time()
+        with self._write() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "INSERT OR IGNORE INTO artifacts "
+                "(artifact_digest, stage, key_json, payload_json, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (digest, stage, json.dumps(key, sort_keys=True),
+                 json.dumps(payload), now),
+            )
+            return conn.total_changes - before
+
+    def get_artifact(self, digest: str) -> Optional[dict]:
+        """Look one artifact payload up by its content address."""
+        row = self._read().execute(
+            "SELECT payload_json FROM artifacts WHERE artifact_digest = ?",
+            (digest,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row["payload_json"])
+        except ValueError as error:
+            raise StoreError(f"corrupt artifact {digest}: {error}")
+
+    def list_artifacts(self, stage: Optional[str] = None) -> List[dict]:
+        """Artifact metadata rows (oldest first), optionally for one stage.
+
+        Each row carries the digest, stage, decoded key, payload size and
+        creation time — enough for the ``repro library macros`` listing
+        without decoding whole layout payloads.
+        """
+        sql = (
+            "SELECT artifact_digest, stage, key_json, "
+            "LENGTH(payload_json) AS payload_bytes, created_at FROM artifacts"
+        )
+        arguments: Tuple = ()
+        if stage is not None:
+            sql += " WHERE stage = ?"
+            arguments = (stage,)
+        sql += " ORDER BY created_at, artifact_digest"
+        rows = []
+        for row in self._read().execute(sql, arguments):
+            try:
+                key = json.loads(row["key_json"])
+            except ValueError as error:
+                raise StoreError(
+                    f"corrupt artifact key {row['artifact_digest']}: {error}"
+                )
+            rows.append({
+                "digest": row["artifact_digest"],
+                "stage": row["stage"],
+                "key": key,
+                "payload_bytes": row["payload_bytes"],
+                "created_at": row["created_at"],
+            })
+        return rows
+
+    def artifact_count(self, stage: Optional[str] = None) -> int:
+        """Number of stored artifacts (of one stage, or overall)."""
+        if stage is None:
+            row = self._read().execute(
+                "SELECT COUNT(*) AS n FROM artifacts"
+            ).fetchone()
+        else:
+            row = self._read().execute(
+                "SELECT COUNT(*) AS n FROM artifacts WHERE stage = ?",
+                (stage,),
+            ).fetchone()
+        return row["n"]
+
     # -- query ----------------------------------------------------------------
 
     def query(
@@ -738,6 +827,7 @@ class ResultStore:
             "evaluations": self.evaluation_count(),
             "campaigns": campaigns,
             "checkpoints": self.checkpoint_count(),
+            "artifacts": self.artifact_count(),
         }
 
 

@@ -266,19 +266,18 @@ class TestSessionWorkflows:
         # H/L = 32 local arrays support B_ADC in 1..5.
         assert [row["B_ADC"] for row in result.payload["metrics"]] == [1, 2, 3, 4, 5]
 
-    def test_explore_parity_with_legacy_explorer(self):
-        """Fixed-seed Session exploration == the legacy DesignSpaceExplorer."""
-        from repro.dse.explorer import DesignSpaceExplorer
+    def test_explore_parity_with_core_explorer(self):
+        """Fixed-seed Session exploration == the direct explorer core."""
+        from repro.dse.explorer import _ExplorerCore
         from repro.dse.nsga2 import NSGA2Config
 
         with Session() as session:
             result = session.explore(ExploreRequest(array_size=1024, **FAST))
-        with pytest.warns(DeprecationWarning):
-            explorer = DesignSpaceExplorer(config=NSGA2Config(
-                population_size=FAST["population"],
-                generations=FAST["generations"],
-                seed=FAST["seed"],
-            ))
+        explorer = _ExplorerCore(config=NSGA2Config(
+            population_size=FAST["population"],
+            generations=FAST["generations"],
+            seed=FAST["seed"],
+        ))
         legacy = explorer.explore(1024)
         assert [d.spec.as_tuple() for d in result.artifacts["pareto_set"]] == [
             d.spec.as_tuple() for d in legacy.pareto_set
@@ -385,6 +384,74 @@ class TestSessionWorkflows:
             c["name"] for c in campaigns.payload["campaigns"]
         ]
 
+    def test_flow_reuse_surfaces_physical_stats(self):
+        with Session() as session:
+            result = session.flow(FlowRequest(
+                array_size=256, population=16, generations=3, seed=1,
+                max_layouts=2))
+        stats = result.payload["physical_stats"]
+        assert result.payload["reuse"] == "auto"
+        assert stats["macros_built"] >= 1
+        assert set(stats["stages"]) >= {"netlist", "placement", "routing",
+                                        "layout", "export"}
+        # Stage timings/hit counters are folded into the flat engine stats.
+        assert "stage_routing_seconds" in result.engine_stats
+        assert "macros_reused" in result.engine_stats
+        json.loads(result.to_json())
+
+    def test_flow_reuse_off_is_the_flat_baseline(self):
+        with Session() as session:
+            flat = session.flow(FlowRequest(
+                array_size=256, population=16, generations=3, seed=1,
+                max_layouts=1, reuse="off"))
+            auto = session.flow(FlowRequest(
+                array_size=256, population=16, generations=3, seed=1,
+                max_layouts=1))
+        assert flat.payload["physical_stats"] == {}
+
+        def geometry(payload):
+            return {
+                key: {k: v for k, v in report.items() if k != "runtime_s"}
+                for key, report in payload["layouts"].items()
+            }
+
+        assert geometry(flat.payload) == geometry(auto.payload)
+
+    def test_flow_rejects_unknown_reuse_mode(self):
+        with pytest.raises(FlowError):
+            FlowRequest(array_size=256, reuse="sometimes").validate()
+
+    def test_session_layout_requests_share_the_macro_cache(self):
+        request = LayoutRequest(height=16, width=4, local_array_size=4,
+                                adc_bits=2, route_columns=True)
+        with Session() as session:
+            first = session.layout(request)
+            second = session.layout(request)
+        first_report = dict(first.payload["report"])
+        second_report = dict(second.payload["report"])
+        first_report.pop("runtime_s"), second_report.pop("runtime_s")
+        assert first_report == second_report
+        assert first.payload["physical_stats"]["macros_built"] == 3
+        assert second.payload["physical_stats"]["macros_built"] == 0
+        assert second.payload["physical_stats"]["macros_reused"] == 1
+        assert second.engine_stats["stage_layout_cache_hits"] == 1
+
+    def test_library_macros_listing(self, tmp_path):
+        config = SessionConfig(store=str(tmp_path / "store.sqlite"))
+        with Session.from_config(config) as session:
+            session.layout(LayoutRequest(height=16, width=4,
+                                         local_array_size=4, adc_bits=2))
+            listing = session.library_report(LibraryRequest(macros=True))
+        macros = listing.payload["macros"]
+        assert {row["kind"] for row in macros} >= {
+            "local_array", "column", "acim_macro"}
+        # A fresh session on the same store sees the persisted inventory.
+        with Session.from_config(config) as session:
+            cold = session.library_report(LibraryRequest(macros=True))
+        assert all(row["source"] == "store"
+                   for row in cold.payload["macros"])
+        assert len(cold.payload["macros"]) == len(macros)
+
     def test_submit_dispatches_dicts_and_rejects_unknown(self):
         with Session() as session:
             result = session.submit({
@@ -421,23 +488,18 @@ class TestSessionWorkflows:
 
 
 # ---------------------------------------------------------------------------
-# Deprecation shims
+# Legacy front doors (removed in 1.2.0)
 # ---------------------------------------------------------------------------
 
 
-class TestDeprecationShims:
-    def test_legacy_front_doors_warn(self, tmp_path):
-        from repro import CampaignManager, DesignSpaceExplorer, EasyACIMFlow
-        from repro import FlowInputs, NSGA2Config, ResultStore
+class TestLegacyFrontDoorsRemoved:
+    def test_legacy_front_doors_are_gone(self):
+        """The one-release deprecation window has closed."""
+        import repro
 
-        with pytest.warns(DeprecationWarning, match="DesignSpaceExplorer"):
-            DesignSpaceExplorer()
-        with pytest.warns(DeprecationWarning, match="EasyACIMFlow"):
-            EasyACIMFlow(FlowInputs(array_size=1024, nsga2=NSGA2Config(
-                population_size=16, generations=2, seed=1)))
-        with ResultStore(tmp_path / "s.sqlite") as store:
-            with pytest.warns(DeprecationWarning, match="CampaignManager"):
-                CampaignManager(store)
+        for name in ("DesignSpaceExplorer", "EasyACIMFlow", "CampaignManager"):
+            assert not hasattr(repro, name)
+            assert name not in repro.__all__
 
     def test_session_paths_emit_no_deprecation_warnings(self, tmp_path):
         with warnings.catch_warnings():
@@ -452,17 +514,6 @@ class TestDeprecationShims:
                 session.flow(FlowRequest(
                     array_size=256, population=8, generations=2, seed=1,
                     generate_netlists=False, generate_layouts=False))
-
-    def test_shims_still_work(self):
-        """The deprecated classes stay functionally intact for one release."""
-        from repro import DesignSpaceExplorer, NSGA2Config
-
-        with pytest.warns(DeprecationWarning):
-            explorer = DesignSpaceExplorer(config=NSGA2Config(
-                population_size=8, generations=2, seed=1))
-        result = explorer.explore(256)
-        assert result.pareto_set
-
 
 # ---------------------------------------------------------------------------
 # CLI adapters

@@ -7,14 +7,15 @@ import pytest
 
 from repro.cli import main
 from repro.dse.distill import DistillationCriteria
-from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.explorer import _ExplorerCore
 from repro.dse.nsga2 import NSGA2, NSGA2Config
 from repro.dse.problem import ACIMDesignProblem
 from repro.engine import reset_shared_cache
 from repro.errors import OptimizationError, StoreError
-from repro.flow.controller import EasyACIMFlow, FlowInputs
+from repro.flow.controller import FlowInputs, _FlowCore
 from repro.model.estimator import ACIMEstimator, ModelParameters
-from repro.store import CampaignManager, ResultStore
+from repro.store import ResultStore
+from repro.store.campaign import _CampaignManagerCore
 
 #: Small-but-real exploration: a few generations over the 1 kb space.
 CONFIG = NSGA2Config(population_size=16, generations=6, seed=3)
@@ -35,7 +36,7 @@ def store(tmp_path):
 @pytest.fixture(scope="module")
 def reference_pareto():
     """The uninterrupted exploration every resume variant must reproduce."""
-    result = DesignSpaceExplorer(config=CONFIG).explore(ARRAY_SIZE)
+    result = _ExplorerCore(config=CONFIG).explore(ARRAY_SIZE)
     return _pareto_signature(result.pareto_set)
 
 
@@ -87,7 +88,7 @@ def _population_signature(population):
 
 class TestCampaignResume:
     def test_interrupted_resume_is_bit_identical(self, store, reference_pareto):
-        manager = CampaignManager(store)
+        manager = _CampaignManagerCore(store)
         first = manager.run(
             "camp", ARRAY_SIZE, config=CONFIG, stop_after_generations=2
         )
@@ -110,7 +111,7 @@ class TestCampaignResume:
         # A cold shared cache so the estimator actually runs (the kill is
         # injected into its batch evaluation path).
         reset_shared_cache()
-        manager = CampaignManager(store)
+        manager = _CampaignManagerCore(store)
         calls = {"count": 0}
         original = ACIMEstimator.evaluate_batch
 
@@ -129,20 +130,20 @@ class TestCampaignResume:
         # The partial generation was never committed; resume replays from
         # the last durable checkpoint and lands on the identical front.
         assert store.latest_checkpoint("killed") is not None
-        result = CampaignManager(store).resume("killed")
+        result = _CampaignManagerCore(store).resume("killed")
         assert result.status == "completed"
         assert _pareto_signature(result.pareto_set) == reference_pareto
 
     def test_checkpoint_cadence(self, store):
-        manager = CampaignManager(store, checkpoint_every=3)
+        manager = _CampaignManagerCore(store, checkpoint_every=3)
         manager.run("sparse", ARRAY_SIZE, config=CONFIG)
         # Generation 0 (initialization), 3 and 6 (final, forced).
         assert store.checkpoint_count("sparse") == 3
         with pytest.raises(StoreError):
-            CampaignManager(store, checkpoint_every=0)
+            _CampaignManagerCore(store, checkpoint_every=0)
 
     def test_stop_commits_checkpoint_and_cadence_survives_resume(self, store):
-        manager = CampaignManager(store, checkpoint_every=3)
+        manager = _CampaignManagerCore(store, checkpoint_every=3)
         manager.run(
             "sparse", ARRAY_SIZE, config=CONFIG, stop_after_generations=2
         )
@@ -150,18 +151,18 @@ class TestCampaignResume:
         assert store.latest_checkpoint("sparse")[0] == 2
         # A resume through a default-cadence manager keeps the campaign's
         # recorded checkpoint_every=3: generations 0, 2 (stop), 3 and 6.
-        result = CampaignManager(store).resume("sparse")
+        result = _CampaignManagerCore(store).resume("sparse")
         assert result.status == "completed"
         assert store.checkpoint_count("sparse") == 4
 
     def test_overlapping_campaign_hits_persistent_store(self, tmp_path):
         path = tmp_path / "store.sqlite"
         with ResultStore(path) as store:
-            CampaignManager(store).run("first", ARRAY_SIZE, config=CONFIG)
+            _CampaignManagerCore(store).run("first", ARRAY_SIZE, config=CONFIG)
         # A separate store handle (a fresh process's view of the file):
         # the second campaign's engine warm-starts from the first's work.
         with ResultStore(path) as store:
-            result = CampaignManager(store).run(
+            result = _CampaignManagerCore(store).run(
                 "second",
                 ARRAY_SIZE,
                 config=NSGA2Config(population_size=16, generations=3, seed=9),
@@ -169,33 +170,33 @@ class TestCampaignResume:
             assert result.engine_stats["store_hits"] > 0
 
     def test_duplicate_name_rejected(self, store):
-        manager = CampaignManager(store)
+        manager = _CampaignManagerCore(store)
         manager.run("camp", ARRAY_SIZE, config=CONFIG)
         with pytest.raises(StoreError, match="already exists"):
             manager.run("camp", ARRAY_SIZE, config=CONFIG)
 
     def test_resume_of_completed_campaign_rejected(self, store):
-        manager = CampaignManager(store)
+        manager = _CampaignManagerCore(store)
         manager.run("camp", ARRAY_SIZE, config=CONFIG)
         with pytest.raises(StoreError, match="already completed"):
             manager.resume("camp")
 
     def test_resume_unknown_campaign_rejected(self, store):
         with pytest.raises(StoreError, match="no campaign"):
-            CampaignManager(store).resume("ghost")
+            _CampaignManagerCore(store).resume("ghost")
 
     def test_resume_with_different_model_parameters_rejected(self, store):
-        CampaignManager(store).run(
+        _CampaignManagerCore(store).run(
             "camp", ARRAY_SIZE, config=CONFIG, stop_after_generations=1
         )
-        other = CampaignManager(
+        other = _CampaignManagerCore(
             store, estimator=ACIMEstimator(ModelParameters.calibrated())
         )
         with pytest.raises(StoreError, match="different model parameters"):
             other.resume("camp")
 
     def test_query_across_campaigns(self, store):
-        manager = CampaignManager(store)
+        manager = _CampaignManagerCore(store)
         manager.run("camp", ARRAY_SIZE, config=CONFIG)
         entries = manager.query(
             criteria=DistillationCriteria(min_snr_db=0.0),
@@ -216,7 +217,7 @@ class TestFlowRecording:
             array_size=ARRAY_SIZE, nsga2=CONFIG, store=store,
             campaign_name="flow-camp",
         )
-        result = EasyACIMFlow(inputs).run(
+        result = _FlowCore(inputs).run(
             generate_netlists=False, generate_layouts=False
         )
         record = store.get_campaign("flow-camp")
@@ -228,14 +229,14 @@ class TestFlowRecording:
             (e.spec.as_tuple(), e.metrics.objectives()) for e in stored
         ] == _pareto_signature(result.exploration.pareto_set)
         # Re-running the same flow upserts instead of failing.
-        EasyACIMFlow(inputs).run(
+        _FlowCore(inputs).run(
             generate_netlists=False, generate_layouts=False
         )
         assert len(store.list_campaigns()) == 1
 
     def test_flow_warm_starts_from_store(self, store):
         def run():
-            return EasyACIMFlow(
+            return _FlowCore(
                 FlowInputs(array_size=ARRAY_SIZE, nsga2=CONFIG, store=store)
             ).run(generate_netlists=False, generate_layouts=False)
 

@@ -9,7 +9,6 @@ from repro.errors import OptimizationError
 from repro.arch.spec import ACIMDesignSpec
 from repro.dse import (
     ACIMDesignProblem,
-    DesignSpaceExplorer,
     DistillationCriteria,
     Individual,
     NSGA2,
@@ -24,6 +23,7 @@ from repro.dse import (
 )
 from repro.dse.distill import distill_report
 from repro.dse.exhaustive import evaluate_all
+from repro.dse.explorer import _ExplorerCore
 
 
 class TestDominance:
@@ -232,14 +232,14 @@ class TestExplorer:
     CONFIG = NSGA2Config(population_size=32, generations=16, seed=7)
 
     def test_explore_returns_feasible_pareto_set(self):
-        explorer = DesignSpaceExplorer(config=self.CONFIG)
+        explorer = _ExplorerCore(config=self.CONFIG)
         result = explorer.explore(4096)
         assert result.pareto_set
         for design in result.pareto_set:
             assert design.spec.is_feasible(4096)
 
     def test_pareto_set_is_non_dominated(self):
-        explorer = DesignSpaceExplorer(config=self.CONFIG)
+        explorer = _ExplorerCore(config=self.CONFIG)
         result = explorer.explore(4096)
         objectives = [d.objectives for d in result.pareto_set]
         assert set(pareto_front(objectives)) == set(range(len(objectives)))
@@ -251,7 +251,7 @@ class TestExplorer:
         # exclusively true Pareto points, and a healthy fraction of the
         # population budget should survive to the final front.
         config = NSGA2Config(population_size=60, generations=40, seed=13)
-        explorer = DesignSpaceExplorer(config=config)
+        explorer = _ExplorerCore(config=config)
         result = explorer.explore(4096)
         truth = {d.spec.as_tuple() for d in exhaustive_pareto_front(4096)}
         found = {d.spec.as_tuple() for d in result.pareto_set}
@@ -262,7 +262,7 @@ class TestExplorer:
         # On the 2-D energy/area projection (the paper's Figure-10 axes) the
         # GA front should achieve most of the exhaustive front's hypervolume.
         config = NSGA2Config(population_size=60, generations=40, seed=13)
-        result = DesignSpaceExplorer(config=config).explore(4096)
+        result = _ExplorerCore(config=config).explore(4096)
         truth = exhaustive_pareto_front(4096)
 
         def projection(designs):
@@ -275,14 +275,14 @@ class TestExplorer:
         assert hv_found >= 0.85 * hv_truth
 
     def test_metric_ranges_and_table(self):
-        result = DesignSpaceExplorer(config=self.CONFIG).explore(4096)
+        result = _ExplorerCore(config=self.CONFIG).explore(4096)
         ranges = result.metric_ranges()
         assert ranges["snr_db"][0] <= ranges["snr_db"][1]
         table = result.as_table()
         assert table and table[0]["snr_db"] >= table[-1]["snr_db"]
 
     def test_explore_many(self):
-        results = DesignSpaceExplorer(config=self.CONFIG).explore_many([1024, 2048])
+        results = _ExplorerCore(config=self.CONFIG).explore_many([1024, 2048])
         assert set(results) == {1024, 2048}
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch.spec import ACIMDesignSpec, enumerate_design_space
 from repro.dse.exhaustive import evaluate_all
-from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.explorer import _ExplorerCore
 from repro.dse.nsga2 import NSGA2Config
 from repro.engine import (
     BACKENDS,
@@ -160,7 +160,7 @@ class TestSeedDeterminismAcrossBackends:
                 backend, workers=2, cache=EvaluationCache()
             )
             with engine:
-                explorer = DesignSpaceExplorer(config=config, engine=engine)
+                explorer = _ExplorerCore(config=config, engine=engine)
                 result = explorer.explore(4096)
             pareto_sets[backend] = {
                 (design.spec.as_tuple(), design.objectives)
@@ -180,7 +180,7 @@ class TestSeedDeterminismAcrossBackends:
             # other's evaluations.
             engine = EvaluationEngine("serial", cache=EvaluationCache())
             with engine:
-                explorer = DesignSpaceExplorer(
+                explorer = _ExplorerCore(
                     estimator=estimator, config=config, engine=engine
                 )
                 result = explorer.explore(4096)
@@ -192,14 +192,14 @@ class TestSeedDeterminismAcrossBackends:
 
     def test_engine_stats_surface_in_result(self):
         config = NSGA2Config(population_size=16, generations=4, seed=2)
-        result = DesignSpaceExplorer(config=config).explore(1024)
+        result = _ExplorerCore(config=config).explore(1024)
         assert result.engine_stats["backend"] == "serial"
         assert result.engine_stats["tasks"] > 0
 
     def test_engine_stats_are_per_run_deltas(self):
         config = NSGA2Config(population_size=16, generations=4, seed=2)
         with EvaluationEngine("serial", cache=EvaluationCache()) as engine:
-            explorer = DesignSpaceExplorer(config=config, engine=engine)
+            explorer = _ExplorerCore(config=config, engine=engine)
             first = explorer.explore(1024)
             second = explorer.explore(1024)
         # Identical seeded runs submit the identical number of tasks; a

@@ -9,7 +9,6 @@ from repro.dse.nsga2 import NSGA2Config
 from repro.dse.pareto import pareto_front
 from repro.flow import (
     AutoDCIMBaselineFlow,
-    EasyACIMFlow,
     FlowInputs,
     LayoutGenerator,
     TemplateNetlistGenerator,
@@ -20,6 +19,7 @@ from repro.flow import (
     pareto_summary,
     solution_report,
 )
+from repro.flow.controller import _FlowCore
 from repro.flow.report import csv_lines
 from repro.netlist.traversal import count_leaf_instances, hierarchy_depth
 
@@ -190,9 +190,9 @@ class TestReportHelpers:
         assert len(lines) == 2
 
 
-class TestEasyACIMFlow:
+class TestFlowCore:
     def test_flow_runs_end_to_end_without_layouts(self):
-        flow = EasyACIMFlow(FlowInputs(array_size=1024, nsga2=FAST_NSGA2))
+        flow = _FlowCore(FlowInputs(array_size=1024, nsga2=FAST_NSGA2))
         result = flow.run(generate_layouts=False)
         assert result.exploration.pareto_set
         assert result.distilled
@@ -201,7 +201,7 @@ class TestEasyACIMFlow:
         assert "Pareto-frontier solutions" in result.summary()
 
     def test_flow_with_layouts_for_small_array(self):
-        flow = EasyACIMFlow(FlowInputs(array_size=256, nsga2=FAST_NSGA2, max_layouts=1))
+        flow = _FlowCore(FlowInputs(array_size=256, nsga2=FAST_NSGA2, max_layouts=1))
         result = flow.run(generate_layouts=True, route_columns=False)
         assert len(result.layouts) == 1
         report = next(iter(result.layouts.values()))
@@ -209,7 +209,7 @@ class TestEasyACIMFlow:
 
     def test_distillation_criteria_applied(self):
         criteria = DistillationCriteria(min_snr_db=15.0, name="strict")
-        flow = EasyACIMFlow(FlowInputs(array_size=1024, nsga2=FAST_NSGA2,
+        flow = _FlowCore(FlowInputs(array_size=1024, nsga2=FAST_NSGA2,
                                        criteria=criteria))
         exploration = flow.explore()
         distilled = flow.distill(exploration)
@@ -218,10 +218,10 @@ class TestEasyACIMFlow:
 
     def test_flow_rejects_tiny_arrays(self):
         with pytest.raises(FlowError):
-            EasyACIMFlow(FlowInputs(array_size=8))
+            _FlowCore(FlowInputs(array_size=8))
 
     def test_flow_netlists_match_selected_specs(self):
-        flow = EasyACIMFlow(FlowInputs(array_size=1024, nsga2=FAST_NSGA2,
+        flow = _FlowCore(FlowInputs(array_size=1024, nsga2=FAST_NSGA2,
                                        max_layouts=2))
         result = flow.run(generate_layouts=False)
         for key, netlist in result.netlists.items():
@@ -229,7 +229,7 @@ class TestEasyACIMFlow:
             assert key in {d.spec.as_tuple() for d in result.distilled}
 
     def test_flow_surfaces_engine_stats(self):
-        flow = EasyACIMFlow(FlowInputs(array_size=1024, nsga2=FAST_NSGA2))
+        flow = _FlowCore(FlowInputs(array_size=1024, nsga2=FAST_NSGA2))
         result = flow.run(generate_layouts=False)
         assert result.engine_stats["backend"] == "serial"
         assert result.engine_stats["tasks"] > 0
@@ -241,18 +241,21 @@ class TestEasyACIMFlow:
         import dataclasses
 
         nsga2 = dataclasses.replace(FAST_NSGA2, backend="thread", workers=2)
-        flow = EasyACIMFlow(FlowInputs(array_size=1024, nsga2=nsga2))
+        flow = _FlowCore(FlowInputs(array_size=1024, nsga2=nsga2))
         assert flow.engine.backend == "thread"
         assert flow.engine.workers == 2
         result = flow.run(generate_layouts=False)
         assert result.engine_stats["backend"] == "thread"
 
     def test_flow_parallel_fanout_matches_serial(self):
-        serial = EasyACIMFlow(FlowInputs(
+        # The serial flow runs the reuse-aware pipeline path; the parallel
+        # flow runs the flat reuse-off engine fan-out — their products must
+        # agree, which cross-checks the reuse path against the baseline.
+        serial = _FlowCore(FlowInputs(
             array_size=256, nsga2=FAST_NSGA2, max_layouts=2))
-        with EasyACIMFlow(FlowInputs(
+        with _FlowCore(FlowInputs(
                 array_size=256, nsga2=FAST_NSGA2, max_layouts=2,
-                backend="process", workers=2)) as parallel:
+                backend="process", workers=2, reuse="off")) as parallel:
             serial_result = serial.run(generate_layouts=True,
                                        route_columns=False)
             parallel_result = parallel.run(generate_layouts=True,

@@ -12,11 +12,12 @@ import pytest
 from repro import (
     ACIMDesignSpec,
     ACIMEstimator,
-    DesignSpaceExplorer,
-    EasyACIMFlow,
+    ExploreRequest,
     FlowInputs,
     NSGA2Config,
+    Session,
 )
+from repro.flow.controller import _FlowCore
 from repro.dse.distill import DistillationCriteria
 from repro.dse.exhaustive import exhaustive_pareto_front
 from repro.flow.layout_gen import LayoutGenerator
@@ -110,13 +111,15 @@ class TestExplorerHeadlineClaims:
         assert max(areas) > 5000
 
     def test_explored_front_matches_exhaustive_extremes(self):
-        config = NSGA2Config(population_size=60, generations=30, seed=17)
-        result = DesignSpaceExplorer(config=config).explore(16384)
+        with Session() as session:
+            result = session.explore(ExploreRequest(
+                array_size=16384, population=60, generations=30, seed=17))
+        pareto_set = result.artifacts["pareto_set"]
         truth = exhaustive_pareto_front(16384)
-        found_eff = max(d.metrics.tops_per_watt for d in result.pareto_set)
+        found_eff = max(d.metrics.tops_per_watt for d in pareto_set)
         true_eff = max(d.metrics.tops_per_watt for d in truth)
         assert found_eff >= 0.9 * true_eff
-        found_area = min(d.metrics.area_f2_per_bit for d in result.pareto_set)
+        found_area = min(d.metrics.area_f2_per_bit for d in pareto_set)
         true_area = min(d.metrics.area_f2_per_bit for d in truth)
         assert found_area <= 1.1 * true_area
 
@@ -129,7 +132,7 @@ class TestFullFlow:
             criteria=DistillationCriteria(max_adc_bits=3),
             max_layouts=1,
         )
-        flow = EasyACIMFlow(inputs)
+        flow = _FlowCore(inputs)
         result = flow.run(route_columns=True, output_dir=str(tmp_path))
         assert result.layouts
         report = next(iter(result.layouts.values()))
@@ -148,8 +151,8 @@ class TestFullFlow:
 
     def test_flow_distillation_changes_selection(self):
         nsga2 = NSGA2Config(population_size=30, generations=12, seed=9)
-        unconstrained = EasyACIMFlow(FlowInputs(array_size=4096, nsga2=nsga2))
-        constrained = EasyACIMFlow(FlowInputs(
+        unconstrained = _FlowCore(FlowInputs(array_size=4096, nsga2=nsga2))
+        constrained = _FlowCore(FlowInputs(
             array_size=4096, nsga2=nsga2,
             criteria=DistillationCriteria(min_snr_db=25.0)))
         free_run = unconstrained.run(generate_netlists=False, generate_layouts=False)

@@ -252,6 +252,51 @@ class TestDRC:
         summary = summarize_violations(DRCChecker(technology).check(cell))
         assert summary.get("min_width", 0) >= 1
 
+    def test_all_violations_of_a_rule_are_reported(self, technology):
+        # Five too-narrow shapes must yield five min_width records, plus
+        # the min_area records for the same shapes -- one firing rule
+        # never hides later shapes or later rules.
+        cell = LayoutCell("many_narrow")
+        for i in range(5):
+            cell.add_shape("M1", Rect(i * 2000, 0, i * 2000 + 20, 500))
+        violations = DRCChecker(technology).check(cell)
+        widths = [v for v in violations if v.rule == "min_width"]
+        assert len(widths) == 5
+        assert {v.location.x_lo for v in widths} == {i * 2000 for i in range(5)}
+
+    def test_max_violations_truncates_but_does_not_skip_rules(self, technology):
+        cell = LayoutCell("mixed")
+        cell.add_shape("M1", Rect(0, 0, 20, 500))        # width violation
+        cell.add_shape("M1", Rect(5000, 0, 5500, 200), net="a")
+        cell.add_shape("M1", Rect(5000, 220, 5500, 420), net="b")  # spacing
+        full = DRCChecker(technology).check(cell)
+        rules = {v.rule for v in full}
+        assert "min_width" in rules and "min_spacing" in rules
+        truncated = DRCChecker(technology).check(cell, max_violations=1)
+        assert len(truncated) == 1
+        assert truncated[0] == full[0]
+
+    def test_assert_clean_raises_with_full_violation_report(self, technology):
+        from repro.errors import DRCError
+
+        cell = LayoutCell("dirty")
+        for i in range(3):
+            cell.add_shape("M1", Rect(i * 2000, 0, i * 2000 + 20, 500))
+        with pytest.raises(DRCError) as excinfo:
+            DRCChecker(technology).assert_clean(cell)
+        error = excinfo.value
+        record = error.as_dict()
+        assert record["code"] == "drc"
+        assert len(record["violations"]) == len(error.violations) >= 3
+        first = record["violations"][0]
+        assert first["rule"] == "min_width"
+        assert first["layer"] == "M1"
+        assert {"x_lo", "y_lo", "x_hi", "y_hi"} <= set(first)
+        # The clean path raises nothing.
+        clean = LayoutCell("clean", boundary=Rect(0, 0, 2000, 2000))
+        clean.add_shape("M1", Rect(0, 0, 500, 200), net="a")
+        DRCChecker(technology).assert_clean(clean)
+
     def test_library_leaf_cells_have_no_overlapping_different_nets(
         self, technology, cell_library
     ):
