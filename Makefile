@@ -6,6 +6,8 @@
 #                          Session, with DeprecationWarning promoted to error
 #                          (proves the new path avoids the legacy front doors)
 #   make campaign-smoke    tiny campaign -> kill -> resume -> query (store path)
+#   make shard-smoke       2-shard campaign: store rows match a serial full-grid
+#                          run, front bit-identical to the unsharded twin
 #   make physical-smoke    two-design flow with macro reuse on: >= 1 macro
 #                          cache hit and byte-identical GDSII vs reuse-off
 #   make physical-bench-smoke CI-sized physical-pipeline benchmark (5x warm-reuse
@@ -23,7 +25,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke api-smoke campaign-smoke physical-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +38,9 @@ api-smoke:
 
 campaign-smoke:
 	$(PYTHON) examples/campaign_smoke.py
+
+shard-smoke:
+	$(PYTHON) examples/shard_smoke.py
 
 physical-smoke:
 	$(PYTHON) examples/physical_smoke.py
@@ -58,4 +63,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke api-smoke campaign-smoke physical-smoke model-bench-smoke physical-bench-smoke
+ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke model-bench-smoke physical-bench-smoke

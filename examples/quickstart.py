@@ -98,10 +98,17 @@ def main(argv=None) -> None:
         # macro cache instead of re-placing and re-routing them.
         again = session.flow(request)
         stats = again.payload["physical_stats"]
-        print(f"\nSame flow again on this session: "
-              f"{stats['macros_built']} macros built, "
-              f"{stats['macros_reused']} reused from the macro cache "
-              f"(use --no-reuse / FlowRequest(reuse='off') to disable).")
+        if stats:
+            print(f"\nSame flow again on this session: "
+                  f"{stats['macros_built']} macros built, "
+                  f"{stats['macros_reused']} reused from the macro cache "
+                  f"(use --no-reuse / FlowRequest(reuse='off') to disable).")
+        else:
+            # Parallel engines take the flat per-solution fan-out instead
+            # of the shared in-process macro cache (docs/physical.md).
+            print("\nSame flow again on this session: layouts regenerated "
+                  "through the parallel engine fan-out (macro reuse "
+                  "applies on serial engines; see docs/physical.md).")
 
 
 if __name__ == "__main__":

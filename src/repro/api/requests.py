@@ -313,6 +313,10 @@ class CampaignRequest(ApiRequest):
         checkpoint_every: commit a snapshot every N generations.
         stop_after: stop (checkpointed, resumable) after N generations in
             this call — the programmatic equivalent of killing the process.
+        shards: pre-warm the store by evaluating the feasible design grid
+            across N worker processes before optimising (``run`` only;
+            needs a file-backed store).  Results are bit-identical to the
+            unsharded run.
     """
 
     kind: ClassVar[str] = "campaign"
@@ -325,6 +329,7 @@ class CampaignRequest(ApiRequest):
     seed: int = 1
     checkpoint_every: int = 1
     stop_after: Optional[int] = None
+    shards: Optional[int] = None
 
     ACTIONS: ClassVar[Tuple[str, ...]] = ("run", "resume")
 
@@ -340,6 +345,12 @@ class CampaignRequest(ApiRequest):
         if self.checkpoint_every < 1:
             raise StoreError("checkpoint_every must be at least 1")
         _require_optional_int("stop_after", self.stop_after, 1)
+        _require_optional_int("shards", self.shards, 1)
+        if self.shards is not None and self.action != "run":
+            raise RequestError(
+                "shards only applies to 'run' (a resumed campaign's grid "
+                "rows are already in the store)"
+            )
         return self
 
 

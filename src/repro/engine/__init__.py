@@ -19,12 +19,17 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import EngineStats, EvaluationEngine, default_engine
 from repro.engine.executors import BACKENDS, resolve_workers, validate_backend
+from repro.engine.shm import BatchRef, SharedArena
+from repro.engine.workers import PersistentWorkerPool
 
 __all__ = [
     "BACKENDS",
+    "BatchRef",
     "EngineStats",
     "EvaluationCache",
     "EvaluationEngine",
+    "PersistentWorkerPool",
+    "SharedArena",
     "default_engine",
     "parameters_cache_key",
     "reset_shared_cache",

@@ -6,10 +6,19 @@ the exhaustive baseline's full grids, the sensitivity analyzer's perturbed
 sweeps and the flow controller's netlist/layout fan-out.  It combines
 
 * an executor backend (``serial`` / ``thread`` / ``process``, see
-  :mod:`repro.engine.executors`),
+  :mod:`repro.engine.executors`); the process backend evaluates specs on
+  a persistent shared-memory worker pool (:mod:`repro.engine.shm` /
+  :mod:`repro.engine.workers`) — spec columns and metric results travel
+  through named shared-memory segments, never the task pipe — while the
+  generic :meth:`EvaluationEngine.map` fan-out keeps a conventional
+  ``ProcessPoolExecutor`` for arbitrary picklable callables,
 * the shared bounded memoization cache keyed by ``(spec, model-params,
-  tech)`` (see :mod:`repro.engine.cache`), and
-* hit/miss/timing statistics exposed to results and reports.
+  tech)`` (see :mod:`repro.engine.cache`),
+* a cost-model-driven auto-chunker: a per-eval cost EMA (fed by every
+  backend) sizes chunks to ~:data:`TARGET_CHUNK_SECONDS` of work each
+  and refuses to dispatch chunks below the measured break-even size, and
+* hit/miss/timing statistics — including ``dispatch`` / ``worker`` /
+  ``serialize`` splits — exposed to results and reports.
 
 Determinism contract: for a fixed input order the engine returns results in
 exactly that order regardless of backend, so an NSGA-II run with a fixed
@@ -19,9 +28,10 @@ execution (the regression suite asserts this bit-identically).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.arch.batch import SpecBatch
 from repro.engine.cache import (
@@ -36,6 +46,10 @@ from repro.engine.executors import (
     resolve_workers,
     validate_backend,
 )
+from repro.engine.shm import SharedArena
+from repro.engine.workers import PersistentWorkerPool
+from repro.errors import WorkerCrashError
+from repro.model.estimator import MetricsArrays
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -56,6 +70,20 @@ class EngineStats:
             persistent result store (work amortized from past campaigns).
         store_writes: evaluations flushed to the persistent store.
         busy_seconds: wall-clock time spent inside engine calls.
+        dispatch_seconds: parent-side wall-clock of parallel submissions
+            *not* explained by ideally-parallel worker compute — i.e.
+            ``wall - worker_seconds / workers``, accumulated per
+            submission.  This is the scheduling/queueing overhead a
+            parallel backend pays; when it rivals ``worker_seconds`` the
+            batch is too cheap for the backend (pick serial).
+        worker_seconds: aggregate compute time inside backend workers
+            (in-thread for ``thread``, in-process for ``process``, the
+            evaluation call itself for ``serial``).  May exceed wall-clock
+            time — workers run concurrently.
+        serialize_seconds: time spent publishing batches into shared
+            memory and collecting result columns back out (``process``
+            backend only; the pickling-overhead axis the shared arena
+            exists to flatten).
     """
 
     backend: str
@@ -67,6 +95,9 @@ class EngineStats:
     store_hits: int = 0
     store_writes: int = 0
     busy_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    serialize_seconds: float = 0.0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -96,6 +127,11 @@ class EngineStats:
             store_hits=self.store_hits - baseline.store_hits,
             store_writes=self.store_writes - baseline.store_writes,
             busy_seconds=self.busy_seconds - baseline.busy_seconds,
+            dispatch_seconds=self.dispatch_seconds - baseline.dispatch_seconds,
+            worker_seconds=self.worker_seconds - baseline.worker_seconds,
+            serialize_seconds=(
+                self.serialize_seconds - baseline.serialize_seconds
+            ),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -110,34 +146,29 @@ class EngineStats:
             "store_hits": self.store_hits,
             "store_writes": self.store_writes,
             "busy_seconds": round(self.busy_seconds, 6),
+            "dispatch_seconds": round(self.dispatch_seconds, 6),
+            "worker_seconds": round(self.worker_seconds, 6),
+            "serialize_seconds": round(self.serialize_seconds, 6),
             "evaluations_per_second": round(self.evaluations_per_second, 1),
         }
 
 
-# -- process-pool work functions (module level for picklability) -------------
+# -- auto-chunking cost model -------------------------------------------------
 
-#: Per-worker estimator memo, keyed by the model-parameters cache key (plus
-#: the kernel flavour) so a long-lived pool serving several parameter
-#: bundles (sensitivity sweeps) builds each estimator once per worker
-#: instead of once per chunk.
-_WORKER_ESTIMATORS: Dict[tuple, object] = {}
+#: Target in-worker compute per chunk.  Large enough that queue round
+#: trips disappear in the noise, small enough that stragglers rebalance
+#: and progress stays visible (the ISSUE's 50-100 ms band).
+TARGET_CHUNK_SECONDS = 0.075
 
+#: Estimated fixed cost of shipping one chunk descriptor through the task
+#: queue and getting its completion back.  Break-even chunk size =
+#: ``overhead / per-eval cost``: below it a chunk costs more to dispatch
+#: than to compute inline.
+DISPATCH_OVERHEAD_SECONDS = 5e-4
 
-def _evaluate_batch_chunk(parameters, kernel: str, columns: tuple) -> list:
-    """Evaluate a shipped SpecBatch chunk, reusing a per-process estimator.
-
-    ``columns`` is the picklable array payload of
-    :meth:`~repro.arch.batch.SpecBatch.columns` — four NumPy integer
-    columns, far cheaper to pickle than N spec objects.
-    """
-    from repro.model.estimator import ACIMEstimator
-
-    key = (parameters_cache_key(parameters), kernel)
-    estimator = _WORKER_ESTIMATORS.get(key)
-    if estimator is None:
-        estimator = ACIMEstimator(parameters, kernel=kernel)
-        _WORKER_ESTIMATORS[key] = estimator
-    return estimator.evaluate_batch(SpecBatch(*columns))
+#: Break-even chunk size assumed before the cost model has a measurement
+#: (matches the vectorized analytic path within an order of magnitude).
+DEFAULT_BREAK_EVEN_SIZE = 16
 
 
 class EvaluationEngine:
@@ -175,6 +206,9 @@ class EvaluationEngine:
         self.cache = cache if cache is not None else shared_cache()
         self.chunk_size = chunk_size
         self._executor = None
+        self._pool: Optional[PersistentWorkerPool] = None
+        self._arena: Optional[SharedArena] = None
+        self._cost_per_eval: Optional[float] = None
         self._stats = EngineStats(backend=self.backend, workers=self.workers)
         self.store = store
         self.store_flush_size = max(1, store_flush_size)
@@ -190,12 +224,45 @@ class EvaluationEngine:
             self._executor = create_executor(self.backend, self.workers)
         return self._executor
 
+    def _ensure_pool(self) -> PersistentWorkerPool:
+        """The persistent shm worker pool, (re)built lazily.
+
+        A pool that lost a worker (crash) is discarded and replaced, so a
+        crash fails one submission, not the engine.
+        """
+        if self._pool is not None and not self._pool.healthy():
+            self._teardown_pool()
+        if self._pool is None:
+            self._pool = PersistentWorkerPool(self.workers)
+        return self._pool
+
+    def _ensure_arena(self) -> SharedArena:
+        if self._arena is None:
+            self._arena = SharedArena()
+        return self._arena
+
+    def _teardown_pool(self) -> None:
+        """Drop the pool *and* arena (straggler writes must never land in a
+        segment a later submission reuses)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
     def close(self) -> None:
-        """Flush the store buffer and shut the executor down (idempotent)."""
+        """Flush the store buffer and release every worker (idempotent).
+
+        Shuts down the generic executor, the persistent shm worker pool
+        and the shared-memory arena; the engine transparently rebuilds
+        them if it is used again.
+        """
         self.flush_store()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._teardown_pool()
 
     def flush_store(self) -> None:
         """Write buffered evaluations behind to the persistent store."""
@@ -203,6 +270,19 @@ class EvaluationEngine:
             self.store.put_many(self._store_buffer)
             self._stats.store_writes += len(self._store_buffer)
             self._store_buffer.clear()
+
+    def rehydrate(self) -> int:
+        """Re-hydrate the cache from the store; returns rows now warm.
+
+        Campaign sharding uses this: after shard workers commit their
+        grid slices through their own store connections, the parent
+        engine picks the fresh rows up without being rebuilt.
+        """
+        if self.store is None:
+            return 0
+        keys = self.store.hydrate(self.cache)
+        self._store_keys.update(keys)
+        return len(keys)
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -217,10 +297,82 @@ class EvaluationEngine:
         """Aggregate batch/cache/timing statistics of this engine."""
         return self._stats
 
-    def _chunk(self, count: int) -> int:
+    # -- cost model & auto-chunking -------------------------------------------
+
+    def _observe_cost(self, seconds: float, count: int) -> None:
+        """Fold a measured evaluation into the per-eval cost EMA.
+
+        Every backend feeds the model — a serial warm-up evaluation is
+        enough for the first process submission to chunk sensibly.
+        """
+        if count <= 0 or seconds <= 0.0:
+            return
+        sample = seconds / count
+        if self._cost_per_eval is None:
+            self._cost_per_eval = sample
+        else:
+            self._cost_per_eval = 0.5 * self._cost_per_eval + 0.5 * sample
+
+    def _break_even_size(self) -> int:
+        """Smallest chunk worth dispatching instead of evaluating inline.
+
+        ``dispatch overhead / measured per-eval cost``: cheaper analytic
+        evaluations push it up (ship big chunks or none at all), expensive
+        high-fidelity evaluations push it down to 1 (every item is worth
+        shipping).  Falls back to a static floor until measured.
+        """
+        cost = self._cost_per_eval
+        if cost is None or cost <= 0.0:
+            return DEFAULT_BREAK_EVEN_SIZE
+        return max(1, math.ceil(DISPATCH_OVERHEAD_SECONDS / cost))
+
+    def _chunk(self, count: int, floor: Optional[int] = None) -> int:
+        """Chunk size for a pool submission of ``count`` items.
+
+        Clamped below by ``floor`` so a small batch split across many
+        workers never degenerates into 1-item chunks whose dispatch costs
+        more than their compute.  ``map`` has no per-item cost model, so
+        its floor keeps every worker busy (``count / workers``) but caps
+        the fragment size.
+        """
         if self.chunk_size is not None:
             return max(1, self.chunk_size)
-        return max(1, count // (self.workers * 4) or 1)
+        even = count // (self.workers * 4) or 1
+        if floor is None:
+            floor = min(4, max(1, count // self.workers))
+        return max(1, floor, even)
+
+    def _plan_chunk(self, count: int) -> int:
+        """Cost-model-driven chunk size for a spec-evaluation submission.
+
+        Targets :data:`TARGET_CHUNK_SECONDS` of in-worker compute per
+        chunk, capped at an even per-worker split (all workers busy) and
+        floored at break-even (no chunk cheaper than its dispatch).
+        Before the first measurement it falls back to the legacy even
+        ``4 * workers`` split, break-even-clamped.
+        """
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        floor = self._break_even_size()
+        cost = self._cost_per_eval
+        if cost is not None and cost > 0.0:
+            target = max(1, int(TARGET_CHUNK_SECONDS / cost))
+            per_worker = math.ceil(count / self.workers)
+            return max(floor, min(target, per_worker))
+        return max(floor, count // (self.workers * 4) or 1)
+
+    def _ranges(self, count: int, chunk: int) -> List[Tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` chunk ranges; a sub-break-even tail is
+        merged into its predecessor rather than dispatched on its own."""
+        ranges = [
+            (lo, min(lo + chunk, count)) for lo in range(0, count, chunk)
+        ]
+        if len(ranges) > 1:
+            lo, hi = ranges[-1]
+            if hi - lo < self._break_even_size():
+                ranges[-2] = (ranges[-2][0], hi)
+                ranges.pop()
+        return ranges
 
     # -- generic parallel map -------------------------------------------------
 
@@ -318,31 +470,91 @@ class EvaluationEngine:
             self._stats.busy_seconds += time.perf_counter() - start
 
     def _compute(self, estimator, params, batch: SpecBatch) -> List:
-        """Evaluate a cache-miss SpecBatch on the configured backend, in order."""
+        """Evaluate a cache-miss SpecBatch on the configured backend, in order.
+
+        Chunk boundaries never change results — the model kernels are
+        elementwise — so serial, thread and process submissions of the
+        same batch are bit-identical (the backend-parity suite asserts
+        this through NSGA-II fronts).
+        """
         if self.backend == "serial" or len(batch) == 1:
-            return estimator.evaluate_batch(batch)
-        executor = self._ensure_executor()
-        chunksize = self._chunk(len(batch))
-        chunks = [
-            batch[i:i + chunksize] for i in range(0, len(batch), chunksize)
-        ]
+            return self._compute_serial(estimator, batch)
         if self.backend == "thread":
-            futures = [
-                executor.submit(estimator.evaluate_batch, chunk)
-                for chunk in chunks
-            ]
-        else:
-            kernel = getattr(estimator, "kernel", "vectorized")
-            futures = [
-                executor.submit(
-                    _evaluate_batch_chunk, params, kernel, chunk.columns()
-                )
-                for chunk in chunks
-            ]
-        results: List = []
-        for future in futures:
-            results.extend(future.result())
+            return self._compute_thread(estimator, batch)
+        return self._compute_process(estimator, params, batch)
+
+    def _compute_serial(self, estimator, batch: SpecBatch) -> List:
+        started = time.perf_counter()
+        results = estimator.evaluate_batch(batch)
+        elapsed = time.perf_counter() - started
+        self._stats.worker_seconds += elapsed
+        self._observe_cost(elapsed, len(batch))
         return results
+
+    def _compute_thread(self, estimator, batch: SpecBatch) -> List:
+        count = len(batch)
+        chunk = self._plan_chunk(count)
+        if chunk >= count:
+            return self._compute_serial(estimator, batch)
+        executor = self._ensure_executor()
+        started = time.perf_counter()
+        futures = [
+            executor.submit(_timed_evaluate, estimator, batch[lo:hi])
+            for lo, hi in self._ranges(count, chunk)
+        ]
+        results: List = []
+        worker_total = 0.0
+        for future in futures:
+            chunk_results, chunk_seconds = future.result()
+            results.extend(chunk_results)
+            worker_total += chunk_seconds
+        wall = time.perf_counter() - started
+        self._stats.worker_seconds += worker_total
+        self._stats.dispatch_seconds += max(
+            0.0, wall - worker_total / self.workers
+        )
+        self._observe_cost(worker_total, count)
+        return results
+
+    def _compute_process(self, estimator, params, batch: SpecBatch) -> List:
+        count = len(batch)
+        if count <= self._break_even_size():
+            # The whole batch is below break-even: a pool round trip would
+            # cost more than computing it here.
+            return self._compute_serial(estimator, batch)
+        pool = self._ensure_pool()
+        arena = self._ensure_arena()
+        kernel = getattr(estimator, "kernel", "vectorized")
+        publish_start = time.perf_counter()
+        ref = arena.publish(batch)
+        self._stats.serialize_seconds += time.perf_counter() - publish_start
+        ranges = self._ranges(count, self._plan_chunk(count))
+        dispatch_start = time.perf_counter()
+        try:
+            timings = pool.run(ranges, ref, params, kernel)
+        except WorkerCrashError:
+            # Live stragglers may still write into the arena; retire both
+            # so the next submission starts on clean segments.
+            self._teardown_pool()
+            raise
+        wall = time.perf_counter() - dispatch_start
+        worker_total = sum(timings.values())
+        self._stats.worker_seconds += worker_total
+        self._stats.dispatch_seconds += max(
+            0.0, wall - worker_total / self.workers
+        )
+        self._observe_cost(worker_total, count)
+        collect_start = time.perf_counter()
+        columns = arena.collect(count)
+        self._stats.serialize_seconds += time.perf_counter() - collect_start
+        return MetricsArrays(batch=batch, **columns).to_metrics()
+
+
+def _timed_evaluate(estimator, chunk: SpecBatch) -> tuple:
+    """(results, seconds) of one thread-backend chunk evaluation."""
+    started = time.perf_counter()
+    results = estimator.evaluate_batch(chunk)
+    return results, time.perf_counter() - started
 
 
 def default_engine() -> EvaluationEngine:

@@ -1,0 +1,220 @@
+"""Shared-memory publication of SpecBatch columns and result buffers.
+
+The process backend's unit of exchange used to be pickled column arrays:
+every chunk shipped its ``(H, W, L, B_ADC)`` columns through the
+``ProcessPoolExecutor`` pipe and received a pickled list of metrics records
+back.  With the vectorized model core an analytic evaluation costs ~20 us,
+so that per-chunk serialization came to *dominate* the work
+(``BENCH_engine.json`` recorded the process backend losing to serial).
+
+:class:`SharedArena` removes the spec payload from the pipe entirely.  The
+parent publishes a whole miss batch **once** per submission into a named
+``multiprocessing.shared_memory`` segment (four int64 spec columns) and
+allocates a sibling result segment (eight float64 metric columns, in
+:data:`~repro.model.estimator.METRIC_FIELDS` order).  Workers receive only
+a tiny ``(segment names, lo, hi)`` descriptor, map the segments, evaluate
+their row range as zero-copy :class:`~repro.arch.batch.SpecBatch` views
+and write the metric columns straight into the result segment — nothing
+spec- or metrics-shaped ever crosses a pipe in either direction.
+
+Segments are reused across submissions and grown geometrically when a
+batch exceeds the arena capacity, so a long-lived engine performs O(1)
+allocations over its lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.batch import SpecBatch
+from repro.model.estimator import METRIC_FIELDS
+
+#: Spec columns per design point (H, W, L, B_ADC), int64 each.
+SPEC_COLUMNS = 4
+#: Metric columns per design point, float64 each (METRIC_FIELDS order).
+RESULT_COLUMNS = len(METRIC_FIELDS)
+#: Default arena capacity in design points; grown geometrically on demand.
+DEFAULT_ARENA_ROWS = 4096
+
+_SPEC_DTYPE = np.int64
+_RESULT_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class BatchRef:
+    """Work descriptor of one published batch: names + geometry, no data.
+
+    This is everything a worker needs to locate a batch — the whole
+    point is that it pickles in a few dozen bytes regardless of how many
+    design points the segments hold.
+
+    Attributes:
+        spec_name: shared-memory segment holding the int64 spec columns.
+        result_name: sibling segment receiving the float64 metric columns.
+        rows: number of valid design points in this submission.
+        capacity: allocated rows per column (the segment stride).
+    """
+
+    spec_name: str
+    result_name: str
+    rows: int
+    capacity: int
+
+
+def attach_spec_columns(name: str, capacity: int) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map a published spec segment as a ``(4, capacity)`` int64 array.
+
+    Returns the segment handle (the caller owns closing it) and the array
+    view.  Used by pool workers; the attachment is unregistered from this
+    process's resource tracker so a worker exiting can never unlink a
+    segment the parent still owns (CPython registers attachments too until
+    3.13).
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    _untrack(segment)
+    view = np.frombuffer(
+        segment.buf, dtype=_SPEC_DTYPE, count=SPEC_COLUMNS * capacity
+    ).reshape(SPEC_COLUMNS, capacity)
+    return segment, view
+
+
+def attach_result_columns(name: str, capacity: int) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map a result segment as a ``(8, capacity)`` float64 array (see above)."""
+    segment = shared_memory.SharedMemory(name=name)
+    _untrack(segment)
+    view = np.frombuffer(
+        segment.buf, dtype=_RESULT_DTYPE, count=RESULT_COLUMNS * capacity
+    ).reshape(RESULT_COLUMNS, capacity)
+    return segment, view
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Unregister an *attachment* from this process's resource tracker.
+
+    Only the creating process may unlink a segment; under ``spawn`` a
+    worker has its *own* tracker, which would reclaim segments the parent
+    is still serving the moment the worker exits (fixed upstream only in
+    Python 3.13's ``track=False``).  Under ``fork`` the tracker process is
+    shared with the parent — the attach-side registration deduplicates
+    into the parent's entry, so unregistering here would strand the
+    parent's unlink bookkeeping instead; leave it alone.
+    """
+    try:  # pragma: no cover - defensive against stdlib internals moving
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArena:
+    """Reusable shared-memory staging area for batch submissions.
+
+    One arena serves one engine: :meth:`publish` copies a miss batch's
+    columns in (the only copy the parent ever makes) and returns the
+    :class:`BatchRef` descriptor; after the pool reports completion,
+    :meth:`collect` copies the metric columns back out.  Capacity grows
+    geometrically, so segment (re-)allocation is amortized O(1).
+
+    Args:
+        initial_rows: starting capacity in design points.
+    """
+
+    def __init__(self, initial_rows: int = DEFAULT_ARENA_ROWS) -> None:
+        self._initial_rows = max(1, initial_rows)
+        self._capacity = 0
+        self._specs: Optional[shared_memory.SharedMemory] = None
+        self._results: Optional[shared_memory.SharedMemory] = None
+        self._spec_view: Optional[np.ndarray] = None
+        self._result_view: Optional[np.ndarray] = None
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rows per column (0 before the first publication)."""
+        return self._capacity
+
+    def publish(self, batch: SpecBatch) -> BatchRef:
+        """Stage a batch's columns into shared memory, growing if needed."""
+        rows = len(batch)
+        self._ensure_capacity(rows)
+        assert self._spec_view is not None
+        for index, column in enumerate(batch.columns()):
+            self._spec_view[index, :rows] = column
+        return BatchRef(
+            spec_name=self._specs.name,
+            result_name=self._results.name,
+            rows=rows,
+            capacity=self._capacity,
+        )
+
+    def collect(self, rows: int) -> Dict[str, np.ndarray]:
+        """Copy the first ``rows`` of every metric column out of the arena.
+
+        Returns ``{metric field: float64 array}`` in
+        :data:`~repro.model.estimator.METRIC_FIELDS` order.  The copies are
+        owned by the caller, so the arena can be republished immediately.
+        """
+        assert self._result_view is not None
+        return {
+            name: np.array(self._result_view[index, :rows])
+            for index, name in enumerate(METRIC_FIELDS)
+        }
+
+    def _ensure_capacity(self, rows: int) -> None:
+        if rows <= self._capacity and self._specs is not None:
+            return
+        capacity = max(rows, self._capacity * 2, self._initial_rows)
+        self._release()
+        self._specs = shared_memory.SharedMemory(
+            create=True,
+            size=SPEC_COLUMNS * capacity * np.dtype(_SPEC_DTYPE).itemsize,
+        )
+        self._results = shared_memory.SharedMemory(
+            create=True,
+            size=RESULT_COLUMNS * capacity * np.dtype(_RESULT_DTYPE).itemsize,
+        )
+        self._spec_view = np.frombuffer(
+            self._specs.buf, dtype=_SPEC_DTYPE
+        ).reshape(SPEC_COLUMNS, capacity)
+        self._result_view = np.frombuffer(
+            self._results.buf, dtype=_RESULT_DTYPE
+        ).reshape(RESULT_COLUMNS, capacity)
+        self._capacity = capacity
+
+    def _release(self) -> None:
+        # NumPy views export the segment buffers; drop them before closing
+        # or mmap refuses to unmap.
+        self._spec_view = None
+        self._result_view = None
+        for segment in (self._specs, self._results):
+            if segment is None:
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._specs = None
+        self._results = None
+        self._capacity = 0
+
+    def close(self) -> None:
+        """Unlink both segments (idempotent).
+
+        Workers still holding old mappings keep valid memory until they
+        drop them — POSIX unlink only removes the name.
+        """
+        self._release()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,368 @@
+"""Persistent worker processes serving shared-memory batch evaluations.
+
+:class:`PersistentWorkerPool` is the execution half of the process
+backend's shared-memory redesign (:mod:`repro.engine.shm` is the data
+half).  Workers are spawned once per engine and live until
+:meth:`~repro.engine.engine.EvaluationEngine.close`; each holds a warm
+:class:`~repro.model.estimator.ACIMEstimator` per model-parameter bundle,
+so neither interpreter startup nor estimator construction is ever paid per
+chunk.  A chunk of work travels as a :class:`ChunkTask` — a
+:class:`~repro.engine.shm.BatchRef` plus a ``[lo, hi)`` row range — and
+the metric columns come back through the shared result segment, so the
+task/result queues only ever carry descriptors and timings.
+
+Failure behavior (the part thread pools get for free and process pools
+must earn):
+
+* **Worker crash** (segfault, OOM kill, ``kill -9``): the parent's result
+  wait never blocks indefinitely — it polls worker liveness and raises
+  :class:`~repro.errors.WorkerCrashError` naming the unfinished shard
+  ranges.  The engine discards the broken pool and builds a fresh one on
+  the next submission.
+* **Parent crash**: workers are daemons *and* watch their parent — the
+  task-queue wait uses a timeout, and a worker exits on its own when
+  ``multiprocessing.parent_process()`` is gone.  The daemon flag alone
+  does not cover a parent killed with ``SIGKILL`` (the multiprocessing
+  atexit hook never runs), so both mechanisms are load-bearing; the
+  orphan-process test exercises the hard-kill path.
+* **Evaluation error** (e.g. an infeasible spec): the original exception
+  is shipped back and re-raised in the parent after the submission's
+  remaining chunks have drained, so a later submission can never collide
+  with stragglers still writing to the arena.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.shm import (
+    BatchRef,
+    SPEC_COLUMNS,
+    attach_result_columns,
+    attach_spec_columns,
+)
+from repro.errors import EngineError, WorkerCrashError
+
+#: Seconds a worker blocks on the task queue before re-checking that its
+#: parent process is still alive (the orphan-prevention heartbeat).
+PARENT_POLL_SECONDS = 1.0
+#: Parent-side result-queue poll interval; each timeout doubles as a
+#: worker-liveness check, bounding crash-detection latency.
+RESULT_POLL_SECONDS = 0.05
+#: Grace period for workers to drain the shutdown sentinel before the
+#: pool escalates to ``terminate()``.
+JOIN_TIMEOUT_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One unit of pool work: evaluate rows ``[lo, hi)`` of a published batch.
+
+    Everything here pickles in constant size — the spec data itself stays
+    in the shared segments named by ``ref``.
+
+    Attributes:
+        task_id: submission-unique id (monotonic across the pool lifetime,
+            so stale results from an abandoned submission can never be
+            mistaken for current ones).
+        lo: first batch row of this chunk.
+        hi: one past the last batch row.
+        ref: location/geometry of the published batch.
+        parameters: the :class:`~repro.model.estimator.ModelParameters`
+            bundle (small, pickled once per chunk; workers memoize the
+            estimator built from it).
+        kernel: estimator kernel flavour (``vectorized``/``reference``).
+    """
+
+    task_id: int
+    lo: int
+    hi: int
+    ref: BatchRef
+    parameters: object
+    kernel: str
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: attach, evaluate, write results, report timing.
+
+    Runs until a ``None`` sentinel arrives or the parent process
+    disappears.  Segment attachments and estimators are memoized across
+    tasks — the whole point of pool persistence.
+    """
+    attachments: Dict[str, tuple] = {}
+    estimators: Dict[tuple, object] = {}
+    while True:
+        try:
+            task = task_queue.get(timeout=PARENT_POLL_SECONDS)
+        except queue.Empty:
+            parent = multiprocessing.parent_process()
+            if parent is None or not parent.is_alive():
+                break
+            continue
+        except (EOFError, OSError):  # queue torn down under us
+            break
+        if task is None:
+            break
+        result_queue.put(_process_task(task, attachments, estimators))
+    _detach_all(attachments)
+
+
+def _process_task(task: "ChunkTask", attachments: Dict, estimators: Dict) -> tuple:
+    """Evaluate one chunk, returning the queue reply.
+
+    Kept out of the worker loop so segment views never linger as loop
+    frame locals — they must all be droppable for detach to unmap.
+    """
+    started = time.perf_counter()
+    try:
+        spec_view = _attached_view(
+            attachments, "specs", task.ref.spec_name, task.ref.capacity,
+            attach_spec_columns,
+        )
+        result_view = _attached_view(
+            attachments, "results", task.ref.result_name,
+            task.ref.capacity, attach_result_columns,
+        )
+        estimator = _estimator_for(estimators, task.parameters, task.kernel)
+        columns = _evaluate_rows(estimator, spec_view, task.lo, task.hi)
+        for row_index, column in enumerate(columns):
+            result_view[row_index, task.lo:task.hi] = column
+        return ("done", task.task_id, time.perf_counter() - started)
+    except BaseException as exc:  # ship *any* failure back, never die
+        return ("error", task.task_id, _portable_exception(exc))
+
+
+def _attached_view(attachments: Dict, role: str, name: str, capacity: int, attach):
+    """The memoized segment view for ``role``, re-attaching when the arena grew."""
+    cached = attachments.get(role)
+    if cached is not None and cached[0] == name:
+        return cached[2]
+    if cached is not None:
+        _drop_attachment(attachments, role)
+    segment, view = attach(name, capacity)
+    attachments[role] = (name, segment, view)
+    return view
+
+
+def _drop_attachment(attachments: Dict, role: str) -> None:
+    # The NumPy view exports the segment buffer; every reference to it
+    # must be gone before close() can unmap (else a BufferError surfaces
+    # from SharedMemory.__del__ at interpreter shutdown).
+    _, segment, view = attachments.pop(role)
+    del view
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - best-effort unmap
+        pass
+
+
+def _detach_all(attachments: Dict) -> None:
+    for role in list(attachments):
+        _drop_attachment(attachments, role)
+
+
+def _estimator_for(estimators: Dict, parameters, kernel: str):
+    """The warm per-process estimator for a parameter bundle (built once)."""
+    from repro.engine.cache import parameters_cache_key
+    from repro.model.estimator import ACIMEstimator
+
+    key = (parameters_cache_key(parameters), kernel)
+    estimator = estimators.get(key)
+    if estimator is None:
+        estimator = ACIMEstimator(parameters, kernel=kernel)
+        estimators[key] = estimator
+    return estimator
+
+
+def _evaluate_rows(estimator, spec_view, lo: int, hi: int) -> List:
+    """Metric columns (METRIC_FIELDS order) for rows ``[lo, hi)``.
+
+    The sub-batch is a zero-copy view over the shared spec segment; the
+    vectorized kernels read it in place.  The reference kernel (scalar
+    parity path) materialises records and re-columnises them — identical
+    floats either way, so backend parity tests hold for both kernels.
+    """
+    import numpy as np
+
+    from repro.arch.batch import SpecBatch
+    from repro.model.estimator import METRIC_FIELDS
+
+    batch = SpecBatch.from_columns(
+        tuple(spec_view[index, lo:hi] for index in range(SPEC_COLUMNS))
+    )
+    if getattr(estimator, "kernel", "vectorized") == "reference":
+        records = estimator.evaluate_batch(batch)
+        return [
+            np.array([getattr(record, name) for record in records])
+            for name in METRIC_FIELDS
+        ]
+    arrays = estimator.evaluate_arrays(batch)
+    return [getattr(arrays, name) for name in METRIC_FIELDS]
+
+
+def _portable_exception(exc: BaseException) -> Exception:
+    """``exc`` if it survives a pickle round-trip, else a wrapped summary."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc if isinstance(exc, Exception) else EngineError(repr(exc))
+    except Exception:
+        return EngineError(f"worker evaluation failed: {exc!r}")
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the parent's shared-memory resource tracker *before* forking.
+
+    Under ``fork``, workers reuse an already-running parent tracker — but
+    if none exists at fork time, each worker's first segment attach spawns
+    a private tracker that outlives the worker just long enough to warn
+    about "leaked" segments it never owned (the parent unlinks them).
+    Starting the tracker up front makes every fork inherit it.
+    """
+    try:  # pragma: no cover - trivially version-dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+# -- parent-side pool ----------------------------------------------------------
+
+
+class PersistentWorkerPool:
+    """A fixed set of long-lived daemon workers fed by descriptor queues.
+
+    Args:
+        workers: number of worker processes (spawned immediately).
+        context: a ``multiprocessing`` context; defaults to the platform
+            default (``fork`` on Linux, so workers inherit the parent's
+            imported modules for free).
+    """
+
+    def __init__(self, workers: int, context=None) -> None:
+        self._ctx = context or multiprocessing.get_context()
+        _ensure_resource_tracker()
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._next_task_id = 0
+        self._closed = False
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results),
+                daemon=True,
+                name=f"repro-engine-worker-{index}",
+            )
+            for index in range(max(1, workers))
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def workers(self) -> int:
+        """Configured pool width."""
+        return len(self._procs)
+
+    @property
+    def worker_pids(self) -> List[Optional[int]]:
+        """PIDs of the worker processes (for lifecycle tests)."""
+        return [proc.pid for proc in self._procs]
+
+    def healthy(self) -> bool:
+        """True while the pool is open and every worker is alive."""
+        return not self._closed and all(p.is_alive() for p in self._procs)
+
+    def run(
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        ref: BatchRef,
+        parameters,
+        kernel: str,
+    ) -> Dict[Tuple[int, int], float]:
+        """Dispatch row ranges of a published batch and await completion.
+
+        Returns per-range in-worker compute seconds.  Raises
+        :class:`~repro.errors.WorkerCrashError` (listing unfinished
+        ranges) when a worker dies, or the original evaluation exception
+        after all of this submission's chunks have settled.
+        """
+        if self._closed:
+            raise EngineError("worker pool is closed")
+        pending: Dict[int, Tuple[int, int]] = {}
+        for lo, hi in ranges:
+            task = ChunkTask(
+                task_id=self._next_task_id, lo=lo, hi=hi, ref=ref,
+                parameters=parameters, kernel=kernel,
+            )
+            self._next_task_id += 1
+            pending[task.task_id] = (lo, hi)
+            self._tasks.put(task)
+        timings: Dict[Tuple[int, int], float] = {}
+        first_error: Optional[Exception] = None
+        while pending:
+            try:
+                kind, task_id, payload = self._results.get(
+                    timeout=RESULT_POLL_SECONDS
+                )
+            except queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead:
+                    raise WorkerCrashError(
+                        "worker process"
+                        f"{'es' if len(dead) > 1 else ''} "
+                        + ", ".join(
+                            f"pid {p.pid} (exitcode {p.exitcode})"
+                            for p in dead
+                        )
+                        + " died with shard ranges "
+                        + str(sorted(pending.values()))
+                        + " unfinished",
+                        failed_ranges=sorted(pending.values()),
+                    )
+                continue
+            if task_id not in pending:
+                continue  # straggler from an abandoned submission
+            span = pending.pop(task_id)
+            if kind == "done":
+                timings[span] = payload
+            elif first_error is None:
+                first_error = payload
+        if first_error is not None:
+            raise first_error
+        return timings
+
+    def close(self) -> None:
+        """Sentinel every worker out, escalating to terminate (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                break
+        deadline = time.monotonic() + JOIN_TIMEOUT_SECONDS
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            q.cancel_join_thread()
+            q.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -94,6 +94,12 @@ def engine_stats_table(stats: Dict[str, float]) -> List[Dict]:
     Consumes the ``engine_stats`` attached to :class:`ExplorationResult`
     and :class:`FlowResult`; column order keeps the throughput figures
     (evaluations/sec) next to the cache effectiveness (hits vs computed).
+    The timing splits make backend overhead visible in the report itself:
+    ``worker_s`` is aggregate in-worker compute, ``dispatch_s`` is parent
+    wall-clock not explained by ideally-parallel workers (scheduling and
+    queueing), ``serialize_s`` is shared-memory publish/collect time —
+    when ``dispatch_s`` rivals ``worker_s``, the batches are too cheap
+    for the parallel backend and serial wins.
     """
     if not stats:
         return []
@@ -107,6 +113,9 @@ def engine_stats_table(stats: Dict[str, float]) -> List[Dict]:
         "store_hits": stats.get("store_hits", 0),
         "store_writes": stats.get("store_writes", 0),
         "busy_s": stats.get("busy_seconds", 0.0),
+        "dispatch_s": stats.get("dispatch_seconds", 0.0),
+        "worker_s": stats.get("worker_seconds", 0.0),
+        "serialize_s": stats.get("serialize_seconds", 0.0),
         "evals_per_s": stats.get("evaluations_per_second", 0.0),
     }]
 

@@ -163,6 +163,13 @@ class TestRequestValidation:
         with pytest.raises(StoreError):
             CampaignRequest(name="x", checkpoint_every=0).validate()
 
+    def test_campaign_shards_validated(self):
+        with pytest.raises(RequestError, match="shards"):
+            CampaignRequest(name="x", shards=0).validate()
+        with pytest.raises(RequestError, match="shards only applies"):
+            CampaignRequest(name="x", action="resume", shards=2).validate()
+        CampaignRequest(name="x", shards=2).validate()
+
     def test_small_flow_array_raises_flow_error(self):
         with pytest.raises(FlowError):
             FlowRequest(array_size=8).validate()

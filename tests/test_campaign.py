@@ -208,6 +208,75 @@ class TestCampaignResume:
         assert values == sorted(values, reverse=True)
 
 
+class TestShardedCampaign:
+    def test_sharded_front_is_bit_identical(self, store, reference_pareto):
+        # Pre-warming cannot change results: evaluation is pure and never
+        # consumes optimiser RNG, so the sharded front matches the
+        # uninterrupted serial run bit-for-bit.
+        reset_shared_cache()
+        result = _CampaignManagerCore(store).run(
+            "sharded", ARRAY_SIZE, config=CONFIG, shards=2
+        )
+        assert result.status == "completed"
+        assert _pareto_signature(result.pareto_set) == reference_pareto
+        assert result.shard_stats["shards"] == 2
+        # The shards committed exactly the feasible grid, and the
+        # optimisation leg then ran on warm store hits.
+        grid = ACIMDesignProblem(ARRAY_SIZE).feasible_batch()
+        assert result.shard_stats["points"] == len(grid)
+        assert len(store) == len(grid)
+        assert result.engine_stats["store_hits"] > 0
+
+    def test_sharded_store_rows_match_serial_full_grid(self, tmp_path):
+        # The row-count equivalence behind `make shard-smoke`: a sharded
+        # campaign leaves behind the same store rows as serially
+        # evaluating the full feasible grid.
+        reset_shared_cache()
+        serial_path = tmp_path / "serial.sqlite"
+        with ResultStore(serial_path) as serial_store:
+            problem = ACIMDesignProblem(ARRAY_SIZE)
+            from repro.engine import EvaluationCache, EvaluationEngine
+
+            with EvaluationEngine(
+                "serial", cache=EvaluationCache(), store=serial_store
+            ) as engine:
+                engine.evaluate_specs(
+                    ACIMEstimator(), problem.feasible_batch()
+                )
+            serial_rows = len(serial_store)
+        reset_shared_cache()
+        with ResultStore(tmp_path / "sharded.sqlite") as sharded_store:
+            _CampaignManagerCore(sharded_store).run(
+                "smoke", ARRAY_SIZE, config=CONFIG, shards=2
+            )
+            assert len(sharded_store) == serial_rows
+
+    def test_sharded_needs_file_backed_store(self):
+        with ResultStore(":memory:") as store:
+            with pytest.raises(StoreError, match="file-backed"):
+                _CampaignManagerCore(store).run(
+                    "mem", ARRAY_SIZE, config=CONFIG, shards=2
+                )
+            # The rejection happens before the campaign row is created.
+            assert store.get_campaign("mem") is None
+
+    def test_invalid_shard_count_rejected(self, store):
+        with pytest.raises(StoreError, match="at least 1"):
+            _CampaignManagerCore(store).run(
+                "bad", ARRAY_SIZE, config=CONFIG, shards=0
+            )
+
+    def test_plan_shards_never_empty(self):
+        from repro.dse.shard import plan_shards
+
+        assert plan_shards(0, 4) == []
+        assert plan_shards(2, 8) == [(0, 1), (1, 2)]
+        ranges = plan_shards(220, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 220
+        assert all(lo < hi for lo, hi in ranges)
+        assert [lo for lo, _ in ranges[1:]] == [hi for _, hi in ranges[:-1]]
+
+
 class TestFlowRecording:
     def test_flow_records_campaign_and_pareto(self, store):
         # Cold shared cache so the flow actually computes (and therefore
