@@ -10,6 +10,9 @@
 #                          run, front bit-identical to the unsharded twin
 #   make physical-smoke    two-design flow with macro reuse on: >= 1 macro
 #                          cache hit and byte-identical GDSII vs reuse-off
+#   make trace-smoke       quickstart-sized flow under `repro trace`: the
+#                          exported Chrome trace must parse and nest api +
+#                          engine + chunk + physical-pipeline spans
 #   make physical-bench-smoke CI-sized physical-pipeline benchmark (5x warm-reuse
 #                          gate, auto-relaxed on 1-core hosts, no write)
 #   make physical-bench    full physical-pipeline benchmark, records
@@ -25,7 +28,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke trace-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +48,9 @@ shard-smoke:
 physical-smoke:
 	$(PYTHON) examples/physical_smoke.py
 
+trace-smoke:
+	$(PYTHON) examples/trace_smoke.py
+
 physical-bench-smoke:
 	$(PYTHON) benchmarks/bench_physical_pipeline.py --quick
 
@@ -63,4 +69,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke model-bench-smoke physical-bench-smoke
+ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke trace-smoke model-bench-smoke physical-bench-smoke

@@ -63,17 +63,20 @@ def _spec_pool(count: int):
     return specs[:count]
 
 
-def analytic_throughput(workers: int, repeats: int = 3) -> dict:
+def analytic_throughput(workers: int, repeats: int = 3) -> tuple:
     """Evaluations/sec of the analytic model per (batch size, backend).
 
-    Returns ``(matrix, splits)`` where ``splits`` holds the per-backend
-    timing decomposition (dispatch / worker / serialize seconds) of the
-    largest-batch runs — the numbers that show *where* a backend's time
-    goes, not just how fast it went.
+    Returns ``(matrix, splits, metrics)``: ``splits`` holds the
+    per-backend timing decomposition (dispatch / worker / serialize
+    seconds) of the largest-batch runs — the numbers that show *where* a
+    backend's time goes, not just how fast it went — and ``metrics`` is
+    each backend's full engine metric snapshot (the
+    ``docs/observability.md`` catalogue) at the end of its runs.
     """
     estimator = ACIMEstimator()
     matrix = {}
     splits = {}
+    metrics = {}
     largest = max(BATCH_SIZES)
     # One long-lived engine per backend, reused across batch sizes — the
     # deployment shape the persistent worker pool is built for (spawn
@@ -109,7 +112,8 @@ def analytic_throughput(workers: int, repeats: int = 3) -> dict:
                             "serialize_seconds",
                         )
                     }
-    return matrix, splits
+            metrics[backend] = engine.metrics.snapshot()
+    return matrix, splits, metrics
 
 
 def _noop(value):
@@ -241,9 +245,10 @@ def main(argv=None) -> int:
     }
 
     print(f"[1/3] analytic throughput (batch x backend, {args.workers} workers)")
-    matrix, splits = analytic_throughput(args.workers)
+    matrix, splits, metric_snapshots = analytic_throughput(args.workers)
     record["analytic_evals_per_sec"] = matrix
     record["analytic_timing_splits"] = splits
+    record["metrics"] = metric_snapshots
     for key, value in matrix.items():
         print(f"    {key:>18}: {value:>12.1f} evals/s")
     for backend, split in splits.items():

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.errors import RequestError
 
@@ -38,6 +38,12 @@ class ApiResult:
         warnings: non-fatal notes (skipped infeasible points, ...).
         engine_stats: evaluation-engine statistics of this call.
         runtime_seconds: wall-clock of this call (monotonic clock).
+        metrics: per-request delta of the session metrics registry
+            (``repro.obs`` names -> values; histograms as documents).
+            Superset of ``engine_stats`` — that view is kept for
+            compatibility, this one carries every instrumented subsystem.
+        trace_id: id of the active trace during this call (None when
+            tracing was disabled).
         artifacts: rich in-process objects backing the payload; excluded
             from :meth:`to_dict` and from equality.
     """
@@ -48,6 +54,8 @@ class ApiResult:
     warnings: List[str] = field(default_factory=list)
     engine_stats: Dict[str, Any] = field(default_factory=dict)
     runtime_seconds: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
     artifacts: Dict[str, Any] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -66,6 +74,8 @@ class ApiResult:
             "warnings": list(self.warnings),
             "engine_stats": dict(self.engine_stats),
             "runtime_seconds": self.runtime_seconds,
+            "metrics": dict(self.metrics),
+            "trace_id": self.trace_id,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -83,7 +93,7 @@ class ApiResult:
         unknown = sorted(
             set(data)
             - {"kind", "status", "payload", "warnings", "engine_stats",
-               "runtime_seconds"}
+               "runtime_seconds", "metrics", "trace_id"}
         )
         if unknown:
             raise RequestError(

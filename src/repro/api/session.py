@@ -62,6 +62,7 @@ from repro.engine import EvaluationCache, EvaluationEngine, validate_backend
 from repro.errors import EngineError, RequestError, StoreError, TechnologyError
 from repro.flow.controller import FlowInputs, _FlowCore
 from repro.model.estimator import ACIMEstimator, ModelParameters
+from repro.obs import MetricsRegistry, get_tracer
 from repro.physical.macro_library import MACRO_STAGE
 from repro.physical.pipeline import PhysicalPipeline
 from repro.store.campaign import _CampaignManagerCore
@@ -170,10 +171,20 @@ class Session:
         store: Optional[ResultStore] = None,
     ) -> None:
         self.config = (config or SessionConfig()).validate()
+        # One registry spans the whole session: the engine, the store and
+        # the physical pipeline all record into it, so submit() can attach
+        # a single cross-subsystem metrics delta to each result.  A
+        # borrowed engine brings its own registry (its owner may already
+        # be diffing it); the session joins rather than replaces it.
+        self.metrics: MetricsRegistry = (
+            engine.metrics if engine is not None else MetricsRegistry()
+        )
         self._owns_store = store is None and self.config.store is not None
         self.store: Optional[ResultStore] = store
         if self._owns_store:
-            self.store = ResultStore(self.config.store)
+            self.store = ResultStore(self.config.store, metrics=self.metrics)
+        elif store is not None and store.metrics is None:
+            store.metrics = self.metrics
         try:
             self.estimator = estimator or ACIMEstimator(
                 ModelParameters.calibrated()
@@ -189,6 +200,7 @@ class Session:
                     else None
                 ),
                 store=self.store,
+                metrics=self.metrics,
             )
         except BaseException:
             # Engine/estimator construction failed (e.g. corrupt store rows
@@ -257,7 +269,9 @@ class Session:
         (``docs/physical.md``).
         """
         if self._pipeline is None:
-            self._pipeline = PhysicalPipeline(self.library, store=self.store)
+            self._pipeline = PhysicalPipeline(
+                self.library, store=self.store, metrics=self.metrics
+            )
         return self._pipeline
 
     def _require_store(self, kind: str) -> ResultStore:
@@ -309,16 +323,30 @@ class Session:
     # -- dispatch -------------------------------------------------------------
 
     def submit(self, request: Union[ApiRequest, dict]) -> ApiResult:
-        """Execute any request (typed object or its dict form)."""
+        """Execute any request (typed object or its dict form).
+
+        The result carries a per-request delta of the session metrics
+        registry (:attr:`ApiResult.metrics`) and, when tracing is
+        enabled, the active trace id — the whole request runs inside an
+        ``api.<kind>`` root span.
+        """
         if isinstance(request, dict):
             request = request_from_dict(request)
-        handler = self._HANDLERS.get(type(request).kind)
+        kind = type(request).kind
+        handler = self._HANDLERS.get(kind)
         if handler is None:
             raise RequestError(
                 f"session cannot handle request kind "
                 f"{getattr(type(request), 'kind', None)!r}"
             )
-        return handler(self, request)
+        tracer = get_tracer()
+        before = self.metrics.snapshot()
+        with tracer.span(f"api.{kind}"):
+            result = handler(self, request)
+        result.metrics = self.metrics.since(before)
+        if tracer.enabled:
+            result.trace_id = tracer.trace_id
+        return result
 
     # -- workflows ------------------------------------------------------------
 
@@ -563,6 +591,7 @@ class Session:
             payload = {
                 "store": store.stats(),
                 "campaigns": [record.as_dict() for record in records],
+                "run_metrics": store.list_run_metrics(),
             }
             return self._finish(
                 request.kind, start, baseline, payload,

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign run nightly --store results.sqlite --array-size 16384
     python -m repro campaign resume nightly --store results.sqlite
     python -m repro campaign query --store results.sqlite --min-snr-db 20
+    python -m repro metrics --store results.sqlite
+    python -m repro trace --trace-out flow.json -- flow --array-size 1024
 
 Every subcommand is a thin adapter over :mod:`repro.api`: it builds one
 typed, JSON-serializable request, submits it to a
@@ -51,11 +53,22 @@ from repro.flow.report import (
     format_table,
     pareto_summary,
 )
+from repro.obs import (
+    configure_tracing,
+    export_chrome,
+    export_jsonl,
+    get_tracer,
+)
 from repro.reporting.ascii_plots import render_pareto_front
 from repro.reporting.campaigns import (
     campaign_table,
     store_summary_table,
     stored_design_table,
+)
+from repro.reporting.observability import (
+    campaign_trend_table,
+    metrics_table,
+    run_metrics_table,
 )
 from repro.reporting.export import export_csv
 from repro.reporting.physical import macro_table, physical_stats_table
@@ -90,6 +103,12 @@ def _session_parent() -> argparse.ArgumentParser:
                        help="emit the result envelope as JSON: bare --json "
                             "prints it to stdout instead of the tables, "
                             "--json PATH writes it to a file alongside them")
+    group.add_argument("--trace", type=Path, default=None,
+                       metavar="PATH", dest="trace_out",
+                       help="record a trace of this invocation: .jsonl "
+                            "writes one span per line, any other suffix "
+                            "writes Chrome trace_event JSON loadable in "
+                            "Perfetto / chrome://tracing (docs/observability.md)")
     return parent
 
 
@@ -270,6 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--trials", type=int, default=800)
     validate.set_defaults(handler=_cmd_validate_snr)
 
+    metrics = subparsers.add_parser(
+        "metrics", parents=[parent],
+        help="per-campaign run metrics and trends from the store "
+             "(docs/observability.md)")
+    metrics.add_argument("--campaign", default=None,
+                         help="restrict to one campaign's recorded runs")
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run any repro command under tracing and export the trace")
+    trace.add_argument("--trace-out", type=Path, dest="out_path",
+                       default=Path("repro_trace.json"), metavar="PATH",
+                       help="trace file to write (.jsonl: one span per "
+                            "line; otherwise Chrome trace_event JSON for "
+                            "Perfetto / chrome://tracing)")
+    trace.add_argument("cmd", nargs=argparse.REMAINDER,
+                       help="the repro command to run (separate with --, "
+                            "e.g. repro trace -- flow --array-size 1024)")
+    trace.set_defaults(handler=_cmd_trace)
+
     return parser
 
 
@@ -328,7 +368,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         max_area_f2_per_bit=args.max_area,
     )
     with _session_from_args(args) as session:
-        result = session.explore(request)
+        result = session.submit(request)
     json_only = _emit_json(result, args)
     if args.method == "sensitivity":
         if json_only:
@@ -387,7 +427,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         reuse="auto" if args.reuse else "off",
     )
     with _session_from_args(args) as session:
-        result = session.flow(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     print(result.artifacts["result"].summary())
@@ -416,7 +456,7 @@ def _cmd_layout(args: argparse.Namespace) -> int:
         lef=args.lef,
     )
     with _session_from_args(args) as session:
-        result = session.layout(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     files = result.payload["files"]
@@ -441,7 +481,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         adc_sweep=args.adc_sweep,
     )
     with _session_from_args(args) as session:
-        result = session.estimate(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     print(format_table(result.payload["metrics"]))
@@ -451,7 +491,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _cmd_library(args: argparse.Namespace) -> int:
     want_macros = args.topic == "macros"
     with _session_from_args(args) as session:
-        result = session.library_report(LibraryRequest(
+        result = session.submit(LibraryRequest(
             report=args.report, macros=want_macros,
         ))
     if _emit_json(result, args):
@@ -510,7 +550,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         shards=args.shards,
     )
     with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
-        result = session.campaign(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     _print_campaign_outcome(result, args.engine_stats)
@@ -522,7 +562,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
         name=args.name, action="resume", stop_after=args.stop_after,
     )
     with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
-        result = session.campaign(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     _print_campaign_outcome(result, args.engine_stats)
@@ -531,7 +571,7 @@ def _cmd_campaign_resume(args: argparse.Namespace) -> int:
 
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
     with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
-        result = session.query(QueryRequest(what="campaigns"))
+        result = session.submit(QueryRequest(what="campaigns"))
     if _emit_json(result, args):
         return 0
     print(format_table(store_summary_table(result.payload["store"])))
@@ -541,6 +581,11 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
         print(format_table(campaign_table(records)))
     else:
         print("(no campaigns)")
+    trend = campaign_trend_table(result.payload.get("run_metrics", []))
+    if trend:
+        print()
+        print("Run metrics across resumes (repro metrics for detail):")
+        print(format_table(trend))
     return 0
 
 
@@ -556,7 +601,7 @@ def _cmd_campaign_query(args: argparse.Namespace) -> int:
         pareto_only=not args.all,
     )
     with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
-        result = session.query(request)
+        result = session.submit(request)
     json_only = _emit_json(result, args)
     rows = stored_design_table(result.artifacts["entries"])
     if args.csv and rows:
@@ -583,13 +628,60 @@ def _cmd_validate_snr(args: argparse.Namespace) -> int:
         trials=args.trials,
     )
     with _session_from_args(args) as session:
-        result = session.validate_snr(request)
+        result = session.submit(request)
     if _emit_json(result, args):
         return 0
     for warning in result.warnings:
         print(warning)
     print(format_table(result.payload["points"]))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    with _session_from_args(args, default_store=DEFAULT_CAMPAIGN_STORE) as session:
+        result = session.submit(QueryRequest(what="campaigns"))
+    if _emit_json(result, args):
+        return 0
+    rows = result.payload.get("run_metrics", [])
+    if args.campaign is not None:
+        rows = [row for row in rows if row.get("campaign") == args.campaign]
+    if rows:
+        print("Campaign run metrics (one row per run/resume):")
+        print(format_table(run_metrics_table(rows)))
+        print()
+        print("Trends across resumes:")
+        print(format_table(campaign_trend_table(rows)))
+    else:
+        scope = f"campaign {args.campaign!r}" if args.campaign else "this store"
+        print(f"(no recorded run metrics for {scope}; "
+              "campaign run/resume records one row per invocation)")
+    if result.metrics:
+        print()
+        print("Session metrics (this query):")
+        print(format_table(metrics_table(result.metrics)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("usage: repro trace [--trace-out PATH] -- <repro command ...>",
+              file=sys.stderr)
+        return 2
+    return main([*cmd, "--trace", str(args.out_path)])
+
+
+def _export_trace(tracer, path: Path) -> None:
+    """Write the collected spans in the format the file suffix selects."""
+    spans = tracer.finished_spans()
+    if path.suffix == ".jsonl":
+        export_jsonl(spans, path)
+    else:
+        export_chrome(spans, path, trace_id=tracer.trace_id)
+    # stderr, so bare --json keeps an uncontaminated JSON stdout.
+    print(f"Trace with {len(spans)} spans written to {path}", file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -600,20 +692,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ``ApiResult`` envelope with ``status="error"`` and the exception's
     machine-readable ``code``, so scripted consumers always receive a
     parseable document.
+
+    With ``--trace PATH`` the whole invocation runs under the global
+    tracer; the trace file is exported even when the command fails, so
+    the spans leading up to an error stay inspectable.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    tracer = None
+    if trace_out is not None:
+        configure_tracing(enabled=True)
+        tracer = get_tracer()
     try:
-        return args.handler(args)
-    except ReproError as error:
-        if getattr(args, "json_out", None) is None:
-            raise
-        _emit_json(ApiResult(
-            kind=getattr(args, "command", "unknown"),
-            status="error",
-            payload={"error": error.as_dict()},
-        ), args)
-        return 1
+        try:
+            return args.handler(args)
+        except ReproError as error:
+            if getattr(args, "json_out", None) is None:
+                raise
+            _emit_json(ApiResult(
+                kind=getattr(args, "command", "unknown"),
+                status="error",
+                payload={"error": error.as_dict()},
+            ), args)
+            return 1
+    finally:
+        if tracer is not None:
+            try:
+                _export_trace(tracer, Path(trace_out))
+            finally:
+                tracer.disable()
+                tracer.clear()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,6 +28,7 @@ from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, Typ
 
 from repro.errors import OptimizationError
 from repro.dse.pareto import crowding_distance, non_dominated_sort
+from repro.obs import get_tracer
 
 Genome = TypeVar("Genome")
 
@@ -180,12 +181,15 @@ class NSGA2(Generic[Genome]):
             raise OptimizationError("call initialize() before step()")
         if self.done:
             return False
-        offspring = self._make_offspring(self._population, self._rng)
-        self._population = self._environmental_selection(
-            self._population + offspring
-        )
-        self._record_history(self._generation, self._population)
-        self._generation += 1
+        # The span never touches the optimizer RNG, so tracing a run
+        # cannot perturb its bit-identical evolution.
+        with get_tracer().span("dse.generation", generation=self._generation):
+            offspring = self._make_offspring(self._population, self._rng)
+            self._population = self._environmental_selection(
+                self._population + offspring
+            )
+            self._record_history(self._generation, self._population)
+            self._generation += 1
         return not self.done
 
     def result(self) -> List[Individual]:

@@ -28,6 +28,7 @@ execution (the regression suite asserts this bit-identically).
 
 from __future__ import annotations
 
+import functools
 import math
 import time
 from dataclasses import dataclass, replace
@@ -50,9 +51,35 @@ from repro.engine.shm import SharedArena
 from repro.engine.workers import PersistentWorkerPool
 from repro.errors import WorkerCrashError
 from repro.model.estimator import MetricsArrays
+from repro.obs import MetricsRegistry, SIZE_BUCKETS, Span, get_tracer
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+
+def _traced_map_call(fn: Callable, item):
+    """Worker-side ``map`` shim: run ``fn(item)`` under a local trace.
+
+    ``engine.map`` fans arbitrary callables out to a conventional
+    ``ProcessPoolExecutor`` whose workers each have their own process-wide
+    tracer — spans opened there (e.g. the physical pipeline's per-stage
+    spans during the flow's layout fan-out) would otherwise be stranded.
+    This wrapper enables the worker tracer around the call and ships the
+    finished span dictionaries back with the result; the parent adopts
+    them under its ``engine.map`` span.  Span ids embed the worker pid,
+    so the shipped hierarchy keeps valid parent links after adoption.
+    """
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enable()
+    try:
+        with tracer.span("engine.map.item"):
+            result = fn(item)
+        spans = [span.as_dict() for span in tracer.finished_spans()]
+    finally:
+        tracer.disable()
+        tracer.clear()
+    return result, spans
 
 
 @dataclass
@@ -186,6 +213,10 @@ class EvaluationEngine:
             misses are written behind in batches of ``store_flush_size``
             (plus a final flush on :meth:`close`/:meth:`flush_store`).
         store_flush_size: write-behind batch size.
+        metrics: :class:`~repro.obs.MetricsRegistry` the engine records
+            into; defaults to a private registry.  All statistics live in
+            the registry under ``engine.*`` names and :attr:`stats`
+            materializes the classic :class:`EngineStats` view from it.
 
     The executor is created lazily on first use and reused across batches;
     call :meth:`close` (or use the engine as a context manager) to release
@@ -200,6 +231,7 @@ class EvaluationEngine:
         chunk_size: Optional[int] = None,
         store=None,
         store_flush_size: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.backend = validate_backend(backend)
         self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
@@ -209,7 +241,23 @@ class EvaluationEngine:
         self._pool: Optional[PersistentWorkerPool] = None
         self._arena: Optional[SharedArena] = None
         self._cost_per_eval: Optional[float] = None
-        self._stats = EngineStats(backend=self.backend, workers=self.workers)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Instrument handles are resolved once: hot paths record into
+        # them directly instead of paying a name lookup per batch.
+        registry = self.metrics
+        self._m_batches = registry.counter("engine.eval.batches")
+        self._m_tasks = registry.counter("engine.eval.tasks")
+        self._m_evaluations = registry.counter("engine.eval.computed")
+        self._m_cache_hits = registry.counter("engine.cache.hit")
+        self._m_store_hits = registry.counter("engine.store.hit")
+        self._m_store_writes = registry.counter("engine.store.write")
+        self._m_busy = registry.counter("engine.busy.seconds")
+        self._m_dispatch = registry.counter("engine.dispatch.seconds")
+        self._m_worker = registry.counter("engine.worker.seconds")
+        self._m_serialize = registry.counter("engine.serialize.seconds")
+        self._m_batch_size = registry.histogram(
+            "engine.eval.batch_size", SIZE_BUCKETS
+        )
         self.store = store
         self.store_flush_size = max(1, store_flush_size)
         self._store_buffer: List = []
@@ -254,21 +302,29 @@ class EvaluationEngine:
     def close(self) -> None:
         """Flush the store buffer and release every worker (idempotent).
 
-        Shuts down the generic executor, the persistent shm worker pool
-        and the shared-memory arena; the engine transparently rebuilds
-        them if it is used again.
+        The pending write-behind batch is flushed *before* teardown — and
+        still flushed if teardown is what raises — so no computed
+        evaluation is lost on shutdown.  Shuts down the generic executor,
+        the persistent shm worker pool and the shared-memory arena; the
+        engine transparently rebuilds them if it is used again.
         """
-        self.flush_store()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._teardown_pool()
+        try:
+            self.flush_store()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            self._teardown_pool()
 
     def flush_store(self) -> None:
         """Write buffered evaluations behind to the persistent store."""
         if self.store is not None and self._store_buffer:
+            started = time.perf_counter()
             self.store.put_many(self._store_buffer)
-            self._stats.store_writes += len(self._store_buffer)
+            self._m_store_writes.add(len(self._store_buffer))
+            self.metrics.histogram("store.flush.seconds").observe(
+                time.perf_counter() - started
+            )
             self._store_buffer.clear()
 
     def rehydrate(self) -> int:
@@ -294,8 +350,28 @@ class EvaluationEngine:
 
     @property
     def stats(self) -> EngineStats:
-        """Aggregate batch/cache/timing statistics of this engine."""
-        return self._stats
+        """Aggregate batch/cache/timing statistics of this engine.
+
+        Materialized from the metrics registry on every read.  The
+        ``int()``/``float()`` coercions matter: registry counters start
+        as int ``0``, and ``as_dict()`` must keep emitting ``0.0`` (not
+        ``0``) for the seconds fields to stay byte-identical with the
+        pre-registry dataclass.
+        """
+        return EngineStats(
+            backend=self.backend,
+            workers=self.workers,
+            batches=int(self._m_batches.value),
+            tasks=int(self._m_tasks.value),
+            evaluations=int(self._m_evaluations.value),
+            cache_hits=int(self._m_cache_hits.value),
+            store_hits=int(self._m_store_hits.value),
+            store_writes=int(self._m_store_writes.value),
+            busy_seconds=float(self._m_busy.value),
+            dispatch_seconds=float(self._m_dispatch.value),
+            worker_seconds=float(self._m_worker.value),
+            serialize_seconds=float(self._m_serialize.value),
+        )
 
     # -- cost model & auto-chunking -------------------------------------------
 
@@ -389,16 +465,32 @@ class EvaluationEngine:
         """
         items = list(items)
         start = time.perf_counter()
+        tracer = get_tracer()
         try:
-            if not items or self.backend == "serial":
-                return [fn(item) for item in items]
-            executor = self._ensure_executor()
-            chunksize = chunk_size or self._chunk(len(items))
-            return list(executor.map(fn, items, chunksize=chunksize))
+            with tracer.span(
+                "engine.map", count=len(items), backend=self.backend
+            ) as map_span:
+                if not items or self.backend == "serial":
+                    return [fn(item) for item in items]
+                executor = self._ensure_executor()
+                chunksize = chunk_size or self._chunk(len(items))
+                if tracer.enabled and self.backend == "process":
+                    # Ship worker-side spans home (the thread backend
+                    # shares this tracer already and needs no shim).
+                    call = functools.partial(_traced_map_call, fn)
+                    results: List[Result] = []
+                    for result, records in executor.map(
+                        call, items, chunksize=chunksize
+                    ):
+                        tracer.adopt(records, parent_id=map_span.span_id)
+                        results.append(result)
+                    return results
+                return list(executor.map(fn, items, chunksize=chunksize))
         finally:
-            self._stats.batches += 1
-            self._stats.tasks += len(items)
-            self._stats.busy_seconds += time.perf_counter() - start
+            self._m_batches.inc()
+            self._m_tasks.add(len(items))
+            self._m_busy.add(time.perf_counter() - start)
+            self._m_batch_size.observe(len(items))
 
     # -- cached spec evaluation ----------------------------------------------
 
@@ -425,49 +517,66 @@ class EvaluationEngine:
         try:
             if not tuples:
                 return []
-            params = estimator.parameters
-            params_key = parameters_cache_key(params)
-            keys = [
-                spec_tuple_cache_key(spec_tuple, params_key)
-                for spec_tuple in tuples
-            ]
-            results: Dict[tuple, object] = {}
-            missing_indices: List[int] = []
-            pending = set()
-            for index, key in enumerate(keys):
-                if key in results or key in pending:
-                    continue
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[key] = cached
-                    self._stats.cache_hits += 1
-                    if key in self._store_keys:
-                        self._stats.store_hits += 1
-                else:
-                    pending.add(key)
-                    missing_indices.append(index)
-            if missing_indices:
-                if batch is not None:
-                    missing = batch.take(missing_indices)
-                else:
-                    missing = SpecBatch.from_specs(
-                        [spec_list[i] for i in missing_indices]
-                    )
-                computed = self._compute(estimator, params, missing)
-                for index, metrics in zip(missing_indices, computed):
-                    key = keys[index]
-                    results[key] = metrics
-                    self.cache.put(key, metrics)
-                    if self.store is not None:
-                        self._store_buffer.append((key, metrics))
-                self._stats.evaluations += len(missing_indices)
-                if len(self._store_buffer) >= self.store_flush_size:
-                    self.flush_store()
-            return [results[key] for key in keys]
+            with get_tracer().span(
+                "engine.evaluate_specs",
+                count=len(tuples),
+                backend=self.backend,
+            ) as eval_span:
+                params = estimator.parameters
+                params_key = parameters_cache_key(params)
+                keys = [
+                    spec_tuple_cache_key(spec_tuple, params_key)
+                    for spec_tuple in tuples
+                ]
+                results: Dict[tuple, object] = {}
+                missing_indices: List[int] = []
+                pending = set()
+                # Hit counts aggregate in locals and land in the registry
+                # once per batch — one lock acquisition instead of one per
+                # spec, which is what keeps the instrumented serial path
+                # inside the overhead budget.
+                cache_hits = 0
+                store_hits = 0
+                for index, key in enumerate(keys):
+                    if key in results or key in pending:
+                        continue
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[key] = cached
+                        cache_hits += 1
+                        if key in self._store_keys:
+                            store_hits += 1
+                    else:
+                        pending.add(key)
+                        missing_indices.append(index)
+                if cache_hits:
+                    self._m_cache_hits.add(cache_hits)
+                if store_hits:
+                    self._m_store_hits.add(store_hits)
+                eval_span.set("misses", len(missing_indices))
+                if missing_indices:
+                    if batch is not None:
+                        missing = batch.take(missing_indices)
+                    else:
+                        missing = SpecBatch.from_specs(
+                            [spec_list[i] for i in missing_indices]
+                        )
+                    computed = self._compute(estimator, params, missing)
+                    for index, metrics in zip(missing_indices, computed):
+                        key = keys[index]
+                        results[key] = metrics
+                        self.cache.put(key, metrics)
+                        if self.store is not None:
+                            self._store_buffer.append((key, metrics))
+                    self._m_evaluations.add(len(missing_indices))
+                    if len(self._store_buffer) >= self.store_flush_size:
+                        self.flush_store()
+                return [results[key] for key in keys]
         finally:
-            self._stats.batches += 1
-            self._stats.tasks += len(tuples)
-            self._stats.busy_seconds += time.perf_counter() - start
+            self._m_batches.inc()
+            self._m_tasks.add(len(tuples))
+            self._m_busy.add(time.perf_counter() - start)
+            self._m_batch_size.observe(len(tuples))
 
     def _compute(self, estimator, params, batch: SpecBatch) -> List:
         """Evaluate a cache-miss SpecBatch on the configured backend, in order.
@@ -484,10 +593,13 @@ class EvaluationEngine:
         return self._compute_process(estimator, params, batch)
 
     def _compute_serial(self, estimator, batch: SpecBatch) -> List:
-        started = time.perf_counter()
-        results = estimator.evaluate_batch(batch)
-        elapsed = time.perf_counter() - started
-        self._stats.worker_seconds += elapsed
+        with get_tracer().span(
+            "engine.chunk", where="inline", count=len(batch)
+        ):
+            started = time.perf_counter()
+            results = estimator.evaluate_batch(batch)
+            elapsed = time.perf_counter() - started
+        self._m_worker.add(elapsed)
         self._observe_cost(elapsed, len(batch))
         return results
 
@@ -498,21 +610,28 @@ class EvaluationEngine:
             return self._compute_serial(estimator, batch)
         executor = self._ensure_executor()
         started = time.perf_counter()
-        futures = [
-            executor.submit(_timed_evaluate, estimator, batch[lo:hi])
-            for lo, hi in self._ranges(count, chunk)
-        ]
-        results: List = []
-        worker_total = 0.0
-        for future in futures:
-            chunk_results, chunk_seconds = future.result()
-            results.extend(chunk_results)
-            worker_total += chunk_seconds
+        with get_tracer().span(
+            "engine.dispatch", backend="thread", count=count
+        ) as dispatch_span:
+            futures = [
+                executor.submit(
+                    _timed_evaluate,
+                    estimator,
+                    batch[lo:hi],
+                    dispatch_span.span_id,
+                )
+                for lo, hi in self._ranges(count, chunk)
+            ]
+            results: List = []
+            worker_total = 0.0
+            for future in futures:
+                chunk_results, chunk_seconds = future.result()
+                results.extend(chunk_results)
+                worker_total += chunk_seconds
+            dispatch_span.set("chunks", len(futures))
         wall = time.perf_counter() - started
-        self._stats.worker_seconds += worker_total
-        self._stats.dispatch_seconds += max(
-            0.0, wall - worker_total / self.workers
-        )
+        self._m_worker.add(worker_total)
+        self._m_dispatch.add(max(0.0, wall - worker_total / self.workers))
         self._observe_cost(worker_total, count)
         return results
 
@@ -525,36 +644,71 @@ class EvaluationEngine:
         pool = self._ensure_pool()
         arena = self._ensure_arena()
         kernel = getattr(estimator, "kernel", "vectorized")
+        tracer = get_tracer()
         publish_start = time.perf_counter()
         ref = arena.publish(batch)
-        self._stats.serialize_seconds += time.perf_counter() - publish_start
+        self._m_serialize.add(time.perf_counter() - publish_start)
         ranges = self._ranges(count, self._plan_chunk(count))
+        span_sink: List[Dict] = []
         dispatch_start = time.perf_counter()
-        try:
-            timings = pool.run(ranges, ref, params, kernel)
-        except WorkerCrashError:
-            # Live stragglers may still write into the arena; retire both
-            # so the next submission starts on clean segments.
-            self._teardown_pool()
-            raise
+        with tracer.span(
+            "engine.dispatch",
+            backend="process",
+            count=count,
+            chunks=len(ranges),
+        ) as dispatch_span:
+            try:
+                timings = pool.run(
+                    ranges,
+                    ref,
+                    params,
+                    kernel,
+                    trace=tracer.enabled,
+                    span_sink=span_sink,
+                )
+            except WorkerCrashError:
+                # Live stragglers may still write into the arena; retire
+                # both so the next submission starts on clean segments.
+                self._teardown_pool()
+                raise
+        if span_sink:
+            # Worker chunk spans nest under this dispatch span, giving
+            # one trace across the process boundary.
+            tracer.adopt(span_sink, parent_id=dispatch_span.span_id)
         wall = time.perf_counter() - dispatch_start
         worker_total = sum(timings.values())
-        self._stats.worker_seconds += worker_total
-        self._stats.dispatch_seconds += max(
-            0.0, wall - worker_total / self.workers
-        )
+        self._m_worker.add(worker_total)
+        self._m_dispatch.add(max(0.0, wall - worker_total / self.workers))
         self._observe_cost(worker_total, count)
         collect_start = time.perf_counter()
         columns = arena.collect(count)
-        self._stats.serialize_seconds += time.perf_counter() - collect_start
+        self._m_serialize.add(time.perf_counter() - collect_start)
         return MetricsArrays(batch=batch, **columns).to_metrics()
 
 
-def _timed_evaluate(estimator, chunk: SpecBatch) -> tuple:
-    """(results, seconds) of one thread-backend chunk evaluation."""
+def _timed_evaluate(
+    estimator, chunk: SpecBatch, parent_id: Optional[str] = None
+) -> tuple:
+    """(results, seconds) of one thread-backend chunk evaluation.
+
+    Runs on a pool thread, whose span stack is empty — the chunk span is
+    recorded explicitly under the dispatcher's ``parent_id`` instead of
+    through the context-manager stack.
+    """
+    tracer = get_tracer()
+    start_ns = time.perf_counter_ns() if tracer.enabled else 0
     started = time.perf_counter()
     results = estimator.evaluate_batch(chunk)
-    return results, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    if tracer.enabled:
+        tracer.record(Span(
+            "engine.chunk",
+            parent_id=parent_id,
+            attrs={"where": "thread", "count": len(chunk)},
+            start_ns=start_ns,
+            end_ns=time.perf_counter_ns(),
+        ))
+    return results, elapsed
 
 
 def default_engine() -> EvaluationEngine:

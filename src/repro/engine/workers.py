@@ -46,6 +46,7 @@ from repro.engine.shm import (
     attach_spec_columns,
 )
 from repro.errors import EngineError, WorkerCrashError
+from repro.obs.trace import worker_span_record
 
 #: Seconds a worker blocks on the task queue before re-checking that its
 #: parent process is still alive (the orphan-prevention heartbeat).
@@ -76,6 +77,9 @@ class ChunkTask:
             bundle (small, pickled once per chunk; workers memoize the
             estimator built from it).
         kernel: estimator kernel flavour (``vectorized``/``reference``).
+        trace: when True the worker records span dictionaries for this
+            chunk and ships them back with the reply (the parent adopts
+            them into its trace; see :mod:`repro.obs.trace`).
     """
 
     task_id: int
@@ -84,6 +88,7 @@ class ChunkTask:
     ref: BatchRef
     parameters: object
     kernel: str
+    trace: bool = False
 
 
 # -- worker process ------------------------------------------------------------
@@ -117,9 +122,13 @@ def _worker_main(task_queue, result_queue) -> None:
 def _process_task(task: "ChunkTask", attachments: Dict, estimators: Dict) -> tuple:
     """Evaluate one chunk, returning the queue reply.
 
-    Kept out of the worker loop so segment views never linger as loop
-    frame locals — they must all be droppable for detach to unmap.
+    The reply is ``(kind, task_id, payload, spans)``; ``spans`` is a
+    (possibly empty) tuple of worker span dictionaries recorded only when
+    ``task.trace`` is set, so untraced runs ship nothing extra.  Kept out
+    of the worker loop so segment views never linger as loop frame locals
+    — they must all be droppable for detach to unmap.
     """
+    start_ns = time.perf_counter_ns() if task.trace else 0
     started = time.perf_counter()
     try:
         spec_view = _attached_view(
@@ -134,9 +143,21 @@ def _process_task(task: "ChunkTask", attachments: Dict, estimators: Dict) -> tup
         columns = _evaluate_rows(estimator, spec_view, task.lo, task.hi)
         for row_index, column in enumerate(columns):
             result_view[row_index, task.lo:task.hi] = column
-        return ("done", task.task_id, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        spans = ()
+        if task.trace:
+            spans = (worker_span_record(
+                "engine.chunk",
+                start_ns,
+                time.perf_counter_ns(),
+                where="worker",
+                lo=task.lo,
+                hi=task.hi,
+                kernel=task.kernel,
+            ),)
+        return ("done", task.task_id, elapsed, spans)
     except BaseException as exc:  # ship *any* failure back, never die
-        return ("error", task.task_id, _portable_exception(exc))
+        return ("error", task.task_id, _portable_exception(exc), ())
 
 
 def _attached_view(attachments: Dict, role: str, name: str, capacity: int, attach):
@@ -287,13 +308,19 @@ class PersistentWorkerPool:
         ref: BatchRef,
         parameters,
         kernel: str,
+        *,
+        trace: bool = False,
+        span_sink: Optional[List] = None,
     ) -> Dict[Tuple[int, int], float]:
         """Dispatch row ranges of a published batch and await completion.
 
-        Returns per-range in-worker compute seconds.  Raises
-        :class:`~repro.errors.WorkerCrashError` (listing unfinished
-        ranges) when a worker dies, or the original evaluation exception
-        after all of this submission's chunks have settled.
+        Returns per-range in-worker compute seconds.  With ``trace``
+        set, worker-recorded span dictionaries are appended to
+        ``span_sink`` (the engine adopts them into the live trace).
+        Raises :class:`~repro.errors.WorkerCrashError` (listing
+        unfinished ranges) when a worker dies, or the original
+        evaluation exception after all of this submission's chunks have
+        settled.
         """
         if self._closed:
             raise EngineError("worker pool is closed")
@@ -301,7 +328,7 @@ class PersistentWorkerPool:
         for lo, hi in ranges:
             task = ChunkTask(
                 task_id=self._next_task_id, lo=lo, hi=hi, ref=ref,
-                parameters=parameters, kernel=kernel,
+                parameters=parameters, kernel=kernel, trace=trace,
             )
             self._next_task_id += 1
             pending[task.task_id] = (lo, hi)
@@ -310,7 +337,7 @@ class PersistentWorkerPool:
         first_error: Optional[Exception] = None
         while pending:
             try:
-                kind, task_id, payload = self._results.get(
+                kind, task_id, payload, spans = self._results.get(
                     timeout=RESULT_POLL_SECONDS
                 )
             except queue.Empty:
@@ -331,9 +358,11 @@ class PersistentWorkerPool:
                 continue
             if task_id not in pending:
                 continue  # straggler from an abandoned submission
-            span = pending.pop(task_id)
+            chunk_range = pending.pop(task_id)
+            if spans and span_sink is not None:
+                span_sink.extend(spans)
             if kind == "done":
-                timings[span] = payload
+                timings[chunk_range] = payload
             elif first_error is None:
                 first_error = payload
         if first_error is not None:

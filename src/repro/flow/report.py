@@ -100,24 +100,45 @@ def engine_stats_table(stats: Dict[str, float]) -> List[Dict]:
     queueing), ``serialize_s`` is shared-memory publish/collect time —
     when ``dispatch_s`` rivals ``worker_s``, the batches are too cheap
     for the parallel backend and serial wins.
+
+    Timing cells are defensively clamped: a near-empty batch can yield a
+    slightly negative ``dispatch_seconds`` through clock rounding, and a
+    zero or missing ``busy_seconds`` must never divide — both render as
+    ``0.0`` instead of raising or printing ``-0.00``.
     """
     if not stats:
         return []
+    busy = _clamped_seconds(stats.get("busy_seconds", 0.0))
+    evaluations = stats.get("evaluations", 0)
+    evals_per_s = stats.get("evaluations_per_second")
+    if not isinstance(evals_per_s, (int, float)) or evals_per_s < 0:
+        evals_per_s = (
+            round(evaluations / busy, 1)
+            if busy > 0.0 and isinstance(evaluations, (int, float))
+            else 0.0
+        )
     return [{
         "backend": stats.get("backend", "serial"),
         "workers": stats.get("workers", 1),
         "batches": stats.get("batches", 0),
         "tasks": stats.get("tasks", 0),
-        "evaluations": stats.get("evaluations", 0),
+        "evaluations": evaluations,
         "cache_hits": stats.get("cache_hits", 0),
         "store_hits": stats.get("store_hits", 0),
         "store_writes": stats.get("store_writes", 0),
-        "busy_s": stats.get("busy_seconds", 0.0),
-        "dispatch_s": stats.get("dispatch_seconds", 0.0),
-        "worker_s": stats.get("worker_seconds", 0.0),
-        "serialize_s": stats.get("serialize_seconds", 0.0),
-        "evals_per_s": stats.get("evaluations_per_second", 0.0),
+        "busy_s": busy,
+        "dispatch_s": _clamped_seconds(stats.get("dispatch_seconds", 0.0)),
+        "worker_s": _clamped_seconds(stats.get("worker_seconds", 0.0)),
+        "serialize_s": _clamped_seconds(stats.get("serialize_seconds", 0.0)),
+        "evals_per_s": evals_per_s,
     }]
+
+
+def _clamped_seconds(value) -> float:
+    """A timing cell as a non-negative float (bad inputs become 0.0)."""
+    if not isinstance(value, (int, float)) or value < 0:
+        return 0.0
+    return float(value)
 
 
 def csv_lines(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> List[str]:

@@ -1,0 +1,92 @@
+"""Trace exporters: JSONL span records and Chrome ``trace_event`` JSON.
+
+Both exporters write atomically (temp file + ``os.replace``, the same
+idiom as :func:`repro.reporting.export.export_json`) so a crashed or
+interrupted run never leaves a half-written trace behind.
+
+* :func:`export_jsonl` — one ``Span.as_dict()`` JSON object per line;
+  trivially greppable and streamable.
+* :func:`export_chrome` — the Chrome ``trace_event`` document format
+  (``{"traceEvents": [...]}`` with complete ``"ph": "X"`` events),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev — drag
+  the file into either and the nested spans render as a flame chart
+  per process/thread track.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from .trace import Span
+
+
+def _atomic_write(path: Union[str, Path], payload: str) -> Path:
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent) or ".",
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def export_jsonl(spans: Iterable[Span], path: Union[str, Path]) -> Path:
+    """Write spans as JSON Lines (one span dictionary per line)."""
+    lines = [json.dumps(span.as_dict(), sort_keys=True) for span in spans]
+    payload = "\n".join(lines)
+    if payload:
+        payload += "\n"
+    return _atomic_write(path, payload)
+
+
+def span_to_trace_event(span: Span) -> Dict:
+    """One span as a Chrome ``trace_event`` complete (``"ph": "X"``) event.
+
+    ``ts``/``dur`` are microseconds (the format's unit); span ancestry
+    travels in ``args`` since the viewer nests purely by time overlap
+    within a pid/tid track.
+    """
+    event = {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": span.start_ns / 1000.0,
+        "dur": max(0, span.end_ns - span.start_ns) / 1000.0,
+        "pid": span.pid,
+        "tid": span.tid,
+        "args": {"span_id": span.span_id, "parent_id": span.parent_id},
+    }
+    if span.attrs:
+        event["args"].update(span.attrs)
+    return event
+
+
+def export_chrome(
+    spans: Iterable[Span],
+    path: Union[str, Path],
+    trace_id: Optional[str] = None,
+) -> Path:
+    """Write spans as a Chrome ``trace_event`` JSON document."""
+    document = {
+        "traceEvents": [span_to_trace_event(span) for span in spans],
+        "displayTimeUnit": "ms",
+    }
+    if trace_id is not None:
+        document["otherData"] = {"trace_id": trace_id}
+    return _atomic_write(path, json.dumps(document, indent=1))

@@ -40,6 +40,7 @@ from repro.layout.gdsii import write_gds
 from repro.layout.geometry import Rect, Transform
 from repro.layout.layout import LayoutCell
 from repro.netlist.circuit import Circuit
+from repro.obs import get_tracer
 from repro.physical.artifacts import PipelineStats, artifact_digest
 from repro.physical.macro_library import MacroLibrary, MacroRecord
 from repro.physical.netlist_builder import NetlistBuilder
@@ -124,6 +125,9 @@ class PhysicalPipeline:
         reuse: serve repeated stage work from the macro/artifact cache;
             ``False`` solves everything from scratch (the regression
             baseline path).
+        metrics: optional :class:`~repro.obs.MetricsRegistry` stage
+            timings and macro reuse counters are recorded into
+            (``physical.*`` names).
     """
 
     #: Routing layers of the over-cell grid, lowest first.
@@ -136,6 +140,7 @@ class PhysicalPipeline:
         routing_pitch: int = 200,
         store=None,
         reuse: bool = True,
+        metrics=None,
     ) -> None:
         self.library = library
         self.technology = library.technology
@@ -152,6 +157,7 @@ class PhysicalPipeline:
         self.netlist_builder = NetlistBuilder(library)
         self._netlist_cache: Dict[str, Circuit] = {}
         self.stats = PipelineStats()
+        self.metrics = metrics
 
     # -- public API --------------------------------------------------------------------
 
@@ -312,8 +318,12 @@ class PhysicalPipeline:
         record = self.macro_library.get_or_build(kind, key, builder)
         if self.macro_library.built > built_before:
             self.stats.macros_built += 1
+            if self.metrics is not None:
+                self.metrics.counter("physical.macro.built").inc()
         else:
             self.stats.macros_reused += 1
+            if self.metrics is not None:
+                self.metrics.counter("physical.macro.reuse").inc()
             from_store = self.macro_library.store_hits > store_hits_before
             for stage_name in stages:
                 stage = self.stats.stage(stage_name)
@@ -503,11 +513,24 @@ class PhysicalPipeline:
 
     @contextmanager
     def _timed(self, stage_name: str):
-        """Attribute the enclosed wall-clock to one stage's counters."""
+        """Attribute the enclosed wall-clock to one stage's counters.
+
+        Also opens a ``physical.<stage>`` trace span and mirrors the
+        elapsed time into the metrics registry when one is attached.
+        """
         stage = self.stats.stage(stage_name)
         stage.runs += 1
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            stage.seconds += time.perf_counter() - start
+        with get_tracer().span(f"physical.{stage_name}"):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                stage.seconds += elapsed
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        f"physical.stage.{stage_name}.seconds"
+                    ).add(elapsed)
+                    self.metrics.counter(
+                        f"physical.stage.{stage_name}.runs"
+                    ).inc()

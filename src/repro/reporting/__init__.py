@@ -13,14 +13,22 @@ from repro.reporting.campaigns import (
     stored_design_table,
 )
 from repro.reporting.export import export_csv, export_json
+from repro.reporting.observability import (
+    campaign_trend_table,
+    metrics_table,
+    run_metrics_table,
+)
 from repro.reporting.physical import macro_table, physical_stats_table
 
 __all__ = [
     "AsciiScatter",
     "campaign_table",
+    "campaign_trend_table",
     "macro_table",
+    "metrics_table",
     "physical_stats_table",
     "render_pareto_front",
+    "run_metrics_table",
     "export_csv",
     "export_json",
     "store_summary_table",

@@ -294,10 +294,19 @@ class _CampaignManagerCore:
                 campaign_config.get("checkpoint_every", self.checkpoint_every)
             )
             steps_this_call = 0
+            generation_seconds = engine.metrics.histogram(
+                "campaign.generation.seconds"
+            )
+            generation_counter = engine.metrics.counter(
+                "campaign.generations"
+            )
             while not optimizer.done:
                 if stop_after is not None and steps_this_call >= stop_after:
                     break
+                step_start = time.perf_counter()
                 optimizer.step()
+                generation_seconds.observe(time.perf_counter() - step_start)
+                generation_counter.inc()
                 steps_this_call += 1
                 stopping = (
                     stop_after is not None and steps_this_call >= stop_after
@@ -332,6 +341,11 @@ class _CampaignManagerCore:
                 evaluations=optimizer.evaluations,
                 add_runtime_seconds=runtime,
             )
+            stats_delta = engine.stats.since(stats_baseline).as_dict()
+            self.store.put_run_metrics(
+                name, _run_metrics_row(status, steps_this_call, runtime,
+                                       stats_delta),
+            )
             return CampaignResult(
                 name=name,
                 array_size=array_size,
@@ -341,7 +355,7 @@ class _CampaignManagerCore:
                 evaluations=optimizer.evaluations,
                 pareto_set=pareto_set,
                 runtime_seconds=runtime,
-                engine_stats=engine.stats.since(stats_baseline).as_dict(),
+                engine_stats=stats_delta,
                 resumed=resumed,
                 shard_stats=dict(shard_stats or {}),
             )
@@ -387,6 +401,36 @@ def _pareto_entries(
         (spec_cache_key(design.spec, params_key=params_key), design.metrics)
         for design in designs
     ]
+
+
+def _run_metrics_row(
+    status: str, generations: int, runtime: float, stats_delta: Dict
+) -> Dict:
+    """The per-drive metric snapshot persisted into ``run_metrics``.
+
+    One row per run/resume leg: throughput (generations/sec) and
+    cache-economics (hit rate) of exactly this leg, so ``campaign list``
+    can show how both trend across resumes.
+    """
+    cache_hits = int(stats_delta.get("cache_hits", 0))
+    evaluations = int(stats_delta.get("evaluations", 0))
+    lookups = cache_hits + evaluations
+    return {
+        "status": status,
+        "generations": generations,
+        "runtime_seconds": round(runtime, 6),
+        "generations_per_second": (
+            round(generations / runtime, 3) if runtime > 0 else 0.0
+        ),
+        "evaluations": evaluations,
+        "cache_hits": cache_hits,
+        "store_hits": int(stats_delta.get("store_hits", 0)),
+        "cache_hit_rate": (
+            round(cache_hits / lookups, 4) if lookups else 0.0
+        ),
+        "backend": stats_delta.get("backend"),
+        "workers": stats_delta.get("workers"),
+    }
 
 
 def record_exploration(

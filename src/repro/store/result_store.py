@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.arch.spec import ACIMDesignSpec
 from repro.errors import StoreError
 from repro.model.estimator import ACIMMetrics
+from repro.obs import get_tracer
 
 #: Version of the on-disk schema; bumped on incompatible layout changes.
 SCHEMA_VERSION = 1
@@ -129,6 +130,13 @@ CREATE TABLE IF NOT EXISTS artifacts (
     created_at      REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_artifacts_stage ON artifacts(stage);
+CREATE TABLE IF NOT EXISTS run_metrics (
+    campaign     TEXT NOT NULL REFERENCES campaigns(name),
+    run_index    INTEGER NOT NULL,
+    created_at   REAL NOT NULL,
+    metrics_json TEXT NOT NULL,
+    PRIMARY KEY (campaign, run_index)
+);
 """
 
 
@@ -254,12 +262,16 @@ class ResultStore:
             ``":memory:"`` for an ephemeral in-process store.
         timeout: seconds a writer waits on another process's transaction
             before giving up (SQLite busy timeout).
+        metrics: optional :class:`~repro.obs.MetricsRegistry` the store
+            records flush/query timings into (the session attaches its
+            registry here).
     """
 
     def __init__(
-        self, path: Union[str, Path], timeout: float = 30.0
+        self, path: Union[str, Path], timeout: float = 30.0, metrics=None
     ) -> None:
         self.path = str(path)
+        self.metrics = metrics
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
@@ -364,36 +376,43 @@ class ResultStore:
         """
         if not entries:
             return 0
+        started = time.perf_counter()
         now = time.time()
         added = 0
-        with self._write() as conn:
-            for key, metrics in entries:
-                spec_tuple, params_key, technology = key
-                params_digest = params_digest_of(params_key)
-                conn.execute(
-                    "INSERT OR IGNORE INTO param_bundles "
-                    "(params_digest, params_json) VALUES (?, ?)",
-                    (params_digest, canonical_key(params_key)),
-                )
-                before = conn.total_changes
-                conn.execute(
-                    "INSERT OR IGNORE INTO evaluations ("
-                    "  key_digest, height, width, local, adc_bits,"
-                    "  params_digest, technology,"
-                    "  snr_db, snr_total_db, tops, macs_per_second,"
-                    "  energy_per_mac, tops_per_watt, area_f2_per_bit,"
-                    "  total_area_um2, created_at"
-                    ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        key_digest(key),
-                        *spec_tuple,
-                        params_digest,
-                        technology,
-                        *(getattr(metrics, field) for field in _METRIC_FIELDS),
-                        now,
-                    ),
-                )
-                added += conn.total_changes - before
+        with get_tracer().span("store.flush", rows=len(entries)):
+            with self._write() as conn:
+                for key, metrics in entries:
+                    spec_tuple, params_key, technology = key
+                    params_digest = params_digest_of(params_key)
+                    conn.execute(
+                        "INSERT OR IGNORE INTO param_bundles "
+                        "(params_digest, params_json) VALUES (?, ?)",
+                        (params_digest, canonical_key(params_key)),
+                    )
+                    before = conn.total_changes
+                    conn.execute(
+                        "INSERT OR IGNORE INTO evaluations ("
+                        "  key_digest, height, width, local, adc_bits,"
+                        "  params_digest, technology,"
+                        "  snr_db, snr_total_db, tops, macs_per_second,"
+                        "  energy_per_mac, tops_per_watt, area_f2_per_bit,"
+                        "  total_area_um2, created_at"
+                        ") VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            key_digest(key),
+                            *spec_tuple,
+                            params_digest,
+                            technology,
+                            *(getattr(metrics, field) for field in _METRIC_FIELDS),
+                            now,
+                        ),
+                    )
+                    added += conn.total_changes - before
+        if self.metrics is not None:
+            self.metrics.counter("store.put.rows").add(added)
+            self.metrics.histogram("store.put.seconds").observe(
+                time.perf_counter() - started
+            )
         return added
 
     def get(self, key: Tuple) -> Optional[ACIMMetrics]:
@@ -556,36 +575,43 @@ class ResultStore:
                 f"unknown rank metric {rank_by!r}; "
                 f"expected one of {sorted(RANK_METRICS)}"
             )
-        sql = "SELECT * FROM evaluations"
-        arguments: Tuple = ()
-        if params_digest is not None:
-            sql += " WHERE params_digest = ?"
-            arguments = (params_digest,)
-        entries = [
-            _evaluation_from_row(row)
-            for row in self._read().execute(sql, arguments)
-        ]
-        if criteria is not None:
+        started = time.perf_counter()
+        with get_tracer().span("store.query", rank_by=rank_by):
+            sql = "SELECT * FROM evaluations"
+            arguments: Tuple = ()
+            if params_digest is not None:
+                sql += " WHERE params_digest = ?"
+                arguments = (params_digest,)
             entries = [
-                entry for entry in entries if criteria.accepts(entry)
+                _evaluation_from_row(row)
+                for row in self._read().execute(sql, arguments)
             ]
-        if pareto_only and entries:
-            from repro.dse.pareto import pareto_front
+            if criteria is not None:
+                entries = [
+                    entry for entry in entries if criteria.accepts(entry)
+                ]
+            if pareto_only and entries:
+                from repro.dse.pareto import pareto_front
 
-            front = pareto_front(
-                [entry.metrics.objectives() for entry in entries]
+                front = pareto_front(
+                    [entry.metrics.objectives() for entry in entries]
+                )
+                entries = [entries[i] for i in front]
+            descending = RANK_METRICS[rank_by]
+            entries.sort(
+                key=lambda entry: (
+                    getattr(entry.metrics, rank_by),
+                    entry.spec.as_tuple(),
+                ),
+                reverse=descending,
             )
-            entries = [entries[i] for i in front]
-        descending = RANK_METRICS[rank_by]
-        entries.sort(
-            key=lambda entry: (
-                getattr(entry.metrics, rank_by),
-                entry.spec.as_tuple(),
-            ),
-            reverse=descending,
-        )
-        if limit is not None:
-            entries = entries[: max(0, int(limit))]
+            if limit is not None:
+                entries = entries[: max(0, int(limit))]
+        if self.metrics is not None:
+            self.metrics.counter("store.query.rows").add(len(entries))
+            self.metrics.histogram("store.query.seconds").observe(
+                time.perf_counter() - started
+            )
         return entries
 
     # -- campaigns -------------------------------------------------------------
@@ -812,6 +838,64 @@ class ResultStore:
                 (name,),
             )
         ]
+
+    # -- per-run metric snapshots ----------------------------------------------
+
+    def put_run_metrics(self, name: str, metrics: Dict) -> int:
+        """Append one campaign-run metric snapshot; returns its run index.
+
+        Each :meth:`~repro.store.campaign._CampaignManagerCore` drive —
+        initial run or resume — appends one row, so the trend of
+        generations/sec and cache-hit rate across resumes is queryable
+        (``campaign list`` renders it).
+        """
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT COALESCE(MAX(run_index), -1) + 1 AS next "
+                "FROM run_metrics WHERE campaign = ?",
+                (name,),
+            ).fetchone()
+            run_index = int(row["next"])
+            conn.execute(
+                "INSERT INTO run_metrics "
+                "(campaign, run_index, created_at, metrics_json) "
+                "VALUES (?, ?, ?, ?)",
+                (name, run_index, time.time(),
+                 json.dumps(metrics, sort_keys=True)),
+            )
+        return run_index
+
+    def list_run_metrics(self, name: Optional[str] = None) -> List[Dict]:
+        """Recorded per-run metric snapshots, oldest first.
+
+        Each row is ``{"campaign", "run_index", "created_at",
+        "metrics"}`` with ``metrics`` decoded back to a dictionary.
+        """
+        sql = (
+            "SELECT campaign, run_index, created_at, metrics_json "
+            "FROM run_metrics"
+        )
+        arguments: Tuple = ()
+        if name is not None:
+            sql += " WHERE campaign = ?"
+            arguments = (name,)
+        sql += " ORDER BY campaign, run_index"
+        rows = []
+        for row in self._read().execute(sql, arguments):
+            try:
+                decoded = json.loads(row["metrics_json"])
+            except ValueError as error:
+                raise StoreError(
+                    f"corrupt run_metrics row for campaign "
+                    f"{row['campaign']!r} (run {row['run_index']}): {error}"
+                )
+            rows.append({
+                "campaign": row["campaign"],
+                "run_index": int(row["run_index"]),
+                "created_at": float(row["created_at"]),
+                "metrics": decoded,
+            })
+        return rows
 
     # -- statistics ------------------------------------------------------------
 
