@@ -10,6 +10,9 @@
 #                          run, front bit-identical to the unsharded twin
 #   make physical-smoke    two-design flow with macro reuse on: >= 1 macro
 #                          cache hit and byte-identical GDSII vs reuse-off
+#   make template-smoke    three neighbouring designs: columns derived from
+#                          a solved template (memory + store rungs) with
+#                          byte-identical GDSII vs reuse-off
 #   make trace-smoke       quickstart-sized flow under `repro trace`: the
 #                          exported Chrome trace must parse and nest api +
 #                          engine + chunk + physical-pipeline spans
@@ -17,6 +20,11 @@
 #                          gate, auto-relaxed on 1-core hosts, no write)
 #   make physical-bench    full physical-pipeline benchmark, records
 #                          BENCH_physical.json
+#   make template-bench-smoke CI-sized near-miss template benchmark (5x
+#                          derived-vs-cold gate, auto-relaxed on 1-core
+#                          hosts, no write)
+#   make template-bench    full near-miss template benchmark, records
+#                          BENCH_template.json
 #   make model-bench-smoke CI-sized vectorized-model benchmark (5x gate, no write)
 #   make model-bench       full vectorized-model benchmark, records BENCH_model.json
 #   make bench-quick       CI-sized engine scaling benchmark (no baseline write)
@@ -28,7 +36,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke trace-smoke physical-bench physical-bench-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke physical-bench physical-bench-smoke template-bench template-bench-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +56,9 @@ shard-smoke:
 physical-smoke:
 	$(PYTHON) examples/physical_smoke.py
 
+template-smoke:
+	$(PYTHON) examples/template_smoke.py
+
 trace-smoke:
 	$(PYTHON) examples/trace_smoke.py
 
@@ -56,6 +67,12 @@ physical-bench-smoke:
 
 physical-bench:
 	$(PYTHON) benchmarks/bench_physical_pipeline.py
+
+template-bench-smoke:
+	$(PYTHON) benchmarks/bench_template_reuse.py --quick
+
+template-bench:
+	$(PYTHON) benchmarks/bench_template_reuse.py
 
 model-bench-smoke:
 	$(PYTHON) benchmarks/bench_model_vectorized.py --quick
@@ -69,4 +86,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke trace-smoke model-bench-smoke physical-bench-smoke
+ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke model-bench-smoke physical-bench-smoke template-bench-smoke

@@ -31,6 +31,7 @@ from repro.errors import (
     SimulationError,
     StoreError,
 )
+from repro.physical.artifacts import PIPELINE_STAGES
 from repro.store.result_store import RANK_METRICS
 
 #: kind -> request class; populated by :func:`_register`.
@@ -536,9 +537,33 @@ class LibraryRequest(ApiRequest):
         macros: also list the solved macros of the session's physical
             pipeline and, when a store is attached, the persisted macro
             artifact cache (``repro library macros``).
+        stage: only list artifacts persisted under this store stage
+            (``"macro"`` for solved macros; pipeline stage names for any
+            future per-stage artifacts); ``None`` lists everything.
+        macro_kind: only list macros of this kind (``"local_array"``,
+            ``"column"``, ``"acim_macro"``); ``None`` lists everything.
     """
 
     kind: ClassVar[str] = "library"
 
+    #: Store stages the macro listing understands.
+    _STAGES: ClassVar[Tuple[str, ...]] = ("macro",) + PIPELINE_STAGES
+
     report: bool = False
     macros: bool = False
+    stage: Optional[str] = None
+    macro_kind: Optional[str] = None
+
+    def validate(self) -> "LibraryRequest":
+        if self.stage is not None and self.stage not in self._STAGES:
+            raise RequestError(
+                f"stage must be one of {sorted(self._STAGES)}, "
+                f"got {self.stage!r}"
+            )
+        if self.macro_kind is not None and not isinstance(
+            self.macro_kind, str
+        ):
+            raise RequestError(
+                f"macro_kind must be a string, got {self.macro_kind!r}"
+            )
+        return self

@@ -731,36 +731,49 @@ class Session:
         if request.report:
             payload["report"] = library.report()
         if request.macros:
-            payload["macros"] = self._macro_listing()
+            payload["macros"] = self._macro_listing(
+                stage=request.stage, kind=request.macro_kind
+            )
         return self._finish(
             request.kind, start, baseline, payload,
             status="ok" if not problems else "failed",
             artifacts={"library": library},
         )
 
-    def _macro_listing(self) -> List[dict]:
+    def _macro_listing(
+        self, stage: Optional[str] = None, kind: Optional[str] = None
+    ) -> List[dict]:
         """Solved macros of this session plus the persisted artifact cache.
 
-        In-memory records (solved or hydrated during this session) are
-        listed with their full summary; store artifacts not yet touched by
-        this session appear as ``source="store"`` rows decoded from their
+        In-memory records (solved, derived or hydrated during this
+        session) are listed with their full summary — the ``source``
+        column distinguishes ``built`` / ``memory`` / ``store`` /
+        ``derived`` servings; store artifacts not yet touched by this
+        session appear as ``source="store"`` rows decoded from their
         keys, so ``repro library macros --store ...`` shows the whole
         warm-start inventory without deserializing every layout.
+        ``stage`` filters the persisted inventory by store stage (solved
+        macros live under ``"macro"``); ``kind`` filters by macro kind.
         """
-        rows = [record.summary() for record in self.pipeline.macro_library.macros()]
+        rows: List[dict] = []
+        if stage is None or stage == MACRO_STAGE:
+            rows = [
+                record.summary()
+                for record in self.pipeline.macro_library.macros()
+            ]
         listed = {row["digest"] for row in rows}
         if self.store is not None:
-            for artifact in self.store.list_artifacts(stage=MACRO_STAGE):
+            for artifact in self.store.list_artifacts(stage=stage or MACRO_STAGE):
                 digest = artifact["digest"][:12]
                 if digest in listed:
                     continue
                 key = artifact["key"]
                 # Macro artifacts are stored under a [kind, params] key.
-                kind = "?"
+                artifact_kind = "?"
                 if isinstance(key, list) and key and isinstance(key[0], str):
-                    kind = key[0]
+                    artifact_kind = key[0]
                 rows.append({
-                    "kind": kind,
+                    "kind": artifact_kind,
                     "cell": "",
                     "digest": digest,
                     "pins": "",
@@ -769,6 +782,8 @@ class Session:
                     "area_dbu2": "",
                     "source": "store",
                 })
+        if kind is not None:
+            rows = [row for row in rows if row["kind"] == kind]
         return rows
 
     #: kind -> bound handler; the single dispatch table behind submit().

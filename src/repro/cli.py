@@ -222,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "artifact inventory)")
     library.add_argument("--report", action="store_true",
                          help="print the per-cell summary")
+    library.add_argument("--stage", default=None,
+                         choices=sorted(LibraryRequest._STAGES),
+                         help="macros: only list artifacts of this store "
+                              "stage (solved macros live under 'macro')")
+    library.add_argument("--kind", default=None,
+                         help="macros: only list macros of this kind "
+                              "(local_array, column, acim_macro)")
     library.set_defaults(handler=_cmd_library)
 
     campaign = subparsers.add_parser(
@@ -493,6 +500,7 @@ def _cmd_library(args: argparse.Namespace) -> int:
     with _session_from_args(args) as session:
         result = session.submit(LibraryRequest(
             report=args.report, macros=want_macros,
+            stage=args.stage, macro_kind=args.kind,
         ))
     if _emit_json(result, args):
         return 0 if result.ok else 1

@@ -165,7 +165,8 @@ class FlowResult:
             lines.append(
                 f"  physical pipeline         : "
                 f"{self.physical_stats.get('macros_built', 0)} macros built, "
-                f"{self.physical_stats.get('macros_reused', 0)} reused"
+                f"{self.physical_stats.get('macros_reused', 0)} reused, "
+                f"{self.physical_stats.get('macros_derived', 0)} derived"
             )
         for key, report in self.layouts.items():
             lines.append(
@@ -382,7 +383,7 @@ class _FlowCore:
                         if report is not None:
                             result.layouts[spec_tuple] = report
             if self.inputs.store is not None:
-                self._record_campaign(exploration)
+                self._record_campaign(exploration, result.physical_stats)
                 # Flush the write-behind buffer before the statistics are
                 # snapshotted so store_writes reflects this run.
                 self.engine.flush_store()
@@ -410,8 +411,18 @@ class _FlowCore:
             return False
         return self.engine.backend == "serial" or (self.engine.workers or 1) <= 1
 
-    def _record_campaign(self, exploration: ExplorationResult) -> None:
-        """Record the finished exploration in the persistent store."""
+    def _record_campaign(
+        self,
+        exploration: ExplorationResult,
+        physical_stats: Optional[Dict] = None,
+    ) -> None:
+        """Record the finished exploration in the persistent store.
+
+        When the reuse pipeline generated layouts, a ``run_metrics`` row
+        is appended too, carrying the macro-ladder counters (built /
+        reused / template-derived) so ``repro metrics`` shows where this
+        flow's solves came from.
+        """
         from repro.store.campaign import record_exploration
 
         name = self.inputs.campaign_name or f"flow-{self.inputs.array_size}"
@@ -419,5 +430,17 @@ class _FlowCore:
             self.inputs.store, name, exploration,
             self.estimator, self.inputs.nsga2,
         )
+        if physical_stats:
+            self.inputs.store.put_run_metrics(name, {
+                "status": "flow",
+                "generations": exploration.generations,
+                "runtime_seconds": round(exploration.runtime_seconds, 6),
+                "evaluations": exploration.evaluations,
+                "physical": {
+                    "macros_built": physical_stats.get("macros_built", 0),
+                    "macros_reused": physical_stats.get("macros_reused", 0),
+                    "macros_derived": physical_stats.get("macros_derived", 0),
+                },
+            })
 
 

@@ -225,3 +225,60 @@ def summarize_violations(violations: List[DRCViolation]) -> Dict[str, int]:
     for violation in violations:
         summary[violation.rule] = summary.get(violation.rule, 0) + 1
     return summary
+
+
+def check_own_level_shorts(
+    technology: Technology, cell: LayoutCell
+) -> List[DRCViolation]:
+    """Spacing check on a cell's *own* shapes only, via grid bucketing.
+
+    This is the fast exactness gate for template-derived macros: replaying
+    recorded route plans re-emits wire geometry at the cell's own level, so
+    the only rule class an invalid replay could break is same-layer spacing
+    between different nets there (child cells are untouched, and wire
+    widths/areas come from the same emitter as a cold solve).  Shapes are
+    hashed into buckets sized by the spacing window, which keeps the pair
+    check linear even for the tall, narrow column macros where the
+    checker's x-sweep degenerates to quadratic.
+    """
+    violations: List[DRCViolation] = []
+    by_layer: Dict[str, List[Shape]] = {}
+    for shape in cell.shapes:
+        by_layer.setdefault(shape.layer, []).append(shape)
+    for layer, shapes in by_layer.items():
+        min_spacing = technology.rules.min_spacing(layer)
+        if min_spacing <= 0 or len(shapes) < 2:
+            continue
+        bucket = max(min_spacing * 4, 400)
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        for index, shape in enumerate(shapes):
+            rect = shape.rect.expanded(min_spacing)
+            for bx in range(rect.x_lo // bucket, rect.x_hi // bucket + 1):
+                for by in range(rect.y_lo // bucket, rect.y_hi // bucket + 1):
+                    grid.setdefault((bx, by), []).append(index)
+        seen: set = set()
+        for members in grid.values():
+            for i, index_a in enumerate(members):
+                for index_b in members[i + 1:]:
+                    pair = (index_a, index_b)
+                    if pair in seen:
+                        continue
+                    seen.add(pair)
+                    shape_a, shape_b = shapes[index_a], shapes[index_b]
+                    if DRCChecker._same_net(shape_a, shape_b):
+                        continue
+                    if shape_a.rect.overlaps(shape_b.rect):
+                        violations.append(DRCViolation(
+                            rule="min_spacing", layer=layer,
+                            location=shape_a.rect.union(shape_b.rect),
+                            measured=0, required=min_spacing,
+                        ))
+                        continue
+                    spacing = shape_a.rect.spacing_to(shape_b.rect)
+                    if 0 < spacing < min_spacing:
+                        violations.append(DRCViolation(
+                            rule="min_spacing", layer=layer,
+                            location=shape_a.rect.union(shape_b.rect),
+                            measured=spacing, required=min_spacing,
+                        ))
+    return violations

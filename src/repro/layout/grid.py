@@ -159,7 +159,11 @@ class RoutingGrid:
         self.columns = max(1, region.width // self.pitch + 1)
         self.rows = max(1, region.height // self.pitch + 1)
         self.allow_off_direction = allow_off_direction
-        self._obstacles: Set[GridNode] = set()
+        # Obstacle membership is kept as packed integer keys
+        # ((layer * rows + y) * columns + x): the hot add/lookup paths run
+        # orders of magnitude more often than anything else on the grid,
+        # and hashing a small int costs a fraction of a dataclass hash.
+        self._obstacles: Set[int] = set()
         self._capacity_used: Dict[GridNode, int] = {}
 
     # -- coordinate conversion -------------------------------------------
@@ -195,36 +199,46 @@ class RoutingGrid:
 
     # -- obstacles ---------------------------------------------------------
 
+    def _pack(self, node: GridNode) -> int:
+        """Packed set key of an in-bounds node (see ``_obstacles``)."""
+        return (node.layer * self.rows + node.y) * self.columns + node.x
+
     def add_obstacle(self, node: GridNode) -> None:
         """Block a single node."""
         if self.in_bounds(node):
-            self._obstacles.add(node)
+            self._obstacles.add(self._pack(node))
 
     def add_obstacle_rect(self, layer_index: int, rect: Rect, margin: int = 0) -> int:
         """Block every node on ``layer_index`` covered by ``rect`` (+margin).
 
-        Returns the number of nodes blocked.
+        Returns the number of nodes blocked.  The covered node-index
+        ranges are computed directly (a node at ``origin + i * pitch``
+        lies inside the rect iff ``ceil`` / ``floor`` of the boundary
+        offsets bracket ``i``), so large blockages cost one set insert
+        per node instead of a point-containment test each.
         """
         expanded = rect.expanded(margin)
-        lo = self.point_to_node(Point(expanded.x_lo, expanded.y_lo), layer_index)
-        hi = self.point_to_node(Point(expanded.x_hi, expanded.y_hi), layer_index)
-        count = 0
-        for x in range(lo.x, hi.x + 1):
-            for y in range(lo.y, hi.y + 1):
-                node = GridNode(x, y, layer_index)
-                point = self.node_to_point(node)
-                if expanded.contains_point(point):
-                    self._obstacles.add(node)
-                    count += 1
-        return count
+        pitch = self.pitch
+        x_start = max(0, -((self.region.x_lo - expanded.x_lo) // pitch))
+        x_end = min(self.columns - 1, (expanded.x_hi - self.region.x_lo) // pitch)
+        y_start = max(0, -((self.region.y_lo - expanded.y_lo) // pitch))
+        y_end = min(self.rows - 1, (expanded.y_hi - self.region.y_lo) // pitch)
+        if x_start > x_end or y_start > y_end:
+            return 0
+        update = self._obstacles.update
+        columns = self.columns
+        for y in range(y_start, y_end + 1):
+            row_base = (layer_index * self.rows + y) * columns
+            update(range(row_base + x_start, row_base + x_end + 1))
+        return (x_end - x_start + 1) * (y_end - y_start + 1)
 
     def clear_obstacle(self, node: GridNode) -> None:
         """Unblock a node (used to open pin access points)."""
-        self._obstacles.discard(node)
+        self._obstacles.discard(self._pack(node))
 
     def is_blocked(self, node: GridNode) -> bool:
-        """True if a node is unavailable to the router."""
-        return node in self._obstacles
+        """True if an (in-bounds) node is unavailable to the router."""
+        return self._pack(node) in self._obstacles
 
     def obstacle_count(self) -> int:
         """Number of blocked nodes."""

@@ -10,9 +10,13 @@ content-addressed artifacts:
   solved macros (placed + routed sub-layouts), keyed by content address
   and instantiated by transform wherever they recur.
 * :mod:`~repro.physical.artifacts` — stage keys, digests and statistics.
+* :mod:`~repro.physical.templates` — parametric macro templates: the
+  nearest-neighbour index and incremental-patch derivation that extend
+  exact-match reuse to *neighbouring* configurations.
 * :mod:`~repro.physical.serialize` — exact JSON round-trip of layout
-  hierarchies, which is what lets macros persist in the result store's
-  ``artifacts`` table and warm-start later processes byte-identically.
+  hierarchies (and their replayable route plans), which is what lets
+  macros persist in the result store's ``artifacts`` table and
+  warm-start later processes byte-identically.
 
 See ``docs/physical.md`` for the architecture and the reuse knobs.
 """
@@ -32,7 +36,22 @@ from repro.physical.pipeline import (
     PhysicalPipeline,
     PipelineResult,
 )
-from repro.physical.serialize import layout_from_dict, layout_to_dict
+from repro.physical.serialize import (
+    layout_from_dict,
+    layout_to_dict,
+    plans_from_dict,
+    plans_to_dict,
+)
+from repro.physical.templates import (
+    MacroTemplate,
+    STRUCTURAL_PARAMS,
+    TemplateIndex,
+    edit_cost,
+    family_digest,
+    family_key,
+    template_for,
+    template_params,
+)
 
 __all__ = [
     "ArtifactRecord",
@@ -50,4 +69,14 @@ __all__ = [
     "PipelineResult",
     "layout_from_dict",
     "layout_to_dict",
+    "plans_from_dict",
+    "plans_to_dict",
+    "MacroTemplate",
+    "STRUCTURAL_PARAMS",
+    "TemplateIndex",
+    "edit_cost",
+    "family_digest",
+    "family_key",
+    "template_for",
+    "template_params",
 ]

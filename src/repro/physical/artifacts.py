@@ -78,6 +78,7 @@ class PipelineStats:
     )
     macros_built: int = 0
     macros_reused: int = 0
+    macros_derived: int = 0
 
     def stage(self, name: str) -> StageStats:
         """The (auto-created) counters of one stage."""
@@ -94,6 +95,7 @@ class PipelineStats:
             },
             macros_built=self.macros_built,
             macros_reused=self.macros_reused,
+            macros_derived=self.macros_derived,
         )
 
     def since(self, baseline: "PipelineStats") -> "PipelineStats":
@@ -101,6 +103,7 @@ class PipelineStats:
         delta = PipelineStats(
             stages={}, macros_built=self.macros_built - baseline.macros_built,
             macros_reused=self.macros_reused - baseline.macros_reused,
+            macros_derived=self.macros_derived - baseline.macros_derived,
         )
         for name, current in self.stages.items():
             base = baseline.stages.get(name, StageStats())
@@ -121,6 +124,7 @@ class PipelineStats:
             },
             "macros_built": self.macros_built,
             "macros_reused": self.macros_reused,
+            "macros_derived": self.macros_derived,
         }
 
     @property

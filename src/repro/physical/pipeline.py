@@ -36,6 +36,7 @@ from repro.arch.spec import ACIMDesignSpec
 from repro.cells.dimensions import CellFootprints
 from repro.cells.library import CellLibrary, sar_controller_for
 from repro.layout.def_export import write_def
+from repro.layout.drc import check_own_level_shorts
 from repro.layout.gdsii import write_gds
 from repro.layout.geometry import Rect, Transform
 from repro.layout.layout import LayoutCell
@@ -44,9 +45,10 @@ from repro.obs import get_tracer
 from repro.physical.artifacts import PipelineStats, artifact_digest
 from repro.physical.macro_library import MacroLibrary, MacroRecord
 from repro.physical.netlist_builder import NetlistBuilder
+from repro.physical.templates import MacroTemplate
 from repro.placement.hierarchical import HierarchicalPlacer, MacroPlacement
 from repro.placement.template import ColumnStackTemplate
-from repro.routing.hier_router import HierarchicalRouter, LogicalNet
+from repro.routing.hier_router import CellRoutePlans, HierarchicalRouter, LogicalNet
 from repro.routing.tracks import power_track_plan, sar_control_track_plan
 from repro.units import dbu_to_um, um2_to_f2
 
@@ -265,6 +267,10 @@ class PhysicalPipeline:
                 "layers": list(self.ROUTING_LAYERS),
             },
             lambda: self._build_local_array(spec, route),
+            deriver=lambda template: self._derive_macro(
+                template,
+                lambda plans: self._build_local_array(spec, route, plans=plans),
+            ),
         )
         column_record = self._macro(
             "column",
@@ -275,6 +281,12 @@ class PhysicalPipeline:
                 "layers": list(self.ROUTING_LAYERS),
             },
             lambda: self._build_column(spec, local_record.layout, route),
+            deriver=lambda template: self._derive_macro(
+                template,
+                lambda plans: self._build_column(
+                    spec, local_record.layout, route, plans=plans
+                ),
+            ),
         )
         with self._timed("layout"):
             macro = self._build_macro(spec, column_record.layout)
@@ -297,8 +309,18 @@ class PhysicalPipeline:
         key,
         builder: Callable[[], Tuple[LayoutCell, Dict[str, int]]],
         stages: Sequence[str] = ("placement", "routing"),
+        deriver: Optional[
+            Callable[[MacroTemplate], Optional[Tuple[LayoutCell, Dict[str, int]]]]
+        ] = None,
     ) -> MacroRecord:
-        """One macro through the reuse cache, with stage-hit accounting."""
+        """One macro through the lookup ladder, with per-rung accounting.
+
+        The ladder (exact memory hit -> exact store hit -> template derive
+        from memory -> template derive from a store neighbour -> cold
+        solve) lives in :meth:`MacroLibrary.get_or_build`; this wrapper
+        attributes the outcome to stage counters and the per-rung
+        ``physical.macro.*`` metrics.
+        """
         if not self.reuse:
             layout, stats = builder()
             self.stats.macros_built += 1
@@ -313,24 +335,77 @@ class PhysicalPipeline:
                 area_dbu2=layout.area,
                 source="built",
             )
-        built_before = self.macro_library.built
-        store_hits_before = self.macro_library.store_hits
-        record = self.macro_library.get_or_build(kind, key, builder)
-        if self.macro_library.built > built_before:
+        library = self.macro_library
+        before = (
+            library.built, library.memory_hits, library.store_hits,
+            library.derived, library.derived_from_store,
+        )
+        record = library.get_or_build(kind, key, builder, deriver=deriver)
+        built, memory_hits, store_hits, derived, derived_from_store = (
+            library.built - before[0],
+            library.memory_hits - before[1],
+            library.store_hits - before[2],
+            library.derived - before[3],
+            library.derived_from_store - before[4],
+        )
+        if built:
             self.stats.macros_built += 1
-            if self.metrics is not None:
-                self.metrics.counter("physical.macro.built").inc()
+            self._count("physical.macro.built")
+        elif derived:
+            self.stats.macros_derived += 1
+            if derived_from_store:
+                self._count("physical.macro.derive.store")
+            else:
+                self._count("physical.macro.derive.memory")
         else:
             self.stats.macros_reused += 1
-            if self.metrics is not None:
-                self.metrics.counter("physical.macro.reuse").inc()
-            from_store = self.macro_library.store_hits > store_hits_before
+            self._count("physical.macro.reuse")
+            if memory_hits:
+                self._count("physical.macro.hit.memory")
+            elif store_hits:
+                self._count("physical.macro.hit.store")
             for stage_name in stages:
                 stage = self.stats.stage(stage_name)
                 stage.cache_hits += 1
-                if from_store:
+                if store_hits:
                     stage.store_hits += 1
         return record
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _derive_macro(
+        self,
+        template: MacroTemplate,
+        patch_builder: Callable[
+            [CellRoutePlans], Tuple[LayoutCell, Dict[str, int]]
+        ],
+    ) -> Optional[Tuple[LayoutCell, Dict[str, int]]]:
+        """Patch a neighbouring template into the requested macro.
+
+        Re-places the full (cheap, deterministic) instance stack and
+        replays the template's recorded route plans, so only tree-growth
+        steps incident to added/moved instances run a live maze search.
+        The patched cell must pass the own-level short check — the one
+        rule class an invalid replay could break — or the derivation is
+        rejected and the caller falls back to a cold solve.
+        """
+        def patcher(_spec, bound_template: MacroTemplate):
+            with get_tracer().span(
+                "physical.template_derive",
+                kind=bound_template.kind,
+                parent=bound_template.digest[:12],
+            ) as span:
+                cell, stats = patch_builder(bound_template.record.route_plans)
+                span.set("replayed", stats.get("replayed", 0))
+                span.set("searched", stats.get("searched", 0))
+                if check_own_level_shorts(self.technology, cell):
+                    self._count("physical.macro.derive.rejected")
+                    return None
+                return cell, stats
+
+        return template.derive(None, patcher)
 
     # -- hierarchy-level builders (placement + routing per level) ----------------------
 
@@ -359,8 +434,17 @@ class PhysicalPipeline:
             direction=pin.direction,
         )
 
-    def _build_local_array(self, spec: ACIMDesignSpec, route: bool):
-        """Level 1: L SRAM cells plus the shared local computing cell."""
+    def _build_local_array(
+        self,
+        spec: ACIMDesignSpec,
+        route: bool,
+        plans: Optional[CellRoutePlans] = None,
+    ):
+        """Level 1: L SRAM cells plus the shared local computing cell.
+
+        ``plans`` (a neighbouring solve's recorded routing) turns the
+        routing stage into an incremental replay-and-patch pass.
+        """
         size = spec.local_array_size
         sram = self.library.layout("sram8t")
         local_compute = self.library.layout("local_compute")
@@ -384,10 +468,8 @@ class PhysicalPipeline:
                 critical=True,
             )]
             with self._timed("routing"):
-                report = self.router.route_cell(cell, nets, margin=400)
-            stats["routed"] = len(report.result.routes)
-            stats["failed"] = len(report.result.failed)
-            stats["wirelength"] = report.result.total_wirelength
+                report = self.router.route_cell(cell, nets, margin=400, plans=plans)
+            self._routing_stats(stats, report)
         # Expose the shared computing cell's column-facing pins one level up.
         self._promote_pin(cell, "LC", "RBL")
         for control in ("P", "N", "PB", "PCH", "RST"):
@@ -395,7 +477,23 @@ class PhysicalPipeline:
         cell.set_boundary_from_contents()
         return cell, stats
 
-    def _build_column(self, spec: ACIMDesignSpec, local_array: LayoutCell, route: bool):
+    @staticmethod
+    def _routing_stats(stats: Dict, report) -> None:
+        """Fold a hierarchical routing report into builder stats."""
+        stats["routed"] = len(report.result.routes)
+        stats["failed"] = len(report.result.failed)
+        stats["wirelength"] = report.result.total_wirelength
+        stats["replayed"] = report.result.replayed_steps
+        stats["searched"] = report.result.searched_steps
+        stats["route_plans"] = report.plans
+
+    def _build_column(
+        self,
+        spec: ACIMDesignSpec,
+        local_array: LayoutCell,
+        route: bool,
+        plans: Optional[CellRoutePlans] = None,
+    ):
         """Level 2: the full ACIM column."""
         num_local = spec.local_arrays_per_column
         comparator = self.library.layout("comparator")
@@ -428,10 +526,8 @@ class PhysicalPipeline:
                 ),
             ]
             with self._timed("routing"):
-                report = self.router.route_cell(cell, nets, margin=600)
-            stats["routed"] = len(report.result.routes)
-            stats["failed"] = len(report.result.failed)
-            stats["wirelength"] = report.result.total_wirelength
+                report = self.router.route_cell(cell, nets, margin=600, plans=plans)
+            self._routing_stats(stats, report)
         return cell, stats
 
     def _build_macro(self, spec: ACIMDesignSpec, column: LayoutCell) -> LayoutCell:

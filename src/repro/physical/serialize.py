@@ -23,11 +23,19 @@ from typing import Dict, List, Optional
 
 from repro.errors import LayoutError
 from repro.layout.geometry import Orientation, Rect, Transform
+from repro.layout.grid import GridNode
 from repro.layout.layout import LayoutCell
+from repro.routing.hier_router import CellRoutePlans
+from repro.routing.router import NetPlan, RouteStep
 
 #: Bumped whenever the document layout changes incompatibly; a mismatch
 #: makes the artifact cache treat the payload as a miss, never misread it.
 LAYOUT_FORMAT = 1
+
+#: Format tag for serialized route plans (:class:`CellRoutePlans`); bumped
+#: independently of the layout format so plans can evolve without
+#: invalidating the (still exact) layout payloads they ride along with.
+PLAN_FORMAT = 1
 
 
 def _rect_to_list(rect: Rect) -> List[int]:
@@ -134,3 +142,59 @@ def layout_from_dict(data: dict) -> LayoutCell:
     if top is None:
         raise LayoutError(f"layout document has no top cell {data['top']!r}")
     return top
+
+
+# -- route plans ------------------------------------------------------------
+
+
+def _node_to_list(node: GridNode) -> List[int]:
+    return [node.x, node.y, node.layer]
+
+
+def _node_from_list(values) -> GridNode:
+    return GridNode(int(values[0]), int(values[1]), int(values[2]))
+
+
+def plans_to_dict(plans: CellRoutePlans) -> dict:
+    """Serialize a routing pass's replayable plans to JSON-compatible form."""
+    return {
+        "format": PLAN_FORMAT,
+        "origin": [plans.origin[0], plans.origin[1]],
+        "pitch": plans.pitch,
+        "nets": {
+            name: {
+                "root": _node_to_list(plan.root),
+                "steps": [
+                    [_node_to_list(step.target),
+                     [_node_to_list(node) for node in step.path]]
+                    for step in plan.steps
+                ],
+            }
+            for name, plan in plans.nets.items()
+        },
+    }
+
+
+def plans_from_dict(data: Optional[dict]) -> Optional[CellRoutePlans]:
+    """Rebuild :func:`plans_to_dict` output; ``None`` on absent or
+    unsupported payloads (plans are an optimisation, never required)."""
+    if not isinstance(data, dict) or data.get("format") != PLAN_FORMAT:
+        return None
+    nets: Dict[str, NetPlan] = {}
+    for name, record in data["nets"].items():
+        nets[name] = NetPlan(
+            root=_node_from_list(record["root"]),
+            steps=tuple(
+                RouteStep(
+                    target=_node_from_list(target),
+                    path=tuple(_node_from_list(node) for node in path),
+                )
+                for target, path in record["steps"]
+            ),
+        )
+    origin = data["origin"]
+    return CellRoutePlans(
+        origin=(int(origin[0]), int(origin[1])),
+        pitch=int(data["pitch"]),
+        nets=nets,
+    )

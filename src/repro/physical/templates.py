@@ -1,0 +1,227 @@
+"""Parametric macro templates: near-miss reuse by incremental patching.
+
+The :class:`~repro.physical.macro_library.MacroLibrary` (PR 5) only reuses
+macros whose content address matches exactly.  Sweeping neighbouring
+``(H, L, B_ADC)`` configurations — the dominant workload of NSGA-II
+campaigns and distill flows — therefore pays a full cold place-and-route
+per point even when the solved layout differs by one row of local arrays
+or one SAR stack.  This module closes that gap with the iprec-style
+*parameterized* template match the ROADMAP calls for:
+
+* a :class:`MacroTemplate` generalizes one solved
+  :class:`~repro.physical.macro_library.MacroRecord` over its *structural*
+  parameters (the row count ``L`` for ``local_array`` macros, ``(H, B)``
+  for ``column`` macros) while pinning every parameter that changes leaf
+  geometry (routing pitch and layers, the library fingerprint) into an
+  immutable *family*;
+* :func:`edit_cost` ranks candidate templates by how much structure a
+  patch must touch (rows added or dropped, SAR stack swapped), and
+  :class:`TemplateIndex` answers nearest-neighbour queries under that
+  metric deterministically;
+* :meth:`MacroTemplate.derive` produces a neighbouring macro by
+  *incremental patch*: the pipeline re-places only the delta band of
+  instances and replays the template's recorded route plans
+  (:class:`~repro.routing.hier_router.CellRoutePlans`), so only nets —
+  indeed only tree-growth steps — incident to changed instances run a
+  live maze search.  Because routing is deterministic and every replayed
+  step is validated against the new grid, a patched macro is
+  byte-identical to what a cold solve of the same spec would produce;
+  the regression suite and ``make template-smoke`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.physical.artifacts import artifact_digest
+
+if TYPE_CHECKING:  # circular with macro_library, which indexes templates
+    from repro.physical.macro_library import MacroRecord
+
+#: Structural parameters per macro kind: the key fields a template may
+#: vary across derivations.  Kinds not listed here are never templated.
+STRUCTURAL_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "local_array": ("L",),
+    "column": ("H", "B"),
+}
+
+#: Edit cost charged for swapping the SAR/ADC stack (a ``B`` change):
+#: a constant, because the swap touches one instance band regardless of
+#: the resolution delta.
+SAR_SWAP_COST = 2
+
+
+def template_params(kind: str, key) -> Optional[Dict[str, int]]:
+    """The structural-parameter vector of a macro key, or ``None``.
+
+    Returns ``None`` for kinds without a template definition and for keys
+    that do not carry every structural field (future-proofing: such keys
+    simply fall back to exact-match reuse).
+    """
+    names = STRUCTURAL_PARAMS.get(kind)
+    if names is None or not isinstance(key, Mapping):
+        return None
+    try:
+        return {name: int(key[name]) for name in names}
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def family_key(kind: str, key) -> Optional[Dict[str, object]]:
+    """The non-structural remainder of a macro key (the template family)."""
+    names = STRUCTURAL_PARAMS.get(kind)
+    if names is None or not isinstance(key, Mapping):
+        return None
+    return {name: value for name, value in key.items() if name not in names}
+
+
+def family_digest(kind: str, fingerprint: str, family: Mapping) -> str:
+    """Content address of a template family under one cell library."""
+    return artifact_digest("template_family", [kind, fingerprint, family])
+
+
+def edit_cost(
+    kind: str,
+    params_a: Mapping[str, int],
+    params_b: Mapping[str, int],
+    family: Optional[Mapping] = None,
+) -> int:
+    """Structural distance between two parameter vectors of one family.
+
+    The metric counts the instance bands a patch must touch: local-array
+    rows added or dropped for ``local_array`` and row-of-``L`` deltas for
+    ``column``, plus a constant for swapping the SAR stack when ``B``
+    differs.  Lower is cheaper to derive.
+    """
+    if kind == "local_array":
+        return abs(int(params_a["L"]) - int(params_b["L"]))
+    if kind == "column":
+        rows_per_local = 1
+        if family is not None:
+            try:
+                rows_per_local = max(1, int(family.get("L", 1)))
+            except (TypeError, ValueError):
+                rows_per_local = 1
+        cost = abs(int(params_a["H"]) - int(params_b["H"])) // rows_per_local
+        if int(params_a["B"]) != int(params_b["B"]):
+            cost += SAR_SWAP_COST
+        return cost
+    raise KeyError(f"no edit-cost metric for macro kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class MacroTemplate:
+    """A solved macro generalized over its structural parameters.
+
+    Attributes:
+        kind: macro family name (``"local_array"``, ``"column"``).
+        family_digest: content address of everything the template pins:
+            the non-structural key fields and the library fingerprint.
+        family: the pinned non-structural key fields.
+        params: the structural-parameter vector this record was solved at.
+        record: the solved macro, including its recorded route plans.
+    """
+
+    kind: str
+    family_digest: str
+    family: Dict[str, object]
+    params: Dict[str, int]
+    record: MacroRecord
+
+    @property
+    def digest(self) -> str:
+        """Content address of the underlying solved macro."""
+        return self.record.digest
+
+    def cost_to(self, params: Mapping[str, int]) -> int:
+        """Edit cost of deriving ``params`` from this template."""
+        return edit_cost(self.kind, self.params, params, self.family)
+
+    def derive(
+        self,
+        spec,
+        patcher: Callable[[object, "MacroTemplate"], Optional[Tuple[object, Dict]]],
+    ) -> Optional[Tuple[object, Dict]]:
+        """Produce a neighbouring macro for ``spec`` by incremental patch.
+
+        ``patcher`` is the pipeline's builder closure bound to this
+        template's recorded route plans; it re-places the delta band and
+        replays the plans through the hierarchical router.  Returns the
+        patched ``(layout, stats)`` or ``None`` when this template cannot
+        patch (no recorded plans — e.g. hydrated from a pre-template
+        store payload).
+        """
+        if self.record.route_plans is None:
+            return None
+        return patcher(spec, self)
+
+
+def template_for(
+    kind: str, key, fingerprint: str, record: MacroRecord
+) -> Optional[MacroTemplate]:
+    """Wrap a solved macro as a template, or ``None`` when not templatable
+    (unknown kind, incomplete key, or a record without route plans)."""
+    if record.route_plans is None:
+        return None
+    params = template_params(kind, key)
+    family = family_key(kind, key)
+    if params is None or family is None:
+        return None
+    return MacroTemplate(
+        kind=kind,
+        family_digest=family_digest(kind, fingerprint, family),
+        family=family,
+        params=params,
+        record=record,
+    )
+
+
+class TemplateIndex:
+    """Deterministic nearest-neighbour index of in-memory templates.
+
+    Templates are grouped by ``(kind, family_digest)`` — only same-family
+    macros are ever comparable — and queries rank candidates by
+    ``(edit_cost, digest)`` so ties break identically in every process.
+    """
+
+    def __init__(self) -> None:
+        self._by_family: Dict[Tuple[str, str], Dict[str, MacroTemplate]] = {}
+
+    def add(self, template: MacroTemplate) -> None:
+        """Register a template (idempotent per macro digest)."""
+        group = self._by_family.setdefault(
+            (template.kind, template.family_digest), {}
+        )
+        group.setdefault(template.digest, template)
+
+    def nearest(
+        self,
+        kind: str,
+        family: str,
+        params: Mapping[str, int],
+        exclude_digest: Optional[str] = None,
+    ) -> Optional[MacroTemplate]:
+        """The cheapest-to-patch template of a family, or ``None``."""
+        group = self._by_family.get((kind, family))
+        if not group:
+            return None
+        best: Optional[Tuple[int, str, MacroTemplate]] = None
+        for digest, template in group.items():
+            if digest == exclude_digest:
+                continue
+            candidate = (template.cost_to(params), digest, template)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        return best[2] if best is not None else None
+
+    def templates(self) -> List[MacroTemplate]:
+        """Every registered template, grouped by family."""
+        return [
+            template
+            for group in self._by_family.values()
+            for template in group.values()
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._by_family.values())

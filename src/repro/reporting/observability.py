@@ -45,6 +45,7 @@ def run_metrics_table(rows: Iterable[Dict]) -> List[Dict]:
     table: List[Dict] = []
     for row in rows:
         metrics = row.get("metrics", {}) or {}
+        physical = metrics.get("physical", {}) or {}
         table.append({
             "campaign": row.get("campaign", ""),
             "run": row.get("run_index", 0),
@@ -55,6 +56,15 @@ def run_metrics_table(rows: Iterable[Dict]) -> List[Dict]:
             "evaluations": metrics.get("evaluations", 0),
             "cache_hit_rate": metrics.get("cache_hit_rate", 0.0),
             "backend": metrics.get("backend", ""),
+            # built/reused/derived macro counts of reuse-pipeline flows.
+            "macros": (
+                "{}/{}/{}".format(
+                    physical.get("macros_built", 0),
+                    physical.get("macros_reused", 0),
+                    physical.get("macros_derived", 0),
+                )
+                if physical else ""
+            ),
         })
     return table
 

@@ -16,8 +16,15 @@ The router works on the 3-D routing grid of :mod:`repro.layout.grid`:
 
 from repro.routing.astar import AStarSearch, SearchResult
 from repro.routing.tracks import PredefinedTrack, TrackPlan, power_track_plan
-from repro.routing.router import GridRouter, NetRoute, RoutingRequest, RoutingResult
-from repro.routing.hier_router import HierarchicalRouter, LogicalNet
+from repro.routing.router import (
+    GridRouter,
+    NetPlan,
+    NetRoute,
+    RouteStep,
+    RoutingRequest,
+    RoutingResult,
+)
+from repro.routing.hier_router import CellRoutePlans, HierarchicalRouter, LogicalNet
 
 __all__ = [
     "AStarSearch",
@@ -26,9 +33,12 @@ __all__ = [
     "TrackPlan",
     "power_track_plan",
     "GridRouter",
+    "NetPlan",
     "NetRoute",
+    "RouteStep",
     "RoutingRequest",
     "RoutingResult",
+    "CellRoutePlans",
     "HierarchicalRouter",
     "LogicalNet",
 ]

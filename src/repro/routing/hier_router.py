@@ -19,15 +19,35 @@ children (and the level's own pre-defined tracks) are routed.  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError
 from repro.layout.geometry import Point, Rect
 from repro.layout.grid import RoutingGrid
 from repro.layout.layout import LayoutCell
-from repro.routing.router import GridRouter, RoutingRequest, RoutingResult
+from repro.routing.router import GridRouter, NetPlan, RoutingRequest, RoutingResult
 from repro.routing.tracks import TrackPlan
 from repro.technology.tech import Technology
+
+
+@dataclass(frozen=True)
+class CellRoutePlans:
+    """Replayable routing record of one hierarchy level.
+
+    Plans are tied to the grid geometry they were recorded on: ``origin``
+    and ``pitch`` must match the replaying grid for node indices to mean
+    the same dbu coordinates.  :meth:`HierarchicalRouter.route_cell`
+    silently ignores incompatible plans and falls back to full search.
+    """
+
+    origin: Tuple[int, int]
+    pitch: int
+    nets: Mapping[str, NetPlan] = field(default_factory=dict)
+
+    def compatible_with(self, grid: RoutingGrid) -> bool:
+        """True when node indices recorded here are valid on ``grid``."""
+        return (self.origin == (grid.region.x_lo, grid.region.y_lo)
+                and self.pitch == grid.pitch)
 
 
 @dataclass(frozen=True)
@@ -55,11 +75,15 @@ class HierRoutingReport:
         result: the underlying grid-routing result.
         grid_nodes: size of the routing grid used.
         blocked_nodes: obstacle nodes (cells + tracks) before routing.
+        plans: replayable record of this pass (grid geometry + per-net
+            plans), suitable for :meth:`HierarchicalRouter.route_cell`'s
+            ``plans`` argument on a neighbouring configuration.
     """
 
     result: RoutingResult
     grid_nodes: int
     blocked_nodes: int
+    plans: Optional[CellRoutePlans] = None
 
 
 class HierarchicalRouter:
@@ -88,12 +112,18 @@ class HierarchicalRouter:
         track_plan: Optional[TrackPlan] = None,
         margin: int = 2000,
         block_lowest_layer_under_cells: bool = True,
+        plans: Optional[CellRoutePlans] = None,
     ) -> HierRoutingReport:
         """Route ``nets`` between the direct children of ``cell``.
 
         Wire shapes and via markers are added to ``cell``; pre-defined
         tracks from ``track_plan`` are realised first and treated as
-        obstacles.
+        obstacles.  ``plans`` (a prior pass's
+        :attr:`HierRoutingReport.plans`) turns this into an *incremental*
+        pass: recorded per-net steps are replayed while they stay valid,
+        and only nets (or tree-growth steps) the plan does not cover run a
+        live maze search.  Plans recorded on an incompatible grid (other
+        origin or pitch) are ignored.
         """
         extent = self._extent(cell, margin)
         grid = RoutingGrid(
@@ -112,14 +142,26 @@ class HierarchicalRouter:
             track_plan.realize(cell)
             blocked += track_plan.block(grid, self.technology)
 
+        net_plans: Optional[Mapping[str, NetPlan]] = None
+        if plans is not None and plans.compatible_with(grid):
+            net_plans = plans.nets
         requests = [self._to_request(cell, net, grid) for net in nets]
         router = GridRouter(grid, self.technology, max_expansions=self.max_expansions)
-        result = router.route(requests)
+        result = router.route(requests, plans=net_plans)
         self._emit(cell, result)
         return HierRoutingReport(
             result=result,
             grid_nodes=grid.node_count(),
             blocked_nodes=blocked,
+            plans=CellRoutePlans(
+                origin=(grid.region.x_lo, grid.region.y_lo),
+                pitch=grid.pitch,
+                nets={
+                    name: route.plan
+                    for name, route in result.routes.items()
+                    if route.plan is not None
+                },
+            ),
         )
 
     # -- helpers ------------------------------------------------------------------

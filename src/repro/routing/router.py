@@ -14,12 +14,19 @@
 
 Paths are converted into wire rectangles per layer plus via markers, ready
 to be added to a layout cell.
+
+Routing is fully deterministic, so every net's construction can be recorded
+as a :class:`NetPlan` — the per-target search results in tree-growth order —
+and replayed later on a compatible grid.  Replay skips the A* searches whose
+recorded paths are still valid (target unchanged, path in bounds and
+unblocked) and falls back to a live search at the first divergence, which is
+what makes near-miss macro derivation cheap while staying exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError
 from repro.layout.geometry import Point, Rect
@@ -53,6 +60,33 @@ class RoutingRequest:
         return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
 
+@dataclass(frozen=True)
+class RouteStep:
+    """One tree-growth step of a net: connect ``target`` to the tree.
+
+    Attributes:
+        target: the pin node this step connected.
+        path: the full A* path (source to target inclusive) that connected
+            it; empty when the target was already part of the tree.
+    """
+
+    target: GridNode
+    path: Tuple[GridNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class NetPlan:
+    """Replayable construction record of one routed net.
+
+    Steps align positionally with the net's pin list (one step per pin
+    after the root), so a plan recorded on a smaller configuration is a
+    valid prefix for a grown neighbour of the same macro family.
+    """
+
+    root: GridNode
+    steps: Tuple[RouteStep, ...] = ()
+
+
 @dataclass
 class NetRoute:
     """The routed geometry of one net.
@@ -63,6 +97,9 @@ class NetRoute:
         wires: (layer name, rect) wire segments.
         vias: (via name, point) markers where the route changes layers.
         wirelength: total routed length in dbu.
+        plan: replayable construction record of the net.
+        replayed_steps: tree-growth steps satisfied from a supplied plan.
+        searched_steps: tree-growth steps that ran a live A* search.
     """
 
     net: str
@@ -70,6 +107,9 @@ class NetRoute:
     wires: List[Tuple[str, Rect]] = field(default_factory=list)
     vias: List[Tuple[str, Point]] = field(default_factory=list)
     wirelength: int = 0
+    plan: Optional[NetPlan] = None
+    replayed_steps: int = 0
+    searched_steps: int = 0
 
 
 @dataclass
@@ -81,12 +121,16 @@ class RoutingResult:
         failed: names of nets that could not be routed.
         total_wirelength: sum of all routed wirelengths in dbu.
         via_count: total number of vias inserted.
+        replayed_steps: tree-growth steps replayed from supplied plans.
+        searched_steps: tree-growth steps that ran a live A* search.
     """
 
     routes: Dict[str, NetRoute] = field(default_factory=dict)
     failed: List[str] = field(default_factory=list)
     total_wirelength: int = 0
     via_count: int = 0
+    replayed_steps: int = 0
+    searched_steps: int = 0
 
     @property
     def complete(self) -> bool:
@@ -109,21 +153,30 @@ class GridRouter:
 
     # -- public API ----------------------------------------------------------------
 
-    def route(self, requests: Sequence[RoutingRequest]) -> RoutingResult:
-        """Route every request; wires of earlier nets block later ones."""
+    def route(
+        self,
+        requests: Sequence[RoutingRequest],
+        plans: Optional[Mapping[str, NetPlan]] = None,
+    ) -> RoutingResult:
+        """Route every request; wires of earlier nets block later ones.
+
+        When ``plans`` supplies a :class:`NetPlan` for a net, its recorded
+        steps are replayed instead of searched for as long as they stay
+        valid on this grid; the remaining pins fall back to live search.
+        """
         result = RoutingResult()
         ordered = sorted(
             requests, key=lambda r: (not r.critical, r.bbox_semiperimeter())
         )
         deferred: List[RoutingRequest] = []
         for request in ordered:
-            route = self._route_net(request)
+            route = self._route_net(request, plans.get(request.net) if plans else None)
             if route is None:
                 deferred.append(request)
             else:
                 self._commit(route, result)
         for request in deferred:
-            route = self._route_net(request)
+            route = self._route_net(request, plans.get(request.net) if plans else None)
             if route is None:
                 result.failed.append(request.net)
             else:
@@ -132,26 +185,79 @@ class GridRouter:
 
     # -- net routing -----------------------------------------------------------------
 
-    def _route_net(self, request: RoutingRequest) -> Optional[NetRoute]:
+    def _route_net(
+        self, request: RoutingRequest, plan: Optional[NetPlan] = None
+    ) -> Optional[NetRoute]:
         pin_nodes = [self._pin_node(point, layer) for point, layer in request.pins]
         # Pin nodes must be routable even if cell geometry blocked them.
         for node in pin_nodes:
             self.grid.clear_obstacle(node)
         tree: List[GridNode] = [pin_nodes[0]]
         all_nodes: Set[GridNode] = {pin_nodes[0]}
-        for target in pin_nodes[1:]:
+        steps: List[RouteStep] = []
+        replayed = 0
+        searched = 0
+        # A plan only applies while it mirrors this net's construction
+        # exactly; the first divergence disables it for all later pins.
+        plan_live = plan is not None and plan.root == pin_nodes[0]
+        for index, target in enumerate(pin_nodes[1:]):
+            step = None
+            if plan_live and index < len(plan.steps):
+                step = plan.steps[index]
+                if not self._step_valid(step, target, all_nodes):
+                    plan_live = False
+                    step = None
+            else:
+                plan_live = False
             if target in all_nodes:
+                steps.append(RouteStep(target=target))
+                if step is not None:
+                    replayed += 1
                 continue
-            found = self.search.search(sources=tree, targets=[target])
-            if not found.found:
-                return None
-            for node in found.path:
+            if step is not None:
+                path: Sequence[GridNode] = step.path
+                replayed += 1
+            else:
+                found = self.search.search(sources=tree, targets=[target])
+                if not found.found:
+                    return None
+                path = found.path
+                searched += 1
+            for node in path:
                 if node not in all_nodes:
                     all_nodes.add(node)
                     tree.append(node)
-        route = NetRoute(net=request.net, nodes=list(all_nodes))
+            steps.append(RouteStep(target=target, path=tuple(path)))
+        route = NetRoute(
+            net=request.net,
+            nodes=list(all_nodes),
+            plan=NetPlan(root=pin_nodes[0], steps=tuple(steps)),
+            replayed_steps=replayed,
+            searched_steps=searched,
+        )
         self._emit_geometry(route)
         return route
+
+    def _step_valid(
+        self, step: RouteStep, target: GridNode, all_nodes: Set[GridNode]
+    ) -> bool:
+        """True when a recorded step can stand in for a live search."""
+        if step.target != target:
+            return False
+        if not step.path:
+            # An empty step recorded a target already in the tree; it only
+            # replays if that still holds here.
+            return target in all_nodes
+        if target in all_nodes or step.path[0] not in all_nodes:
+            return False
+        if step.path[-1] != target:
+            return False
+        for node in step.path:
+            if not self.grid.in_bounds(node):
+                return False
+            if node not in all_nodes and self.grid.is_blocked(node):
+                return False
+        return True
 
     def _commit(self, route: NetRoute, result: RoutingResult) -> None:
         for node in route.nodes:
@@ -159,6 +265,8 @@ class GridRouter:
         result.routes[route.net] = route
         result.total_wirelength += route.wirelength
         result.via_count += len(route.vias)
+        result.replayed_steps += route.replayed_steps
+        result.searched_steps += route.searched_steps
 
     def _pin_node(self, point: Point, layer: int) -> GridNode:
         if not 0 <= layer < self.grid.num_layers:

@@ -45,7 +45,14 @@ from repro.model.estimator import ACIMMetrics
 from repro.obs import get_tracer
 
 #: Version of the on-disk schema; bumped on incompatible layout changes.
-SCHEMA_VERSION = 1
+#: v2 added the ``template_index`` table and the ``(stage, created_at)``
+#: artifact index (both purely additive, so v1 files migrate in place).
+SCHEMA_VERSION = 2
+
+#: Older schema versions this revision upgrades in place on open.  Every
+#: v2 addition is new tables/indexes created by the idempotent DDL, so
+#: migrating a v1 file is just running the DDL and re-stamping.
+_MIGRATABLE_VERSIONS = (1,)
 
 #: Metric columns of the ``evaluations`` table, in ACIMMetrics field order.
 _METRIC_FIELDS = (
@@ -130,6 +137,18 @@ CREATE TABLE IF NOT EXISTS artifacts (
     created_at      REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_artifacts_stage ON artifacts(stage);
+CREATE INDEX IF NOT EXISTS idx_artifacts_stage_created
+    ON artifacts(stage, created_at);
+CREATE TABLE IF NOT EXISTS template_index (
+    kind            TEXT NOT NULL,
+    family_digest   TEXT NOT NULL,
+    params_json     TEXT NOT NULL,
+    artifact_digest TEXT NOT NULL REFERENCES artifacts(artifact_digest),
+    created_at      REAL NOT NULL,
+    PRIMARY KEY (kind, family_digest, params_json)
+);
+CREATE INDEX IF NOT EXISTS idx_template_index_family
+    ON template_index(family_digest);
 CREATE TABLE IF NOT EXISTS run_metrics (
     campaign     TEXT NOT NULL REFERENCES campaigns(name),
     run_index    INTEGER NOT NULL,
@@ -303,6 +322,14 @@ class ResultStore:
                 conn.execute(
                     "INSERT INTO store_meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(SCHEMA_VERSION)),
+                )
+            elif int(row["value"]) in _MIGRATABLE_VERSIONS:
+                # The DDL above already created every object the newer
+                # schema adds; re-stamp the version in the same atomic
+                # transaction as the check.
+                conn.execute(
+                    "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
                 )
             elif int(row["value"]) != SCHEMA_VERSION:
                 raise StoreError(
@@ -502,11 +529,16 @@ class ResultStore:
             raise StoreError(f"corrupt artifact {digest}: {error}")
 
     def list_artifacts(self, stage: Optional[str] = None) -> List[dict]:
-        """Artifact metadata rows (oldest first), optionally for one stage.
+        """Artifact metadata rows in insertion order, optionally per stage.
 
         Each row carries the digest, stage, decoded key, payload size and
         creation time — enough for the ``repro library macros`` listing
-        without decoding whole layout payloads.
+        without decoding whole layout payloads.  Ordering is by rowid
+        (true insertion order) rather than ``created_at``, whose
+        one-second-ish resolution made same-instant writes come back in
+        digest order — and therefore in a *different* order depending on
+        whether a stage filter was applied.  ``created_at`` is still
+        returned on every row.
         """
         sql = (
             "SELECT artifact_digest, stage, key_json, "
@@ -516,7 +548,7 @@ class ResultStore:
         if stage is not None:
             sql += " WHERE stage = ?"
             arguments = (stage,)
-        sql += " ORDER BY created_at, artifact_digest"
+        sql += " ORDER BY rowid"
         rows = []
         for row in self._read().execute(sql, arguments):
             try:
@@ -533,6 +565,79 @@ class ResultStore:
                 "created_at": row["created_at"],
             })
         return rows
+
+    def put_template_entry(
+        self, kind: str, family_digest: str, params: Dict, artifact_digest: str
+    ) -> int:
+        """Index one solved macro for nearest-neighbour template lookup.
+
+        The row maps ``(kind, family digest, structural-parameter
+        vector)`` to the artifact holding the solved macro.  Like
+        artifacts, entries are immutable: a parameter vector of a family
+        identifies one exact solve, so the first write wins and
+        concurrent writers registering the same row are no-ops.  Returns
+        1 when the entry was new, else 0.
+        """
+        with self._write() as conn:
+            before = conn.total_changes
+            conn.execute(
+                "INSERT OR IGNORE INTO template_index "
+                "(kind, family_digest, params_json, artifact_digest, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (kind, family_digest, json.dumps(params, sort_keys=True),
+                 artifact_digest, time.time()),
+            )
+            return conn.total_changes - before
+
+    def list_template_entries(
+        self,
+        kind: Optional[str] = None,
+        family_digest: Optional[str] = None,
+    ) -> List[dict]:
+        """Template-index rows in insertion order, optionally filtered.
+
+        Each row carries the kind, family digest, decoded parameter
+        vector and backing artifact digest; the macro library ranks them
+        by edit cost to pick the nearest solved neighbour.
+        """
+        sql = (
+            "SELECT kind, family_digest, params_json, artifact_digest, "
+            "created_at FROM template_index"
+        )
+        clauses: List[str] = []
+        arguments: List = []
+        if kind is not None:
+            clauses.append("kind = ?")
+            arguments.append(kind)
+        if family_digest is not None:
+            clauses.append("family_digest = ?")
+            arguments.append(family_digest)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY rowid"
+        rows = []
+        for row in self._read().execute(sql, arguments):
+            try:
+                params = json.loads(row["params_json"])
+            except ValueError as error:
+                raise StoreError(
+                    f"corrupt template-index row "
+                    f"{row['kind']}/{row['artifact_digest']}: {error}"
+                )
+            rows.append({
+                "kind": row["kind"],
+                "family_digest": row["family_digest"],
+                "params": params,
+                "artifact_digest": row["artifact_digest"],
+                "created_at": row["created_at"],
+            })
+        return rows
+
+    def template_entry_count(self) -> int:
+        """Number of template-index rows."""
+        return self._read().execute(
+            "SELECT COUNT(*) AS n FROM template_index"
+        ).fetchone()["n"]
 
     def artifact_count(self, stage: Optional[str] = None) -> int:
         """Number of stored artifacts (of one stage, or overall)."""
@@ -912,6 +1017,7 @@ class ResultStore:
             "campaigns": campaigns,
             "checkpoints": self.checkpoint_count(),
             "artifacts": self.artifact_count(),
+            "templates": self.template_entry_count(),
         }
 
 
