@@ -16,6 +16,14 @@
 #   make trace-smoke       quickstart-sized flow under `repro trace`: the
 #                          exported Chrome trace must parse and nest api +
 #                          engine + chunk + physical-pipeline spans
+#   make serve-smoke       live HTTP server on an ephemeral port: every
+#                          request kind by HTTP, SSE campaign streaming with
+#                          replay, cancel+resume, 429/404/400 envelopes,
+#                          graceful drain (docs/serving.md)
+#   make serve-bench-smoke CI-sized serving load benchmark (throughput/p99
+#                          gates, auto-relaxed on 1-core hosts, no write)
+#   make serve-bench       full serving load benchmark (>= 1000 mixed
+#                          requests), records BENCH_serve.json
 #   make physical-bench-smoke CI-sized physical-pipeline benchmark (5x warm-reuse
 #                          gate, auto-relaxed on 1-core hosts, no write)
 #   make physical-bench    full physical-pipeline benchmark, records
@@ -36,7 +44,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke physical-bench physical-bench-smoke template-bench template-bench-smoke model-bench model-bench-smoke bench bench-quick ci
+.PHONY: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke serve-smoke serve-bench bench-serve serve-bench-smoke physical-bench physical-bench-smoke template-bench template-bench-smoke model-bench model-bench-smoke bench bench-quick ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,6 +70,18 @@ template-smoke:
 trace-smoke:
 	$(PYTHON) examples/trace_smoke.py
 
+serve-smoke:
+	$(PYTHON) examples/serve_smoke.py
+
+serve-bench-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --quick
+
+serve-bench:
+	$(PYTHON) benchmarks/bench_serve.py
+
+# alias kept for discoverability (`bench-serve` mirrors `bench-quick`/`bench`)
+bench-serve: serve-bench
+
 physical-bench-smoke:
 	$(PYTHON) benchmarks/bench_physical_pipeline.py --quick
 
@@ -86,4 +106,4 @@ bench-quick:
 bench:
 	$(PYTHON) benchmarks/bench_engine_scaling.py
 
-ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke model-bench-smoke physical-bench-smoke template-bench-smoke
+ci: test smoke api-smoke campaign-smoke shard-smoke physical-smoke template-smoke trace-smoke serve-smoke model-bench-smoke physical-bench-smoke template-bench-smoke serve-bench-smoke

@@ -46,7 +46,9 @@ The subpackages are usable on their own:
   the content-addressed macro library (``docs/physical.md``),
 * :mod:`repro.flow` — the end-to-end flow and the baseline flows,
 * :mod:`repro.apps` — application mapping (CNN / transformer / SNN),
-* :mod:`repro.sota` — published reference designs for the comparison.
+* :mod:`repro.sota` — published reference designs for the comparison,
+* :mod:`repro.serve` — the multi-tenant HTTP/job-queue server over one
+  shared session (``docs/serving.md``).
 """
 
 from repro.api import (
@@ -81,7 +83,7 @@ from repro.sim.montecarlo import MonteCarloSnr
 from repro.store import CampaignResult, ResultStore
 from repro.technology.tech import Technology, generic28
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # The typed public API (the supported entry point).

@@ -100,14 +100,16 @@ class ApiRequest:
         if kind != cls.kind:
             raise RequestError(
                 f"kind {kind!r} does not match {cls.__name__} "
-                f"(expected {cls.kind!r})"
+                f"(expected {cls.kind!r})",
+                field="kind",
             )
         known = {spec_field.name for spec_field in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
             raise RequestError(
                 f"unknown field(s) {', '.join(unknown)} for request kind "
-                f"{cls.kind!r} (known: {', '.join(sorted(known))})"
+                f"{cls.kind!r} (known: {', '.join(sorted(known))})",
+                field=unknown[0],
             )
         for name in cls._tuple_fields:
             if name in data and isinstance(data[name], list):
@@ -133,10 +135,17 @@ def request_from_dict(data: dict) -> ApiRequest:
             f"request must be a dict, got {type(data).__name__}"
         )
     kind = data.get("kind")
+    if kind is None:
+        raise RequestError(
+            "request is missing the 'kind' discriminator; "
+            f"allowed kinds: {', '.join(sorted(REQUEST_TYPES))}",
+            field="kind",
+        )
     if kind not in REQUEST_TYPES:
         raise RequestError(
             f"unknown request kind {kind!r}; "
-            f"expected one of {sorted(REQUEST_TYPES)}"
+            f"allowed kinds: {', '.join(sorted(REQUEST_TYPES))}",
+            field="kind",
         )
     return REQUEST_TYPES[kind].from_dict(data)
 
@@ -423,7 +432,12 @@ class QueryRequest(ApiRequest):
         min_snr_db / min_tops / min_tops_per_watt / max_area_f2_per_bit:
             optional distillation bounds (``designs`` only).
         rank_by: ranking metric (see ``repro.store.RANK_METRICS``).
-        limit: truncate the ranked list.
+        limit: page size — truncate the ranked list to at most this many
+            entries (``designs`` only; None returns everything).
+        offset: skip this many ranked entries before the page starts
+            (``designs`` only); with ``limit`` this pages through large
+            stores, and the payload's ``total`` reports the full match
+            count so clients know when they are done.
         pareto_only: keep only store-wide non-dominated points.
     """
 
@@ -436,6 +450,7 @@ class QueryRequest(ApiRequest):
     max_area_f2_per_bit: Optional[float] = None
     rank_by: str = "tops_per_watt"
     limit: Optional[int] = None
+    offset: int = 0
     pareto_only: bool = True
 
     TARGETS: ClassVar[Tuple[str, ...]] = ("designs", "campaigns")
@@ -452,6 +467,7 @@ class QueryRequest(ApiRequest):
                 f"expected one of {sorted(RANK_METRICS)}"
             )
         _require_optional_int("limit", self.limit, 0)
+        _require_int("offset", self.offset, 0)
         return self
 
 

@@ -212,6 +212,7 @@ class Session:
         self._technology = None
         self._library = None
         self._pipeline: Optional[PhysicalPipeline] = None
+        self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -228,14 +229,33 @@ class Session:
             config = SessionConfig.from_dict(config)
         return cls(config)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (a closed session stays closed)."""
+        return self._closed
+
     def close(self) -> None:
-        """Release owned resources (engine pool, store); idempotent."""
-        if self._owns_engine:
-            self.engine.close()
-        else:
-            self.engine.flush_store()
-        if self._owns_store and self.store is not None:
-            self.store.close()
+        """Drain and release everything the session owns; idempotent.
+
+        Draining is complete and ordered: the engine's write-behind store
+        batch is flushed (and its worker pool torn down when owned), so
+        every computed evaluation and every physical artifact is durable
+        before the store connection closes.  The store closes even when
+        engine teardown raises, and a second ``close()`` — e.g. a signal
+        handler racing a context-manager exit during server shutdown — is
+        a no-op rather than a double release.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._owns_engine:
+                self.engine.close()
+            else:
+                self.engine.flush_store()
+        finally:
+            if self._owns_store and self.store is not None:
+                self.store.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -584,6 +604,9 @@ class Session:
         """Query the persistent store (design points or campaigns)."""
         request.validate()
         store = self._require_store(request.kind)
+        # Read-your-writes: evaluations still sitting in the engine's
+        # write-behind buffer must be visible to queries on this session.
+        self.engine.flush_store()
         start = time.perf_counter()
         baseline = self.engine.stats.snapshot()
         if request.what == "campaigns":
@@ -597,16 +620,20 @@ class Session:
                 request.kind, start, baseline, payload,
                 artifacts={"campaigns": records},
             )
-        entries = store.query(
+        entries, total = store.query_page(
             criteria=self._criteria_of(request, name="api-query"),
             pareto_only=request.pareto_only,
             rank_by=request.rank_by,
             limit=request.limit,
+            offset=request.offset,
         )
         payload = {
             "rank_by": request.rank_by,
             "pareto_only": request.pareto_only,
             "count": len(entries),
+            "total": total,
+            "limit": request.limit,
+            "offset": request.offset,
             "designs": [entry.as_dict() for entry in entries],
         }
         return self._finish(

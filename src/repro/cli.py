@@ -304,6 +304,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict to one campaign's recorded runs")
     metrics.set_defaults(handler=_cmd_metrics)
 
+    serve = subparsers.add_parser(
+        "serve", parents=[parent],
+        help="multi-tenant HTTP job server over one shared session "
+             "(docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8433,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8433)")
+    serve.add_argument("--serve-workers", type=int, default=4,
+                       help="job-executor threads, i.e. concurrent jobs "
+                            "server-wide (default 4; --workers still sizes "
+                            "the evaluation engine's process pool)")
+    serve.add_argument("--max-per-tenant", type=int, default=2,
+                       help="concurrently running jobs allowed per tenant "
+                            "(default 2)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="admission rate per tenant in requests/second "
+                            "(default: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       help="token-bucket burst capacity (default: one "
+                            "second's worth of --rate-limit)")
+    serve.set_defaults(handler=_cmd_serve)
+
     trace = subparsers.add_parser(
         "trace",
         help="run any repro command under tracing and export the trace")
@@ -667,6 +691,41 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print()
         print("Session metrics (this query):")
         print(format_table(metrics_table(result.metrics)))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import ReproServer, ServerConfig
+
+    backend = args.backend or ("process" if args.workers else "serial")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.serve_workers,
+        max_per_tenant=args.max_per_tenant,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        session=SessionConfig(
+            backend=backend,
+            workers=args.workers,
+            store=str(args.store) if args.store is not None else None,
+        ),
+    )
+    server = ReproServer(config).start()
+
+    def _on_signal(signum, frame):
+        print(f"\nsignal {signum}: draining and shutting down...",
+              file=sys.stderr)
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    print(f"repro serve listening on {server.url} "
+          f"({config.workers} workers, backend {backend}); "
+          "SIGTERM/Ctrl-C drains and exits", file=sys.stderr)
+    server.wait()
     return 0
 
 

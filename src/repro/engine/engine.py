@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import functools
 import math
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
@@ -260,10 +261,19 @@ class EvaluationEngine:
         )
         self.store = store
         self.store_flush_size = max(1, store_flush_size)
+        # Concurrent threads (a serving layer's workers) may evaluate
+        # through one engine; the write-behind buffer swap must be atomic
+        # or a flush could drop entries appended between put_many and
+        # clear.
+        self._store_lock = threading.Lock()
         self._store_buffer: List = []
         self._store_keys = (
             set(store.hydrate(self.cache)) if store is not None else set()
         )
+        # Keys this engine has already buffered/flushed to the store —
+        # kept apart from ``_store_keys`` so ``store_hits`` keeps meaning
+        # "hit hydrated from the store", not "hit we wrote ourselves".
+        self._written_keys: set = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -317,15 +327,24 @@ class EvaluationEngine:
             self._teardown_pool()
 
     def flush_store(self) -> None:
-        """Write buffered evaluations behind to the persistent store."""
-        if self.store is not None and self._store_buffer:
+        """Write buffered evaluations behind to the persistent store.
+
+        The buffer is swapped out under the lock and written outside it,
+        so concurrent evaluating threads never block on SQLite and an
+        entry appended mid-flush lands in the next batch instead of being
+        cleared unwritten.
+        """
+        if self.store is None:
+            return
+        with self._store_lock:
+            batch, self._store_buffer = self._store_buffer, []
+        if batch:
             started = time.perf_counter()
-            self.store.put_many(self._store_buffer)
-            self._m_store_writes.add(len(self._store_buffer))
+            self.store.put_many(batch)
+            self._m_store_writes.add(len(batch))
             self.metrics.histogram("store.flush.seconds").observe(
                 time.perf_counter() - started
             )
-            self._store_buffer.clear()
 
     def rehydrate(self) -> int:
         """Re-hydrate the cache from the store; returns rows now warm.
@@ -537,6 +556,7 @@ class EvaluationEngine:
                 # inside the overhead budget.
                 cache_hits = 0
                 store_hits = 0
+                unstored_hits: List = []
                 for index, key in enumerate(keys):
                     if key in results or key in pending:
                         continue
@@ -546,9 +566,25 @@ class EvaluationEngine:
                         cache_hits += 1
                         if key in self._store_keys:
                             store_hits += 1
+                        elif (
+                            self.store is not None
+                            and key not in self._written_keys
+                        ):
+                            # A hit the cache already held (e.g. warmed by
+                            # another engine sharing the process-wide
+                            # cache) that this store has never seen: it
+                            # must still reach the store, or queries would
+                            # miss work the engine demonstrably served.
+                            unstored_hits.append((key, cached))
                     else:
                         pending.add(key)
                         missing_indices.append(index)
+                if unstored_hits:
+                    with self._store_lock:
+                        self._written_keys.update(
+                            key for key, _ in unstored_hits
+                        )
+                        self._store_buffer.extend(unstored_hits)
                 if cache_hits:
                     self._m_cache_hits.add(cache_hits)
                 if store_hits:
@@ -566,11 +602,19 @@ class EvaluationEngine:
                         key = keys[index]
                         results[key] = metrics
                         self.cache.put(key, metrics)
-                        if self.store is not None:
-                            self._store_buffer.append((key, metrics))
+                    if self.store is not None:
+                        with self._store_lock:
+                            self._written_keys.update(
+                                keys[i] for i in missing_indices
+                            )
+                            self._store_buffer.extend(
+                                (keys[i], results[keys[i]])
+                                for i in missing_indices
+                            )
+                            buffered = len(self._store_buffer)
+                        if buffered >= self.store_flush_size:
+                            self.flush_store()
                     self._m_evaluations.add(len(missing_indices))
-                    if len(self._store_buffer) >= self.store_flush_size:
-                        self.flush_store()
                 return [results[key] for key in keys]
         finally:
             self._m_batches.inc()

@@ -16,7 +16,7 @@ raises these same exceptions from its validation, so a bad
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 
 class ReproError(Exception):
@@ -196,6 +196,95 @@ class RequestError(ReproError):
     matching domain exception instead (:class:`SpecificationError` for an
     infeasible spec, :class:`StoreError` for an unknown rank metric, ...);
     this class covers the envelope itself.
+
+    Args:
+        message: human-readable summary.
+        field: name of the offending request field when the rejection is
+            attributable to one (``"kind"`` for an unknown request kind);
+            serialized into :meth:`as_dict` so HTTP consumers can
+            highlight the bad input without parsing the message.
     """
 
     code = "request"
+
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+    def as_dict(self) -> Dict[str, str]:
+        """Structured record, including the offending field when known."""
+        record = super().as_dict()
+        if self.field is not None:
+            record["field"] = self.field
+        return record
+
+
+class ServeError(ReproError):
+    """The serving layer rejected or could not place a request
+    (unknown job, draining server, malformed transport envelope, ...)."""
+
+    code = "serve"
+
+
+class RateLimitError(ServeError):
+    """A tenant exhausted its token bucket; retry after the given delay.
+
+    Args:
+        message: human-readable summary.
+        retry_after_seconds: seconds until the bucket next has a token
+            (the server surfaces it as the ``Retry-After`` header).
+    """
+
+    code = "rate-limited"
+
+    def __init__(
+        self, message: str, retry_after_seconds: float = 1.0
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+    def as_dict(self) -> Dict:
+        """Structured record including the retry hint."""
+        record = super().as_dict()
+        record["retry_after_seconds"] = round(self.retry_after_seconds, 3)
+        return record
+
+
+#: Stable HTTP status for every error ``code`` — the single mapping the
+#: serving layer (and any other transport) uses to turn a
+#: :meth:`ReproError.as_dict` payload into a response status.  Client
+#: mistakes (malformed envelopes, domain-invalid requests) are 4xx;
+#: infrastructure failures (engine, worker crash) are 5xx.
+HTTP_STATUS_BY_CODE: Dict[str, int] = {
+    "repro": 500,
+    "specification": 400,
+    "technology": 400,
+    "netlist": 400,
+    "cell-library": 400,
+    "layout": 422,
+    "placement": 422,
+    "routing": 422,
+    "drc": 422,
+    "model": 400,
+    "calibration": 422,
+    "optimization": 400,
+    "simulation": 400,
+    "flow": 400,
+    "engine": 500,
+    "worker-crash": 500,
+    "store": 409,
+    "request": 400,
+    "serve": 503,
+    "rate-limited": 429,
+}
+
+
+def http_status_of(error: BaseException) -> int:
+    """The HTTP status an error maps to (500 for anything unknown).
+
+    Works on any exception: :class:`ReproError` subclasses resolve
+    through :data:`HTTP_STATUS_BY_CODE` by their ``code``; foreign
+    exceptions are internal failures (500).
+    """
+    code = getattr(error, "code", None)
+    return HTTP_STATUS_BY_CODE.get(code, 500)

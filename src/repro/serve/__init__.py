@@ -1,0 +1,37 @@
+"""Multi-tenant serving layer: an HTTP + job-queue front end hosting
+concurrent tenants over one shared :class:`~repro.api.Session`.
+
+The package is pure stdlib (``http.server`` / ``http.client`` /
+``threading``) and reuses the library's typed request envelopes as the
+wire protocol — see ``docs/serving.md`` for the endpoint reference.
+
+>>> from repro.serve import ReproServer, ServeClient, ServerConfig
+>>> server = ReproServer(ServerConfig(port=0)).start()   # doctest: +SKIP
+>>> client = ServeClient(server.url)                     # doctest: +SKIP
+>>> client.run({"kind": "estimate", "spec": {...}})      # doctest: +SKIP
+"""
+
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.jobs import DEFAULT_MAX_PER_TENANT, JOB_STATES, Job, JobQueue
+from repro.serve.ratelimit import TenantRateLimiter, TokenBucket
+from repro.serve.server import (
+    DEFAULT_TENANT,
+    ReproServer,
+    ServerConfig,
+    error_envelope,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PER_TENANT",
+    "DEFAULT_TENANT",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "ReproServer",
+    "ServeClient",
+    "ServeHTTPError",
+    "ServerConfig",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "error_envelope",
+]

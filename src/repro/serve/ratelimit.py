@@ -1,0 +1,104 @@
+"""Per-tenant token-bucket rate limiting for the serving layer.
+
+Classic token bucket: each tenant owns a bucket of capacity ``burst``
+refilled continuously at ``rate`` tokens per second; admitting a request
+costs one token, and an empty bucket rejects with the seconds-until-next-
+token hint the server turns into a ``Retry-After`` header.  The clock is
+injectable so tests drive time deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import RateLimitError
+
+
+class TokenBucket:
+    """One tenant's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_take(self, amount: float = 1.0) -> Optional[float]:
+        """Take ``amount`` tokens; ``None`` on success, else the seconds
+        until the bucket will next hold that many."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return None
+        return (amount - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current (refilled) token level."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class TenantRateLimiter:
+    """Lazily-created per-tenant buckets behind one lock.
+
+    Args:
+        rate: tokens per second granted to each tenant (``None`` disables
+            rate limiting entirely — every admit succeeds).
+        burst: bucket capacity (defaults to ``rate``, i.e. one second of
+            headroom).
+        clock: monotonic time source (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else rate
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def admit(self, tenant: str) -> None:
+        """Charge one token to ``tenant`` or raise :class:`RateLimitError`."""
+        if self.rate is None:
+            return
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, self._clock)
+                self._buckets[tenant] = bucket
+            wait = bucket.try_take()
+        if wait is not None:
+            raise RateLimitError(
+                f"tenant {tenant!r} exceeded {self.rate:g} requests/second "
+                f"(burst {self.burst:g}); retry in {wait:.2f}s",
+                retry_after_seconds=wait,
+            )
+
+    def levels(self) -> Dict[str, float]:
+        """Current token level per known tenant (for ``/v1/metrics``)."""
+        with self._lock:
+            return {
+                tenant: round(bucket.tokens, 3)
+                for tenant, bucket in sorted(self._buckets.items())
+            }

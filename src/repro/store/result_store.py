@@ -660,6 +660,7 @@ class ResultStore:
         pareto_only: bool = True,
         rank_by: str = "tops_per_watt",
         limit: Optional[int] = None,
+        offset: int = 0,
         params_digest: Optional[str] = None,
     ) -> List[StoredEvaluation]:
         """Ranked design points satisfying the given constraints.
@@ -672,8 +673,37 @@ class ResultStore:
                 objective vector across the whole store (i.e. across every
                 campaign that fed it).
             rank_by: metric to order by (see :data:`RANK_METRICS`).
-            limit: truncate the ranked list.
+            limit: page size — truncate the ranked list.
+            offset: skip this many ranked entries first (pagination; the
+                ordering is total — rank metric then spec tuple — so
+                pages never overlap or skip entries between calls against
+                an unchanged store).
             params_digest: restrict to one model-parameter bundle.
+        """
+        entries, _total = self.query_page(
+            criteria=criteria,
+            pareto_only=pareto_only,
+            rank_by=rank_by,
+            limit=limit,
+            offset=offset,
+            params_digest=params_digest,
+        )
+        return entries
+
+    def query_page(
+        self,
+        criteria=None,
+        pareto_only: bool = True,
+        rank_by: str = "tops_per_watt",
+        limit: Optional[int] = None,
+        offset: int = 0,
+        params_digest: Optional[str] = None,
+    ) -> Tuple[List[StoredEvaluation], int]:
+        """Like :meth:`query`, returning ``(page, total)``.
+
+        ``total`` counts every entry matching the criteria/Pareto filter
+        *before* pagination, so tenant-facing consumers can report page
+        ``offset``..``offset + len(page)`` of ``total``.
         """
         if rank_by not in RANK_METRICS:
             raise StoreError(
@@ -710,6 +740,9 @@ class ResultStore:
                 ),
                 reverse=descending,
             )
+            total = len(entries)
+            if offset:
+                entries = entries[max(0, int(offset)):]
             if limit is not None:
                 entries = entries[: max(0, int(limit))]
         if self.metrics is not None:
@@ -717,7 +750,7 @@ class ResultStore:
             self.metrics.histogram("store.query.seconds").observe(
                 time.perf_counter() - started
             )
-        return entries
+        return entries, total
 
     # -- campaigns -------------------------------------------------------------
 
