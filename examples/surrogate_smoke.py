@@ -1,0 +1,120 @@
+"""Surrogate screening smoke test: savings, quality, cold fallback.
+
+Exercises the learned pre-filter end to end through the typed session
+API (the CI ``make surrogate-smoke`` target):
+
+1. run the same fixed-seed NSGA-II exploration unscreened and with
+   ``surrogate="screen"`` — the screened run must compute fewer exact
+   model evaluations while matching or beating the unscreened run's
+   recall of the exhaustively known true Pareto front;
+2. check the surrogate counters: screened-out candidates appear in both
+   the response payload and the engine stats;
+3. cold-store fallback: a run too small to ever reach the fit threshold
+   must behave exactly like ``surrogate="off"`` — bit-identical Pareto
+   front, zero screened candidates.
+
+Exit code 0 means every guarantee held.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import ExploreRequest, Session, SessionConfig
+from repro.arch.batch import SpecBatch
+from repro.dse.pareto import pareto_front
+from repro.engine import EvaluationCache, EvaluationEngine, reset_shared_cache
+from repro.model.estimator import ACIMEstimator
+
+ARRAY_SIZE = 4096
+POPULATION = 24
+GENERATIONS = 8
+SEED = 3
+SCREEN_FRACTION = 0.3
+
+
+def explore(**kw):
+    """One exploration in a fresh session with a cold shared cache."""
+    reset_shared_cache()
+    with Session(SessionConfig()) as session:
+        response = session.submit(ExploreRequest(seed=SEED, **kw))
+        return response, session.engine.stats.as_dict()
+
+
+def main() -> int:
+    # The 4096 space is small enough to know the whole truth.
+    batch = SpecBatch.enumerate(ARRAY_SIZE)
+    with EvaluationEngine(
+        "serial", cache=EvaluationCache(max_size=4096)
+    ) as engine:
+        metrics = engine.evaluate_specs(ACIMEstimator(), batch)
+    objectives = [
+        (-m.snr_db, -m.tops, m.energy_per_mac, m.area_f2_per_bit)
+        for m in metrics
+    ]
+    tuples = batch.as_tuples()
+    true_front = {tuples[i] for i in pareto_front(objectives)}
+    print(f"exhaustive truth: {len(batch)} designs, "
+          f"{len(true_front)} on the true Pareto front")
+
+    def recall(response) -> float:
+        found = {
+            (d["H"], d["W"], d["L"], d["B_ADC"])
+            for d in response.payload["pareto"]
+        }
+        return len(found & true_front) / len(true_front)
+
+    # 1. Exact-eval savings at equal-or-better front recall.
+    base_kw = dict(array_size=ARRAY_SIZE, population=POPULATION,
+                   generations=GENERATIONS)
+    unscreened, unscreened_stats = explore(**base_kw)
+    screened, screened_stats = explore(
+        surrogate="screen", screen_fraction=SCREEN_FRACTION, **base_kw
+    )
+    print(f"unscreened: {unscreened_stats['evaluations']} exact evals, "
+          f"recall {recall(unscreened):.3f}")
+    print(f"screened  : {screened_stats['evaluations']} exact evals, "
+          f"recall {recall(screened):.3f}")
+    if screened_stats["evaluations"] >= unscreened_stats["evaluations"]:
+        print("FAIL: screening computed no fewer exact evaluations")
+        return 1
+    if recall(screened) < recall(unscreened):
+        print("FAIL: screening lost true-front recall")
+        return 1
+
+    # 2. Counters surface in both the payload and the engine stats.
+    summary = screened.payload["surrogate"]
+    if summary["screened_candidates"] <= 0:
+        print("FAIL: no candidates were screened out")
+        return 1
+    if screened_stats["surrogate_screened"] != summary["screened_candidates"]:
+        print("FAIL: engine counter disagrees with the response payload")
+        return 1
+    print(f"screen: {summary['exact_candidates']} candidates sent exact, "
+          f"{summary['screened_candidates']} screened out "
+          f"({summary['training_rows']} training rows)")
+
+    # 3. Cold-store fallback: below the fit threshold, screening is a
+    #    pure pass-through — bit-identical front, nothing screened.
+    tiny_kw = dict(array_size=1024, population=8, generations=3)
+    off, _ = explore(**tiny_kw)
+    cold, cold_stats = explore(
+        surrogate="screen", screen_fraction=SCREEN_FRACTION, **tiny_kw
+    )
+    if cold.payload["pareto"] != off.payload["pareto"]:
+        print("FAIL: cold-store screened front differs from surrogate=off")
+        return 1
+    if cold_stats["surrogate_screened"] != 0:
+        print("FAIL: cold-store run screened candidates before the "
+              "fit threshold")
+        return 1
+    print(f"cold fallback: {cold.payload['surrogate']['training_rows']} "
+          f"training rows (< fit threshold), front bit-identical to off, "
+          f"0 screened")
+
+    print("\nsurrogate smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -195,6 +195,24 @@ def _validate_nsga2(request) -> None:
     )
 
 
+def _validate_surrogate(request) -> None:
+    """Shared checks of the surrogate-screening knobs."""
+    if request.surrogate not in ("off", "screen", "refine"):
+        raise RequestError(
+            f"unknown surrogate mode {request.surrogate!r}; "
+            "expected one of ['off', 'refine', 'screen']"
+        )
+    fraction = request.screen_fraction
+    if not isinstance(fraction, (int, float)) or isinstance(fraction, bool):
+        raise RequestError(
+            f"screen_fraction must be a number, got {fraction!r}"
+        )
+    if not 0.0 < float(fraction) <= 1.0:
+        raise RequestError(
+            f"screen_fraction must be in (0, 1], got {fraction!r}"
+        )
+
+
 _CRITERIA_FIELDS = (
     "min_snr_db",
     "min_tops",
@@ -260,6 +278,12 @@ class ExploreRequest(ApiRequest):
         sensitivity_parameters: constants to perturb (``sensitivity``
             only; None keeps the analyzer's default set).
         relative_change: perturbation magnitude (``sensitivity`` only).
+        surrogate: evaluation mode (``nsga2`` only): ``off`` (exact,
+            bit-identical to earlier releases), ``screen`` (surrogate
+            pre-filters offspring) or ``refine`` (screening plus a
+            store-warmed start; needs the session's store).
+        screen_fraction: fraction of feasible offspring sent to the exact
+            engine per generation in the surrogate modes.
     """
 
     kind: ClassVar[str] = "explore"
@@ -283,14 +307,22 @@ class ExploreRequest(ApiRequest):
     max_area_f2_per_bit: Optional[float] = None
     sensitivity_parameters: Optional[Tuple[str, ...]] = None
     relative_change: float = 0.2
+    surrogate: str = "off"
+    screen_fraction: float = 0.25
 
     METHODS: ClassVar[Tuple[str, ...]] = ("nsga2", "exhaustive", "sensitivity")
+    SURROGATE_MODES: ClassVar[Tuple[str, ...]] = ("off", "screen", "refine")
 
     def validate(self) -> "ExploreRequest":
         if self.method not in self.METHODS:
             raise RequestError(
                 f"unknown explore method {self.method!r}; "
                 f"expected one of {sorted(self.METHODS)}"
+            )
+        _validate_surrogate(self)
+        if self.surrogate != "off" and self.method != "nsga2":
+            raise RequestError(
+                "surrogate screening only applies to the 'nsga2' method"
             )
         _validate_nsga2(self)
         _require_int("max_adc_bits", self.max_adc_bits, 1)
@@ -327,6 +359,11 @@ class CampaignRequest(ApiRequest):
             across N worker processes before optimising (``run`` only;
             needs a file-backed store).  Results are bit-identical to the
             unsharded run.
+        surrogate: evaluation mode (``run`` only; ``resume`` replays the
+            stored mode): ``off``, ``screen`` or ``refine`` — see
+            :class:`ExploreRequest`.
+        screen_fraction: fraction of feasible offspring sent to the exact
+            engine per generation in the surrogate modes.
     """
 
     kind: ClassVar[str] = "campaign"
@@ -340,8 +377,11 @@ class CampaignRequest(ApiRequest):
     checkpoint_every: int = 1
     stop_after: Optional[int] = None
     shards: Optional[int] = None
+    surrogate: str = "off"
+    screen_fraction: float = 0.25
 
     ACTIONS: ClassVar[Tuple[str, ...]] = ("run", "resume")
+    SURROGATE_MODES: ClassVar[Tuple[str, ...]] = ("off", "screen", "refine")
 
     def validate(self) -> "CampaignRequest":
         if not self.name or not isinstance(self.name, str):
@@ -360,6 +400,12 @@ class CampaignRequest(ApiRequest):
             raise RequestError(
                 "shards only applies to 'run' (a resumed campaign's grid "
                 "rows are already in the store)"
+            )
+        _validate_surrogate(self)
+        if self.surrogate != "off" and self.action != "run":
+            raise RequestError(
+                "surrogate only applies to 'run' (a resumed campaign "
+                "replays its stored evaluation mode)"
             )
         return self
 

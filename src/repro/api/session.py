@@ -438,7 +438,12 @@ class Session:
                 local_array_sizes=request.local_array_sizes,
                 max_adc_bits=request.max_adc_bits,
                 engine=self.engine,
+                store=self.store,
+                surrogate=request.surrogate,
+                screen_fraction=request.screen_fraction,
             )
+            if request.surrogate == "refine":
+                self._require_store("explore(surrogate='refine')")
             exploration = explorer.explore(
                 request.array_size,
                 min_height=request.min_height,
@@ -457,6 +462,8 @@ class Session:
             "pareto": [d.metrics.as_dict() for d in pareto_set],
             "distilled": [d.metrics.as_dict() for d in distilled],
         }
+        if request.surrogate != "off" and exploration is not None:
+            payload["surrogate"] = dict(exploration.surrogate)
         return self._finish(
             request.kind, start, baseline, payload,
             artifacts={
@@ -522,6 +529,8 @@ class Session:
                 ),
                 stop_after_generations=request.stop_after,
                 shards=request.shards,
+                surrogate=request.surrogate,
+                screen_fraction=request.screen_fraction,
             )
         payload = {
             "name": outcome.name,
@@ -534,6 +543,10 @@ class Session:
             "shards": outcome.shard_stats.get("shards", 0),
             "pareto": [d.metrics.as_dict() for d in outcome.pareto_set],
         }
+        if outcome.surrogate:
+            # Added only in surrogate modes so plain campaign payloads
+            # stay byte-identical to earlier releases.
+            payload["surrogate"] = dict(outcome.surrogate)
         return self._finish(
             request.kind, start, baseline, payload,
             status="ok" if outcome.status == "completed" else "interrupted",

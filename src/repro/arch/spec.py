@@ -156,13 +156,19 @@ def valid_heights(array_size: int, power_of_two_only: bool = True) -> List[int]:
     """
     if array_size < 1:
         raise SpecificationError("array size must be positive")
-    heights = []
-    for height in range(1, array_size + 1):
-        if array_size % height != 0:
-            continue
-        if power_of_two_only and not _is_power_of_two(height):
-            continue
-        heights.append(height)
+    # Paired divisor enumeration up to sqrt(n): the huge-space benchmarks
+    # open array sizes in the hundreds of millions, where scanning every
+    # candidate height would dominate the run.
+    divisors = set()
+    low = 1
+    while low * low <= array_size:
+        if array_size % low == 0:
+            divisors.add(low)
+            divisors.add(array_size // low)
+        low += 1
+    heights = sorted(divisors)
+    if power_of_two_only:
+        heights = [h for h in heights if _is_power_of_two(h)]
     return heights
 
 

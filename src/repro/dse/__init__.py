@@ -24,6 +24,13 @@ from repro.dse.pareto import (
     hypervolume_2d,
     non_dominated_sort,
     pareto_front,
+    pareto_front_mask,
+)
+from repro.dse.surrogate import (
+    SurrogateModel,
+    SurrogateScreener,
+    refine_seed_genomes,
+    training_fingerprint,
 )
 from repro.dse.nsga2 import NSGA2, NSGA2Config, Individual
 from repro.dse.problem import ACIMDesignProblem, EvaluatedDesign
@@ -43,6 +50,11 @@ __all__ = [
     "hypervolume_2d",
     "non_dominated_sort",
     "pareto_front",
+    "pareto_front_mask",
+    "SurrogateModel",
+    "SurrogateScreener",
+    "refine_seed_genomes",
+    "training_fingerprint",
     "NSGA2",
     "NSGA2Config",
     "Individual",

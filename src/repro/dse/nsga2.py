@@ -118,9 +118,18 @@ class NSGA2(Generic[Genome]):
     evaluation produce bit-identical runs for a fixed seed.
     """
 
-    def __init__(self, problem, config: NSGA2Config = NSGA2Config()) -> None:
+    def __init__(
+        self, problem, config: NSGA2Config = NSGA2Config(), screener=None
+    ) -> None:
         self.problem = problem
         self.config = config
+        #: Optional :class:`~repro.dse.surrogate.SurrogateScreener`: when
+        #: set, each generation's offspring batch is filtered through it
+        #: before exact evaluation.  Screening decisions never consume
+        #: the optimizer RNG, so ``screener=None`` runs are bit-identical
+        #: to pre-screening revisions and a screener that keeps
+        #: everything (cold fallback) changes nothing at all.
+        self.screener = screener
         self._evaluations = 0
         self.history: List[Dict[str, float]] = []
         self._rng: Optional[random.Random] = None
@@ -147,24 +156,31 @@ class NSGA2(Generic[Genome]):
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self) -> List[Individual]:
+    def run(self, seed_genomes: Optional[Sequence[Genome]] = None) -> List[Individual]:
         """Evolve the population and return the final non-dominated set.
 
         Equivalent to :meth:`initialize` followed by :meth:`step` until
         :attr:`done`; checkpointing drivers (the campaign manager) call the
         stepwise API directly and snapshot :meth:`state` between steps.
         """
-        self.initialize()
+        self.initialize(seed_genomes=seed_genomes)
         while not self.done:
             self.step()
         return self.result()
 
     # -- stepwise / checkpointable API ----------------------------------------
 
-    def initialize(self) -> None:
-        """Seed the RNG and evaluate the initial population (generation 0)."""
+    def initialize(self, seed_genomes: Optional[Sequence[Genome]] = None) -> None:
+        """Seed the RNG and evaluate the initial population (generation 0).
+
+        ``seed_genomes`` warm-start the population (the ``refine``
+        campaign method passes the store's cross-campaign Pareto set):
+        they are deduplicated, placed first, and the remainder is filled
+        with random genomes.  Seeding consumes no RNG, so with no seeds
+        the initial population is bit-identical to earlier revisions.
+        """
         rng = random.Random(self.config.seed)
-        population = self._initial_population(rng)
+        population = self._initial_population(rng, seed_genomes)
         self._assign_ranks(population)
         self._rng = rng
         self._population = population
@@ -258,9 +274,21 @@ class NSGA2(Generic[Genome]):
 
     # -- population management -----------------------------------------------
 
-    def _initial_population(self, rng: random.Random) -> List[Individual]:
+    def _initial_population(
+        self,
+        rng: random.Random,
+        seed_genomes: Optional[Sequence[Genome]] = None,
+    ) -> List[Individual]:
         genomes: List[Genome] = []
         seen = set()
+        for genome in seed_genomes or ():
+            if len(genomes) >= self.config.population_size:
+                break
+            key = self._genome_key(genome)
+            if key in seen:
+                continue
+            seen.add(key)
+            genomes.append(genome)
         attempts = 0
         while len(genomes) < self.config.population_size:
             genome = self.problem.random_genome(rng)
@@ -309,6 +337,13 @@ class NSGA2(Generic[Genome]):
             if rng.random() < self.config.mutation_probability:
                 child_genome = self.problem.mutate(child_genome, rng)
             child_genomes.append(child_genome)
+        if self.screener is not None:
+            # RNG consumption is over for this generation; the screener's
+            # decisions are deterministic array math, so screened and
+            # unscreened runs share the identical genome stream.
+            child_genomes = self.screener.filter_offspring(
+                child_genomes, population, self.problem
+            )
         return self._evaluate_many(child_genomes)
 
     def _environmental_selection(

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import OptimizationError
 
 
@@ -42,6 +44,47 @@ def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
         if not dominated:
             indices.append(i)
     return indices
+
+
+def pareto_front_mask(points) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an ``(N, M)`` array.
+
+    Vectorized counterpart of :func:`pareto_front` for the large sets the
+    surrogate screener and the exhaustive benchmarks handle (tens of
+    thousands of points, where the pairwise loop is prohibitive).  Points
+    are visited in lexicographic order — a dominator always sorts strictly
+    before anything it dominates — and each is compared against the
+    running non-dominated archive only, which transitivity makes
+    sufficient.  Duplicated rows are all retained, matching
+    :func:`pareto_front`.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise OptimizationError("points must be a 2-D objective array")
+    n = pts.shape[0]
+    keep = np.ones(n, dtype=bool)
+    if n <= 1:
+        return keep
+    order = np.lexsort(pts.T[::-1])
+    ranked = pts[order]
+    archive = np.empty_like(ranked)
+    archive[0] = ranked[0]
+    archive_size = 1
+    keep_ranked = np.ones(n, dtype=bool)
+    for j in range(1, n):
+        candidate = ranked[j]
+        front = archive[:archive_size]
+        no_worse = front <= candidate
+        dominated = bool(np.any(
+            np.all(no_worse, axis=1) & np.any(front < candidate, axis=1)
+        ))
+        if dominated:
+            keep_ranked[j] = False
+        else:
+            archive[archive_size] = candidate
+            archive_size += 1
+    keep[order] = keep_ranked
+    return keep
 
 
 def non_dominated_sort(points: Sequence[Sequence[float]]) -> List[List[int]]:

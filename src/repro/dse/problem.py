@@ -59,18 +59,28 @@ class ACIMDesignProblem:
         min_height: int = 2,
         max_height: Optional[int] = None,
         engine: Optional[EvaluationEngine] = None,
+        power_of_two_heights: bool = True,
     ) -> None:
         if array_size < 4:
             raise OptimizationError("array size must be at least 4 bit cells")
         self.array_size = array_size
         self.estimator = estimator or ACIMEstimator()
         self.engine = engine or default_engine()
+        #: Optional callable ``(SpecBatch, metrics list) -> None`` invoked
+        #: after every exact batch evaluation — the surrogate screener
+        #: hooks in here to backfill its training set online.
+        self.observer = None
         self.local_array_sizes = tuple(sorted(set(local_array_sizes)))
         if not self.local_array_sizes:
             raise OptimizationError("at least one local array size is required")
         self.max_adc_bits = max_adc_bits
+        # ``power_of_two_heights=False`` opens the full divisor grid (the
+        # huge-space benchmarks); the default keeps the paper's
+        # power-of-two explored space.
         heights = [
-            h for h in valid_heights(array_size)
+            h for h in valid_heights(
+                array_size, power_of_two_only=power_of_two_heights
+            )
             if h >= min_height and (max_height is None or h <= max_height)
         ]
         # Heights smaller than the smallest L can never be feasible.
@@ -188,6 +198,8 @@ class ACIMDesignProblem:
                     results[index] = result
             if len(batch):
                 metrics_list = self.engine.evaluate_specs(self.estimator, batch)
+                if self.observer is not None:
+                    self.observer(batch, metrics_list)
                 for index, metrics in zip(feasible_positions, metrics_list):
                     result = (metrics.objectives(), 0.0)
                     self._cache[genomes[index]] = result

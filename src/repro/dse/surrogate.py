@@ -1,0 +1,464 @@
+"""Learned surrogate models for screening exact design evaluations.
+
+The store holds every evaluated ``(spec, model-params)`` point
+content-addressed across campaigns; this module turns those rows into a
+cheap predictor so the exact vectorized model only runs on the promising
+fraction of each candidate batch (surrogate-assisted pre-screening, the
+ROADMAP item-5 direction).
+
+:class:`SurrogateModel` is one ridge regression per metric over quadratic
+polynomial features of the SpecBatch columns ``(log2 H, log2 W, log2 L,
+B_ADC)``, fit in closed form from the normal equations.  Strictly
+positive scale metrics (TOPS, energy, area, ...) are fit in log space,
+the SNR metrics linearly in dB.  Alongside point predictions it reports a
+per-point uncertainty — the per-metric residual deviation scaled by the
+classic leverage term ``sqrt(1 + x (XᵀX + λI)⁻¹ xᵀ)`` — which calibrates
+the screener's optimistic margin: unexplored corners of the space look
+*better* than their prediction, so screening stays exploratory where the
+model is extrapolating.
+
+Determinism contract: training rows are deduplicated by spec tuple and
+canonically sorted before every fit, so the coefficients are a pure
+function of the training *set* (bit-identical regardless of discovery
+order), and :meth:`SurrogateModel.to_dict`/:meth:`from_dict` round-trip
+exactly through JSON.  Models are versioned into the store's
+``surrogates`` table keyed by a fingerprint of their training rows, so a
+stale model is never silently reused once the training set moved on.
+
+:class:`SurrogateScreener` is the NSGA-II-facing adapter: it decodes an
+offspring genome batch, routes the feasible rows through a
+:class:`~repro.engine.screen.ScreeningEvaluator`, observes exact results
+back into the training set, and maintains the cross-run archive of
+non-dominated exact evaluations used for ``front_recall`` reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.arch.batch import SpecBatch
+from repro.dse.pareto import pareto_front_mask
+from repro.model.estimator import METRIC_FIELDS
+from repro.obs import get_tracer
+
+#: Serialization format version of :meth:`SurrogateModel.to_dict`.
+SURROGATE_FORMAT = 1
+
+#: Ridge regularisation strength.  The features are standardized, so a
+#: tiny λ only guards the normal equations against rank deficiency on
+#: degenerate training sets without visibly biasing the fit.
+RIDGE_LAMBDA = 1e-6
+
+#: Strictly positive scale metrics are fit (and carry their residual
+#: deviation) in natural-log space; the SNR metrics stay linear in dB.
+LOG_METRICS = frozenset((
+    "tops",
+    "macs_per_second",
+    "energy_per_mac",
+    "tops_per_watt",
+    "area_f2_per_bit",
+    "total_area_um2",
+))
+
+#: Metrics where larger is better — the optimistic margin is added, not
+#: subtracted, when predicting the best plausible value of a candidate.
+LARGER_IS_BETTER = frozenset((
+    "snr_db",
+    "snr_total_db",
+    "tops",
+    "macs_per_second",
+    "tops_per_watt",
+))
+
+#: The Equation-12 objective vector as (metric name, sign) — the sign
+#: turns a maximized metric into its minimisation objective.
+_OBJECTIVE_METRICS: Tuple[Tuple[str, float], ...] = (
+    ("snr_db", -1.0),
+    ("tops", -1.0),
+    ("energy_per_mac", 1.0),
+    ("area_f2_per_bit", 1.0),
+)
+
+#: Fewest training rows before a fit is attempted (the 35-column cubic
+#: basis plus headroom); below it the screener passes everything through
+#: to the exact engine (the cold-store fallback).
+MIN_FIT_ROWS = 48
+
+
+def _feature_matrix(
+    h: np.ndarray, w: np.ndarray, l: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Cubic polynomial features of the spec columns: 35 per point.
+
+    ``[1, x1..x4, x_i x_j for i <= j, x_i x_j x_k for i <= j <= k]``
+    over ``x = (log2 H, log2 W, log2 L, B_ADC)`` — log scales linearise
+    the power-of-two-ish design grid and keep the Gram matrix well
+    conditioned.  The cubic terms matter: the energy-per-MAC surface has
+    third-order curvature in the log grid that a quadratic fit misses
+    badly at the extreme corners — exactly the points screening must
+    not drop.
+    """
+    x1 = np.log2(np.asarray(h, dtype=float))
+    x2 = np.log2(np.asarray(w, dtype=float))
+    x3 = np.log2(np.asarray(l, dtype=float))
+    x4 = np.asarray(b, dtype=float)
+    base = (x1, x2, x3, x4)
+    columns = [np.ones(len(x1)), x1, x2, x3, x4]
+    for i in range(4):
+        for j in range(i, 4):
+            columns.append(base[i] * base[j])
+    for i in range(4):
+        for j in range(i, 4):
+            for k in range(j, 4):
+                columns.append(base[i] * base[j] * base[k])
+    return np.stack(columns, axis=1)
+
+
+def training_fingerprint(
+    spec_tuples: Sequence[Tuple[int, int, int, int]]
+) -> str:
+    """Content address of a training *set*: order-independent SHA-256.
+
+    Two training sets fingerprint equal iff they contain the same spec
+    tuples — the store invalidation key for persisted surrogates.
+    """
+    digest = hashlib.sha256()
+    for spec_tuple in sorted(set(spec_tuples)):
+        digest.update(("%d,%d,%d,%d;" % tuple(spec_tuple)).encode("ascii"))
+    return digest.hexdigest()
+
+
+class SurrogateModel:
+    """Per-metric ridge regression over polynomial spec features.
+
+    Built via :meth:`fit` (closed-form normal equations, all eight
+    metrics solved as one multiple-right-hand-side system) or
+    :meth:`from_dict` (exact JSON round-trip of a persisted model).
+    """
+
+    def __init__(
+        self,
+        coefficients: np.ndarray,
+        residual_std: np.ndarray,
+        normal_inverse: np.ndarray,
+        feature_mean: np.ndarray,
+        feature_scale: np.ndarray,
+        training_rows: int,
+        fingerprint: str,
+    ) -> None:
+        self.coefficients = np.asarray(coefficients, dtype=float)
+        self.residual_std = np.asarray(residual_std, dtype=float)
+        self.normal_inverse = np.asarray(normal_inverse, dtype=float)
+        self.feature_mean = np.asarray(feature_mean, dtype=float)
+        self.feature_scale = np.asarray(feature_scale, dtype=float)
+        self.training_rows = int(training_rows)
+        self.fingerprint = str(fingerprint)
+
+    # -- fitting ---------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        columns: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        metrics: np.ndarray,
+        fingerprint: str = "",
+    ) -> "SurrogateModel":
+        """Fit from spec columns and an aligned ``(N, 8)`` metric array.
+
+        Callers wanting order-independent coefficients must pass rows in
+        canonical (sorted spec tuple) order — the screener does.
+        """
+        h, w, l, b = columns
+        rows = len(np.asarray(h))
+        if rows < 2:
+            raise OptimizationError(
+                f"cannot fit a surrogate from {rows} training row(s)"
+            )
+        with get_tracer().span("dse.surrogate.fit", rows=rows):
+            features = _feature_matrix(h, w, l, b)
+            mean = features.mean(axis=0)
+            scale = features.std(axis=0)
+            mean[0] = 0.0  # keep the intercept column as-is
+            scale[scale == 0.0] = 1.0
+            scale[0] = 1.0
+            standardized = (features - mean) / scale
+            targets = np.array(metrics, dtype=float, copy=True)
+            if targets.shape != (rows, len(METRIC_FIELDS)):
+                raise OptimizationError(
+                    f"metrics array has shape {targets.shape}, expected "
+                    f"({rows}, {len(METRIC_FIELDS)})"
+                )
+            for index, name in enumerate(METRIC_FIELDS):
+                if name in LOG_METRICS:
+                    targets[:, index] = np.log(
+                        np.maximum(targets[:, index], 1e-300)
+                    )
+            gram = standardized.T @ standardized
+            gram += RIDGE_LAMBDA * np.eye(gram.shape[0])
+            coefficients = np.linalg.solve(gram, standardized.T @ targets)
+            normal_inverse = np.linalg.inv(gram)
+            residuals = targets - standardized @ coefficients
+            dof = max(1, rows - standardized.shape[1])
+            residual_std = np.sqrt((residuals ** 2).sum(axis=0) / dof)
+        return cls(
+            coefficients=coefficients,
+            residual_std=residual_std,
+            normal_inverse=normal_inverse,
+            feature_mean=mean,
+            feature_scale=scale,
+            training_rows=rows,
+            fingerprint=fingerprint,
+        )
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(
+        self,
+        columns: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(predictions, uncertainty)`` for a whole column batch.
+
+        Both are ``(N, 8)`` arrays in *fit space* (log for
+        :data:`LOG_METRICS`, linear dB for SNR): the prediction is the
+        ridge mean, the uncertainty is the per-metric residual deviation
+        scaled by each point's leverage — large where the candidate sits
+        far from the training cloud.
+        """
+        h, w, l, b = columns
+        with get_tracer().span("dse.surrogate.predict", rows=len(np.asarray(h))):
+            features = _feature_matrix(h, w, l, b)
+            standardized = (features - self.feature_mean) / self.feature_scale
+            predictions = standardized @ self.coefficients
+            leverage = np.sqrt(1.0 + np.einsum(
+                "ni,ij,nj->n", standardized, self.normal_inverse, standardized
+            ))
+            uncertainty = leverage[:, None] * self.residual_std[None, :]
+        return predictions, uncertainty
+
+    def optimistic_objectives(
+        self,
+        predictions: np.ndarray,
+        uncertainty: np.ndarray,
+        margin_z: float = 1.0,
+    ) -> np.ndarray:
+        """Best-plausible Equation-12 objective vectors, ``(N, 4)``.
+
+        Each metric is shifted ``margin_z`` uncertainty units in its
+        *favourable* direction before being mapped back out of log space
+        and signed into the minimisation vector ``[-SNR, -T, E, A]`` —
+        a candidate is screened out only when even its optimistic self
+        is dominated.
+        """
+        vectors = []
+        for name, sign in _OBJECTIVE_METRICS:
+            index = METRIC_FIELDS.index(name)
+            if name in LARGER_IS_BETTER:
+                value = predictions[:, index] + margin_z * uncertainty[:, index]
+            else:
+                value = predictions[:, index] - margin_z * uncertainty[:, index]
+            if name in LOG_METRICS:
+                value = np.exp(value)
+            vectors.append(sign * value)
+        return np.stack(vectors, axis=1)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot (exact float round trip)."""
+        return {
+            "format": SURROGATE_FORMAT,
+            "coefficients": self.coefficients.tolist(),
+            "residual_std": self.residual_std.tolist(),
+            "normal_inverse": self.normal_inverse.tolist(),
+            "feature_mean": self.feature_mean.tolist(),
+            "feature_scale": self.feature_scale.tolist(),
+            "training_rows": self.training_rows,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SurrogateModel":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            if int(payload["format"]) != SURROGATE_FORMAT:
+                raise OptimizationError(
+                    f"unsupported surrogate format {payload['format']!r}"
+                )
+            return cls(
+                coefficients=np.array(payload["coefficients"], dtype=float),
+                residual_std=np.array(payload["residual_std"], dtype=float),
+                normal_inverse=np.array(payload["normal_inverse"], dtype=float),
+                feature_mean=np.array(payload["feature_mean"], dtype=float),
+                feature_scale=np.array(payload["feature_scale"], dtype=float),
+                training_rows=int(payload["training_rows"]),
+                fingerprint=str(payload["fingerprint"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise OptimizationError(f"invalid surrogate payload: {error}")
+
+
+class SurrogateScreener:
+    """Genome-level screening adapter between NSGA-II and the engine.
+
+    Owns a :class:`~repro.engine.screen.ScreeningEvaluator` and exposes
+    the three hooks the campaign/explorer stack wires up:
+
+    * :meth:`filter_offspring` — the NSGA-II offspring hook: decode the
+      child genome batch, keep every infeasible child (they cost the
+      engine nothing) and only the screened fraction of the feasible
+      ones;
+    * :meth:`observe` — the problem's evaluation observer: feed exact
+      results back into the online training set and the non-dominated
+      archive;
+    * :meth:`state`/:meth:`restore_state` — checkpoint support.  Only
+      the training spec tuples are recorded; on restore the metrics are
+      re-obtained through the (pure, cached) engine, so a resumed
+      screener is bit-identical to the uninterrupted one.
+    """
+
+    def __init__(self, evaluator) -> None:
+        self.evaluator = evaluator
+
+    # -- NSGA-II hooks ---------------------------------------------------------
+
+    def filter_offspring(self, child_genomes: List, population, problem) -> List:
+        """The subset of ``child_genomes`` worth exact evaluation.
+
+        Returned in ascending original-index order; screening decisions
+        are deterministic and never consume the optimizer RNG.
+        """
+        if not child_genomes:
+            return list(child_genomes)
+        rows = np.asarray(child_genomes, dtype=np.int64)
+        h, w, l, b = problem.decode_columns(rows)
+        violation = problem._violation_array(h, l, b)
+        feasible = violation == 0.0
+        feasible_indices = np.flatnonzero(feasible)
+        if len(feasible_indices) == 0:
+            return list(child_genomes)
+        batch = SpecBatch(
+            height=h[feasible_indices],
+            width=w[feasible_indices],
+            local_array_size=l[feasible_indices],
+            adc_bits=b[feasible_indices],
+        )
+        reference = [
+            ind.objectives
+            for ind in population
+            if ind.feasible and ind.rank == 0
+        ]
+        kept_local = self.evaluator.select(batch, reference)
+        keep = set(np.flatnonzero(~feasible).tolist())
+        keep.update(feasible_indices[kept_local].tolist())
+        return [child_genomes[i] for i in sorted(keep)]
+
+    def observe(self, batch: SpecBatch, metrics_list: Sequence) -> None:
+        """Problem-side observer: exact results land in the training set."""
+        self.evaluator.observe(batch, metrics_list)
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def exact_candidates(self) -> int:
+        """Feasible candidates sent to the exact engine so far."""
+        return self.evaluator.exact_candidates
+
+    @property
+    def screened_candidates(self) -> int:
+        """Feasible candidates screened out before exact evaluation."""
+        return self.evaluator.screened_candidates
+
+    def front_recall(self, front_objectives: Sequence[Tuple]) -> float:
+        """Fraction of the exact-evaluation archive's non-dominated set
+        present in ``front_objectives`` (the population's current front)."""
+        archive = self.evaluator.archive_front()
+        if not archive:
+            return 0.0
+        found = archive & {tuple(obj) for obj in front_objectives}
+        return len(found) / len(archive)
+
+    def generation_snapshot(self, front_objectives: Sequence[Tuple]) -> Dict:
+        """Per-generation screening economics row (counter deltas)."""
+        exact = self.exact_candidates
+        screened = self.screened_candidates
+        row = {
+            "front_size": len(front_objectives),
+            "front_recall": round(self.front_recall(front_objectives), 4),
+            "exact_evals": exact - getattr(self, "_last_exact", 0),
+            "screened_evals": screened - getattr(self, "_last_screened", 0),
+        }
+        self._last_exact = exact
+        self._last_screened = screened
+        return row
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state(self) -> Dict:
+        """JSON-serializable snapshot: the training spec tuples only."""
+        return {
+            "rows": [list(spec) for spec in self.evaluator.training_specs()],
+        }
+
+    def restore_state(self, state: Dict, engine, estimator) -> None:
+        """Rebuild the training set from a :meth:`state` snapshot.
+
+        Metrics are re-obtained through ``engine.evaluate_specs`` —
+        evaluation is pure and cached, so the restored rows (and every
+        later screening decision) match the uninterrupted run exactly.
+        """
+        tuples = [tuple(row) for row in state.get("rows", [])]
+        if not tuples:
+            return
+        arr = np.asarray(tuples, dtype=np.int64)
+        batch = SpecBatch(
+            height=arr[:, 0], width=arr[:, 1],
+            local_array_size=arr[:, 2], adc_bits=arr[:, 3],
+        )
+        metrics_list = engine.evaluate_specs(estimator, batch)
+        self.observe(batch, metrics_list)
+
+    def persist(self) -> Optional[int]:
+        """Persist the current model into the store (if both exist)."""
+        return self.evaluator.persist()
+
+
+def refine_seed_genomes(
+    store, problem, params_digest: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[Tuple[int, int, int]]:
+    """Warm-start genomes from the store's cross-campaign Pareto set.
+
+    Deterministic: the store query orders totally (rank metric, then spec
+    tuple); entries outside the problem's space are skipped, duplicates
+    (by decoded design point) suppressed, and at most ``limit`` genomes
+    returned.  An empty store yields no seeds — ``refine`` then degrades
+    gracefully to plain screened exploration.
+    """
+    entries = store.query(
+        pareto_only=True, rank_by="tops_per_watt", params_digest=params_digest
+    )
+    genomes: List[Tuple[int, int, int]] = []
+    seen = set()
+    for entry in entries:
+        spec = entry.spec
+        if spec.height * spec.width != problem.array_size:
+            continue
+        if not 1 <= spec.adc_bits <= problem.max_adc_bits:
+            continue
+        try:
+            genome = problem.encode(spec)
+        except OptimizationError:
+            continue
+        key = problem.genome_key(genome)
+        if key in seen:
+            continue
+        seen.add(key)
+        genomes.append(genome)
+        if limit is not None and len(genomes) >= limit:
+            break
+    return genomes

@@ -19,6 +19,7 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import EngineStats, EvaluationEngine, default_engine
 from repro.engine.executors import BACKENDS, resolve_workers, validate_backend
+from repro.engine.screen import ScreeningEvaluator
 from repro.engine.shm import BatchRef, SharedArena
 from repro.engine.workers import PersistentWorkerPool
 
@@ -29,6 +30,7 @@ __all__ = [
     "EvaluationCache",
     "EvaluationEngine",
     "PersistentWorkerPool",
+    "ScreeningEvaluator",
     "SharedArena",
     "default_engine",
     "parameters_cache_key",

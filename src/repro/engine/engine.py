@@ -112,6 +112,11 @@ class EngineStats:
             memory and collecting result columns back out (``process``
             backend only; the pickling-overhead axis the shared arena
             exists to flatten).
+        surrogate_exact: feasible candidates a surrogate screener
+            forwarded to the exact engine (0 when screening is off).
+        surrogate_screened: feasible candidates a surrogate screener
+            dropped before exact evaluation — the work the learned
+            pre-filter saved.
     """
 
     backend: str
@@ -126,6 +131,8 @@ class EngineStats:
     dispatch_seconds: float = 0.0
     worker_seconds: float = 0.0
     serialize_seconds: float = 0.0
+    surrogate_exact: int = 0
+    surrogate_screened: int = 0
 
     @property
     def evaluations_per_second(self) -> float:
@@ -160,6 +167,10 @@ class EngineStats:
             serialize_seconds=(
                 self.serialize_seconds - baseline.serialize_seconds
             ),
+            surrogate_exact=self.surrogate_exact - baseline.surrogate_exact,
+            surrogate_screened=(
+                self.surrogate_screened - baseline.surrogate_screened
+            ),
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -178,6 +189,8 @@ class EngineStats:
             "worker_seconds": round(self.worker_seconds, 6),
             "serialize_seconds": round(self.serialize_seconds, 6),
             "evaluations_per_second": round(self.evaluations_per_second, 1),
+            "surrogate_exact": self.surrogate_exact,
+            "surrogate_screened": self.surrogate_screened,
         }
 
 
@@ -256,6 +269,10 @@ class EvaluationEngine:
         self._m_dispatch = registry.counter("engine.dispatch.seconds")
         self._m_worker = registry.counter("engine.worker.seconds")
         self._m_serialize = registry.counter("engine.serialize.seconds")
+        self._m_surrogate_exact = registry.counter("engine.surrogate.exact")
+        self._m_surrogate_screened = registry.counter(
+            "engine.surrogate.screened"
+        )
         self._m_batch_size = registry.histogram(
             "engine.eval.batch_size", SIZE_BUCKETS
         )
@@ -390,6 +407,8 @@ class EvaluationEngine:
             dispatch_seconds=float(self._m_dispatch.value),
             worker_seconds=float(self._m_worker.value),
             serialize_seconds=float(self._m_serialize.value),
+            surrogate_exact=int(self._m_surrogate_exact.value),
+            surrogate_screened=int(self._m_surrogate_screened.value),
         )
 
     # -- cost model & auto-chunking -------------------------------------------

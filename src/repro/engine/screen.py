@@ -1,0 +1,336 @@
+"""Surrogate-screened evaluation: learned pre-filtering for the engine.
+
+:class:`ScreeningEvaluator` wraps
+:meth:`~repro.engine.engine.EvaluationEngine.evaluate_specs` with a
+:class:`~repro.dse.surrogate.SurrogateModel`: an incoming candidate
+:class:`~repro.arch.batch.SpecBatch` is predicted in one array pass,
+ranked by how plausibly each point is non-dominated against a reference
+front (with a calibrated optimistic uncertainty margin), and only the top
+``screen_fraction`` — plus an exploration quota of the highest-leverage
+remainder — is sent to the exact engine.  Exact results are observed back
+into the online training set, so the model sharpens as the run proceeds.
+
+Cold-store fallback: until :data:`~repro.dse.surrogate.MIN_FIT_ROWS`
+exact rows have been observed, :meth:`select` keeps everything — a
+screener over an empty store behaves exactly like the unscreened engine.
+
+Screening decisions are deterministic (pure array math over the training
+set, no RNG), and the training set is insertion-keyed by spec tuple but
+canonically sorted before each fit — the coefficients depend only on
+*which* rows were seen, never on the order they arrived in.
+
+Counters ``engine.surrogate.exact`` / ``engine.surrogate.screened``
+record how many feasible candidates were forwarded vs dropped; they
+surface as ``surrogate_exact`` / ``surrogate_screened`` in
+:class:`~repro.engine.engine.EngineStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.batch import SpecBatch
+from repro.dse.surrogate import (
+    MIN_FIT_ROWS,
+    SurrogateModel,
+    training_fingerprint,
+)
+from repro.engine.cache import parameters_cache_key
+from repro.model.estimator import METRIC_FIELDS
+
+#: Objective vector column indices into the 8-metric row tuples:
+#: (-snr_db, -tops, energy_per_mac, area_f2_per_bit).
+_OBJ_INDICES = tuple(
+    METRIC_FIELDS.index(name)
+    for name in ("snr_db", "tops", "energy_per_mac", "area_f2_per_bit")
+)
+
+
+class ScreeningEvaluator:
+    """Surrogate-screened façade over ``EvaluationEngine.evaluate_specs``.
+
+    Args:
+        engine: the exact evaluation engine; screening counters are
+            recorded into its metrics registry.
+        estimator: the estimation model (defines the parameter digest
+            that keys persisted surrogates and store training scans).
+        screen_fraction: fraction of a feasible candidate batch forwarded
+            to the exact engine once the model is fit (at least 1 point).
+        explore_fraction: extra quota, as a fraction of the screened
+            budget, spent on the highest-leverage rejected candidates so
+            the model keeps learning where it is least certain.
+        margin_z: optimistic-margin width in per-point uncertainty units.
+        min_fit_rows: training rows required before screening engages.
+        store: optional :class:`~repro.store.result_store.ResultStore`;
+            when given, the training set is seeded from the store's rows
+            for this parameter bundle and a fingerprint-matched persisted
+            model is reused instead of refit.
+        seed_from_store: disable the store seeding scan (checkpoint
+            restore paths rebuild the training set explicitly instead).
+    """
+
+    def __init__(
+        self,
+        engine,
+        estimator,
+        screen_fraction: float = 0.25,
+        explore_fraction: float = 0.1,
+        margin_z: float = 1.0,
+        min_fit_rows: int = MIN_FIT_ROWS,
+        store=None,
+        seed_from_store: bool = True,
+    ) -> None:
+        if not 0.0 < screen_fraction <= 1.0:
+            raise ValueError("screen_fraction must be in (0, 1]")
+        self.engine = engine
+        self.estimator = estimator
+        self.screen_fraction = float(screen_fraction)
+        self.explore_fraction = float(explore_fraction)
+        self.margin_z = float(margin_z)
+        self.min_fit_rows = max(2, int(min_fit_rows))
+        self.store = store
+        from repro.store.result_store import params_digest_of
+
+        self.params_digest = params_digest_of(
+            parameters_cache_key(estimator.parameters)
+        )
+        self._m_screened = engine.metrics.counter("engine.surrogate.screened")
+        self._m_exact = engine.metrics.counter("engine.surrogate.exact")
+        self.exact_candidates = 0
+        self.screened_candidates = 0
+        #: spec tuple -> 8-metric tuple, insertion ordered.
+        self._rows: Dict[Tuple[int, int, int, int], Tuple[float, ...]] = {}
+        self._model: Optional[SurrogateModel] = None
+        self._fitted_rows = -1
+        self._archive: set = set()
+        self._archive_rows = -1
+        self._stored = (
+            store.latest_surrogate(self.params_digest)
+            if store is not None else None
+        )
+        if store is not None and seed_from_store:
+            for spec_tuple, metric_tuple in store.training_rows(
+                self.params_digest
+            ):
+                self._rows.setdefault(tuple(spec_tuple), tuple(metric_tuple))
+
+    # -- training set ----------------------------------------------------------
+
+    def observe(self, batch: SpecBatch, metrics_list: Sequence) -> None:
+        """Add exact evaluation results to the online training set."""
+        for spec_tuple, metrics in zip(batch.as_tuples(), metrics_list):
+            if spec_tuple not in self._rows:
+                self._rows[spec_tuple] = tuple(
+                    getattr(metrics, field) for field in METRIC_FIELDS
+                )
+
+    def training_specs(self) -> List[Tuple[int, int, int, int]]:
+        """The training spec tuples, in insertion order (checkpointing)."""
+        return list(self._rows)
+
+    @property
+    def training_rows(self) -> int:
+        """Number of distinct training rows observed so far."""
+        return len(self._rows)
+
+    @property
+    def ready(self) -> bool:
+        """True once enough rows exist for screening to engage."""
+        return len(self._rows) >= self.min_fit_rows
+
+    # -- model lifecycle -------------------------------------------------------
+
+    def model(self) -> Optional[SurrogateModel]:
+        """The current model, (re)fit lazily when the training set grew.
+
+        When a persisted model's training fingerprint matches the current
+        set exactly it is deserialized instead of refit (same
+        coefficients either way — the fit is a pure function of the set
+        and serialization round-trips floats exactly); any mismatch
+        invalidates it and triggers a fresh fit.
+        """
+        count = len(self._rows)
+        if count < self.min_fit_rows:
+            return None
+        if self._model is not None and self._fitted_rows == count:
+            return self._model
+        ordered = sorted(self._rows)
+        fingerprint = training_fingerprint(ordered)
+        model: Optional[SurrogateModel] = None
+        if (
+            self._stored is not None
+            and self._stored.get("training_fingerprint") == fingerprint
+        ):
+            model = SurrogateModel.from_dict(self._stored["model"])
+        if model is None:
+            arr = np.asarray(ordered, dtype=np.int64)
+            columns = (arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+            targets = np.asarray(
+                [self._rows[spec] for spec in ordered], dtype=float
+            )
+            model = SurrogateModel.fit(columns, targets, fingerprint=fingerprint)
+        self._model = model
+        self._fitted_rows = count
+        return model
+
+    def persist(self) -> Optional[int]:
+        """Version the current model into the store's ``surrogates`` table.
+
+        No-op (returns None) without a store or before the first fit;
+        otherwise returns the stored version number.
+        """
+        if self.store is None:
+            return None
+        model = self.model()
+        if model is None:
+            return None
+        return self.store.put_surrogate(
+            self.params_digest,
+            training_rows=model.training_rows,
+            fingerprint=model.fingerprint,
+            model=model.to_dict(),
+        )
+
+    # -- the screen ------------------------------------------------------------
+
+    def select(
+        self, batch: SpecBatch, reference_objectives: Sequence[Tuple]
+    ) -> np.ndarray:
+        """Indices (ascending) of the batch rows worth exact evaluation.
+
+        Candidates are ranked the way NSGA-II itself would select
+        survivors, but on *optimistic* predicted objectives: primarily by
+        how many reference-front points dominate them, then by predicted
+        non-dominated rank within the batch, then by descending crowding
+        distance (boundary candidates of every objective carry infinite
+        crowding, so predicted extreme trade-off points always survive
+        the screen).  The top ``screen_fraction`` plus an exploration
+        quota of the highest-leverage remainder is kept.  Below
+        ``min_fit_rows`` everything is kept (cold fallback).
+        """
+        count = len(batch)
+        if count == 0:
+            return np.arange(0)
+        model = self.model()
+        if model is None:
+            self.exact_candidates += count
+            self._m_exact.add(count)
+            return np.arange(count)
+        predictions, uncertainty = model.predict(batch.columns())
+        optimistic = model.optimistic_objectives(
+            predictions, uncertainty, self.margin_z
+        )
+        reference = np.asarray(reference_objectives, dtype=float)
+        if reference.size:
+            no_worse = reference[None, :, :] <= optimistic[:, None, :]
+            better = reference[None, :, :] < optimistic[:, None, :]
+            dominated_by = np.sum(
+                np.all(no_worse, axis=2) & np.any(better, axis=2), axis=1
+            )
+        else:
+            dominated_by = np.zeros(count, dtype=np.int64)
+        # NSGA-II survivor ordering on the predictions: non-dominated
+        # rank within the candidate batch, crowding distance within each
+        # rank.  In near-degenerate spaces where almost everything is
+        # mutually non-dominated, the crowding term is what preserves
+        # objective-space spread through the screen.
+        rank = np.zeros(count, dtype=np.int64)
+        crowding = np.zeros(count, dtype=float)
+        for depth, front in enumerate(non_dominated_sort_cached(optimistic)):
+            rank[front] = depth
+            distances = crowding_distance_cached(optimistic[front])
+            crowding[front] = np.nan_to_num(
+                np.asarray(distances, dtype=float), posinf=1e30
+            )
+        budget = max(1, math.ceil(self.screen_fraction * count))
+        order = np.lexsort((np.arange(count), -crowding, rank, dominated_by))
+        kept = list(order[:budget].tolist())
+        if budget < count:
+            quota = max(1, math.ceil(self.explore_fraction * budget))
+            rest = order[budget:]
+            leverage = uncertainty.mean(axis=1)
+            explore_order = rest[np.lexsort((rest, -leverage[rest]))]
+            kept.extend(explore_order[:quota].tolist())
+        keep = np.array(sorted(set(kept)), dtype=np.int64)
+        self.exact_candidates += len(keep)
+        self.screened_candidates += count - len(keep)
+        self._m_exact.add(len(keep))
+        self._m_screened.add(count - len(keep))
+        return keep
+
+    def evaluate(
+        self, batch: SpecBatch, reference_objectives: Sequence[Tuple] = ()
+    ) -> Tuple[np.ndarray, List]:
+        """Screen then exactly evaluate one batch: ``(kept indices, metrics)``.
+
+        The direct wrapper form of the NSGA-II hook: the kept subset goes
+        through ``engine.evaluate_specs`` and the exact results are
+        observed back into the training set.  ``metrics`` aligns with the
+        returned indices.
+        """
+        keep = self.select(batch, reference_objectives)
+        kept_batch = batch.take(list(keep.tolist()))
+        metrics_list = self.engine.evaluate_specs(self.estimator, kept_batch)
+        self.observe(kept_batch, metrics_list)
+        return keep, metrics_list
+
+    # -- archive / recall ------------------------------------------------------
+
+    def archive_front(self) -> set:
+        """Non-dominated objective tuples over every observed exact row.
+
+        Recomputed lazily when the training set grew; used to report
+        ``front_recall`` — how much of the best-known front the current
+        population retains.
+        """
+        count = len(self._rows)
+        if count != self._archive_rows:
+            if count == 0:
+                self._archive = set()
+            else:
+                rows = np.asarray(list(self._rows.values()), dtype=float)
+                objectives = np.stack(
+                    (
+                        -rows[:, _OBJ_INDICES[0]],
+                        -rows[:, _OBJ_INDICES[1]],
+                        rows[:, _OBJ_INDICES[2]],
+                        rows[:, _OBJ_INDICES[3]],
+                    ),
+                    axis=1,
+                )
+                mask = pareto_front_mask_cached(objectives)
+                self._archive = {
+                    tuple(row) for row in objectives[mask].tolist()
+                }
+            self._archive_rows = count
+        return self._archive
+
+
+def pareto_front_mask_cached(objectives: np.ndarray) -> np.ndarray:
+    """Thin indirection so the dse-layer mask is imported lazily."""
+    from repro.dse.pareto import pareto_front_mask
+
+    return pareto_front_mask(objectives)
+
+
+def non_dominated_sort_cached(objectives: np.ndarray):
+    """Lazy import of the dse-layer non-dominated sort."""
+    from repro.dse.pareto import non_dominated_sort
+
+    return non_dominated_sort(objectives.tolist())
+
+
+def crowding_distance_cached(objectives: np.ndarray):
+    """Lazy import of the dse-layer crowding distance."""
+    from repro.dse.pareto import crowding_distance
+
+    return crowding_distance(objectives.tolist())
+
+
+def load_surrogate_json(payload: str) -> SurrogateModel:
+    """Deserialize a persisted ``model_json`` column (store helper)."""
+    return SurrogateModel.from_dict(json.loads(payload))

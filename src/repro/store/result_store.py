@@ -46,13 +46,16 @@ from repro.obs import get_tracer
 
 #: Version of the on-disk schema; bumped on incompatible layout changes.
 #: v2 added the ``template_index`` table and the ``(stage, created_at)``
-#: artifact index (both purely additive, so v1 files migrate in place).
-SCHEMA_VERSION = 2
+#: artifact index; v3 adds the ``surrogates`` table, the
+#: ``(params_digest, created_at)`` covering index surrogate training
+#: scans ride, and one ``(metric, spec)`` rank index per query metric
+#: (all purely additive, so older files migrate in place).
+SCHEMA_VERSION = 3
 
 #: Older schema versions this revision upgrades in place on open.  Every
-#: v2 addition is new tables/indexes created by the idempotent DDL, so
-#: migrating a v1 file is just running the DDL and re-stamping.
-_MIGRATABLE_VERSIONS = (1,)
+#: v2/v3 addition is new tables/indexes created by the idempotent DDL, so
+#: migrating an older file is just running the DDL and re-stamping.
+_MIGRATABLE_VERSIONS = (1, 2)
 
 #: Metric columns of the ``evaluations`` table, in ACIMMetrics field order.
 _METRIC_FIELDS = (
@@ -156,7 +159,22 @@ CREATE TABLE IF NOT EXISTS run_metrics (
     metrics_json TEXT NOT NULL,
     PRIMARY KEY (campaign, run_index)
 );
-"""
+CREATE INDEX IF NOT EXISTS idx_evaluations_params_created
+    ON evaluations(params_digest, created_at);
+CREATE TABLE IF NOT EXISTS surrogates (
+    params_digest        TEXT NOT NULL,
+    version              INTEGER NOT NULL,
+    training_rows        INTEGER NOT NULL,
+    training_fingerprint TEXT NOT NULL,
+    model_json           TEXT NOT NULL,
+    created_at           REAL NOT NULL,
+    PRIMARY KEY (params_digest, version)
+);
+""" + "".join(
+    f"CREATE INDEX IF NOT EXISTS idx_eval_rank_{metric}\n"
+    f"    ON evaluations({metric}, height, width, local, adc_bits);\n"
+    for metric in RANK_METRICS
+)
 
 
 # -- canonical keys and digests ----------------------------------------------
@@ -712,45 +730,184 @@ class ResultStore:
             )
         started = time.perf_counter()
         with get_tracer().span("store.query", rank_by=rank_by):
-            sql = "SELECT * FROM evaluations"
-            arguments: Tuple = ()
-            if params_digest is not None:
-                sql += " WHERE params_digest = ?"
-                arguments = (params_digest,)
-            entries = [
-                _evaluation_from_row(row)
-                for row in self._read().execute(sql, arguments)
-            ]
-            if criteria is not None:
-                entries = [
-                    entry for entry in entries if criteria.accepts(entry)
-                ]
-            if pareto_only and entries:
-                from repro.dse.pareto import pareto_front
-
-                front = pareto_front(
-                    [entry.metrics.objectives() for entry in entries]
-                )
-                entries = [entries[i] for i in front]
             descending = RANK_METRICS[rank_by]
-            entries.sort(
-                key=lambda entry: (
-                    getattr(entry.metrics, rank_by),
-                    entry.spec.as_tuple(),
-                ),
-                reverse=descending,
-            )
-            total = len(entries)
-            if offset:
-                entries = entries[max(0, int(offset)):]
-            if limit is not None:
-                entries = entries[: max(0, int(limit))]
+            if criteria is None and not pareto_only:
+                # One-pass SQL fast path: the ordering below is exactly
+                # the Python sort key (rank metric, then the full spec
+                # tuple) — ``reverse=True`` flips the tie-break too, so
+                # every ORDER BY term shares one direction and the
+                # ``idx_eval_rank_<metric>`` covering index satisfies it
+                # without a temp B-tree (asserted via EXPLAIN QUERY PLAN
+                # in the test suite).
+                entries, total = self._query_page_sql(
+                    rank_by, descending, limit, offset, params_digest
+                )
+            else:
+                sql = "SELECT * FROM evaluations"
+                arguments: Tuple = ()
+                if params_digest is not None:
+                    sql += " WHERE params_digest = ?"
+                    arguments = (params_digest,)
+                entries = [
+                    _evaluation_from_row(row)
+                    for row in self._read().execute(sql, arguments)
+                ]
+                if criteria is not None:
+                    entries = [
+                        entry for entry in entries if criteria.accepts(entry)
+                    ]
+                if pareto_only and entries:
+                    from repro.dse.pareto import pareto_front
+
+                    front = pareto_front(
+                        [entry.metrics.objectives() for entry in entries]
+                    )
+                    entries = [entries[i] for i in front]
+                entries.sort(
+                    key=lambda entry: (
+                        getattr(entry.metrics, rank_by),
+                        entry.spec.as_tuple(),
+                    ),
+                    reverse=descending,
+                )
+                total = len(entries)
+                if offset:
+                    entries = entries[max(0, int(offset)):]
+                if limit is not None:
+                    entries = entries[: max(0, int(limit))]
         if self.metrics is not None:
             self.metrics.counter("store.query.rows").add(len(entries))
             self.metrics.histogram("store.query.seconds").observe(
                 time.perf_counter() - started
             )
         return entries, total
+
+    def _query_page_sql(
+        self,
+        rank_by: str,
+        descending: bool,
+        limit: Optional[int],
+        offset: int,
+        params_digest: Optional[str],
+    ) -> Tuple[List[StoredEvaluation], int]:
+        """Index-ordered page straight out of SQLite (no Python re-sort)."""
+        conn = self._read()
+        where = ""
+        arguments: Tuple = ()
+        if params_digest is not None:
+            where = " WHERE params_digest = ?"
+            arguments = (params_digest,)
+        total = conn.execute(
+            f"SELECT COUNT(*) AS n FROM evaluations{where}", arguments
+        ).fetchone()["n"]
+        direction = "DESC" if descending else "ASC"
+        order = ", ".join(
+            f"{column} {direction}"
+            for column in (rank_by, "height", "width", "local", "adc_bits")
+        )
+        page_limit = -1 if limit is None else max(0, int(limit))
+        entries = [
+            _evaluation_from_row(row)
+            for row in conn.execute(
+                f"SELECT * FROM evaluations{where} ORDER BY {order} "
+                "LIMIT ? OFFSET ?",
+                (*arguments, page_limit, max(0, int(offset))),
+            )
+        ]
+        return entries, total
+
+    # -- surrogate models ------------------------------------------------------
+
+    def training_rows(
+        self, params_digest: str, limit: Optional[int] = None
+    ) -> List[Tuple[Tuple[int, int, int, int], Tuple[float, ...]]]:
+        """``(spec tuple, metric tuple)`` training pairs, oldest first.
+
+        The surrogate training scan: rides the
+        ``idx_evaluations_params_created`` covering index, so warming a
+        screener from a million-row store never re-sorts in Python.
+        """
+        sql = (
+            "SELECT height, width, local, adc_bits, "
+            + ", ".join(_METRIC_FIELDS)
+            + " FROM evaluations WHERE params_digest = ? ORDER BY created_at"
+        )
+        arguments: Tuple = (params_digest,)
+        if limit is not None:
+            sql += " LIMIT ?"
+            arguments = (params_digest, int(limit))
+        return [
+            (
+                (row["height"], row["width"], row["local"], row["adc_bits"]),
+                tuple(row[field] for field in _METRIC_FIELDS),
+            )
+            for row in self._read().execute(sql, arguments)
+        ]
+
+    def put_surrogate(
+        self,
+        params_digest: str,
+        training_rows: int,
+        fingerprint: str,
+        model: Dict,
+    ) -> int:
+        """Version a fitted surrogate model in; returns its version.
+
+        Models are pure functions of their training set, so re-persisting
+        the latest fingerprint is a no-op returning the existing version;
+        a changed fingerprint (the training set grew or shifted) appends
+        the next version — readers always take the latest and validate
+        its fingerprint against their own training rows.
+        """
+        payload = json.dumps(model, sort_keys=True)
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT version, training_fingerprint FROM surrogates "
+                "WHERE params_digest = ? ORDER BY version DESC LIMIT 1",
+                (params_digest,),
+            ).fetchone()
+            if row is not None and row["training_fingerprint"] == fingerprint:
+                return int(row["version"])
+            version = 1 if row is None else int(row["version"]) + 1
+            conn.execute(
+                "INSERT INTO surrogates (params_digest, version, "
+                "training_rows, training_fingerprint, model_json, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (params_digest, version, int(training_rows), fingerprint,
+                 payload, time.time()),
+            )
+        return version
+
+    def latest_surrogate(self, params_digest: str) -> Optional[Dict]:
+        """The newest persisted surrogate of one parameter bundle."""
+        row = self._read().execute(
+            "SELECT * FROM surrogates WHERE params_digest = ? "
+            "ORDER BY version DESC LIMIT 1",
+            (params_digest,),
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            model = json.loads(row["model_json"])
+        except ValueError as error:
+            raise StoreError(
+                f"corrupt surrogate for params {params_digest[:12]}... "
+                f"(version {row['version']}): {error}"
+            )
+        return {
+            "params_digest": row["params_digest"],
+            "version": int(row["version"]),
+            "training_rows": int(row["training_rows"]),
+            "training_fingerprint": row["training_fingerprint"],
+            "model": model,
+            "created_at": float(row["created_at"]),
+        }
+
+    def surrogate_count(self) -> int:
+        """Number of persisted surrogate model versions."""
+        return self._read().execute(
+            "SELECT COUNT(*) AS n FROM surrogates"
+        ).fetchone()["n"]
 
     # -- campaigns -------------------------------------------------------------
 
@@ -1051,6 +1208,7 @@ class ResultStore:
             "checkpoints": self.checkpoint_count(),
             "artifacts": self.artifact_count(),
             "templates": self.template_entry_count(),
+            "surrogates": self.surrogate_count(),
         }
 
 
